@@ -1,0 +1,445 @@
+package semdisco
+
+// One benchmark per experiment in DESIGN.md's index (the paper has no
+// tables of its own; these regenerate the claim-reproduction tables
+// EXPERIMENTS.md records), plus micro-benchmarks for the load-bearing
+// substrates. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Scenario benchmarks print their result table once (-v to see it) and
+// report a headline metric via b.ReportMetric so regressions in the
+// *shape* show up in benchmark diffs.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/experiments"
+	"semdisco/internal/lease"
+	"semdisco/internal/match"
+	"semdisco/internal/metrics"
+	"semdisco/internal/ontology"
+	"semdisco/internal/profile"
+	"semdisco/internal/rdf"
+	"semdisco/internal/registry"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+	"semdisco/internal/workload"
+)
+
+const benchSeed = 42
+
+func reportTable(b *testing.B, tab *metrics.Table) {
+	b.Helper()
+	b.Logf("\n%s", tab)
+}
+
+func cell(tab *metrics.Table, row, col int) float64 {
+	s := tab.Row(row)[col]
+	s = strings.TrimSuffix(s, "kB")
+	s = strings.TrimSuffix(s, "×")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+func BenchmarkE1TopologyBandwidth(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E1TopologyBandwidth([]int{20, 40}, 10, benchSeed)
+	}
+	reportTable(b, tab)
+	// Headline: decentralized / centralized query-bytes ratio at N=40.
+	b.ReportMetric(cell(tab, 3, 7)/cell(tab, 4, 7), "dec/cen-query-cost")
+}
+
+func BenchmarkE2ResponseControl(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E2ResponseControl(50, benchSeed)
+	}
+	reportTable(b, tab)
+	b.ReportMetric(cell(tab, 0, 1), "uncontrolled-responses")
+	b.ReportMetric(cell(tab, 3, 1), "bestonly-responses")
+}
+
+func BenchmarkE3Robustness(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E3Robustness([]float64{0, 0.5, 1}, benchSeed)
+	}
+	reportTable(b, tab)
+	b.ReportMetric(cell(tab, 4, 2), "distributed-success-at-50pct")
+}
+
+func BenchmarkE4Staleness(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E4Staleness([]time.Duration{2 * time.Second, 10 * time.Second}, benchSeed)
+	}
+	reportTable(b, tab)
+	b.ReportMetric(cell(tab, 0, 2), "uddi-stale-fraction")
+	b.ReportMetric(cell(tab, 1, 2), "leased-2s-stale-fraction")
+}
+
+func BenchmarkE5Matchmaking(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E5Matchmaking(4, 3, 200, 60, benchSeed)
+	}
+	reportTable(b, tab)
+	b.ReportMetric(cell(tab, 0, 2), "semantic-recall")
+	b.ReportMetric(cell(tab, 2, 2), "uri-recall") // row 1 is the subsumed-floor ablation
+}
+
+func BenchmarkE6Bootstrap(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E6Bootstrap([]time.Duration{time.Second, 5 * time.Second}, benchSeed)
+	}
+	reportTable(b, tab)
+}
+
+func BenchmarkE6Fallback(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E6Fallback(10, benchSeed)
+	}
+	reportTable(b, tab)
+	b.ReportMetric(cell(tab, 1, 2), "fallback-services-found")
+}
+
+func BenchmarkE7Forwarding(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E7Forwarding(6, benchSeed)
+	}
+	reportTable(b, tab)
+}
+
+func BenchmarkE8PayloadSize(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E8PayloadSize(200, benchSeed)
+	}
+	reportTable(b, tab)
+	b.ReportMetric(cell(tab, 3, 1)/cell(tab, 0, 1), "rdf/uri-size-ratio")
+}
+
+func BenchmarkE9Coherence(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E9Coherence(4, 3, benchSeed)
+	}
+	reportTable(b, tab)
+	last := tab.NumRows() - 1
+	b.ReportMetric(cell(tab, last, 1)/cell(tab, last, 2), "wan-coverage")
+}
+
+func BenchmarkE10Gateway(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E10Gateway(3, benchSeed)
+	}
+	reportTable(b, tab)
+	b.ReportMetric(cell(tab, 0, 1), "wan-queries-uncoordinated")
+	b.ReportMetric(cell(tab, 1, 1), "wan-queries-coordinated")
+}
+
+func BenchmarkE11Republish(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E11Republish(benchSeed)
+	}
+	reportTable(b, tab)
+}
+
+func BenchmarkE12PushPull(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E12PushPull([]int{2, 20}, benchSeed)
+	}
+	reportTable(b, tab)
+}
+
+func BenchmarkE13Artifacts(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E13Artifacts(benchSeed)
+	}
+	reportTable(b, tab)
+}
+
+// E14 (query evaluation cost) cannot nest testing.Benchmark inside a
+// benchmark; its table is produced by `cmd/simdisco -run E14`, and the
+// same comparison is exposed here as three plain benchmarks:
+// BenchmarkE14MatchCostURI / KV / Semantic.
+
+func BenchmarkE14MatchCostURI(b *testing.B) {
+	m := describe.URIModel{}
+	d := &describe.URIDescription{TypeURI: "urn:type:radar", ServiceURI: "urn:svc:1"}
+	q := &describe.URIQuery{TypeURI: "urn:type:radar"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Evaluate(q, d)
+	}
+}
+
+func BenchmarkE14MatchCostKV(b *testing.B) {
+	m := describe.KVModel{}
+	d := &describe.KVDescription{ServiceURI: "urn:svc:1", Name: "Weather feed", TypeURI: "urn:type:weather",
+		Attrs: map[string]string{"region": "north"}}
+	q := &describe.KVQuery{NamePrefix: "Wea", TypeURI: "urn:type:weather", Attrs: map[string]string{"region": "north"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Evaluate(q, d)
+	}
+}
+
+func BenchmarkE14MatchCostSemantic(b *testing.B) {
+	onto, levels := benchOntology()
+	m := describe.NewSemanticModel(onto)
+	pop := workload.GenProfiles(workload.PopulationSpec{N: 64, Classes: levels[4], Seed: benchSeed})
+	q := &describe.SemanticQuery{Template: &profile.Template{Category: levels[1][0]}}
+	descs := make([]describe.Description, len(pop))
+	for i, p := range pop {
+		descs[i] = &describe.SemanticDescription{Profile: p}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Evaluate(q, descs[i%len(descs)])
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func benchOntology() (*ontology.Ontology, [][]ontology.Class) {
+	return workload.GenOntology(workload.OntologySpec{Depth: 5, Branching: 3})
+}
+
+func BenchmarkMatcherSemantic(b *testing.B) {
+	onto, levels := benchOntology()
+	pop := workload.GenProfiles(workload.PopulationSpec{N: 256, Classes: levels[4], Seed: benchSeed})
+	m := match.New(onto)
+	tpl := &profile.Template{Category: levels[1][0], MinQoS: map[string]float64{"accuracy": 0.6}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Match(tpl, pop[i%len(pop)])
+	}
+}
+
+func BenchmarkOntologySubsumes(b *testing.B) {
+	onto, levels := benchOntology()
+	leaves := levels[4]
+	top := levels[1][0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		onto.Subsumes(top, leaves[i%len(leaves)])
+	}
+}
+
+func BenchmarkOntologySimilarity(b *testing.B) {
+	onto, levels := benchOntology()
+	leaves := levels[4]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		onto.Similarity(leaves[i%len(leaves)], leaves[(i+7)%len(leaves)])
+	}
+}
+
+func BenchmarkProfileEncode(b *testing.B) {
+	_, levels := benchOntology()
+	pop := workload.GenProfiles(workload.PopulationSpec{N: 64, Classes: levels[4], Seed: benchSeed})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pop[i%len(pop)].Encode()
+	}
+}
+
+func BenchmarkProfileDecode(b *testing.B) {
+	_, levels := benchOntology()
+	pop := workload.GenProfiles(workload.PopulationSpec{N: 64, Classes: levels[4], Seed: benchSeed})
+	encs := make([][]byte, len(pop))
+	for i, p := range pop {
+		encs[i] = p.Encode()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.Decode(encs[i%len(encs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireMarshalQuery(b *testing.B) {
+	gen := uuid.NewGenerator(benchSeed)
+	env := wire.NewEnvelope(gen.New(), "lan0/c", wire.Query{
+		QueryID: gen.New(), Kind: describe.KindSemantic,
+		Payload: make([]byte, 120), TTL: 4, ReplyAddr: "lan0/c",
+	}, gen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Marshal(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireUnmarshalQuery(b *testing.B) {
+	gen := uuid.NewGenerator(benchSeed)
+	env := wire.NewEnvelope(gen.New(), "lan0/c", wire.Query{
+		QueryID: gen.New(), Kind: describe.KindSemantic,
+		Payload: make([]byte, 120), TTL: 4, ReplyAddr: "lan0/c",
+	}, gen)
+	data, err := wire.Marshal(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRDFInference(b *testing.B) {
+	onto, _ := benchOntology()
+	src := rdf.EncodeNTriples(onto.ToGraph())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := rdf.ParseTurtle(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rdf.InferRDFS(g)
+	}
+}
+
+func BenchmarkRDFStoreMatch(b *testing.B) {
+	onto, _ := benchOntology()
+	g := onto.ToGraph()
+	rdf.InferRDFS(g)
+	sub := rdf.IRI(rdf.RDFSSubClassOf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MatchFunc(rdf.Wildcard, sub, rdf.Wildcard, func(rdf.Triple) bool { return true })
+	}
+}
+
+func BenchmarkUUIDGenerator(b *testing.B) {
+	g := uuid.NewGenerator(benchSeed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.New()
+	}
+}
+
+var sinkStr string
+
+func BenchmarkTableRender(b *testing.B) {
+	tab := metrics.NewTable("bench", "a", "b", "c")
+	for i := 0; i < 50; i++ {
+		tab.AddRow(fmt.Sprintf("row-%d", i), i, float64(i)*1.5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkStr = tab.String()
+	}
+}
+
+// The registry's token index: a narrow (leaf-category) query touches
+// only its candidate buckets while a broad (root) query still has to
+// evaluate most of the store. Compare ns/op across the two.
+func registryWithPopulation(b *testing.B, n int) (*registry.Store, []ontology.Class, []ontology.Class) {
+	b.Helper()
+	onto, levels := workload.GenOntology(workload.OntologySpec{Depth: 5, Branching: 3})
+	leaves := levels[4]
+	models := describe.NewRegistry(describe.NewSemanticModel(onto))
+	s := registry.New(registry.Options{Models: models, Leases: lease.Policy{Max: time.Hour}})
+	pop := workload.GenProfiles(workload.PopulationSpec{N: n, Classes: leaves, Seed: benchSeed})
+	gen := uuid.NewGenerator(benchSeed)
+	t0 := time.Unix(0, 0)
+	for _, p := range pop {
+		adv := wire.Advertisement{
+			ID: gen.New(), Provider: gen.New(), Kind: describe.KindSemantic,
+			Payload: p.Encode(), LeaseMillis: uint64(time.Hour / time.Millisecond), Version: 1,
+		}
+		if _, _, err := s.Publish(adv, t0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, leaves, levels[1]
+}
+
+func BenchmarkRegistryEvaluateNarrow(b *testing.B) {
+	s, leaves, _ := registryWithPopulation(b, 2000)
+	payload := (&describe.SemanticQuery{Template: &profile.Template{Category: leaves[0]}}).Encode()
+	t0 := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Evaluate(describe.KindSemantic, payload, registry.QueryOptions{}, t0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegistryEvaluateBroad(b *testing.B) {
+	s, _, tops := registryWithPopulation(b, 2000)
+	payload := (&describe.SemanticQuery{Template: &profile.Template{Category: tops[0]}}).Encode()
+	t0 := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Evaluate(describe.KindSemantic, payload, registry.QueryOptions{}, t0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegistryPublish(b *testing.B) {
+	onto, levels := workload.GenOntology(workload.OntologySpec{Depth: 4, Branching: 3})
+	models := describe.NewRegistry(describe.NewSemanticModel(onto))
+	s := registry.New(registry.Options{Models: models, Leases: lease.Policy{Max: time.Hour}})
+	pop := workload.GenProfiles(workload.PopulationSpec{N: 256, Classes: levels[3], Seed: benchSeed})
+	gen := uuid.NewGenerator(benchSeed)
+	t0 := time.Unix(0, 0)
+	payloads := make([][]byte, len(pop))
+	for i, p := range pop {
+		payloads[i] = p.Encode()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv := wire.Advertisement{
+			ID: gen.New(), Provider: gen.New(), Kind: describe.KindSemantic,
+			Payload: payloads[i%len(payloads)], LeaseMillis: 60_000, Version: 1,
+		}
+		if _, _, err := s.Publish(adv, t0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE15Scale(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E15Scale([]int{4, 8}, benchSeed)
+	}
+	reportTable(b, tab)
+	b.ReportMetric(cell(tab, 1, 2), "recall-at-8-registries")
+}
+
+func BenchmarkE16Loss(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E16Loss([]float64{0, 0.05}, benchSeed)
+	}
+	reportTable(b, tab)
+	b.ReportMetric(cell(tab, 1, 1), "success-at-5pct-loss")
+}

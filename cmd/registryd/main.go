@@ -1,0 +1,188 @@
+// Command registryd runs one federated service discovery registry over
+// real UDP — the live deployment of the architecture's registry role.
+//
+// Usage:
+//
+//	registryd -bind 127.0.0.1:7701 \
+//	          -mcast 239.77.77.77:7777 \
+//	          -seed 10.0.0.2:7701,10.0.0.3:7701 \
+//	          -ontology taxonomy.ttl -push -gateway -v
+//
+// The registry beacons on the multicast group for LAN discovery,
+// answers probes, federates with the seeded registries, leases and
+// purges advertisements, and serves the loaded ontology from its
+// artifact repository.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/federation"
+	"semdisco/internal/lease"
+	"semdisco/internal/ontology"
+	"semdisco/internal/rdf"
+	"semdisco/internal/registry"
+	"semdisco/internal/runtime"
+	"semdisco/internal/sim"
+	"semdisco/internal/transport"
+	"semdisco/internal/transport/udpnet"
+	"semdisco/internal/uuid"
+)
+
+func main() {
+	var (
+		bind     = flag.String("bind", "127.0.0.1:0", "unicast listen address")
+		mcast    = flag.String("mcast", "239.77.77.77:7777", "LAN multicast group ('' disables)")
+		seeds    = flag.String("seed", "", "comma-separated peer registry addresses (WAN seeding)")
+		ontoPath = flag.String("ontology", "", "Turtle taxonomy file (default: built-in sensor taxonomy)")
+		push     = flag.Bool("push", false, "replicate advertisements to peer registries")
+		summary  = flag.Bool("summaries", false, "gossip advertisement summaries and prune forwarding")
+		gateway  = flag.Bool("gateway", false, "coordinate one WAN gateway per LAN")
+		leaseMax = flag.Duration("lease-max", 10*time.Minute, "maximum granted lease")
+		leaseDef = flag.Duration("lease-default", 30*time.Second, "default granted lease")
+		beacon   = flag.Duration("beacon", 5*time.Second, "beacon interval")
+		httpAddr = flag.String("http", "", "serve /status and /ontology on this address ('' disables)")
+		verbose  = flag.Bool("v", false, "trace protocol activity")
+	)
+	flag.Parse()
+
+	onto, err := loadOntology(*ontoPath)
+	if err != nil {
+		log.Fatalf("registryd: %v", err)
+	}
+	models := describe.NewRegistry(describe.URIModel{}, describe.KVModel{}, describe.NewSemanticModel(onto))
+	store := registry.New(registry.Options{
+		Models: models,
+		Leases: lease.Policy{Max: *leaseMax, Default: *leaseDef},
+	})
+	store.PutArtifact(onto.IRI, ontologyDoc(onto))
+
+	nodeio, err := udpnet.Listen(udpnet.Config{Bind: *bind, Multicast: *mcast})
+	if err != nil {
+		log.Fatalf("registryd: %v", err)
+	}
+	defer nodeio.Close()
+
+	env := &runtime.Env{ID: uuid.New(), Iface: nodeio, Clock: nodeio, Gen: nil}
+	if *verbose {
+		env.Trace = func(format string, args ...any) { log.Printf("trace: "+format, args...) }
+	}
+	cfg := federation.Config{
+		BeaconInterval:      *beacon,
+		PushReplication:     *push,
+		SummaryPruning:      *summary,
+		GatewayCoordination: *gateway,
+	}
+	if *seeds != "" {
+		cfg.SeedAddrs = strings.Split(*seeds, ",")
+	}
+	reg := federation.New(env, store, cfg)
+	nodeio.SetHandler(func(from transport.Addr, data []byte) {
+		runtime.Dispatch(reg, env, from, data)
+	})
+	nodeio.Do(reg.Start)
+
+	log.Printf("registryd %s listening on %s (multicast %v, ontology %s, %d classes)",
+		env.ID.Short(), nodeio.Addr(), nodeio.MulticastReady(), onto.IRI, onto.NumClasses())
+
+	if *httpAddr != "" {
+		go serveStatus(*httpAddr, nodeio, reg, onto)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(30 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			log.Printf("registryd: shutting down")
+			nodeio.Do(reg.Stop)
+			return
+		case <-ticker.C:
+			nodeio.Do(func() {
+				s := reg.Stats()
+				log.Printf("adverts=%d peers=%d queries=%d forwarded=%d dups=%d",
+					reg.Store().Len(), len(reg.Peers()), s.QueriesReceived, s.QueriesForwarded, s.DuplicatesSuppressed)
+			})
+		}
+	}
+}
+
+// serveStatus exposes a read-only observability endpoint: GET /status
+// returns registry state as JSON, GET /ontology the Turtle taxonomy.
+// All registry access is funnelled through the node executor so the
+// HTTP handlers never race the protocol state machine.
+func serveStatus(addr string, nodeio *udpnet.Node, reg *federation.Registry, onto *ontology.Ontology) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		type peerJSON struct {
+			ID   string `json:"id"`
+			Addr string `json:"addr"`
+		}
+		var out struct {
+			NodeID        string           `json:"nodeId"`
+			Addr          string           `json:"addr"`
+			Adverts       int              `json:"adverts"`
+			Subscriptions int              `json:"subscriptions"`
+			Gateway       bool             `json:"gateway"`
+			Peers         []peerJSON       `json:"peers"`
+			Stats         federation.Stats `json:"stats"`
+		}
+		nodeio.Do(func() {
+			out.NodeID = reg.ID().String()
+			out.Addr = string(reg.Addr())
+			out.Adverts = reg.Store().Len()
+			out.Subscriptions = reg.Store().NumSubscriptions()
+			out.Gateway = reg.IsGateway()
+			for _, p := range reg.Peers() {
+				out.Peers = append(out.Peers, peerJSON{ID: p.ID.String(), Addr: p.Addr})
+			}
+			out.Stats = reg.Stats()
+		})
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+	mux.HandleFunc("/ontology", func(w http.ResponseWriter, r *http.Request) {
+		var doc []byte
+		nodeio.Do(func() { doc, _ = reg.Store().Artifact(onto.IRI) })
+		w.Header().Set("Content-Type", "text/turtle; charset=utf-8")
+		w.Write(doc)
+	})
+	log.Printf("registryd: status endpoint on http://%s/status", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("registryd: http endpoint failed: %v", err)
+	}
+}
+
+func loadOntology(path string) (*ontology.Ontology, error) {
+	if path == "" {
+		return sim.DefaultOntology(), nil
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	o, err := ontology.FromTurtle("file://"+path, string(src))
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return o, nil
+}
+
+func ontologyDoc(o *ontology.Ontology) []byte {
+	g := o.ToGraph()
+	return []byte(rdf.EncodeNTriples(g))
+}

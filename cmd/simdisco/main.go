@@ -1,0 +1,129 @@
+// Command simdisco runs the paper-claim experiments (DESIGN.md E1–E14)
+// on the deterministic simulator and prints their result tables — the
+// same tables `go test -bench` produces and EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	simdisco -list
+//	simdisco -run E1,E4 -seed 42
+//	simdisco -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"semdisco/internal/experiments"
+	"semdisco/internal/metrics"
+)
+
+type experiment struct {
+	id, title string
+	run       func(seed int64) *metrics.Table
+}
+
+func catalog() []experiment {
+	return []experiment{
+		{"E1", "topology bandwidth", func(s int64) *metrics.Table {
+			return experiments.E1TopologyBandwidth([]int{20, 40, 80}, 10, s)
+		}},
+		{"E2", "query response control", func(s int64) *metrics.Table {
+			return experiments.E2ResponseControl(50, s)
+		}},
+		{"E3", "robustness to registry failure", func(s int64) *metrics.Table {
+			return experiments.E3Robustness([]float64{0, 0.25, 0.5, 0.75, 1}, s)
+		}},
+		{"E4", "staleness under churn", func(s int64) *metrics.Table {
+			return experiments.E4Staleness([]time.Duration{2 * time.Second, 5 * time.Second, 15 * time.Second}, s)
+		}},
+		{"E5", "matchmaking quality", func(s int64) *metrics.Table {
+			return experiments.E5Matchmaking(4, 3, 300, 100, s)
+		}},
+		{"E6", "registry discovery bootstrap", func(s int64) *metrics.Table {
+			return experiments.E6Bootstrap([]time.Duration{time.Second, 5 * time.Second, 10 * time.Second}, s)
+		}},
+		{"E6b", "decentralized fallback", func(s int64) *metrics.Table {
+			return experiments.E6Fallback(10, s)
+		}},
+		{"E7", "forwarding strategies", func(s int64) *metrics.Table {
+			return experiments.E7Forwarding(8, s)
+		}},
+		{"E8", "advertisement payload sizes", func(s int64) *metrics.Table {
+			return experiments.E8PayloadSize(200, s)
+		}},
+		{"E9", "LAN+WAN coherence", func(s int64) *metrics.Table {
+			return experiments.E9Coherence(5, 3, s)
+		}},
+		{"E10", "gateway coordination", func(s int64) *metrics.Table {
+			return experiments.E10Gateway(3, s)
+		}},
+		{"E11", "republish convergence", func(s int64) *metrics.Table {
+			return experiments.E11Republish(s)
+		}},
+		{"E12", "push vs pull cooperation", func(s int64) *metrics.Table {
+			return experiments.E12PushPull([]int{1, 5, 20, 50}, s)
+		}},
+		{"E13", "ontology artifact resolution", func(s int64) *metrics.Table {
+			return experiments.E13Artifacts(s)
+		}},
+		{"E14", "query evaluation cost", func(s int64) *metrics.Table {
+			return experiments.E14MatchCost(256, s)
+		}},
+		{"E15", "federation scalability", func(s int64) *metrics.Table {
+			return experiments.E15Scale([]int{4, 8, 16, 32}, s)
+		}},
+		{"E16", "discovery under datagram loss", func(s int64) *metrics.Table {
+			return experiments.E16Loss([]float64{0, 0.02, 0.05, 0.10}, s)
+		}},
+	}
+}
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		seed   = flag.Int64("seed", 42, "experiment seed")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		format = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+	cat := catalog()
+	if *list {
+		for _, e := range cat {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	want := map[string]bool{}
+	all := strings.EqualFold(*run, "all")
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.ToUpper(strings.TrimSpace(id))] = true
+	}
+	ran := 0
+	for _, e := range cat {
+		if !all && !want[strings.ToUpper(e.id)] {
+			continue
+		}
+		start := time.Now()
+		tab := e.run(*seed)
+		if *format == "csv" {
+			fmt.Printf("# %s %s\n%s\n", e.id, e.title, tab.CSV())
+		} else {
+			fmt.Println(tab)
+			fmt.Printf("  [%s finished in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		}
+		ran++
+	}
+	if ran == 0 {
+		ids := make([]string, 0, len(cat))
+		for _, e := range cat {
+			ids = append(ids, e.id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(os.Stderr, "simdisco: no experiment matched %q (have %s)\n", *run, strings.Join(ids, ","))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,15 @@
+// Package semdisco reproduces "A Conceptual Service Discovery
+// Architecture for Semantic Web Services in Dynamic Environments"
+// (Gagnes, Plagemann, Munthe-Kaas; SeNS workshop @ IEEE ICDE 2006) as a
+// complete Go system: federated autonomous registries with leasing and
+// registry signaling, pluggable service description models dispatched
+// by an IP-style next-header field, an OWL-S-style semantic matchmaker
+// over a built-from-scratch RDF/RDFS substrate, LAN registry discovery
+// (active probe / passive beacon) with a decentralized fallback, and a
+// WAN federation layer with selectable query forwarding strategies.
+//
+// See DESIGN.md for the system inventory and experiment index,
+// EXPERIMENTS.md for measured results against the paper's claims, and
+// examples/ for runnable scenarios. The root-level benchmarks
+// (bench_test.go) regenerate every experiment table.
+package semdisco

@@ -1,0 +1,111 @@
+// Network-centric battlefield: the MILCOM'07 companion scenario. A
+// brigade WAN connects an HQ segment and two battalion LANs. Each
+// battalion runs *two* registries for redundancy with gateway
+// coordination (§4.7), so only one of them forwards queries onto the
+// WAN. The example then cuts the WAN link to battalion B — the paper's
+// organizational-disconnect case: "a network disconnect between
+// branches will not prevent services running on the same
+// organizational level from discovering each other".
+//
+//	go run ./examples/battlefield
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"semdisco/internal/core"
+	"semdisco/internal/transport"
+)
+
+func main() {
+	sys := core.NewSystem(core.Options{Seed: 11})
+
+	// HQ registry on the WAN segment.
+	hq := sys.StartRegistry("hq", core.RegistryOptions{GatewayCoordination: true})
+
+	// Two redundant registries per battalion, federated with HQ.
+	regOpts := core.RegistryOptions{GatewayCoordination: true, Federate: []*core.Registry{hq}}
+	a1 := sys.StartRegistry("bnA", regOpts)
+	a2 := sys.StartRegistry("bnA", regOpts)
+	b1 := sys.StartRegistry("bnB", regOpts)
+	b2 := sys.StartRegistry("bnB", regOpts)
+
+	mk := func(lan, iri, name, class string) {
+		if _, err := sys.StartService(lan, core.ServiceOptions{
+			Lease: 5 * time.Second,
+			Profile: core.ServiceProfile{
+				IRI: iri, Name: name, Category: sys.Class(class),
+				Endpoint: "udp://" + lan + "/" + iri,
+			},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mk("hq", "urn:svc:theatre-map", "Theatre map", "MapService")
+	mk("bnA", "urn:svc:uav-A", "Battalion A UAV feed", "CameraFeed")
+	mk("bnB", "urn:svc:radar-B", "Battalion B coastal radar", "CoastalRadarFeed")
+	mk("bnB", "urn:svc:chat-B", "Battalion B chat", "ChatService")
+
+	cliA := sys.StartClient("bnA", core.ClientOptions{})
+	cliB := sys.StartClient("bnB", core.ClientOptions{})
+	sys.Step(5 * time.Second)
+
+	// --- Gateway election. ---
+	fmt.Println("1) gateway coordination (one WAN gateway per battalion):")
+	fmt.Printf("   bnA: r1 gateway=%v r2 gateway=%v\n", a1.IsGateway(), a2.IsGateway())
+	fmt.Printf("   bnB: r1 gateway=%v r2 gateway=%v\n", b1.IsGateway(), b2.IsGateway())
+
+	// --- Opportunistic cross-battalion discovery. ---
+	hits, via, err := cliA.Find(core.Query{
+		Category: sys.Class("SensorFeed"), Scope: 3, Timeout: 60 * time.Second,
+	})
+	check(err)
+	fmt.Printf("\n2) battalion A discovers all theatre sensor feeds (via %s):\n", via)
+	for _, h := range hits {
+		fmt.Printf("   %-28s %s\n", h.Name, h.Endpoint)
+	}
+
+	// --- WAN disconnect for battalion B. ---
+	fmt.Println("\n3) WAN link to battalion B severed (partition)…")
+	var bSide, rest []transport.Addr
+	w := sys.World()
+	for _, lan := range w.Net.LANs() {
+		for _, addr := range w.Net.NodesOn(lan) {
+			if lan == "bnB" {
+				bSide = append(bSide, addr)
+			} else {
+				rest = append(rest, addr)
+			}
+		}
+	}
+	w.Net.Partition(rest, bSide)
+	sys.Step(2 * time.Second)
+
+	// Battalion B still discovers its own services locally.
+	hits, via, err = cliB.Find(core.Query{Category: sys.Class("ChatService"), Timeout: 60 * time.Second})
+	check(err)
+	fmt.Printf("   battalion B, disconnected, still finds its chat service via %s (%d hit)\n", via, len(hits))
+
+	// Battalion A no longer sees B's radar, but keeps everything else.
+	hits, _, err = cliA.Find(core.Query{Category: sys.Class("SensorFeed"), Scope: 3, Timeout: 60 * time.Second})
+	check(err)
+	fmt.Printf("   battalion A now sees %d sensor feed(s) (B's radar unreachable, lease purged)\n", len(hits))
+
+	// --- Link restored. ---
+	fmt.Println("\n4) WAN link restored; radar republishes and reappears…")
+	w.Net.Partition() // heal
+	sys.Step(15 * time.Second)
+	hits, _, err = cliA.Find(core.Query{Category: sys.Class("SensorFeed"), Scope: 3, Timeout: 60 * time.Second})
+	check(err)
+	for _, h := range hits {
+		fmt.Printf("   %-28s %s\n", h.Name, h.Endpoint)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

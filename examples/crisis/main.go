@@ -1,0 +1,145 @@
+// Crisis management: the ICDEW'06 paper's motivating scenario (§1) —
+// "members from several agencies, potentially at different locations,
+// have to cooperate … their devices spontaneously form a network where
+// application layer services are offered".
+//
+// Three agency LANs (fire, police, medical) each run their own
+// registry; the registries federate. The example walks through:
+//
+//  1. cross-agency semantic discovery through one local connection point
+//
+//  2. a service crash — its advertisement ages out by lease expiry
+//
+//  3. a coverage-area update that re-publishes the description
+//
+//  4. the local registry crashing — the client fails over to an
+//     alternate learned through registry signaling
+//
+//  5. every registry dying — decentralized LAN fallback still finds
+//     co-located services
+//
+//     go run ./examples/crisis
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"semdisco/internal/core"
+	"semdisco/internal/profile"
+)
+
+func main() {
+	sys := core.NewSystem(core.Options{Seed: 7})
+
+	// One registry per agency LAN; police and medical federate with
+	// fire's registry (the on-site command post).
+	fire := sys.StartRegistry("fire", core.RegistryOptions{})
+	police := sys.StartRegistry("police", core.RegistryOptions{Federate: []*core.Registry{fire}})
+	sys.StartRegistry("medical", core.RegistryOptions{Federate: []*core.Registry{fire, police}})
+
+	osloCenter := profile.Circle{LatDeg: 59.91, LonDeg: 10.75, RadiusKm: 15}
+	start := func(lan, iri, name, class string, cov *profile.Circle) *core.Service {
+		svc, err := sys.StartService(lan, core.ServiceOptions{
+			Lease: 5 * time.Second,
+			Profile: core.ServiceProfile{
+				IRI: iri, Name: name, Category: sys.Class(class),
+				Endpoint: "udp://" + lan + ".example:9000",
+				Coverage: cov,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return svc
+	}
+	start("fire", "urn:svc:thermal-drone", "Thermal drone feed", "InfraredCameraFeed", &osloCenter)
+	start("police", "urn:svc:perimeter-cam", "Perimeter camera", "CameraFeed", &osloCenter)
+	medEvac := start("medical", "urn:svc:medevac-map", "Medevac routing map", "MapService", nil)
+	weather := start("fire", "urn:svc:weather", "On-site weather", "WeatherService", nil)
+
+	// A medical-team client, attached to its own LAN only.
+	cli := sys.StartClient("medical", core.ClientOptions{})
+	sys.Step(3 * time.Second)
+
+	// --- 1. Cross-agency discovery through the local registry. ---
+	hits, via, err := cli.Find(core.Query{
+		Category: sys.Class("SensorFeed"), // matches drone + camera by subsumption
+		Near:     &profile.Point{LatDeg: 59.92, LonDeg: 10.74},
+		Scope:    2,
+		Timeout:  30 * time.Second,
+	})
+	check(err)
+	fmt.Printf("1) sensor feeds near the incident (via %s):\n", via)
+	for _, h := range hits {
+		fmt.Printf("   %-22s %s\n", h.Name, h.Endpoint)
+	}
+
+	// --- 2. The drone crashes; leasing purges it. ---
+	fmt.Println("\n2) thermal drone crashes (no deregistration)…")
+	droneCrash(sys)
+	sys.Step(12 * time.Second) // > lease + purge interval
+	hits, _, err = cli.Find(core.Query{Category: sys.Class("SensorFeed"), Scope: 2, Timeout: 30 * time.Second})
+	check(err)
+	fmt.Printf("   sensor feeds now: %d (stale advert purged by lease expiry)\n", len(hits))
+
+	// --- 3. The map service's coverage changes; it republishes. ---
+	fmt.Println("\n3) medevac map updates its coverage area (republish, version bump)…")
+	check(medEvac.Update(core.ServiceProfile{
+		IRI: "urn:svc:medevac-map", Name: "Medevac routing map",
+		Category: sys.Class("MapService"),
+		Endpoint: "udp://medical.example:9001", // moved endpoint too
+		Coverage: &osloCenter,
+	}))
+	sys.Step(time.Second)
+	hits, _, err = cli.Find(core.Query{Category: sys.Class("MapService"), Timeout: 10 * time.Second})
+	check(err)
+	fmt.Printf("   map service endpoint now: %s\n", hits[0].Endpoint)
+
+	// --- 4. The medical registry dies; the client fails over. ---
+	fmt.Println("\n4) medical registry crashes; client fails over via registry signaling…")
+	crashRegistry(sys, "medical")
+	sys.Step(2 * time.Second)
+	hits, via, err = cli.Find(core.Query{Category: sys.Class("WeatherService"), Scope: 2, Timeout: 60 * time.Second})
+	check(err)
+	fmt.Printf("   weather service still discoverable via %s (%d hit)\n", via, len(hits))
+	_ = weather
+
+	// --- 5. All registries die: decentralized fallback on the LAN. ---
+	fmt.Println("\n5) every registry crashes; decentralized LAN fallback…")
+	fire.Crash()
+	police.Crash()
+	sys.Step(2 * time.Second)
+	hits, via, err = cli.Find(core.Query{Category: sys.Class("MapService"), Timeout: 60 * time.Second})
+	check(err)
+	fmt.Printf("   co-located map service found via %s (%d hit)\n", via, len(hits))
+}
+
+// droneCrash crashes the thermal drone's service node.
+func droneCrash(sys *core.System) {
+	for _, s := range sys.World().Services {
+		for _, d := range s.Descs {
+			if d.ServiceKey() == "urn:svc:thermal-drone" {
+				s.Crash()
+				return
+			}
+		}
+	}
+}
+
+// crashRegistry crashes the registry on the named LAN.
+func crashRegistry(sys *core.System, lan string) {
+	for _, r := range sys.World().Registries {
+		if r.LAN == lan {
+			r.Crash()
+			return
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Livenet: the same protocol stack over *real UDP sockets* in one
+// process — two registries (federated by unicast seeding, as on a WAN
+// without multicast), a service node, and a client. This is the code
+// path cmd/registryd and cmd/sdctl deploy across machines.
+//
+//	go run ./examples/livenet
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/discovery"
+	"semdisco/internal/federation"
+	"semdisco/internal/lease"
+	"semdisco/internal/node"
+	"semdisco/internal/ontology"
+	"semdisco/internal/profile"
+	"semdisco/internal/registry"
+	"semdisco/internal/runtime"
+	"semdisco/internal/sim"
+	"semdisco/internal/transport"
+	"semdisco/internal/transport/udpnet"
+	"semdisco/internal/uuid"
+)
+
+func main() {
+	onto := sim.DefaultOntology()
+	models := describe.NewRegistry(describe.URIModel{}, describe.KVModel{}, describe.NewSemanticModel(onto))
+
+	// --- two federated registries on loopback UDP ---
+	reg1, addr1 := startRegistry(models, onto, nil)
+	reg2, addr2 := startRegistry(models, onto, []string{string(addr1)})
+	defer reg1.stop()
+	defer reg2.stop()
+	fmt.Printf("registries: %s and %s (federated by unicast seeding)\n", addr1, addr2)
+
+	// --- a service node publishing to registry 1 ---
+	svcIO := listen()
+	defer svcIO.Close()
+	svcEnv := &runtime.Env{ID: uuid.New(), Iface: svcIO, Clock: svcIO}
+	prof := &profile.Profile{
+		ServiceIRI: "urn:svc:live-radar",
+		Name:       "Live radar",
+		Category:   ontology.Class(onto.IRI + "RadarFeed"),
+		Grounding:  "udp://127.0.0.1:9999/radar",
+	}
+	svc := node.NewService(svcEnv, models, node.ServiceConfig{
+		Lease:     10 * time.Second,
+		Bootstrap: discovery.Config{SeedAddrs: []string{string(addr1)}, ProbeInterval: 300 * time.Millisecond},
+	}, &describe.SemanticDescription{Profile: prof})
+	svcIO.SetHandler(func(from transport.Addr, data []byte) { runtime.Dispatch(svc, svcEnv, from, data) })
+	svcIO.Do(svc.Start)
+
+	// --- a client seeded with registry 2 only ---
+	cliIO := listen()
+	defer cliIO.Close()
+	cliEnv := &runtime.Env{ID: uuid.New(), Iface: cliIO, Clock: cliIO}
+	cli := node.NewClient(cliEnv, node.ClientConfig{
+		Bootstrap: discovery.Config{SeedAddrs: []string{string(addr2)}, ProbeInterval: 300 * time.Millisecond},
+	})
+	cliIO.SetHandler(func(from transport.Addr, data []byte) { runtime.Dispatch(cli, cliEnv, from, data) })
+	cliIO.Do(cli.Start)
+
+	// Let the real clocks tick: discovery, publication, federation.
+	time.Sleep(1500 * time.Millisecond)
+
+	// The client asks registry 2 for SensorFeeds with a WAN scope of 1;
+	// the query is forwarded to registry 1 where the radar lives.
+	q := &describe.SemanticQuery{Template: &profile.Template{
+		Category: ontology.Class(onto.IRI + "SensorFeed"),
+	}}
+	done := make(chan node.QueryResult, 1)
+	cliIO.Do(func() {
+		cli.Query(node.QuerySpec{
+			Kind: describe.KindSemantic, Payload: q.Encode(), TTL: 1,
+		}, func(r node.QueryResult) { done <- r })
+	})
+	select {
+	case r := <-done:
+		fmt.Printf("query answered via %s with %d result(s):\n", r.Via, len(r.Adverts))
+		for _, a := range r.Adverts {
+			p, err := profile.Decode(a.Payload)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("  %s -> %s\n", p.Name, p.Grounding)
+		}
+	case <-time.After(10 * time.Second):
+		log.Fatal("livenet: query timed out")
+	}
+}
+
+type regHandle struct {
+	io  *udpnet.Node
+	reg *federation.Registry
+}
+
+func (h regHandle) stop() {
+	h.io.Do(h.reg.Stop)
+	h.io.Close()
+}
+
+func startRegistry(models *describe.Registry, onto *ontology.Ontology, seeds []string) (regHandle, transport.Addr) {
+	io := listen()
+	env := &runtime.Env{ID: uuid.New(), Iface: io, Clock: io}
+	store := registry.New(registry.Options{Models: models, Leases: lease.Policy{}})
+	reg := federation.New(env, store, federation.Config{
+		BeaconInterval: time.Second,
+		SeedAddrs:      seeds,
+	})
+	io.SetHandler(func(from transport.Addr, data []byte) { runtime.Dispatch(reg, env, from, data) })
+	io.Do(reg.Start)
+	return regHandle{io: io, reg: reg}, io.Addr()
+}
+
+func listen() *udpnet.Node {
+	n, err := udpnet.Listen(udpnet.Config{Bind: "127.0.0.1:0"})
+	if err != nil {
+		log.Fatalf("livenet: %v", err)
+	}
+	return n
+}

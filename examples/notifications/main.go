@@ -1,0 +1,56 @@
+// Notifications: standing queries over the wire. The paper notes that
+// "some systems today also allow registration for notifications about
+// service advertisements of interest"; semdisco implements that as
+// leased subscriptions — a crashed subscriber stops consuming
+// notifications the same way a crashed service stops being advertised.
+//
+// An operations-center client watches for any SensorFeed; services
+// come up one by one and each appearance is pushed to the client
+// without polling.
+//
+//	go run ./examples/notifications
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"semdisco/internal/core"
+)
+
+func main() {
+	sys := core.NewSystem(core.Options{Seed: 21})
+	sys.StartRegistry("ops", core.RegistryOptions{})
+	cli := sys.StartClient("ops", core.ClientOptions{})
+	sys.Step(2 * time.Second)
+
+	fmt.Println("watching for sensor feeds…")
+	cancel, err := cli.Watch(core.Query{Category: sys.Class("SensorFeed")}, func(h core.Hit) {
+		fmt.Printf("  + %-24s (%s)\n", h.Name, h.Endpoint)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	deploy := func(iri, name, class string) {
+		if _, err := sys.StartService("ops", core.ServiceOptions{
+			Profile: core.ServiceProfile{
+				IRI: iri, Name: name, Category: sys.Class(class),
+				Endpoint: "udp://ops.example/" + iri,
+			},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		sys.Step(2 * time.Second)
+	}
+	deploy("urn:svc:radar-1", "Harbour radar", "RadarFeed")
+	deploy("urn:svc:chat-1", "Ops chat", "ChatService") // no notification: not a sensor
+	deploy("urn:svc:ir-cam", "IR camera", "InfraredCameraFeed")
+
+	fmt.Println("unsubscribing; further deployments are silent…")
+	cancel()
+	sys.Step(time.Second)
+	deploy("urn:svc:radar-2", "Second radar", "RadarFeed")
+	fmt.Println("done")
+}

@@ -1,0 +1,98 @@
+// Pluggable description models: the paper's layered-stack claim in
+// action. One registry network simultaneously carries
+//
+//   - a primitive URI-typed service (a Tactical-Data-Link-style
+//     broadcaster that merely names a pre-agreed type),
+//   - a UDDI-style key/value-described service, and
+//   - a rich semantic service,
+//
+// each queried with its own model's query language over the *same*
+// publish/query/lease protocol — the next-header field routes payloads
+// to the right model, and nodes silently skip kinds they don't speak.
+//
+//	go run ./examples/pluggable
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/federation"
+	"semdisco/internal/node"
+	"semdisco/internal/sim"
+)
+
+func main() {
+	w := sim.NewWorld(sim.Config{Seed: 5})
+	w.AddRegistry("lan0", "r0", federation.Config{})
+
+	// Three services, one per description tier.
+	w.AddService("lan0", "tdl", node.ServiceConfig{}, &describe.URIDescription{
+		TypeURI:    "urn:nato:tdl:link16",
+		ServiceURI: "urn:svc:jtids-1",
+		Name:       "JTIDS terminal",
+		Addr:       "udp://10.0.0.7:1000",
+	})
+	w.AddService("lan0", "uddiish", node.ServiceConfig{}, &describe.KVDescription{
+		ServiceURI: "urn:svc:weather-1",
+		Name:       "Weather bulletin feed",
+		TypeURI:    "urn:type:weather",
+		Attrs:      map[string]string{"region": "north", "format": "grib"},
+		Addr:       "http://10.0.0.8/weather",
+	})
+	w.AddService("lan0", "sem", node.ServiceConfig{},
+		w.SemanticProfile("urn:svc:radar-1", sim.C("CoastalRadarFeed")))
+
+	cli := w.AddClient("lan0", "c0", node.ClientConfig{})
+	w.Run(2 * time.Second)
+
+	show := func(label string, spec node.QuerySpec) {
+		out := cli.Query(spec, 10*time.Second)
+		if !out.Completed {
+			log.Fatalf("%s query did not complete", label)
+		}
+		fmt.Printf("%-28s -> %d hit(s)", label, len(out.Adverts))
+		for _, a := range out.Adverts {
+			d, err := w.Models().DecodeDescription(a.Kind, a.Payload)
+			if err == nil {
+				fmt.Printf("  [%s] %s", a.Kind, d.ServiceKey())
+			}
+		}
+		fmt.Println()
+	}
+
+	// 1. URI model: exact pre-agreed type matching.
+	show("uri: link16 terminals", node.QuerySpec{
+		Kind:    describe.KindURI,
+		Payload: (&describe.URIQuery{TypeURI: "urn:nato:tdl:link16"}).Encode(),
+	})
+	// 2. KV model: filled-out partial template (type + attribute).
+	show("kv: northern grib weather", node.QuerySpec{
+		Kind: describe.KindKV,
+		Payload: (&describe.KVQuery{
+			TypeURI: "urn:type:weather",
+			Attrs:   map[string]string{"region": "north"},
+		}).Encode(),
+	})
+	// 3. Semantic model: subsumption finds the coastal radar from the
+	// generic SensorFeed concept.
+	show("semantic: any sensor feed", w.SemanticSpec(sim.C("SensorFeed"), 0))
+
+	// Each model only sees its own kind: the semantic query does not
+	// return the Link-16 terminal even though both live side by side.
+	show("semantic: link16 (no hits)", w.SemanticSpec(sim.C("ChatService"), 0))
+
+	// And the decentralized fallback speaks all models too.
+	for _, r := range w.Registries {
+		r.Crash()
+	}
+	w.Run(time.Second)
+	out := cli.Query(node.QuerySpec{
+		Kind:    describe.KindURI,
+		Payload: (&describe.URIQuery{TypeURI: "urn:nato:tdl:link16"}).Encode(),
+	}, 30*time.Second)
+	fmt.Printf("%-28s -> %d hit(s) via %s\n", "uri after registry death", len(out.Adverts), out.Via)
+
+}

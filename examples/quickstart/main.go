@@ -1,0 +1,77 @@
+// Quickstart: the smallest complete use of the semdisco library —
+// one registry, one semantically described service, one client that
+// finds it by asking for a *superclass* of what was published.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"semdisco/internal/core"
+)
+
+func main() {
+	// A System hosts registries, services and clients on a
+	// deterministic in-memory network with the built-in
+	// sensor/service taxonomy.
+	sys := core.NewSystem(core.Options{Seed: 1})
+
+	// 1. A registry on the "hq" LAN segment. It beacons for passive
+	//    discovery and answers multicast probes.
+	sys.StartRegistry("hq", core.RegistryOptions{})
+
+	// 2. A service node publishing a semantic profile: a coastal radar
+	//    feed with a QoS attribute and a geographic coverage area. The
+	//    node discovers the registry itself and maintains its lease.
+	_, err := sys.StartService("hq", core.ServiceOptions{
+		Profile: core.ServiceProfile{
+			IRI:         "urn:svc:radar-7",
+			Name:        "Coastal radar 7",
+			Description: "X-band surveillance radar, Oslofjord",
+			Category:    sys.Class("CoastalRadarFeed"),
+			Outputs:     []core.Class{sys.Class("SurfaceTrack")},
+			QoS:         map[string]float64{"accuracy": 0.92},
+			Endpoint:    "udp://10.1.2.3:9000",
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A client. Let a couple of (virtual) seconds pass so discovery
+	//    and publication complete.
+	cli := sys.StartClient("hq", core.ClientOptions{})
+	sys.Step(2 * time.Second)
+
+	// 4. Discover by semantics: the client asks for any SensorFeed —
+	//    it has never heard of "CoastalRadarFeed" — and the registry's
+	//    matchmaker finds the service through subsumption
+	//    (CoastalRadarFeed ⊑ RadarFeed ⊑ SensorFeed).
+	hits, via, err := cli.Find(core.Query{
+		Category:   sys.Class("SensorFeed"),
+		MinQoS:     map[string]float64{"accuracy": 0.9},
+		MaxResults: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found %d service(s) via %s:\n", len(hits), via)
+	for _, h := range hits {
+		fmt.Printf("  %-18s %-22s -> %s\n", h.Name, shortClass(string(h.Category)), h.Endpoint)
+	}
+
+	// 5. Invocation would now proceed directly against h.Endpoint; the
+	//    discovery architecture's job — establishing contact — is done.
+}
+
+func shortClass(iri string) string {
+	for i := len(iri) - 1; i >= 0; i-- {
+		if iri[i] == '#' || iri[i] == '/' {
+			return iri[i+1:]
+		}
+	}
+	return iri
+}

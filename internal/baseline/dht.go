@@ -1,0 +1,215 @@
+package baseline
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/runtime"
+	"semdisco/internal/transport"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// DHTNode is one super-peer of the distributed-hash-table baseline
+// (§3.3): advertisements are placed on the ring node owning the hash of
+// their index token, and queries are routed the same way. Matching at
+// the owner is exact string comparison of tokens — the structural
+// limitation the paper calls out: a DHT registry cannot find a Radar
+// when a Sensor is requested, because intermediate nodes store hashes,
+// not semantics.
+type DHTNode struct {
+	env    *runtime.Env
+	models *describe.Registry
+
+	// ring is the full sorted member list (a one-hop DHT; routing-table
+	// maintenance is out of scope for the baseline).
+	ring []ringMember
+
+	store map[uuid.UUID]dhtEntry
+
+	// Stats counts activity.
+	Stats struct {
+		Stored    uint64
+		Forwarded uint64
+		Queries   uint64
+	}
+}
+
+type ringMember struct {
+	hash uint64
+	info wire.PeerInfo
+}
+
+type dhtEntry struct {
+	advert wire.Advertisement
+	token  string
+}
+
+// NewDHT builds a DHT node; call SetRing before use.
+func NewDHT(env *runtime.Env, models *describe.Registry) *DHTNode {
+	return &DHTNode{env: env, models: models, store: make(map[uuid.UUID]dhtEntry)}
+}
+
+// SetRing installs the static membership (including this node).
+func (d *DHTNode) SetRing(members []wire.PeerInfo) {
+	d.ring = d.ring[:0]
+	for _, m := range members {
+		d.ring = append(d.ring, ringMember{hash: hash64(m.ID.String()), info: m})
+	}
+	sort.Slice(d.ring, func(i, j int) bool { return d.ring[i].hash < d.ring[j].hash })
+}
+
+// Len returns the number of advertisements this node owns.
+func (d *DHTNode) Len() int { return len(d.store) }
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// owner returns the ring member owning a token (consistent hashing:
+// first member clockwise from the token's hash).
+func (d *DHTNode) owner(token string) (wire.PeerInfo, bool) {
+	if len(d.ring) == 0 {
+		return wire.PeerInfo{}, false
+	}
+	h := hash64(token)
+	i := sort.Search(len(d.ring), func(i int) bool { return d.ring[i].hash >= h })
+	if i == len(d.ring) {
+		i = 0
+	}
+	return d.ring[i].info, true
+}
+
+// indexToken extracts the single string a description is indexed under:
+// the type URI for URI/KV descriptions, the category IRI for semantic
+// profiles. ok=false when the description carries no token.
+func (d *DHTNode) indexToken(kind describe.Kind, payload []byte) (string, bool) {
+	model, ok := d.models.Model(kind)
+	if !ok {
+		return "", false
+	}
+	desc, err := model.DecodeDescription(payload)
+	if err != nil {
+		return "", false
+	}
+	toks := model.SummaryTokens(desc)
+	if len(toks) == 0 {
+		return "", false
+	}
+	return toks[0], true
+}
+
+// queryToken extracts the literal requested token from a query: the
+// type URI, or the category IRI. No expansion happens — that is the
+// baseline's defining restriction.
+func (d *DHTNode) queryToken(kind describe.Kind, payload []byte) (string, bool) {
+	model, ok := d.models.Model(kind)
+	if !ok {
+		return "", false
+	}
+	q, err := model.DecodeQuery(payload)
+	if err != nil {
+		return "", false
+	}
+	switch tq := q.(type) {
+	case *describe.URIQuery:
+		return tq.TypeURI, true
+	case *describe.KVQuery:
+		if tq.TypeURI == "" {
+			return "", false
+		}
+		return tq.TypeURI, true
+	case *describe.SemanticQuery:
+		if tq.Template.Category == "" {
+			return "", false
+		}
+		return string(tq.Template.Category), true
+	default:
+		return "", false
+	}
+}
+
+// HandleEnvelope implements runtime.Handler.
+func (d *DHTNode) HandleEnvelope(env *wire.Envelope, from transport.Addr) {
+	switch b := env.Body.(type) {
+	case wire.Publish:
+		token, ok := d.indexToken(b.Advert.Kind, b.Advert.Payload)
+		if !ok {
+			d.env.Send(from, wire.PublishAck{AdvertID: b.Advert.ID, OK: false, Error: "untokenizable description"})
+			return
+		}
+		// Ack at the entry node, then place the advert at its owner.
+		d.env.Send(from, wire.PublishAck{AdvertID: b.Advert.ID, OK: true, LeaseMillis: b.Advert.LeaseMillis})
+		d.place(b.Advert, token)
+	case wire.AdvertForward:
+		token, ok := d.indexToken(b.Advert.Kind, b.Advert.Payload)
+		if ok {
+			d.storeAdvert(b.Advert, token)
+		}
+	case wire.Renew:
+		// DHT baseline keeps no leases; ack to keep providers quiet.
+		d.env.Send(from, wire.RenewAck{AdvertID: b.AdvertID, OK: true, LeaseMillis: 1 << 40})
+	case wire.Query:
+		d.Stats.Queries++
+		token, ok := d.queryToken(b.Kind, b.Payload)
+		if !ok {
+			// Unroutable query (no exact token): a real DHT cannot
+			// answer it; reply empty.
+			d.env.Send(transport.Addr(b.ReplyAddr), wire.QueryResult{QueryID: b.QueryID, Complete: true})
+			return
+		}
+		owner, _ := d.owner(token)
+		if owner.ID == d.env.ID {
+			d.answer(b, token)
+			return
+		}
+		// Route to the owner; it replies directly to the client.
+		d.Stats.Forwarded++
+		d.env.Send(transport.Addr(owner.Addr), b)
+	}
+}
+
+func (d *DHTNode) place(adv wire.Advertisement, token string) {
+	owner, ok := d.owner(token)
+	if !ok || owner.ID == d.env.ID {
+		d.storeAdvert(adv, token)
+		return
+	}
+	d.Stats.Forwarded++
+	d.env.Send(transport.Addr(owner.Addr), wire.AdvertForward{Advert: adv})
+}
+
+func (d *DHTNode) storeAdvert(adv wire.Advertisement, token string) {
+	d.store[adv.ID] = dhtEntry{advert: adv, token: token}
+	d.Stats.Stored++
+}
+
+// answer matches by exact token equality — no subsumption, no ranking
+// beyond determinism.
+func (d *DHTNode) answer(q wire.Query, token string) {
+	var ids []uuid.UUID
+	for id, e := range d.store {
+		if e.token == token && e.advert.Kind == q.Kind {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return uuid.Compare(ids[i], ids[j]) < 0 })
+	limit := int(q.MaxResults)
+	if limit <= 0 {
+		limit = 25
+	}
+	if q.BestOnly {
+		limit = 1
+	}
+	if len(ids) > limit {
+		ids = ids[:limit]
+	}
+	hits := make([]wire.Advertisement, len(ids))
+	for i, id := range ids {
+		hits[i] = d.store[id].advert
+	}
+	d.env.Send(transport.Addr(q.ReplyAddr), wire.QueryResult{QueryID: q.QueryID, Adverts: hits, Complete: true})
+}

@@ -1,0 +1,181 @@
+package codec
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	var w Buffer
+	w.Uvarint(300)
+	w.Varint(-42)
+	w.Byte(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.Float64(3.14159)
+	w.String("hello verden")
+	w.Bytes16([16]byte{1, 2, 3})
+	w.BytesVar([]byte{9, 8, 7})
+	w.StringSlice([]string{"a", "", "ccc"})
+
+	r := NewReader(w.Bytes())
+	if v, err := r.Uvarint(); err != nil || v != 300 {
+		t.Fatalf("Uvarint = (%d, %v)", v, err)
+	}
+	if v, err := r.Varint(); err != nil || v != -42 {
+		t.Fatalf("Varint = (%d, %v)", v, err)
+	}
+	if v, err := r.Byte(); err != nil || v != 0xAB {
+		t.Fatalf("Byte = (%x, %v)", v, err)
+	}
+	if v, err := r.Bool(); err != nil || !v {
+		t.Fatalf("Bool = (%v, %v)", v, err)
+	}
+	if v, err := r.Bool(); err != nil || v {
+		t.Fatalf("Bool = (%v, %v)", v, err)
+	}
+	if v, err := r.Float64(); err != nil || v != 3.14159 {
+		t.Fatalf("Float64 = (%v, %v)", v, err)
+	}
+	if v, err := r.String(); err != nil || v != "hello verden" {
+		t.Fatalf("String = (%q, %v)", v, err)
+	}
+	if v, err := r.Bytes16(); err != nil || v != [16]byte{1, 2, 3} {
+		t.Fatalf("Bytes16 = (%v, %v)", v, err)
+	}
+	if v, err := r.BytesVar(); err != nil || len(v) != 3 || v[0] != 9 {
+		t.Fatalf("BytesVar = (%v, %v)", v, err)
+	}
+	if v, err := r.StringSlice(); err != nil || len(v) != 3 || v[2] != "ccc" {
+		t.Fatalf("StringSlice = (%v, %v)", v, err)
+	}
+	if err := r.Expect("test message"); err != nil {
+		t.Fatalf("Expect = %v", err)
+	}
+}
+
+func TestTruncationEverywhere(t *testing.T) {
+	var w Buffer
+	w.Uvarint(5)
+	w.String("hello")
+	w.Float64(1.5)
+	full := w.Bytes()
+	// Every strict prefix must fail somewhere, never panic.
+	for i := 0; i < len(full); i++ {
+		r := NewReader(full[:i])
+		_, err1 := r.Uvarint()
+		var err2, err3 error
+		if err1 == nil {
+			_, err2 = r.String()
+		}
+		if err1 == nil && err2 == nil {
+			_, err3 = r.Float64()
+		}
+		if err1 == nil && err2 == nil && err3 == nil {
+			t.Fatalf("prefix of %d bytes decoded fully", i)
+		}
+	}
+}
+
+func TestTruncatedErrorsWrapSentinel(t *testing.T) {
+	r := NewReader(nil)
+	if _, err := r.Byte(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Byte error = %v, want ErrTruncated", err)
+	}
+	if _, err := r.Bytes16(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Bytes16 error = %v, want ErrTruncated", err)
+	}
+	var w Buffer
+	w.Uvarint(uint64(MaxBytes) + 1)
+	if _, err := NewReader(w.Bytes()).BytesVar(); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("oversized BytesVar error = %v, want ErrTooLong", err)
+	}
+}
+
+func TestCorruptCountDoesNotOverAllocate(t *testing.T) {
+	var w Buffer
+	w.Uvarint(1 << 20) // claims a million strings, provides none
+	if _, err := NewReader(w.Bytes()).StringSlice(); err == nil {
+		t.Fatal("corrupt count accepted")
+	}
+}
+
+func TestExpectRejectsTrailingGarbage(t *testing.T) {
+	var w Buffer
+	w.Byte(1)
+	w.Byte(2)
+	r := NewReader(w.Bytes())
+	if _, err := r.Byte(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Expect("msg"); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(u uint64, i int64, s string, bs []byte, ss []string, fl float64) bool {
+		if math.IsNaN(fl) {
+			fl = 0 // NaN != NaN; normalized payloads never carry NaN
+		}
+		var w Buffer
+		w.Uvarint(u)
+		w.Varint(i)
+		w.String(s)
+		w.BytesVar(bs)
+		w.StringSlice(ss)
+		w.Float64(fl)
+		r := NewReader(w.Bytes())
+		gu, e1 := r.Uvarint()
+		gi, e2 := r.Varint()
+		gs, e3 := r.String()
+		gb, e4 := r.BytesVar()
+		gss, e5 := r.StringSlice()
+		gf, e6 := r.Float64()
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil || e5 != nil || e6 != nil {
+			return false
+		}
+		if gu != u || gi != i || gs != s || gf != fl {
+			return false
+		}
+		if string(gb) != string(bs) {
+			return false
+		}
+		if len(gss) != len(ss) {
+			return false
+		}
+		for k := range ss {
+			if gss[k] != ss[k] {
+				return false
+			}
+		}
+		return r.Expect("prop") == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBytesNeverPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		r := NewReader(b)
+		// Exercise every reader method against arbitrary bytes; only
+		// errors are acceptable, panics are not (the test harness turns
+		// panics into failures).
+		r.Uvarint()
+		r.Varint()
+		r.String()
+		r.BytesVar()
+		r.StringSlice()
+		r.Bytes16()
+		r.Float64()
+		r.Byte()
+		r.Bool()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"semdisco/internal/match"
+	"semdisco/internal/profile"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := NewSystem(Options{Seed: 1})
+	sys.StartRegistry("hq", RegistryOptions{})
+	_, err := sys.StartService("hq", ServiceOptions{Profile: ServiceProfile{
+		IRI: "urn:svc:radar-1", Name: "Radar one",
+		Category: sys.Class("RadarFeed"), Endpoint: "udp://10.0.0.1:99",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := sys.StartClient("hq", ClientOptions{})
+	sys.Step(2 * time.Second)
+	hits, via, err := cli.Find(Query{Category: sys.Class("SensorFeed")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if via != ViaRegistry || len(hits) != 1 {
+		t.Fatalf("Find = (%d hits, %v)", len(hits), via)
+	}
+	h := hits[0]
+	if h.ServiceIRI != "urn:svc:radar-1" || h.Endpoint != "udp://10.0.0.1:99" || h.Name != "Radar one" {
+		t.Fatalf("hit = %+v", h)
+	}
+	if h.Profile == nil || h.Category != sys.Class("RadarFeed") {
+		t.Fatalf("profile detail lost: %+v", h)
+	}
+}
+
+func TestInvalidProfileRejected(t *testing.T) {
+	sys := NewSystem(Options{})
+	sys.StartRegistry("hq", RegistryOptions{})
+	_, err := sys.StartService("hq", ServiceOptions{Profile: ServiceProfile{
+		IRI: "", Category: sys.Class("RadarFeed"), Endpoint: "e",
+	}})
+	if err == nil {
+		t.Fatal("profile without IRI accepted")
+	}
+}
+
+func TestClassPanicsOnTypo(t *testing.T) {
+	sys := NewSystem(Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown class name did not panic")
+		}
+	}()
+	sys.Class("RadarFeeed")
+}
+
+func TestFederationScopeAndFailover(t *testing.T) {
+	sys := NewSystem(Options{Seed: 2})
+	rHQ := sys.StartRegistry("hq", RegistryOptions{})
+	sys.StartRegistry("field", RegistryOptions{Federate: []*Registry{rHQ}})
+	if _, err := sys.StartService("field", ServiceOptions{Profile: ServiceProfile{
+		IRI: "urn:svc:cam", Category: sys.Class("CameraFeed"), Endpoint: "e",
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	cli := sys.StartClient("hq", ClientOptions{})
+	sys.Step(3 * time.Second)
+	// Scope 0: only the local registry — remote service invisible.
+	hits, _, err := cli.Find(Query{Category: sys.Class("SensorFeed"), Scope: 0})
+	if err != nil || len(hits) != 0 {
+		t.Fatalf("scope-0 find = (%d, %v)", len(hits), err)
+	}
+	// Scope 2: federated query reaches the field LAN.
+	hits, via, err := cli.Find(Query{Category: sys.Class("SensorFeed"), Scope: 2, Timeout: 30 * time.Second})
+	if err != nil || via != ViaRegistry || len(hits) != 1 {
+		t.Fatalf("scope-2 find = (%d, %v, %v)", len(hits), via, err)
+	}
+}
+
+func TestCrashAndFallback(t *testing.T) {
+	sys := NewSystem(Options{Seed: 3})
+	reg := sys.StartRegistry("hq", RegistryOptions{})
+	if _, err := sys.StartService("hq", ServiceOptions{Profile: ServiceProfile{
+		IRI: "urn:svc:radar", Category: sys.Class("RadarFeed"), Endpoint: "e",
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	cli := sys.StartClient("hq", ClientOptions{})
+	sys.Step(2 * time.Second)
+	reg.Crash()
+	sys.Step(time.Second)
+	hits, via, err := cli.Find(Query{Category: sys.Class("SensorFeed"), Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if via != ViaFallback || len(hits) != 1 {
+		t.Fatalf("fallback find = (%d, %v)", len(hits), via)
+	}
+}
+
+func TestQoSAndCoverageConstraints(t *testing.T) {
+	sys := NewSystem(Options{Seed: 4})
+	sys.StartRegistry("hq", RegistryOptions{})
+	mk := func(iri string, acc float64, cov *profile.Circle) {
+		if _, err := sys.StartService("hq", ServiceOptions{Profile: ServiceProfile{
+			IRI: iri, Category: sys.Class("RadarFeed"), Endpoint: "e",
+			QoS: map[string]float64{"accuracy": acc}, Coverage: cov,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("urn:svc:good", 0.95, &profile.Circle{LatDeg: 60, LonDeg: 10, RadiusKm: 100})
+	mk("urn:svc:weak", 0.60, &profile.Circle{LatDeg: 60, LonDeg: 10, RadiusKm: 100})
+	mk("urn:svc:far", 0.99, &profile.Circle{LatDeg: 40, LonDeg: -70, RadiusKm: 100})
+	cli := sys.StartClient("hq", ClientOptions{})
+	sys.Step(2 * time.Second)
+	hits, _, err := cli.Find(Query{
+		Category: sys.Class("RadarFeed"),
+		MinQoS:   map[string]float64{"accuracy": 0.9},
+		Near:     &profile.Point{LatDeg: 60.1, LonDeg: 10.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].ServiceIRI != "urn:svc:good" {
+		t.Fatalf("constrained find = %+v", hits)
+	}
+}
+
+func TestBestOnlyAndMinDegree(t *testing.T) {
+	sys := NewSystem(Options{Seed: 5})
+	sys.StartRegistry("hq", RegistryOptions{})
+	for _, iri := range []string{"urn:a", "urn:b", "urn:c"} {
+		if _, err := sys.StartService("hq", ServiceOptions{Profile: ServiceProfile{
+			IRI: iri, Category: sys.Class("RadarFeed"), Endpoint: "e",
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cli := sys.StartClient("hq", ClientOptions{})
+	sys.Step(2 * time.Second)
+	hits, _, err := cli.Find(Query{Category: sys.Class("SensorFeed"), BestOnly: true})
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("BestOnly = (%d, %v)", len(hits), err)
+	}
+	// Exact floor excludes the plugin matches.
+	hits, _, err = cli.Find(Query{Category: sys.Class("SensorFeed"), MinDegree: match.Exact})
+	if err != nil || len(hits) != 0 {
+		t.Fatalf("Exact floor = (%d, %v)", len(hits), err)
+	}
+}
+
+func TestUpdatePropagates(t *testing.T) {
+	sys := NewSystem(Options{Seed: 6})
+	sys.StartRegistry("hq", RegistryOptions{})
+	svc, err := sys.StartService("hq", ServiceOptions{Profile: ServiceProfile{
+		IRI: "urn:svc:x", Category: sys.Class("RadarFeed"), Endpoint: "e1",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := sys.StartClient("hq", ClientOptions{})
+	sys.Step(2 * time.Second)
+	if err := svc.Update(ServiceProfile{
+		IRI: "urn:svc:x", Category: sys.Class("RadarFeed"), Endpoint: "e2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Step(time.Second)
+	hits, _, err := cli.Find(Query{Category: sys.Class("RadarFeed")})
+	if err != nil || len(hits) != 1 || hits[0].Endpoint != "e2" {
+		t.Fatalf("update not visible: %+v (%v)", hits, err)
+	}
+	if err := svc.Update(ServiceProfile{IRI: "urn:none", Category: sys.Class("RadarFeed"), Endpoint: "e"}); err == nil {
+		t.Fatal("update of unknown IRI accepted")
+	}
+}
+
+func TestFetchOntology(t *testing.T) {
+	sys := NewSystem(Options{Seed: 7})
+	sys.StartRegistry("hq", RegistryOptions{})
+	cli := sys.StartClient("hq", ClientOptions{})
+	sys.Step(2 * time.Second)
+	onto, err := cli.FetchOntology(sys.Ontology().IRI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !onto.Subsumes(sys.Class("SensorFeed"), sys.Class("RadarFeed")) {
+		t.Fatal("fetched ontology lost subsumption")
+	}
+	if _, err := cli.FetchOntology("urn:missing"); err == nil {
+		t.Fatal("missing ontology resolved")
+	}
+}
+
+func TestKnowsRegistry(t *testing.T) {
+	sys := NewSystem(Options{Seed: 8})
+	cli := sys.StartClient("hq", ClientOptions{})
+	sys.Step(time.Second)
+	if cli.KnowsRegistry() {
+		t.Fatal("client claims a registry in an empty world")
+	}
+	sys.StartRegistry("hq", RegistryOptions{})
+	sys.Step(3 * time.Second)
+	if !cli.KnowsRegistry() {
+		t.Fatal("client never found the registry")
+	}
+}
+
+func TestGatewayElectionSurface(t *testing.T) {
+	sys := NewSystem(Options{Seed: 9})
+	r1 := sys.StartRegistry("hq", RegistryOptions{GatewayCoordination: true})
+	r2 := sys.StartRegistry("hq", RegistryOptions{GatewayCoordination: true})
+	sys.Step(3 * time.Second)
+	if r1.IsGateway() == r2.IsGateway() {
+		t.Fatal("gateway election did not pick exactly one")
+	}
+}
+
+func TestWatchStreamsNewServices(t *testing.T) {
+	sys := NewSystem(Options{Seed: 10})
+	sys.StartRegistry("hq", RegistryOptions{})
+	cli := sys.StartClient("hq", ClientOptions{})
+	sys.Step(2 * time.Second)
+	var seen []string
+	cancel, err := cli.Watch(Query{Category: sys.Class("SensorFeed")}, func(h Hit) {
+		seen = append(seen, h.ServiceIRI)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Step(time.Second)
+	if _, err := sys.StartService("hq", ServiceOptions{Profile: ServiceProfile{
+		IRI: "urn:svc:radar", Category: sys.Class("RadarFeed"), Endpoint: "e",
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Step(2 * time.Second)
+	if len(seen) != 1 || seen[0] != "urn:svc:radar" {
+		t.Fatalf("watch stream = %v", seen)
+	}
+	cancel()
+	sys.Step(time.Second)
+	if _, err := sys.StartService("hq", ServiceOptions{Profile: ServiceProfile{
+		IRI: "urn:svc:cam", Category: sys.Class("CameraFeed"), Endpoint: "e",
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Step(2 * time.Second)
+	if len(seen) != 1 {
+		t.Fatalf("canceled watch still streaming: %v", seen)
+	}
+}
+
+func TestWatchWithoutRegistryErrors(t *testing.T) {
+	sys := NewSystem(Options{Seed: 11})
+	cli := sys.StartClient("hq", ClientOptions{})
+	sys.Step(time.Second)
+	if _, err := cli.Watch(Query{Category: sys.Class("SensorFeed")}, func(Hit) {}); err == nil {
+		t.Fatal("Watch succeeded without a registry")
+	}
+}

@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"semdisco/internal/core"
+)
+
+// The canonical semdisco flow: a registry, a semantically described
+// service, and a client that discovers it by asking for a superclass.
+func Example() {
+	sys := core.NewSystem(core.Options{Seed: 1})
+	sys.StartRegistry("hq", core.RegistryOptions{})
+	sys.StartService("hq", core.ServiceOptions{
+		Profile: core.ServiceProfile{
+			IRI:      "urn:svc:radar-1",
+			Name:     "Harbour radar",
+			Category: sys.Class("RadarFeed"),
+			Endpoint: "udp://10.0.0.1:9000",
+		},
+	})
+	cli := sys.StartClient("hq", core.ClientOptions{})
+	sys.Step(2 * time.Second)
+
+	hits, via, _ := cli.Find(core.Query{Category: sys.Class("SensorFeed")})
+	fmt.Printf("%d hit via %s: %s at %s\n", len(hits), via, hits[0].Name, hits[0].Endpoint)
+	// Output: 1 hit via registry: Harbour radar at udp://10.0.0.1:9000
+}
+
+// Standing queries push every future matching service to the client.
+func ExampleClient_Watch() {
+	sys := core.NewSystem(core.Options{Seed: 2})
+	sys.StartRegistry("ops", core.RegistryOptions{})
+	cli := sys.StartClient("ops", core.ClientOptions{})
+	sys.Step(2 * time.Second)
+
+	cancel, _ := cli.Watch(core.Query{Category: sys.Class("SensorFeed")}, func(h core.Hit) {
+		fmt.Println("appeared:", h.Name)
+	})
+	defer cancel()
+
+	sys.StartService("ops", core.ServiceOptions{
+		Profile: core.ServiceProfile{
+			IRI: "urn:svc:ir", Name: "IR camera",
+			Category: sys.Class("InfraredCameraFeed"), Endpoint: "udp://cam:1",
+		},
+	})
+	sys.Step(2 * time.Second)
+	// Output: appeared: IR camera
+}
+
+// When every registry is gone, discovery degrades to the decentralized
+// LAN fallback instead of failing.
+func ExampleClient_Find_fallback() {
+	sys := core.NewSystem(core.Options{Seed: 3})
+	reg := sys.StartRegistry("hq", core.RegistryOptions{})
+	sys.StartService("hq", core.ServiceOptions{
+		Profile: core.ServiceProfile{
+			IRI: "urn:svc:map", Name: "Map", Category: sys.Class("MapService"), Endpoint: "e",
+		},
+	})
+	cli := sys.StartClient("hq", core.ClientOptions{})
+	sys.Step(2 * time.Second)
+
+	reg.Crash()
+	sys.Step(time.Second)
+	hits, via, _ := cli.Find(core.Query{Category: sys.Class("MapService"), Timeout: 30 * time.Second})
+	fmt.Printf("%d hit via %s\n", len(hits), via)
+	// Output: 1 hit via fallback
+}

@@ -1,0 +1,151 @@
+package describe
+
+import (
+	"semdisco/internal/match"
+	"semdisco/internal/ontology"
+	"semdisco/internal/profile"
+)
+
+// SemanticDescription wraps a semantic service profile as a pluggable
+// description — the rich tier that "allows clients to engage newly
+// encountered services, given a shared semantic model, or ontology".
+type SemanticDescription struct {
+	Profile *profile.Profile
+}
+
+// Kind implements Description.
+func (d *SemanticDescription) Kind() Kind { return KindSemantic }
+
+// ServiceKey implements Description.
+func (d *SemanticDescription) ServiceKey() string { return d.Profile.ServiceIRI }
+
+// Endpoint implements Description.
+func (d *SemanticDescription) Endpoint() string { return d.Profile.Grounding }
+
+// Encode implements Description.
+func (d *SemanticDescription) Encode() []byte { return d.Profile.Encode() }
+
+// SemanticQuery wraps a profile template plus the minimum acceptable
+// match degree — the knob a constrained client turns to let the
+// registry return only close matches.
+type SemanticQuery struct {
+	Template *profile.Template
+	// MinDegree is the weakest acceptable match degree; Subsumed admits
+	// everything related, Exact only identical concepts.
+	MinDegree match.Degree
+}
+
+// Kind implements Query.
+func (q *SemanticQuery) Kind() Kind { return KindSemantic }
+
+// Encode implements Query; the degree travels as a one-byte prefix
+// before the template payload.
+func (q *SemanticQuery) Encode() []byte {
+	return append([]byte{byte(q.MinDegree)}, q.Template.Encode()...)
+}
+
+// SemanticModel evaluates semantic queries with the matchmaker over a
+// shared ontology. Construct with NewSemanticModel.
+type SemanticModel struct {
+	onto    *ontology.Ontology
+	matcher *match.Matcher
+}
+
+// NewSemanticModel returns the semantic description model grounded in
+// the given frozen ontology.
+func NewSemanticModel(o *ontology.Ontology) *SemanticModel {
+	return &SemanticModel{onto: o, matcher: match.New(o)}
+}
+
+// Ontology exposes the grounding ontology (registries serve it from
+// their artifact repository).
+func (m *SemanticModel) Ontology() *ontology.Ontology { return m.onto }
+
+// Kind implements Model.
+func (m *SemanticModel) Kind() Kind { return KindSemantic }
+
+// Name implements Model.
+func (m *SemanticModel) Name() string { return "semantic" }
+
+// DecodeDescription implements Model.
+func (m *SemanticModel) DecodeDescription(b []byte) (Description, error) {
+	p, err := profile.Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	return &SemanticDescription{Profile: p}, nil
+}
+
+// DecodeQuery implements Model.
+func (m *SemanticModel) DecodeQuery(b []byte) (Query, error) {
+	if len(b) == 0 {
+		return nil, errEmptySemanticQuery
+	}
+	t, err := profile.DecodeTemplate(b[1:])
+	if err != nil {
+		return nil, err
+	}
+	return &SemanticQuery{Template: t, MinDegree: match.Degree(b[0])}, nil
+}
+
+var errEmptySemanticQuery = errorString("describe: empty semantic query payload")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// Evaluate implements Model via the matchmaker. The degree reported in
+// the evaluation is the match.Degree so cross-layer reports stay
+// meaningful.
+func (m *SemanticModel) Evaluate(q Query, d Description) Evaluation {
+	sq, ok1 := q.(*SemanticQuery)
+	sd, ok2 := d.(*SemanticDescription)
+	if !ok1 || !ok2 {
+		return Evaluation{}
+	}
+	r := m.matcher.Match(sq.Template, sd.Profile)
+	if !r.Matches(sq.MinDegree) {
+		return Evaluation{}
+	}
+	return Evaluation{Matched: true, Degree: uint8(r.Degree), Score: r.Score}
+}
+
+// SummaryTokens implements Model: the advertised category concept. A
+// single token suffices because QueryTokens expands the subsumption
+// neighbourhood on the query side, keeping gossiped summaries small —
+// important, since summaries travel between registries periodically.
+func (m *SemanticModel) SummaryTokens(d Description) []string {
+	sd, ok := d.(*SemanticDescription)
+	if !ok || sd.Profile.Category == "" {
+		return nil
+	}
+	return []string{string(sd.Profile.Category)}
+}
+
+// QueryTokens implements Model: every class standing in a subsumption
+// relation with the requested category (its ancestors and descendants).
+// A semantic description can only clear the category aspect if its
+// category is in this set, so summary pruning stays sound. Queries
+// without a category constraint are not prunable.
+func (m *SemanticModel) QueryTokens(q Query) ([]string, bool) {
+	sq, ok := q.(*SemanticQuery)
+	if !ok || sq.Template.Category == "" {
+		return nil, false
+	}
+	cat := sq.Template.Category
+	seen := map[string]bool{string(cat): true}
+	tokens := []string{string(cat)}
+	for _, c := range m.onto.Ancestors(cat) {
+		if !seen[string(c)] {
+			seen[string(c)] = true
+			tokens = append(tokens, string(c))
+		}
+	}
+	for _, c := range m.onto.Descendants(cat) {
+		if !seen[string(c)] {
+			seen[string(c)] = true
+			tokens = append(tokens, string(c))
+		}
+	}
+	return tokens, true
+}

@@ -1,0 +1,260 @@
+// Package discovery implements registry discovery and failover for
+// client and service nodes (§4.5): active discovery by multicast probe,
+// passive discovery by listening to registry beacons, manual seeding
+// for WAN registries, and the registry-signaling failover that lets a
+// node switch to an alternate registry when its current one disappears
+// — "reduce the amount of tedious, manual reconfiguration of registry
+// endpoints".
+package discovery
+
+import (
+	"sort"
+	"time"
+
+	"semdisco/internal/runtime"
+	"semdisco/internal/transport"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// Config tunes a bootstrapper.
+type Config struct {
+	// Seeds are statically configured registries (WAN seeding).
+	Seeds []wire.PeerInfo
+	// SeedAddrs seeds by transport address alone; the registry's
+	// identity is learned from its Pong. Used by live UDP deployments.
+	SeedAddrs []string
+	// ProbeInterval spaces re-probes while no registry is known;
+	// default 2 s.
+	ProbeInterval time.Duration
+	// RegistryTTL ages out registries we have not heard from; default
+	// 3× the federation's default beacon interval (15 s).
+	RegistryTTL time.Duration
+	// Passive disables active probing entirely: registries are learned
+	// only from beacons, seeds and signaling. Probe-free operation
+	// suits radio-silent nodes and the pure decentralized baseline.
+	Passive bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.RegistryTTL == 0 {
+		c.RegistryTTL = 15 * time.Second
+	}
+	return c
+}
+
+type known struct {
+	info     wire.PeerInfo
+	lastSeen time.Time
+	// local marks registries heard on the LAN (preferred connection
+	// points over remote seeds).
+	local bool
+	// dead marks registries that failed a request; they are demoted
+	// until heard from again.
+	dead bool
+}
+
+// Bootstrapper tracks known registries for one node and selects the
+// current connection point into the registry network.
+type Bootstrapper struct {
+	env     *runtime.Env
+	cfg     Config
+	regs    map[wire.NodeID]*known
+	stopped bool
+	cancels []transport.CancelFunc
+	// onFound, when set, fires once each time the node transitions from
+	// "no registry" to "registry available".
+	onFound func()
+}
+
+// New returns a bootstrapper. Call Start to begin discovery.
+func New(env *runtime.Env, cfg Config) *Bootstrapper {
+	return &Bootstrapper{
+		env:  env,
+		cfg:  cfg.withDefaults(),
+		regs: make(map[wire.NodeID]*known),
+	}
+}
+
+// OnRegistryFound registers a callback invoked whenever a registry
+// becomes available after a period with none (service nodes republish
+// on this signal).
+func (b *Bootstrapper) OnRegistryFound(fn func()) { b.onFound = fn }
+
+// Start seeds the table and begins probing.
+func (b *Bootstrapper) Start() {
+	now := b.env.Clock.Now()
+	for _, s := range b.cfg.Seeds {
+		if s.ID != b.env.ID {
+			b.regs[s.ID] = &known{info: s, lastSeen: now}
+		}
+	}
+	if !b.cfg.Passive {
+		b.probe()
+	}
+	var arm func()
+	arm = func() {
+		if b.stopped {
+			return
+		}
+		b.expire()
+		if _, ok := b.Current(); !ok && !b.cfg.Passive {
+			b.probe()
+		}
+		b.cancels = append(b.cancels, b.env.Clock.After(b.cfg.ProbeInterval, arm))
+	}
+	b.cancels = append(b.cancels, b.env.Clock.After(b.cfg.ProbeInterval, arm))
+}
+
+// Stop cancels the probe timer.
+func (b *Bootstrapper) Stop() {
+	b.stopped = true
+	for _, c := range b.cancels {
+		c()
+	}
+	b.cancels = nil
+}
+
+func (b *Bootstrapper) probe() {
+	b.env.Multicast(wire.Probe{})
+	// Address-only seeds are pinged until they identify themselves.
+	for _, addr := range b.cfg.SeedAddrs {
+		if addr != string(b.env.Addr()) {
+			b.env.Send(transport.Addr(addr), wire.Ping{})
+		}
+	}
+}
+
+func (b *Bootstrapper) expire() {
+	cutoff := b.env.Clock.Now().Add(-b.cfg.RegistryTTL)
+	for id, k := range b.regs {
+		// Only LAN registries age out by beacon silence; seeds stay
+		// unless marked dead (no beacons cross the WAN).
+		if k.local && k.lastSeen.Before(cutoff) {
+			delete(b.regs, id)
+		}
+	}
+}
+
+// Observe feeds a maintenance message into the table. Nodes call it
+// from their message handlers for Beacon, ProbeMatch, Pong and Bye
+// envelopes; other message types are ignored.
+func (b *Bootstrapper) Observe(env *wire.Envelope) {
+	hadRegistry := b.hasLive()
+	switch body := env.Body.(type) {
+	case wire.Beacon:
+		b.learnDirect(env, true)
+		b.learn(body.Peers)
+	case wire.ProbeMatch:
+		b.learnDirect(env, true)
+		b.learn(body.Peers)
+	case wire.Pong:
+		b.learnDirect(env, false)
+		b.learn(body.Peers)
+	case wire.Bye:
+		delete(b.regs, env.From)
+	default:
+		return
+	}
+	if !hadRegistry && b.hasLive() && b.onFound != nil {
+		b.onFound()
+	}
+}
+
+func (b *Bootstrapper) learnDirect(env *wire.Envelope, local bool) {
+	if env.From == b.env.ID {
+		return
+	}
+	k, ok := b.regs[env.From]
+	if !ok {
+		k = &known{info: wire.PeerInfo{ID: env.From, Addr: env.FromAddr}}
+		b.regs[env.From] = k
+	}
+	k.info.Addr = env.FromAddr
+	k.lastSeen = b.env.Clock.Now()
+	k.dead = false
+	if local {
+		k.local = true
+	}
+}
+
+// learn adds signaled alternates without marking them live-local.
+func (b *Bootstrapper) learn(peers []wire.PeerInfo) {
+	now := b.env.Clock.Now()
+	for _, p := range peers {
+		if p.ID == b.env.ID || p.ID.IsNil() {
+			continue
+		}
+		if _, ok := b.regs[p.ID]; !ok {
+			b.regs[p.ID] = &known{info: p, lastSeen: now}
+		}
+	}
+}
+
+// MarkDead demotes a registry after a failed request, triggering
+// failover to an alternate and an immediate re-probe.
+func (b *Bootstrapper) MarkDead(id wire.NodeID) {
+	if k, ok := b.regs[id]; ok {
+		k.dead = true
+	}
+	if !b.hasLive() && !b.cfg.Passive {
+		b.probe()
+	}
+}
+
+func (b *Bootstrapper) hasLive() bool {
+	for _, k := range b.regs {
+		if !k.dead {
+			return true
+		}
+	}
+	return false
+}
+
+// Current returns the preferred registry: a live local one if any
+// (lowest ID for determinism), otherwise a live seeded/signaled one.
+// ok=false means the node is registry-less and should fall back to
+// decentralized discovery (Fig. 3 right).
+func (b *Bootstrapper) Current() (wire.PeerInfo, bool) {
+	var bestLocal, bestAny *known
+	for _, k := range b.regs {
+		if k.dead {
+			continue
+		}
+		if bestAny == nil || uuid.Compare(k.info.ID, bestAny.info.ID) < 0 {
+			bestAny = k
+		}
+		if k.local && (bestLocal == nil || uuid.Compare(k.info.ID, bestLocal.info.ID) < 0) {
+			bestLocal = k
+		}
+	}
+	if bestLocal != nil {
+		return bestLocal.info, true
+	}
+	if bestAny != nil {
+		return bestAny.info, true
+	}
+	return wire.PeerInfo{}, false
+}
+
+// Alternates returns all live registries except the given one, in
+// deterministic order — the failover candidates registry signaling
+// provided.
+func (b *Bootstrapper) Alternates(except wire.NodeID) []wire.PeerInfo {
+	var out []wire.PeerInfo
+	for _, k := range b.regs {
+		if k.dead || k.info.ID == except {
+			continue
+		}
+		out = append(out, k.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return uuid.Compare(out[i].ID, out[j].ID) < 0 })
+	return out
+}
+
+// Known returns the full table size (dead or alive), for tests and
+// reports.
+func (b *Bootstrapper) Known() int { return len(b.regs) }

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"semdisco/internal/metrics"
+	"semdisco/internal/sim"
+	"semdisco/internal/transport/memnet"
+	"semdisco/internal/wire"
+)
+
+// E15Scale grows the registry network and measures federated query
+// latency, traffic and completeness. The paper positions the hybrid
+// topology as the one that "may scale to a wide-area network with many
+// participants" — this experiment quantifies how the cost of a
+// transparent global view grows with federation size.
+func E15Scale(sizes []int, seed int64) *metrics.Table {
+	t := metrics.NewTable("E15 federation scalability (§3.3)",
+		"registries", "services", "recall", "latency", "queryKB", "maintKB/min")
+	for _, r := range sizes {
+		recall, latency, queryKB, maintKB := runE15(r, seed)
+		t.AddRow(r, r*2, recall, fmtDur(latency), metrics.KB(queryKB), metrics.KB(maintKB))
+	}
+	t.AddNote("chain-seeded federation densified by signaling; one broad query per client, TTL=8")
+	return t
+}
+
+func runE15(registries int, seed int64) (float64, time.Duration, uint64, uint64) {
+	w := sim.NewWorld(sim.Config{Seed: seed})
+	var regs []*sim.RegistryHandle
+	for i := 0; i < registries; i++ {
+		cfg := fastRegistry()
+		cfg.Seeds = chainSeeds(regs, 2)
+		cfg.MaxPeers = 64
+		regs = append(regs, w.AddRegistry(fmt.Sprintf("lan%d", i), fmt.Sprintf("r%d", i), cfg))
+	}
+	total := registries * 2
+	for i := 0; i < total; i++ {
+		w.AddService(fmt.Sprintf("lan%d", i%registries), fmt.Sprintf("s%d", i),
+			fastService(time.Minute),
+			w.SemanticProfile(fmt.Sprintf("urn:svc:%d", i), categoryFor(i)))
+	}
+	cli := w.AddClient("lan0", "c0", fastClient())
+	w.Run(10 * time.Second) // signaling densifies the graph
+	w.Net.ResetStats()
+	spec := w.SemanticSpec(sim.C("Service"), 8)
+	spec.MaxResults = uint16max(total)
+	out := cli.Query(spec, time.Minute)
+	stats := w.Net.Stats()
+	// Maintenance traffic normalized to one minute of steady state.
+	w.Net.ResetStats()
+	w.Run(time.Minute)
+	maint := w.Net.Stats().ByCategory[wire.CatMaintenance].Bytes
+	recall := float64(distinctServices(w, out.Adverts)) / float64(total)
+	return recall, out.Elapsed, stats.ByCategory[wire.CatQuerying].Bytes, maint
+}
+
+func uint16max(n int) int {
+	if n > 65535 {
+		return 65535
+	}
+	return n
+}
+
+// E16Loss sweeps datagram loss rates and measures discovery behaviour —
+// the paper's wireless-battlefield motivation ("nodes in dynamic
+// environments may have wireless connections with low network
+// capacity"). The protocol's retries (publish/renew ack timeouts,
+// client failover, hop-bounded aggregation deadlines) must absorb loss
+// gracefully rather than fail outright.
+func E16Loss(rates []float64, seed int64) *metrics.Table {
+	t := metrics.NewTable("E16 discovery under datagram loss (wireless motivation)",
+		"loss", "querySuccess", "recallMean", "latencyMean")
+	const trials = 10
+	for _, rate := range rates {
+		success, recallSum := 0, 0.0
+		var latSum time.Duration
+		for trial := 0; trial < trials; trial++ {
+			w := sim.NewWorld(sim.Config{
+				Seed: seed + int64(trial),
+				Net:  memnet.Config{Loss: rate, Jitter: 2 * time.Millisecond},
+			})
+			r0 := w.AddRegistry("lan0", "r0", fastRegistry())
+			cfg := fastRegistry()
+			cfg.Seeds = []wire.PeerInfo{r0.PeerInfo()}
+			w.AddRegistry("lan1", "r1", cfg)
+			const services = 6
+			for i := 0; i < services; i++ {
+				w.AddService(fmt.Sprintf("lan%d", i%2), fmt.Sprintf("s%d", i),
+					fastService(5*time.Second),
+					w.SemanticProfile(fmt.Sprintf("urn:svc:%d", i), categoryFor(i)))
+			}
+			cli := w.AddClient("lan0", "c0", fastClient())
+			w.Run(8 * time.Second)
+			spec := w.SemanticSpec(sim.C("Service"), 3)
+			spec.MaxResults = 50
+			out := cli.Query(spec, 30*time.Second)
+			if out.Completed && len(out.Adverts) > 0 {
+				success++
+				recallSum += float64(distinctServices(w, out.Adverts)) / services
+				latSum += out.Elapsed
+			}
+		}
+		lat := time.Duration(0)
+		if success > 0 {
+			lat = latSum / time.Duration(success)
+		}
+		t.AddRow(fmt.Sprintf("%.0f%%", rate*100), float64(success)/trials, recallSum/trials, fmtDur(lat))
+	}
+	t.AddNote("2 LANs, 6 services, %d trials per rate; lease renewals and client retries absorb the loss", trials)
+	return t
+}

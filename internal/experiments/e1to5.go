@@ -1,0 +1,485 @@
+package experiments
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/match"
+	"semdisco/internal/metrics"
+	"semdisco/internal/node"
+	"semdisco/internal/ontology"
+	"semdisco/internal/profile"
+	"semdisco/internal/rdf"
+	"semdisco/internal/sim"
+	"semdisco/internal/wire"
+	"semdisco/internal/workload"
+)
+
+// E1TopologyBandwidth measures total network load for the three Fig. 1
+// topologies at growing node counts (§3 claims: decentralized queries
+// broadcast to all nodes and every node answers, so load grows with N;
+// centralized is cheapest; distributed lands in between, paying
+// publish/maintenance overhead for robustness).
+// All E1 figures are *delivered* bytes: a multicast of b bytes to k
+// receivers loads the medium with k·b — exactly the broadcast cost §3.1
+// worries about. Clients delegate response control (MaxResults=5) so
+// the comparison isolates the topologies, not the result-set sizes;
+// decentralized discovery cannot enforce the cap on the wire, which is
+// the point.
+func E1TopologyBandwidth(sizes []int, queries int, seed int64) *metrics.Table {
+	t := metrics.NewTable("E1 topology bandwidth (Fig. 1 / §3)",
+		"topology", "services", "msgs", "totalKB", "maintKB", "pubKB", "queryKB", "KB/query")
+	for _, n := range sizes {
+		for _, topo := range []string{"decentralized", "centralized", "distributed"} {
+			msgs, cat := runE1(topo, n, queries, seed)
+			total := cat[0].Bytes + cat[1].Bytes + cat[2].Bytes
+			t.AddRow(topo, n, msgs,
+				metrics.KB(total), metrics.KB(cat[wire.CatMaintenance].Bytes),
+				metrics.KB(cat[wire.CatPublishing].Bytes), metrics.KB(cat[wire.CatQuerying].Bytes),
+				metrics.KB(cat[wire.CatQuerying].Bytes/uint64(queries)))
+		}
+	}
+	t.AddNote("delivered bytes over a 35s window incl. renewals; %d queries, MaxResults=5", queries)
+	return t
+}
+
+func runE1(topo string, n, queries int, seed int64) (uint64, [3]struct{ Messages, Bytes uint64 }) {
+	w := sim.NewWorld(sim.Config{Seed: seed})
+	var regSeeds []wire.PeerInfo
+	lanOf := func(i int) string { return "lan0" }
+	switch topo {
+	case "decentralized":
+		// No registries: everyone on one broadcast segment, nodes
+		// deliberately configured registry-less (no probing).
+	case "centralized":
+		r := w.AddRegistry("lan0", "r0", fastRegistry())
+		regSeeds = []wire.PeerInfo{r.PeerInfo()}
+	case "distributed":
+		lans := n / 10
+		if lans < 2 {
+			lans = 2
+		}
+		var regs []*sim.RegistryHandle
+		for l := 0; l < lans; l++ {
+			cfg := fastRegistry()
+			cfg.Seeds = chainSeeds(regs, 2)
+			regs = append(regs, w.AddRegistry(fmt.Sprintf("lan%d", l), fmt.Sprintf("r%d", l), cfg))
+		}
+		lanOf = func(i int) string { return fmt.Sprintf("lan%d", i%lans) }
+	}
+	for i := 0; i < n; i++ {
+		cfg := fastService(10*time.Second, regSeeds...)
+		if topo == "decentralized" {
+			cfg.Bootstrap.Passive = true
+		}
+		w.AddService(lanOf(i), fmt.Sprintf("s%d", i), cfg,
+			w.SemanticProfile(fmt.Sprintf("urn:svc:%d", i), categoryFor(i)))
+	}
+	cliCfg := fastClient(regSeeds...)
+	if topo == "decentralized" {
+		cliCfg.MaxAttempts = 1
+		cliCfg.QueryTimeout = 100 * time.Millisecond
+		cliCfg.Bootstrap.Passive = true
+	}
+	cli := w.AddClient(lanOf(0), "c0", cliCfg)
+	w.Run(5 * time.Second) // bootstrap + publish
+	w.Net.ResetStats()
+	ttl := uint8(0)
+	if topo == "distributed" {
+		ttl = 4
+	}
+	for q := 0; q < queries; q++ {
+		spec := w.SemanticSpec(sim.C("SensorFeed"), ttl)
+		spec.MaxResults = 5
+		cli.Query(spec, 10*time.Second)
+		w.Run(time.Second)
+	}
+	// Pad to a fixed 35 s steady-state window so renewal/beacon traffic
+	// is comparable across topologies.
+	for w.Net.Now().Sub(time.Unix(0, 0)) < 40*time.Second {
+		w.Run(time.Second)
+	}
+	s := w.Net.Stats()
+	var cats [3]struct{ Messages, Bytes uint64 }
+	for i := 0; i < 3; i++ {
+		cats[i] = struct{ Messages, Bytes uint64 }{
+			s.DeliveredByCategory[i].Messages, s.DeliveredByCategory[i].Bytes,
+		}
+	}
+	return s.MessagesDelivered, cats
+}
+
+// E2ResponseControl measures the responses a client receives for a
+// broad query with and without registry-side response control (§3.1:
+// decentralized discovery risks "response implosion"; registries can
+// return only the best advertisement).
+func E2ResponseControl(n int, seed int64) *metrics.Table {
+	t := metrics.NewTable("E2 query response control (§3.1)",
+		"mode", "responsesAtClient", "advertsReturned", "queryKB")
+	type mode struct {
+		name     string
+		registry bool
+		spec     func(*sim.World) node.QuerySpec
+	}
+	modes := []mode{
+		{"decentralized (no control)", false, func(w *sim.World) node.QuerySpec {
+			return w.SemanticSpec(sim.C("SensorFeed"), 0)
+		}},
+		{"registry default cap", true, func(w *sim.World) node.QuerySpec {
+			return w.SemanticSpec(sim.C("SensorFeed"), 0)
+		}},
+		{"registry max=5", true, func(w *sim.World) node.QuerySpec {
+			s := w.SemanticSpec(sim.C("SensorFeed"), 0)
+			s.MaxResults = 5
+			return s
+		}},
+		{"registry best-only", true, func(w *sim.World) node.QuerySpec {
+			s := w.SemanticSpec(sim.C("SensorFeed"), 0)
+			s.BestOnly = true
+			return s
+		}},
+	}
+	for _, m := range modes {
+		w := sim.NewWorld(sim.Config{Seed: seed})
+		var seeds []wire.PeerInfo
+		if m.registry {
+			seeds = []wire.PeerInfo{w.AddRegistry("lan0", "r0", fastRegistry()).PeerInfo()}
+		}
+		for i := 0; i < n; i++ {
+			// Every service matches the broad query: worst case.
+			w.AddService("lan0", fmt.Sprintf("s%d", i), fastService(time.Minute, seeds...),
+				w.SemanticProfile(fmt.Sprintf("urn:svc:%d", i), categoryFor(i%4))) // sensor feeds only
+		}
+		cfg := fastClient(seeds...)
+		if !m.registry {
+			cfg.MaxAttempts = 1
+			cfg.QueryTimeout = 100 * time.Millisecond
+		}
+		cli := w.AddClient("lan0", "c0", cfg)
+		w.Run(5 * time.Second)
+		w.Net.ResetStats()
+		out := cli.Query(m.spec(w), 10*time.Second)
+		s := w.Net.Stats()
+		t.AddRow(m.name, len(out.Adverts), distinctServices(w, out.Adverts),
+			metrics.KB(s.ByCategory[wire.CatQuerying].Bytes))
+	}
+	t.AddNote("%d services all matching the query", n)
+	return t
+}
+
+// E3Robustness kills growing fractions of registry nodes and measures
+// discovery success (§3: centralized = single point of failure;
+// distributed recovers via registry signaling; decentralized fallback
+// always finds LAN-local services).
+func E3Robustness(fractions []float64, seed int64) *metrics.Table {
+	t := metrics.NewTable("E3 robustness to registry failure (§3.1–3.2)",
+		"topology", "killed", "recall", "attemptsMean")
+	const lans = 4
+	const perLAN = 3
+	for _, topo := range []string{"centralized", "distributed"} {
+		for _, f := range fractions {
+			recall, attempts := runE3(topo, lans, perLAN, f, seed)
+			t.AddRow(topo, fmt.Sprintf("%.0f%%", f*100), recall, attempts)
+		}
+	}
+	t.AddNote("%d LANs, %d services each; recall = mean fraction of all services each client still discovers", lans, perLAN)
+	return t
+}
+
+func runE3(topo string, lans, perLAN int, fraction float64, seed int64) (float64, float64) {
+	w := sim.NewWorld(sim.Config{Seed: seed})
+	var regs []*sim.RegistryHandle
+	var seeds []wire.PeerInfo
+	if topo == "centralized" {
+		r := w.AddRegistry("lan0", "r0", fastRegistry())
+		regs = append(regs, r)
+		seeds = []wire.PeerInfo{r.PeerInfo()}
+		for l := 0; l < lans; l++ {
+			for i := 0; i < perLAN; i++ {
+				w.AddService(fmt.Sprintf("lan%d", l), fmt.Sprintf("s%d-%d", l, i),
+					fastService(3*time.Second, seeds...),
+					w.SemanticProfile(fmt.Sprintf("urn:svc:%d-%d", l, i), categoryFor(i)))
+			}
+		}
+	} else {
+		for l := 0; l < lans; l++ {
+			cfg := fastRegistry()
+			cfg.Seeds = chainSeeds(regs, 2)
+			regs = append(regs, w.AddRegistry(fmt.Sprintf("lan%d", l), fmt.Sprintf("r%d", l), cfg))
+		}
+		for l := 0; l < lans; l++ {
+			for i := 0; i < perLAN; i++ {
+				w.AddService(fmt.Sprintf("lan%d", l), fmt.Sprintf("s%d-%d", l, i),
+					fastService(3*time.Second),
+					w.SemanticProfile(fmt.Sprintf("urn:svc:%d-%d", l, i), categoryFor(i)))
+			}
+		}
+	}
+	var clients []*sim.ClientHandle
+	for l := 0; l < lans; l++ {
+		clients = append(clients, w.AddClient(fmt.Sprintf("lan%d", l), fmt.Sprintf("c%d", l), fastClient(seeds...)))
+	}
+	w.Run(8 * time.Second)
+	// Kill ceil(fraction·R) registries, deterministically by index.
+	kill := int(fraction*float64(len(regs)) + 0.5)
+	for i := 0; i < kill && i < len(regs); i++ {
+		regs[i].Crash()
+	}
+	w.Run(15 * time.Second) // failover, republish, lease recovery
+	totalServices := lans * perLAN
+	recallSum, attempts := 0.0, 0
+	for _, cli := range clients {
+		spec := w.SemanticSpec(sim.C("Service"), 4)
+		spec.MaxResults = 100
+		out := cli.Query(spec, 30*time.Second)
+		attempts += out.Attempts
+		recallSum += float64(distinctServices(w, out.Adverts)) / float64(totalServices)
+	}
+	n := float64(len(clients))
+	return recallSum / n, float64(attempts) / n
+}
+
+// E4Staleness measures the fraction of stale advertisements returned
+// under service churn, sweeping the lease period against the UDDI-like
+// no-leasing baseline (§4.8: "lack of such mechanisms is a major
+// problem with today's technologies").
+func E4Staleness(leases []time.Duration, seed int64) *metrics.Table {
+	t := metrics.NewTable("E4 staleness under churn (§4.8)",
+		"system", "lease", "staleFrac", "missingFrac", "pubMsgs")
+	const services = 24
+	churnUp, churnDown := 20*time.Second, 15*time.Second
+
+	run := func(name string, lease time.Duration, uddi bool) {
+		w := sim.NewWorld(sim.Config{Seed: seed})
+		var seeds []wire.PeerInfo
+		var fed *sim.RegistryHandle
+		var central *sim.CentralHandle
+		if uddi {
+			central = w.AddCentral("lan0", "uddi")
+			seeds = []wire.PeerInfo{central.PeerInfo()}
+		} else {
+			fed = w.AddRegistry("lan0", "r0", fastRegistry())
+			seeds = []wire.PeerInfo{fed.PeerInfo()}
+		}
+		_ = fed
+		churn := workload.NewChurn(churnUp, churnDown, seed+7)
+		var svcs []*sim.ServiceHandle
+		for i := 0; i < services; i++ {
+			svcs = append(svcs, w.AddService("lan0", fmt.Sprintf("s%d", i),
+				fastService(lease, seeds...),
+				w.SemanticProfile(fmt.Sprintf("urn:svc:%d", i), categoryFor(i))))
+		}
+		cli := w.AddClient("lan0", "c0", fastClient(seeds...))
+		w.Run(5 * time.Second)
+		// Drive churn: each service alternates up/down. Down = crash
+		// (no deregistration); up = a fresh service node with the same
+		// ServiceIRI (a restart).
+		type churnState struct{ idx int }
+		for i := range svcs {
+			i := i
+			var down func()
+			var up func()
+			down = func() {
+				svcs[i].Crash()
+				w.Net.Schedule(w.Net.Now().Add(churn.NextDown()), up)
+			}
+			up = func() {
+				svcs[i] = w.AddService("lan0", fmt.Sprintf("s%d-re%d", i, w.Gen.New()[0]),
+					fastService(lease, seeds...),
+					w.SemanticProfile(fmt.Sprintf("urn:svc:%d", i), categoryFor(i)))
+				w.Net.Schedule(w.Net.Now().Add(churn.NextUp()), down)
+			}
+			w.Net.Schedule(w.Net.Now().Add(churn.NextUp()), down)
+		}
+		_ = churnState{}
+		w.Net.ResetStats()
+		staleSum, missSum, probes := 0.0, 0.0, 0
+		for step := 0; step < 20; step++ {
+			w.Run(5 * time.Second)
+			out := cli.Query(w.SemanticSpec(sim.C("Service"), 0), 10*time.Second)
+			if !out.Completed {
+				continue
+			}
+			probes++
+			staleSum += w.StaleFraction(out.Adverts)
+			// missing = up services not returned.
+			up := 0
+			for _, s := range svcs {
+				if w.Net.IsUp(s.Addr) {
+					up++
+				}
+			}
+			found := distinctServices(w, out.Adverts)
+			if up > 0 {
+				miss := float64(up-found) / float64(up)
+				if miss < 0 {
+					miss = 0
+				}
+				missSum += miss
+			}
+		}
+		s := w.Net.Stats()
+		leaseStr := lease.String()
+		if uddi {
+			leaseStr = "none"
+		}
+		t.AddRow(name, leaseStr, staleSum/float64(probes), missSum/float64(probes),
+			s.ByCategory[wire.CatPublishing].Messages)
+	}
+
+	run("uddi-baseline", time.Minute, true)
+	for _, l := range leases {
+		run("federated+lease", l, false)
+	}
+	t.AddNote("%d services, exp churn up=%v down=%v, 100s measured", services, churnUp, churnDown)
+	return t
+}
+
+// E5Matchmaking compares matcher quality on a generated taxonomy (§1,
+// §4.2: semantics enable precise selection; string matching misses
+// subtype matches). Precision/recall against subsumption ground truth.
+func E5Matchmaking(depth, branching, population, queries int, seed int64) *metrics.Table {
+	t := metrics.NewTable("E5 matchmaking quality (§4.2)",
+		"matcher", "precision", "recall", "F1")
+	onto, levels := workload.GenOntology(workload.OntologySpec{Depth: depth, Branching: branching})
+	leaves := levels[len(levels)-1]
+	// Services live mostly at the leaves with some at the level above,
+	// so the degree-floor ablation has more-general services to admit.
+	classPool := append(append([]ontology.Class{}, leaves...), levels[len(levels)-2]...)
+	pop := workload.GenProfiles(workload.PopulationSpec{N: population, Classes: classPool, Seed: seed, OntologyIRI: onto.IRI})
+	mix := workload.NewQueryMix(onto, leaves, 0.5, seed+1)
+	matcher := match.New(onto)
+
+	type counts struct{ tp, fp, fn float64 }
+	tally := map[string]*counts{"semantic": {}, "semantic-subsumed": {}, "uri-exact": {}, "keyword": {}}
+	score := func(name string, requested map[string]bool, returned map[string]bool) {
+		c := tally[name]
+		for iri := range returned {
+			if requested[iri] {
+				c.tp++
+			} else {
+				c.fp++
+			}
+		}
+		for iri := range requested {
+			if !returned[iri] {
+				c.fn++
+			}
+		}
+	}
+	for q := 0; q < queries; q++ {
+		cat, _ := mix.Next()
+		truth := workload.Relevant(onto, cat, pop)
+		// Semantic matcher with a PlugIn floor.
+		sem := map[string]bool{}
+		tpl := &profile.Template{Category: cat}
+		for _, p := range pop {
+			if r := matcher.Match(tpl, p); r.Matches(match.PlugIn) {
+				sem[p.ServiceIRI] = true
+			}
+		}
+		score("semantic", truth, sem)
+		// Semantic with a permissive Subsumed floor: also returns
+		// services more general than requested. Higher reach, lower
+		// precision against the strict "specialization only" ground
+		// truth — the MinDegree knob's trade-off.
+		semLoose := map[string]bool{}
+		for _, p := range pop {
+			if r := matcher.Match(tpl, p); r.Matches(match.Subsumed) {
+				semLoose[p.ServiceIRI] = true
+			}
+		}
+		score("semantic-subsumed", truth, semLoose)
+		// URI/string exact equality (UDDI, WS-Discovery, DHT behaviour).
+		uri := map[string]bool{}
+		for _, p := range pop {
+			if p.Category == cat {
+				uri[p.ServiceIRI] = true
+			}
+		}
+		score("uri-exact", truth, uri)
+		// Keyword matching on names/descriptions.
+		kw := map[string]bool{}
+		words := []string{localWord(string(cat))}
+		for _, p := range pop {
+			if workload.KeywordMatch(words, p) {
+				kw[p.ServiceIRI] = true
+			}
+		}
+		score("keyword", truth, kw)
+	}
+	for _, name := range []string{"semantic", "semantic-subsumed", "uri-exact", "keyword"} {
+		c := tally[name]
+		prec := safeDiv(c.tp, c.tp+c.fp)
+		rec := safeDiv(c.tp, c.tp+c.fn)
+		t.AddRow(name, prec, rec, safeDiv(2*prec*rec, prec+rec))
+	}
+	t.AddNote("taxonomy d=%d b=%d, %d services, %d queries (50%% broad)", depth, branching, population, queries)
+	return t
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func localWord(iri string) string {
+	for i := len(iri) - 1; i >= 0; i-- {
+		if iri[i] == '#' || iri[i] == '/' {
+			return iri[i+1:]
+		}
+	}
+	return iri
+}
+
+// E8PayloadSize quantifies "semantic service advertisements can become
+// quite large, compared to for example URI strings" (§2) and the value
+// of the compression hook the next-header field enables.
+func E8PayloadSize(population int, seed int64) *metrics.Table {
+	t := metrics.NewTable("E8 advertisement payload sizes (§2)",
+		"encoding", "bytes/advert", "vs-URI")
+	onto, levels := workload.GenOntology(workload.OntologySpec{Depth: 4, Branching: 3})
+	pop := workload.GenProfiles(workload.PopulationSpec{
+		N: population, Classes: levels[len(levels)-1], Seed: seed, OntologyIRI: onto.IRI,
+	})
+	var uriTotal, kvTotal, semTotal, rdfTotal, flateTotal int
+	for i, p := range pop {
+		uri := &describe.URIDescription{
+			TypeURI: string(p.Category), ServiceURI: p.ServiceIRI, Name: p.Name, Addr: p.Grounding,
+		}
+		uriTotal += len(uri.Encode())
+		kv := &describe.KVDescription{
+			ServiceURI: p.ServiceIRI, Name: p.Name, TypeURI: string(p.Category),
+			Attrs: map[string]string{"accuracy": fmt.Sprintf("%.2f", p.QoS["accuracy"])},
+			Addr:  p.Grounding,
+		}
+		kvTotal += len(kv.Encode())
+		semTotal += len(p.Encode())
+		doc := rdf.EncodeNTriples(p.ToGraph())
+		rdfTotal += len(doc)
+		var buf bytes.Buffer
+		fw, _ := flate.NewWriter(&buf, flate.BestCompression)
+		fw.Write([]byte(doc))
+		fw.Close()
+		flateTotal += buf.Len()
+		_ = i
+	}
+	n := float64(population)
+	uriMean := float64(uriTotal) / n
+	add := func(name string, total int) {
+		mean := float64(total) / n
+		t.AddRow(name, fmt.Sprintf("%.0f", mean), metrics.Ratio(mean, uriMean))
+	}
+	add("uri", uriTotal)
+	add("kv-template", kvTotal)
+	add("semantic-binary", semTotal)
+	add("semantic-rdf", rdfTotal)
+	add("semantic-rdf+flate", flateTotal)
+	t.AddNote("%d generated profiles", population)
+	return t
+}

@@ -1,0 +1,387 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/discovery"
+	"semdisco/internal/match"
+	"semdisco/internal/metrics"
+	"semdisco/internal/node"
+	"semdisco/internal/ontology"
+	"semdisco/internal/profile"
+	"semdisco/internal/sim"
+	"semdisco/internal/wire"
+	"semdisco/internal/workload"
+)
+
+// E6Bootstrap measures registry bootstrap latency and idle traffic for
+// active probing vs. passive beacon listening across beacon intervals,
+// plus decentralized-fallback recall when all registries die (§4.5,
+// Fig. 3).
+func E6Bootstrap(beaconIntervals []time.Duration, seed int64) *metrics.Table {
+	t := metrics.NewTable("E6 registry discovery bootstrap (§4.5, Fig. 3)",
+		"mode", "beacon", "timeToRegistry", "maintKB/min")
+	for _, mode := range []string{"active-probe", "passive-beacon"} {
+		for _, bi := range beaconIntervals {
+			w := sim.NewWorld(sim.Config{Seed: seed})
+			cfg := fastRegistry()
+			cfg.BeaconInterval = bi
+			w.AddRegistry("lan0", "r0", cfg)
+			w.Run(50 * time.Millisecond) // registry up before the client
+			cliCfg := fastClient()
+			if mode == "passive-beacon" {
+				// Disable probing: discovery only via beacons.
+				cliCfg.Bootstrap = discovery.Config{Passive: true, RegistryTTL: 10 * bi}
+			} else {
+				cliCfg.Bootstrap = discovery.Config{ProbeInterval: 500 * time.Millisecond, RegistryTTL: 10 * bi}
+			}
+			cli := w.AddClient("lan0", "c0", cliCfg)
+			start := w.Net.Now()
+			var found time.Duration = -1
+			for step := 0; step < 600; step++ {
+				w.Run(50 * time.Millisecond)
+				if _, ok := cli.Cli.Bootstrapper().Current(); ok {
+					found = w.Net.Now().Sub(start)
+					break
+				}
+			}
+			w.Net.ResetStats()
+			w.Run(time.Minute)
+			maint := w.Net.Stats().ByCategory[wire.CatMaintenance].Bytes
+			t.AddRow(mode, bi.String(), fmtDur(found), metrics.KB(maint))
+		}
+	}
+	t.AddNote("passive mode must wait for a beacon; active probing is beacon-independent")
+	return t
+}
+
+// E6Fallback measures LAN discovery when every registry is dead — the
+// Fig. 3 (right) decentralized fallback.
+func E6Fallback(services int, seed int64) *metrics.Table {
+	t := metrics.NewTable("E6b decentralized fallback after registry death (Fig. 3)",
+		"phase", "via", "servicesFound")
+	w := sim.NewWorld(sim.Config{Seed: seed})
+	reg := w.AddRegistry("lan0", "r0", fastRegistry())
+	for i := 0; i < services; i++ {
+		w.AddService("lan0", fmt.Sprintf("s%d", i), fastService(time.Minute),
+			w.SemanticProfile(fmt.Sprintf("urn:svc:%d", i), categoryFor(i%4)))
+	}
+	cli := w.AddClient("lan0", "c0", fastClient())
+	w.Run(5 * time.Second)
+	out := cli.Query(w.SemanticSpec(sim.C("SensorFeed"), 0), 10*time.Second)
+	t.AddRow("registry alive", out.Via.String(), distinctServices(w, out.Adverts))
+	reg.Crash()
+	w.Run(time.Second)
+	out = cli.Query(w.SemanticSpec(sim.C("SensorFeed"), 0), 30*time.Second)
+	t.AddRow("registry dead", out.Via.String(), distinctServices(w, out.Adverts))
+	return t
+}
+
+// E7Forwarding compares query forwarding strategies on a WAN registry
+// network: recall vs. query messages, and loop suppression (§4.9).
+func E7Forwarding(registries int, seed int64) *metrics.Table {
+	t := metrics.NewTable("E7 forwarding strategies (§4.9)",
+		"strategy", "param", "recall", "queryMsgs", "dupSuppressed")
+	type variant struct {
+		name  string
+		param string
+		spec  func(s *node.QuerySpec)
+	}
+	variants := []variant{
+		{"flood", "ttl=2", func(s *node.QuerySpec) { s.TTL = 2 }},
+		{"flood", "ttl=4", func(s *node.QuerySpec) { s.TTL = 4 }},
+		{"flood", "ttl=8", func(s *node.QuerySpec) { s.TTL = 8 }},
+		{"expanding-ring", "max=8", func(s *node.QuerySpec) { s.TTL = 8; s.Strategy = wire.StrategyExpandingRing }},
+		{"random-walk", "k=1 ttl=8", func(s *node.QuerySpec) { s.TTL = 8; s.Strategy = wire.StrategyRandomWalk; s.Walkers = 1 }},
+		{"random-walk", "k=4 ttl=8", func(s *node.QuerySpec) { s.TTL = 8; s.Strategy = wire.StrategyRandomWalk; s.Walkers = 4 }},
+	}
+	const trials = 8
+	for _, v := range variants {
+		found, msgs, dups := 0, uint64(0), uint64(0)
+		for trial := 0; trial < trials; trial++ {
+			w := sim.NewWorld(sim.Config{Seed: seed + int64(trial)})
+			var regs []*sim.RegistryHandle
+			for i := 0; i < registries; i++ {
+				cfg := fastRegistry()
+				cfg.Seeds = chainSeeds(regs, 2)
+				cfg.Seed = seed + int64(trial*100+i)
+				regs = append(regs, w.AddRegistry(fmt.Sprintf("lan%d", i), fmt.Sprintf("r%d", i), cfg))
+			}
+			// One service on the farthest LAN from the client.
+			w.AddService(fmt.Sprintf("lan%d", registries-1), "s0",
+				fastService(time.Minute),
+				w.SemanticProfile("urn:svc:target", sim.C("RadarFeed")))
+			cli := w.AddClient("lan0", "c0", fastClient())
+			w.Run(8 * time.Second) // peer signaling densifies the graph
+			w.Net.ResetStats()
+			spec := w.SemanticSpec(sim.C("SensorFeed"), 0)
+			v.spec(&spec)
+			out := cli.Query(spec, time.Minute)
+			if out.Completed && len(out.Adverts) > 0 {
+				found++
+			}
+			msgs += w.Net.Stats().ByCategory[wire.CatQuerying].Messages
+			for _, r := range regs {
+				dups += r.Reg.Stats().DuplicatesSuppressed
+			}
+		}
+		t.AddRow(v.name, v.param, float64(found)/trials, msgs/trials, dups/trials)
+	}
+	t.AddNote("%d registries chained (each seeded with 2 predecessors), service at the far end", registries)
+	return t
+}
+
+// E9Coherence verifies the multi-registry network "appears externally
+// as one centralized registry" (§4): one connection point reaches
+// services on every LAN.
+func E9Coherence(lans, perLAN int, seed int64) *metrics.Table {
+	t := metrics.NewTable("E9 LAN+WAN coherence (Figs. 2+4)",
+		"ttl", "servicesFound", "of")
+	w := sim.NewWorld(sim.Config{Seed: seed})
+	var regs []*sim.RegistryHandle
+	for l := 0; l < lans; l++ {
+		cfg := fastRegistry()
+		cfg.Seeds = chainSeeds(regs, 1) // chain: worst-case diameter
+		regs = append(regs, w.AddRegistry(fmt.Sprintf("lan%d", l), fmt.Sprintf("r%d", l), cfg))
+	}
+	total := lans * perLAN
+	for l := 0; l < lans; l++ {
+		for i := 0; i < perLAN; i++ {
+			w.AddService(fmt.Sprintf("lan%d", l), fmt.Sprintf("s%d-%d", l, i),
+				fastService(time.Minute),
+				w.SemanticProfile(fmt.Sprintf("urn:svc:%d-%d", l, i), categoryFor(i)))
+		}
+	}
+	cli := w.AddClient("lan0", "c0", fastClient())
+	w.Run(8 * time.Second)
+	for _, ttl := range []uint8{0, 1, 2, 4, 8} {
+		spec := w.SemanticSpec(sim.C("Service"), ttl)
+		spec.MaxResults = 200
+		out := cli.Query(spec, time.Minute)
+		t.AddRow(fmt.Sprintf("%d", ttl), distinctServices(w, out.Adverts), total)
+	}
+	t.AddNote("registries chained; TTL ≥ chain length ⇒ complete view through one connection point")
+	return t
+}
+
+// E10Gateway measures redundant WAN queries with co-located registries,
+// with and without gateway coordination (§4.7).
+func E10Gateway(localRegistries int, seed int64) *metrics.Table {
+	t := metrics.NewTable("E10 LAN gateway coordination (§4.7)",
+		"coordination", "wanQueriesReceived", "wanDupSuppressed", "wanQueryKB")
+	for _, coord := range []bool{false, true} {
+		w := sim.NewWorld(sim.Config{Seed: seed})
+		hub := w.AddRegistry("wan", "hub", fastRegistry())
+		for i := 0; i < localRegistries; i++ {
+			cfg := fastRegistry()
+			cfg.GatewayCoordination = coord
+			cfg.Seeds = []wire.PeerInfo{hub.PeerInfo()}
+			w.AddRegistry("lan0", fmt.Sprintf("r%d", i), cfg)
+		}
+		// A service on the hub's side so queries have a real target.
+		w.AddService("wan", "s0", fastService(time.Minute),
+			w.SemanticProfile("urn:svc:remote", sim.C("RadarFeed")))
+		cli := w.AddClient("lan0", "c0", fastClient())
+		w.Run(8 * time.Second)
+		w.Net.ResetStats()
+		for q := 0; q < 10; q++ {
+			cli.Query(w.SemanticSpec(sim.C("SensorFeed"), 3), 30*time.Second)
+		}
+		st := hub.Reg.Stats()
+		t.AddRow(fmt.Sprintf("%v", coord), st.QueriesReceived, st.DuplicatesSuppressed,
+			metrics.KB(w.Net.Stats().ByCategory[wire.CatQuerying].Bytes))
+	}
+	t.AddNote("%d co-located registries, 10 WAN queries", localRegistries)
+	return t
+}
+
+// E11Republish measures how long a service stays undiscoverable after
+// its registry crashes, until lease-driven failover republishes it
+// (§4.1: "the service node must try to find another connection point").
+func E11Republish(seed int64) *metrics.Table {
+	t := metrics.NewTable("E11 republish-on-registry-failure convergence (§4.1)",
+		"ackTimeout", "reconvergence")
+	for _, ackTO := range []time.Duration{200 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second} {
+		w := sim.NewWorld(sim.Config{Seed: seed})
+		r1 := w.AddRegistry("lan0", "r1", fastRegistry())
+		r2 := w.AddRegistry("lan0", "r2", fastRegistry())
+		svcCfg := fastService(4 * time.Second)
+		svcCfg.AckTimeout = ackTO
+		w.AddService("lan0", "s0", svcCfg, w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+		cli := w.AddClient("lan0", "c0", fastClient())
+		w.Run(5 * time.Second)
+		holder, survivor := r1, r2
+		if r1.Reg.Store().Len() == 0 {
+			holder, survivor = r2, r1
+		}
+		_ = survivor
+		holder.Crash()
+		crashAt := w.Net.Now()
+		recon := time.Duration(-1)
+		for step := 0; step < 300; step++ {
+			w.Run(200 * time.Millisecond)
+			out := cli.Query(w.SemanticSpec(sim.C("RadarFeed"), 0), 5*time.Second)
+			if out.Completed && out.Via == node.ViaRegistry && len(out.Adverts) > 0 {
+				recon = w.Net.Now().Sub(crashAt)
+				break
+			}
+		}
+		t.AddRow(ackTO.String(), fmtDur(recon))
+	}
+	t.AddNote("time from registry crash until the service is discoverable via the surviving registry")
+	return t
+}
+
+// E12PushPull compares advertisement cooperation strategies across
+// query:publish ratios (§4.9 design choice "push or pull advertisements
+// between registries").
+func E12PushPull(ratios []int, seed int64) *metrics.Table {
+	t := metrics.NewTable("E12 push vs pull vs summary-pruned cooperation (§4.9)",
+		"mode", "queries/publish", "totalKB", "recall")
+	const lans = 4
+	const services = 8
+	for _, mode := range []string{"pull-flood", "push-replicate", "pull-summary"} {
+		for _, ratio := range ratios {
+			bytes, recall := runE12(mode, lans, services, ratio, seed)
+			t.AddRow(mode, ratio, metrics.KB(bytes), recall)
+		}
+	}
+	t.AddNote("%d LANs, %d services republished each round; crossover shows pull wins at low query rates, push at high", lans, services)
+	return t
+}
+
+func runE12(mode string, lans, services, ratio int, seed int64) (uint64, float64) {
+	w := sim.NewWorld(sim.Config{Seed: seed})
+	var regs []*sim.RegistryHandle
+	for l := 0; l < lans; l++ {
+		cfg := fastRegistry()
+		cfg.Seeds = chainSeeds(regs, 2)
+		switch mode {
+		case "push-replicate":
+			cfg.PushReplication = true
+			cfg.PushHops = 2
+		case "pull-summary":
+			cfg.SummaryPruning = true
+			cfg.SummaryInterval = 2 * time.Second
+		}
+		regs = append(regs, w.AddRegistry(fmt.Sprintf("lan%d", l), fmt.Sprintf("r%d", l), cfg))
+	}
+	for i := 0; i < services; i++ {
+		w.AddService(fmt.Sprintf("lan%d", i%lans), fmt.Sprintf("s%d", i),
+			fastService(20*time.Second),
+			w.SemanticProfile(fmt.Sprintf("urn:svc:%d", i), categoryFor(i)))
+	}
+	cli := w.AddClient("lan0", "c0", fastClient())
+	w.Run(8 * time.Second)
+	w.Net.ResetStats()
+	ttl := uint8(4)
+	if mode == "push-replicate" {
+		ttl = 0 // replicas answer locally
+	}
+	// Fixed 25 s measurement window for every mode and ratio: the query
+	// count varies, the background publish/renewal load does not.
+	const window = 25 * time.Second
+	start := w.Net.Now()
+	want := 0
+	for i := 0; i < services; i++ {
+		if i%len(serviceCategories) < 4 { // sensor-feed categories
+			want++
+		}
+	}
+	found, total := 0, 0
+	for q := 0; q < ratio; q++ {
+		spec := w.SemanticSpec(sim.C("SensorFeed"), ttl)
+		spec.MaxResults = 50
+		out := cli.Query(spec, 30*time.Second)
+		total++
+		if distinctServices(w, out.Adverts) >= want {
+			found++
+		}
+		slot := start.Add(time.Duration(q+1) * window / time.Duration(ratio))
+		if w.Net.Now().Before(slot) {
+			w.Run(slot.Sub(w.Net.Now()))
+		}
+	}
+	if end := start.Add(window); w.Net.Now().Before(end) {
+		w.Run(end.Sub(w.Net.Now()))
+	}
+	return w.Net.Stats().BytesSent, float64(found) / float64(total)
+}
+
+// E13Artifacts demonstrates the registry-as-repository role (§4.6):
+// a client disconnected from the web resolves the shared ontology from
+// its registry and can then run semantic matching locally.
+func E13Artifacts(seed int64) *metrics.Table {
+	t := metrics.NewTable("E13 ontology artifact resolution (§4.6)",
+		"scenario", "fetched", "classes", "subsumptionWorks")
+	w := sim.NewWorld(sim.Config{Seed: seed})
+	w.AddRegistry("lan0", "r0", fastRegistry())
+	cli := w.AddClient("lan0", "c0", fastClient())
+	w.Run(2 * time.Second)
+	var doc []byte
+	var ok, done bool
+	cli.Cli.FetchArtifact(w.Onto.IRI, 2*time.Second, func(d []byte, o bool) { doc, ok, done = d, o, true })
+	w.Run(3 * time.Second)
+	if done && ok {
+		onto, err := ontology.FromTurtle(w.Onto.IRI, string(doc))
+		works := err == nil && onto.Subsumes(sim.C("SensorFeed"), sim.C("RadarFeed"))
+		t.AddRow("registry repository", true, onto.NumClasses(), works)
+	} else {
+		t.AddRow("registry repository", false, 0, false)
+	}
+	// Control: an unknown IRI cannot be resolved.
+	done, ok = false, false
+	cli.Cli.FetchArtifact("http://unavailable.example/onto", time.Second, func(d []byte, o bool) { ok, done = o, true })
+	w.Run(2 * time.Second)
+	t.AddRow("missing artifact", done && ok, 0, false)
+	return t
+}
+
+// E14MatchCost measures per-query evaluation cost of the three
+// description models (§4.2: "it can become more costly to evaluate
+// queries, since reasoning about service descriptions may be
+// necessary").
+func E14MatchCost(population int, seed int64) *metrics.Table {
+	t := metrics.NewTable("E14 query evaluation cost (§4.2)",
+		"model", "ns/op", "vs-uri")
+	onto, levels := workload.GenOntology(workload.OntologySpec{Depth: 4, Branching: 3})
+	pop := workload.GenProfiles(workload.PopulationSpec{N: population, Classes: levels[3], Seed: seed})
+	matcher := match.New(onto)
+	tpl := &profile.Template{Category: levels[1][0]}
+
+	uriModel := describe.URIModel{}
+	uriDescs := make([]describe.Description, population)
+	kvModel := describe.KVModel{}
+	kvDescs := make([]describe.Description, population)
+	for i, p := range pop {
+		uriDescs[i] = &describe.URIDescription{TypeURI: string(p.Category), ServiceURI: p.ServiceIRI}
+		kvDescs[i] = &describe.KVDescription{ServiceURI: p.ServiceIRI, TypeURI: string(p.Category), Name: p.Name}
+	}
+	uriQ := &describe.URIQuery{TypeURI: string(levels[3][0])}
+	kvQ := &describe.KVQuery{TypeURI: string(levels[3][0])}
+
+	bURI := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			uriModel.Evaluate(uriQ, uriDescs[i%population])
+		}
+	})
+	bKV := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kvModel.Evaluate(kvQ, kvDescs[i%population])
+		}
+	})
+	bSem := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matcher.Match(tpl, pop[i%population])
+		}
+	})
+	uriNs := float64(bURI.NsPerOp())
+	t.AddRow("uri", bURI.NsPerOp(), metrics.Ratio(float64(bURI.NsPerOp()), uriNs))
+	t.AddRow("kv-template", bKV.NsPerOp(), metrics.Ratio(float64(bKV.NsPerOp()), uriNs))
+	t.AddRow("semantic", bSem.NsPerOp(), metrics.Ratio(float64(bSem.NsPerOp()), uriNs))
+	t.AddNote("in-process evaluation cost per (query, description) pair")
+	return t
+}

@@ -1,0 +1,102 @@
+// Package experiments implements the paper-claim reproductions indexed
+// in DESIGN.md (E1–E14). The paper is a conceptual architecture with no
+// evaluation section, so each experiment operationalizes one of its
+// quantitative claims; EXPERIMENTS.md records the measured shapes
+// against the claims. Every experiment is deterministic for a given
+// seed and returns a metrics.Table that both `go test -bench` and
+// cmd/simdisco print.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"semdisco/internal/discovery"
+	"semdisco/internal/federation"
+	"semdisco/internal/node"
+	"semdisco/internal/ontology"
+	"semdisco/internal/sim"
+	"semdisco/internal/wire"
+)
+
+// Defaults shared by the experiments: fast timers so virtual scenarios
+// converge quickly, while keeping the relative ordering of the paper's
+// configuration knobs (beacon < lease < peer timeout).
+func fastRegistry() federation.Config {
+	return federation.Config{
+		BeaconInterval: 2 * time.Second,
+		PingInterval:   4 * time.Second,
+		PeerTimeout:    12 * time.Second,
+		QueryTimeout:   200 * time.Millisecond,
+		PurgeInterval:  250 * time.Millisecond,
+	}
+}
+
+func fastService(lease time.Duration, seeds ...wire.PeerInfo) node.ServiceConfig {
+	return node.ServiceConfig{
+		Lease:      lease,
+		AckTimeout: 400 * time.Millisecond,
+		Bootstrap:  discovery.Config{Seeds: seeds, ProbeInterval: 500 * time.Millisecond},
+	}
+}
+
+func fastClient(seeds ...wire.PeerInfo) node.ClientConfig {
+	return node.ClientConfig{
+		QueryTimeout:   2 * time.Second,
+		FallbackWindow: 500 * time.Millisecond,
+		Bootstrap:      discovery.Config{Seeds: seeds, ProbeInterval: 500 * time.Millisecond},
+	}
+}
+
+// spreadCategories deals categories round-robin from the default
+// ontology's concrete service classes.
+var serviceCategories = []ontology.Class{
+	sim.C("RadarFeed"), sim.C("CoastalRadarFeed"), sim.C("CameraFeed"),
+	sim.C("InfraredCameraFeed"), sim.C("WeatherService"), sim.C("MapService"),
+	sim.C("ChatService"),
+}
+
+func categoryFor(i int) ontology.Class {
+	return serviceCategories[i%len(serviceCategories)]
+}
+
+// distinctServices counts distinct service keys in a result set.
+func distinctServices(w *sim.World, adverts []wire.Advertisement) int {
+	seen := map[string]bool{}
+	for _, a := range adverts {
+		d, err := w.Models().DecodeDescription(a.Kind, a.Payload)
+		if err != nil {
+			continue
+		}
+		seen[d.ServiceKey()] = true
+	}
+	return len(seen)
+}
+
+// meshSeeds builds a seed list chaining each new registry to the
+// previous k for connected-but-sparse WAN graphs.
+func chainSeeds(regs []*sim.RegistryHandle, k int) []wire.PeerInfo {
+	var seeds []wire.PeerInfo
+	n := len(regs)
+	for i := n - 1; i >= 0 && len(seeds) < k; i-- {
+		seeds = append(seeds, regs[i].PeerInfo())
+	}
+	return seeds
+}
+
+// sortedKeys renders map keys deterministically for notes.
+func sortedKeys[K comparable, V any](m map[K]V, less func(a, b K) bool) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}
+
+var _ = fmt.Sprintf // reserved for shared formatting helpers

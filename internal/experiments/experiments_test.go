@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment tests assert the *shape* of each result — who wins,
+// in which direction the trend goes — exactly what EXPERIMENTS.md
+// records against the paper's claims. Parameters are scaled down; the
+// benches and cmd/simdisco run the full sizes.
+
+func parseKB(s string) float64 {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "kB"), 64)
+	if err != nil {
+		panic("bad kB cell: " + s)
+	}
+	return v
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float cell %q", s)
+	}
+	return v
+}
+
+func TestE1Shape(t *testing.T) {
+	tab := E1TopologyBandwidth([]int{10, 30}, 5, 42)
+	if tab.NumRows() != 6 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	// Decentralized per-query load grows with N; centralized does not
+	// (results are capped at 5 in both).
+	dec10 := parseKB(tab.Row(0)[7])
+	dec30 := parseKB(tab.Row(3)[7])
+	cen10 := parseKB(tab.Row(1)[7])
+	cen30 := parseKB(tab.Row(4)[7])
+	if dec30 <= dec10 {
+		t.Errorf("decentralized query cost did not grow with N: %v vs %v\n%s", dec10, dec30, tab)
+	}
+	// The decentralized/centralized gap widens with N.
+	if dec30/cen30 <= dec10/cen10 {
+		t.Errorf("query-cost gap did not widen: %v/%v vs %v/%v\n%s", dec10, cen10, dec30, cen30, tab)
+	}
+	// At N=30 the decentralized query bill beats centralized by a
+	// clear factor (the §3.1 claim).
+	if dec30 < 2*cen30 {
+		t.Errorf("decentralized %v not ≫ centralized %v\n%s", dec30, cen30, tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE2Shape(t *testing.T) {
+	tab := E2ResponseControl(20, 42)
+	// Decentralized: all 20 matching services answer (implosion).
+	if got := parseF(t, tab.Row(0)[1]); got < 18 {
+		t.Errorf("decentralized responses = %v, want ≈20\n%s", got, tab)
+	}
+	// best-only: exactly 1.
+	if got := parseF(t, tab.Row(3)[1]); got != 1 {
+		t.Errorf("best-only responses = %v\n%s", got, tab)
+	}
+	// max=5: exactly 5.
+	if got := parseF(t, tab.Row(2)[1]); got != 5 {
+		t.Errorf("max-5 responses = %v\n%s", got, tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE3Shape(t *testing.T) {
+	tab := E3Robustness([]float64{0, 1}, 42)
+	// rows: centralized 0%, centralized 100%, distributed 0%, distributed 100%
+	cen0 := parseF(t, tab.Row(0)[2])
+	cen1 := parseF(t, tab.Row(1)[2])
+	dis0 := parseF(t, tab.Row(2)[2])
+	dis1 := parseF(t, tab.Row(3)[2])
+	if cen0 < 0.9 || dis0 < 0.9 {
+		t.Errorf("healthy systems not at full recall: cen=%v dis=%v\n%s", cen0, dis0, tab)
+	}
+	// With ALL registries dead both systems degrade to the LAN fallback
+	// (≈ LAN-local recall); the centralized one must not do better.
+	if cen1 > dis1 {
+		t.Errorf("centralized survived total failure better than distributed: %v vs %v\n%s", cen1, dis1, tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE3PartialFailure(t *testing.T) {
+	tab := E3Robustness([]float64{0.5}, 43)
+	cen := parseF(t, tab.Row(0)[2])
+	dis := parseF(t, tab.Row(1)[2])
+	// Killing half the registries kills THE central one (ceil(0.5·1)=1),
+	// collapsing recall to LAN-fallback levels; the federation must do
+	// clearly better through failover and republish.
+	if dis < cen+0.2 {
+		t.Errorf("distributed (%v) not clearly above centralized (%v) at 50%% kills\n%s", dis, cen, tab)
+	}
+	if dis < 0.7 {
+		t.Errorf("distributed recall %v too low after 50%% kills\n%s", dis, tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE4Shape(t *testing.T) {
+	tab := E4Staleness([]time.Duration{2 * time.Second, 10 * time.Second}, 42)
+	uddiStale := parseF(t, tab.Row(0)[2])
+	lease2 := parseF(t, tab.Row(1)[2])
+	lease10 := parseF(t, tab.Row(2)[2])
+	if uddiStale <= lease10 {
+		t.Errorf("UDDI staleness %v not worse than leased %v\n%s", uddiStale, lease10, tab)
+	}
+	if lease2 > lease10 {
+		t.Errorf("shorter lease yielded more staleness: %v vs %v\n%s", lease2, lease10, tab)
+	}
+	if uddiStale < 0.2 {
+		t.Errorf("UDDI staleness %v suspiciously low under churn\n%s", uddiStale, tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE5Shape(t *testing.T) {
+	tab := E5Matchmaking(4, 3, 100, 40, 42)
+	semPrec := parseF(t, tab.Row(0)[1])
+	semRec := parseF(t, tab.Row(0)[2])
+	loosePrec := parseF(t, tab.Row(1)[1])
+	looseRec := parseF(t, tab.Row(1)[2])
+	uriPrec := parseF(t, tab.Row(2)[1])
+	uriRec := parseF(t, tab.Row(2)[2])
+	if semRec < 0.99 || semPrec < 0.99 {
+		t.Errorf("semantic P/R = %v/%v, want 1.0\n%s", semPrec, semRec, tab)
+	}
+	// The permissive floor keeps full recall but admits more-general
+	// services the strict ground truth calls irrelevant.
+	if looseRec < 0.99 {
+		t.Errorf("subsumed-floor recall = %v\n%s", looseRec, tab)
+	}
+	if loosePrec >= semPrec {
+		t.Errorf("subsumed-floor precision %v not below plugin-floor %v\n%s", loosePrec, semPrec, tab)
+	}
+	if uriRec >= semRec {
+		t.Errorf("uri recall %v not below semantic %v\n%s", uriRec, semRec, tab)
+	}
+	if uriPrec < 0.99 {
+		t.Errorf("uri precision = %v; exact matching should not produce false positives\n%s", uriPrec, tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE6Shape(t *testing.T) {
+	tab := E6Bootstrap([]time.Duration{time.Second, 5 * time.Second}, 42)
+	// Active probing finds the registry quickly regardless of beacon
+	// interval; passive waits ≈ one beacon interval.
+	active1, _ := time.ParseDuration(tab.Row(0)[2])
+	passive5, _ := time.ParseDuration(tab.Row(3)[2])
+	if active1 > 2*time.Second {
+		t.Errorf("active bootstrap = %v, too slow\n%s", active1, tab)
+	}
+	if passive5 < 500*time.Millisecond {
+		t.Errorf("passive bootstrap with 5s beacons = %v, implausibly fast\n%s", passive5, tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE6FallbackShape(t *testing.T) {
+	tab := E6Fallback(6, 42)
+	if tab.Row(0)[1] != "registry" || tab.Row(1)[1] != "fallback" {
+		t.Fatalf("via column wrong:\n%s", tab)
+	}
+	// Sensor feeds are 4 of 6 services (rotation i%4 over 4 sensor cats).
+	if parseF(t, tab.Row(1)[2]) < parseF(t, tab.Row(0)[2]) {
+		t.Errorf("fallback found fewer services than registry mode\n%s", tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE7Shape(t *testing.T) {
+	tab := E7Forwarding(6, 42)
+	var floodRecall, walk1Recall, floodMsgs, walk1Msgs float64
+	for i := 0; i < tab.NumRows(); i++ {
+		r := tab.Row(i)
+		if r[0] == "flood" && r[1] == "ttl=8" {
+			floodRecall = parseF(t, r[2])
+			floodMsgs = parseF(t, r[3])
+		}
+		if r[0] == "random-walk" && r[1] == "k=1 ttl=8" {
+			walk1Recall = parseF(t, r[2])
+			walk1Msgs = parseF(t, r[3])
+		}
+	}
+	if floodRecall < 0.99 {
+		t.Errorf("flood ttl=8 recall = %v, want 1.0\n%s", floodRecall, tab)
+	}
+	if walk1Msgs >= floodMsgs {
+		t.Errorf("1-walker used %v msgs ≥ flood %v\n%s", walk1Msgs, floodMsgs, tab)
+	}
+	if walk1Recall > floodRecall {
+		t.Errorf("walk recall above flood recall\n%s", tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE9Shape(t *testing.T) {
+	tab := E9Coherence(4, 2, 42)
+	last := tab.Row(tab.NumRows() - 1)
+	if last[1] != last[2] {
+		t.Errorf("high-TTL query incomplete: found %s of %s\n%s", last[1], last[2], tab)
+	}
+	first := tab.Row(0)
+	if parseF(t, first[1]) >= parseF(t, last[1]) {
+		t.Errorf("TTL=0 already sees everything — WAN test degenerate\n%s", tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE10Shape(t *testing.T) {
+	tab := E10Gateway(3, 42)
+	off := parseF(t, tab.Row(0)[1])
+	on := parseF(t, tab.Row(1)[1])
+	if on > off {
+		t.Errorf("coordination increased WAN queries: %v → %v\n%s", off, on, tab)
+	}
+	if on == 0 {
+		t.Errorf("coordinated gateway never forwarded\n%s", tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE11Shape(t *testing.T) {
+	tab := E11Republish(42)
+	for i := 0; i < tab.NumRows(); i++ {
+		d, err := time.ParseDuration(tab.Row(i)[1])
+		if err != nil || d <= 0 {
+			t.Errorf("no reconvergence in row %d: %v\n%s", i, tab.Row(i), tab)
+		}
+	}
+	// Faster ack timeout ⇒ faster reconvergence.
+	fast, _ := time.ParseDuration(tab.Row(0)[1])
+	slow, _ := time.ParseDuration(tab.Row(2)[1])
+	if fast > slow {
+		t.Errorf("fast ack timeout reconverged slower (%v vs %v)\n%s", fast, slow, tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE12Shape(t *testing.T) {
+	tab := E12PushPull([]int{2, 20}, 42)
+	get := func(mode string, ratio string) (kb, recall float64) {
+		for i := 0; i < tab.NumRows(); i++ {
+			r := tab.Row(i)
+			if r[0] == mode && r[1] == ratio {
+				return parseKB(r[2]), parseF(t, r[3])
+			}
+		}
+		t.Fatalf("row %s/%s missing\n%s", mode, ratio, tab)
+		return 0, 0
+	}
+	pullHi, pullRec := get("pull-flood", "20")
+	pushHi, pushRec := get("push-replicate", "20")
+	if pushRec < 0.99 || pullRec < 0.99 {
+		t.Errorf("recall dropped: pull=%v push=%v\n%s", pullRec, pushRec, tab)
+	}
+	// At a high query rate, push replication must beat pull flooding.
+	if pushHi >= pullHi {
+		t.Errorf("push (%v kB) not cheaper than pull (%v kB) at high query rate\n%s", pushHi, pullHi, tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE13Shape(t *testing.T) {
+	tab := E13Artifacts(42)
+	if tab.Row(0)[1] != "true" || tab.Row(0)[3] != "true" {
+		t.Errorf("ontology fetch failed:\n%s", tab)
+	}
+	if tab.Row(1)[1] != "false" {
+		t.Errorf("missing artifact resolved:\n%s", tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro-benchmark harness in -short mode")
+	}
+	tab := E14MatchCost(64, 42)
+	uri := parseF(t, tab.Row(0)[1])
+	sem := parseF(t, tab.Row(2)[1])
+	if sem <= uri {
+		t.Errorf("semantic matching (%v ns) not costlier than URI (%v ns)\n%s", sem, uri, tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE8Shape(t *testing.T) {
+	tab := E8PayloadSize(50, 42)
+	uri := parseF(t, tab.Row(0)[1])
+	semBin := parseF(t, tab.Row(2)[1])
+	semRDF := parseF(t, tab.Row(3)[1])
+	flateRDF := parseF(t, tab.Row(4)[1])
+	if semRDF <= uri*2 {
+		t.Errorf("semantic RDF %v not ≫ URI %v — the §2 size claim\n%s", semRDF, uri, tab)
+	}
+	if semBin >= semRDF {
+		t.Errorf("binary profile %v not smaller than RDF %v\n%s", semBin, semRDF, tab)
+	}
+	if flateRDF >= semRDF {
+		t.Errorf("flate did not compress RDF (%v vs %v)\n%s", flateRDF, semRDF, tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE15Shape(t *testing.T) {
+	tab := E15Scale([]int{4, 8}, 42)
+	r4 := parseF(t, tab.Row(0)[2])
+	r8 := parseF(t, tab.Row(1)[2])
+	if r4 < 0.99 || r8 < 0.99 {
+		t.Errorf("federated recall dropped with size: %v, %v\n%s", r4, r8, tab)
+	}
+	// Query traffic grows with federation size (full flood).
+	q4 := parseKB(tab.Row(0)[4])
+	q8 := parseKB(tab.Row(1)[4])
+	if q8 <= q4 {
+		t.Errorf("query traffic did not grow with size: %v vs %v\n%s", q4, q8, tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestE16Shape(t *testing.T) {
+	tab := E16Loss([]float64{0, 0.05}, 42)
+	s0 := parseF(t, tab.Row(0)[1])
+	s5 := parseF(t, tab.Row(1)[1])
+	rec0 := parseF(t, tab.Row(0)[2])
+	rec5 := parseF(t, tab.Row(1)[2])
+	if s0 < 0.99 || rec0 < 0.99 {
+		t.Errorf("lossless run imperfect: success=%v recall=%v\n%s", s0, rec0, tab)
+	}
+	// 5% loss must not collapse discovery.
+	if s5 < 0.8 {
+		t.Errorf("5%% loss broke discovery: success=%v\n%s", s5, tab)
+	}
+	if rec5 < 0.7 {
+		t.Errorf("5%% loss collapsed recall: %v\n%s", rec5, tab)
+	}
+	t.Logf("\n%s", tab)
+}

@@ -1,0 +1,602 @@
+// Package federation implements the paper's central proposal: the
+// autonomous, dynamically federated registry node (§4 and MILCOM'07).
+// Each Registry is a super-peer that
+//
+//   - stores complete ("thick") advertisements and evaluates queries
+//     itself via the pluggable description models,
+//   - beacons on its LAN for passive registry discovery and answers
+//     multicast probes for active discovery (§4.5),
+//   - federates with peer registries across LANs: aliveness pings,
+//     registry signaling (sharing alternate registry addresses),
+//     summary gossip, and advertisement push (§4.9),
+//   - forwards queries through the registry network under a selectable
+//     strategy (flood / expanding ring / k-random-walk) with unique
+//     query IDs for loop avoidance, aggregating results along the
+//     reverse path so the entry registry can exercise query response
+//     control before answering the client (§3.1, §4.7),
+//   - coordinates with co-located registries so only one LAN gateway
+//     forwards to the WAN (§4.7),
+//   - purges advertisements whose leases lapse (§4.8), and
+//   - serves ontology/schema artifacts (§4.6).
+//
+// The Registry is a sans-I/O state machine: the runtime guarantees
+// handlers and timers never run concurrently.
+package federation
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/registry"
+	"semdisco/internal/runtime"
+	"semdisco/internal/transport"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// Config tunes a federated registry. Zero values become the listed
+// defaults — the "configurable on an individual deployment basis"
+// parameters the paper enumerates (beacon interval, query TTL, lease
+// period, cooperation mode, …).
+type Config struct {
+	// BeaconInterval spaces LAN beacons; default 5 s.
+	BeaconInterval time.Duration
+	// PingInterval spaces aliveness pings to quiet peers; default 10 s.
+	PingInterval time.Duration
+	// PeerTimeout expires unresponsive peers; default 30 s.
+	PeerTimeout time.Duration
+	// SummaryInterval spaces summary gossip; 0 disables sending
+	// summaries; default 15 s when SummaryPruning is set, else off.
+	SummaryInterval time.Duration
+	// SummaryPruning skips forwarding to peers whose summaries cannot
+	// match the query.
+	SummaryPruning bool
+	// PushReplication forwards received advertisements to peers
+	// (replication-style cooperation); PushHops bounds the spread.
+	PushReplication bool
+	// PushHops defaults to 1.
+	PushHops uint8
+	// GatewayCoordination makes only the lowest-ID registry on a LAN
+	// forward queries to WAN peers.
+	GatewayCoordination bool
+	// QueryTimeout is the per-hop result aggregation budget multiplied
+	// by remaining TTL+1; default 250 ms.
+	QueryTimeout time.Duration
+	// PurgeInterval spaces lease-expiry sweeps; default 500 ms.
+	PurgeInterval time.Duration
+	// SeenTTL bounds the query-dedup memory; default 60 s.
+	SeenTTL time.Duration
+	// MaxPeerShare bounds peer lists in signaling messages; default 5.
+	MaxPeerShare int
+	// MaxPeers bounds the peer table; default 32.
+	MaxPeers int
+	// Seeds are well-known registries contacted at start — the manual
+	// seeding that connects LANs into a WAN registry network (§4.5).
+	Seeds []wire.PeerInfo
+	// SeedAddrs seeds by transport address alone (used by live UDP
+	// deployments where peer node IDs are not known in advance); the
+	// peer is learned from its Pong.
+	SeedAddrs []string
+	// Seed drives the walker-selection RNG.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	def := func(d *time.Duration, v time.Duration) {
+		if *d == 0 {
+			*d = v
+		}
+	}
+	def(&c.BeaconInterval, 5*time.Second)
+	def(&c.PingInterval, 10*time.Second)
+	def(&c.PeerTimeout, 30*time.Second)
+	if c.SummaryInterval == 0 && c.SummaryPruning {
+		c.SummaryInterval = 15 * time.Second
+	}
+	if c.PushHops == 0 {
+		c.PushHops = 1
+	}
+	def(&c.QueryTimeout, 250*time.Millisecond)
+	def(&c.PurgeInterval, 500*time.Millisecond)
+	def(&c.SeenTTL, 60*time.Second)
+	if c.MaxPeerShare == 0 {
+		c.MaxPeerShare = 5
+	}
+	if c.MaxPeers == 0 {
+		c.MaxPeers = 32
+	}
+	return c
+}
+
+// Stats counts the registry's protocol activity for experiments.
+type Stats struct {
+	QueriesReceived      uint64
+	DuplicatesSuppressed uint64
+	QueriesForwarded     uint64
+	ForwardsPruned       uint64
+	QueriesAnswered      uint64
+	ResultsReturned      uint64
+	AdvertsPushed        uint64
+	PeersExpired         uint64
+}
+
+type peer struct {
+	info     wire.PeerInfo
+	lastSeen time.Time
+	// lan marks peers discovered via LAN multicast (beacons/probes).
+	lan bool
+	// summary holds the peer's last gossiped tokens per kind.
+	summary map[describe.Kind]map[string]bool
+}
+
+// Registry is one federated registry node.
+type Registry struct {
+	env   *runtime.Env
+	store *registry.Store
+	cfg   Config
+	rng   *rand.Rand
+
+	peers   map[wire.NodeID]*peer
+	seen    map[uuid.UUID]time.Time
+	pending map[uuid.UUID]*pendingQuery
+
+	gatewayOverride *bool // test hook; nil = derive from LAN peers
+
+	stats   Stats
+	stopped bool
+	cancels []transport.CancelFunc
+}
+
+// New constructs a federated registry over the given store and
+// environment. Call Start to arm its timers.
+func New(env *runtime.Env, store *registry.Store, cfg Config) *Registry {
+	cfg = cfg.withDefaults()
+	return &Registry{
+		env:     env,
+		store:   store,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		peers:   make(map[wire.NodeID]*peer),
+		seen:    make(map[uuid.UUID]time.Time),
+		pending: make(map[uuid.UUID]*pendingQuery),
+	}
+}
+
+// Store exposes the underlying registry store.
+func (r *Registry) Store() *registry.Store { return r.store }
+
+// Stats returns a copy of the protocol counters.
+func (r *Registry) Stats() Stats { return r.stats }
+
+// ID returns the registry's node ID.
+func (r *Registry) ID() wire.NodeID { return r.env.ID }
+
+// Addr returns the registry's transport address.
+func (r *Registry) Addr() transport.Addr { return r.env.Addr() }
+
+// Start announces the registry (immediate beacon + probe for other
+// registries), contacts the configured seeds, and arms the periodic
+// timers.
+func (r *Registry) Start() {
+	r.sendBeacon()
+	// Probe so co-located registries answer and both sides learn each
+	// other immediately rather than after one beacon interval.
+	r.env.Multicast(wire.Probe{})
+	for _, s := range r.cfg.Seeds {
+		if s.ID != r.env.ID {
+			r.addPeer(s, false)
+			r.env.Send(transport.Addr(s.Addr), wire.Ping{FromRegistry: true})
+		}
+	}
+	for _, addr := range r.cfg.SeedAddrs {
+		if addr != string(r.env.Addr()) {
+			r.env.Send(transport.Addr(addr), wire.Ping{FromRegistry: true})
+		}
+	}
+	r.every(r.cfg.BeaconInterval, r.sendBeacon)
+	r.every(r.cfg.PingInterval, r.pingPeers)
+	r.every(r.cfg.PurgeInterval, r.purge)
+	r.every(r.cfg.SeenTTL, r.cleanSeen)
+	if r.cfg.SummaryInterval > 0 {
+		r.every(r.cfg.SummaryInterval, r.sendSummaries)
+	}
+}
+
+// Stop announces departure and cancels all timers.
+func (r *Registry) Stop() {
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	r.env.Multicast(wire.Bye{})
+	for _, p := range r.sortedPeers() {
+		if !p.lan {
+			r.env.Send(transport.Addr(p.info.Addr), wire.Bye{})
+		}
+	}
+	for _, c := range r.cancels {
+		c()
+	}
+	r.cancels = nil
+}
+
+// Crash halts the registry abruptly — no Bye, no cleanup visible to
+// peers — simulating the sudden failures of dynamic environments. Peers
+// only learn of the death through ping timeouts and clients through
+// request timeouts.
+func (r *Registry) Crash() {
+	r.stopped = true
+	for _, c := range r.cancels {
+		c()
+	}
+	r.cancels = nil
+}
+
+// every arms a self-rearming timer.
+func (r *Registry) every(d time.Duration, fn func()) {
+	var arm func()
+	arm = func() {
+		if r.stopped {
+			return
+		}
+		fn()
+		r.cancels = append(r.cancels, r.env.Clock.After(d, arm))
+	}
+	r.cancels = append(r.cancels, r.env.Clock.After(d, arm))
+}
+
+func (r *Registry) now() time.Time { return r.env.Clock.Now() }
+
+// --- peer table ---
+
+func (r *Registry) addPeer(info wire.PeerInfo, lan bool) *peer {
+	if info.ID == r.env.ID || info.ID.IsNil() {
+		return nil
+	}
+	p, ok := r.peers[info.ID]
+	if !ok {
+		if len(r.peers) >= r.cfg.MaxPeers {
+			r.evictOldestPeer()
+		}
+		p = &peer{info: info, lastSeen: r.now()}
+		r.peers[info.ID] = p
+	}
+	p.info.Addr = info.Addr
+	if lan {
+		p.lan = true
+	}
+	return p
+}
+
+func (r *Registry) touchPeer(id wire.NodeID) {
+	if p, ok := r.peers[id]; ok {
+		p.lastSeen = r.now()
+	}
+}
+
+func (r *Registry) evictOldestPeer() {
+	var victim wire.NodeID
+	var oldest time.Time
+	first := true
+	for id, p := range r.peers {
+		if first || p.lastSeen.Before(oldest) {
+			victim, oldest, first = id, p.lastSeen, false
+		}
+	}
+	if !first {
+		delete(r.peers, victim)
+	}
+}
+
+// sortedPeers returns live peers in deterministic (ID) order.
+func (r *Registry) sortedPeers() []*peer {
+	out := make([]*peer, 0, len(r.peers))
+	for _, p := range r.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return uuid.Compare(out[i].info.ID, out[j].info.ID) < 0
+	})
+	return out
+}
+
+// Peers returns the current peer list (registry signaling content).
+func (r *Registry) Peers() []wire.PeerInfo {
+	ps := r.sortedPeers()
+	out := make([]wire.PeerInfo, len(ps))
+	for i, p := range ps {
+		out[i] = p.info
+	}
+	return out
+}
+
+// sharePeers selects up to MaxPeerShare peers (self first) for
+// signaling messages, so clients and peers always learn alternates.
+func (r *Registry) sharePeers() []wire.PeerInfo {
+	out := []wire.PeerInfo{{ID: r.env.ID, Addr: string(r.env.Addr())}}
+	for _, p := range r.sortedPeers() {
+		if len(out) > r.cfg.MaxPeerShare {
+			break
+		}
+		out = append(out, p.info)
+	}
+	return out
+}
+
+// IsGateway reports whether this registry currently holds the LAN
+// gateway role: the lowest node ID among itself and the live registries
+// it has heard beacon on its LAN. With coordination disabled every
+// registry acts as a gateway.
+func (r *Registry) IsGateway() bool {
+	if !r.cfg.GatewayCoordination {
+		return true
+	}
+	if r.gatewayOverride != nil {
+		return *r.gatewayOverride
+	}
+	for _, p := range r.peers {
+		if p.lan && uuid.Compare(p.info.ID, r.env.ID) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// --- periodic duties ---
+
+func (r *Registry) sendBeacon() {
+	r.env.Multicast(wire.Beacon{Peers: r.sharePeers()})
+}
+
+func (r *Registry) pingPeers() {
+	now := r.now()
+	for id, p := range r.peers {
+		idle := now.Sub(p.lastSeen)
+		if idle >= r.cfg.PeerTimeout {
+			delete(r.peers, id)
+			r.stats.PeersExpired++
+			continue
+		}
+		if idle >= r.cfg.PingInterval && !p.lan {
+			r.env.Send(transport.Addr(p.info.Addr), wire.Ping{FromRegistry: true})
+		}
+	}
+	// Configured seeds are durable intent: if a seed dropped out of the
+	// peer table (e.g. a network partition outlived the peer timeout),
+	// keep trying it so the federation re-forms after a heal.
+	for _, s := range r.cfg.Seeds {
+		if s.ID == r.env.ID {
+			continue
+		}
+		if _, known := r.peers[s.ID]; !known {
+			r.env.Send(transport.Addr(s.Addr), wire.Ping{FromRegistry: true})
+		}
+	}
+	for _, addr := range r.cfg.SeedAddrs {
+		if addr == string(r.env.Addr()) {
+			continue
+		}
+		known := false
+		for _, p := range r.peers {
+			if p.info.Addr == addr {
+				known = true
+				break
+			}
+		}
+		if !known {
+			r.env.Send(transport.Addr(addr), wire.Ping{FromRegistry: true})
+		}
+	}
+}
+
+func (r *Registry) purge() {
+	purged := r.store.ExpireThrough(r.now())
+	if len(purged) > 0 {
+		r.env.Tracef("purged %d expired adverts", len(purged))
+	}
+	if n := r.store.PruneSubscriptions(r.now()); n > 0 {
+		r.env.Tracef("pruned %d expired subscriptions", n)
+	}
+}
+
+// subscriptionLease clamps requested subscription leases; reusing the
+// advertisement policy's spirit with a 60 s default.
+func subscriptionLease(requestedMillis uint64) time.Duration {
+	d := time.Duration(requestedMillis) * time.Millisecond
+	switch {
+	case d <= 0:
+		return time.Minute
+	case d < time.Second:
+		return time.Second
+	case d > 10*time.Minute:
+		return 10 * time.Minute
+	default:
+		return d
+	}
+}
+
+func (r *Registry) handleSubscribe(from transport.Addr, b wire.Subscribe) {
+	granted := subscriptionLease(b.LeaseMillis)
+	notify := b.NotifyAddr
+	if notify == "" {
+		notify = string(from)
+	}
+	_, err := r.store.Subscribe(b.Kind, b.Payload, notify, b.SubID, r.now().Add(granted))
+	ack := wire.SubscribeAck{SubID: b.SubID, OK: err == nil, LeaseMillis: uint64(granted / time.Millisecond)}
+	if err != nil {
+		ack.Error = err.Error()
+	}
+	r.env.Send(from, ack)
+}
+
+func (r *Registry) cleanSeen() {
+	cutoff := r.now().Add(-r.cfg.SeenTTL)
+	for id, ts := range r.seen {
+		if ts.Before(cutoff) {
+			delete(r.seen, id)
+		}
+	}
+}
+
+func (r *Registry) sendSummaries() {
+	sum := r.store.Summary()
+	if len(sum) == 0 {
+		return
+	}
+	for _, p := range r.sortedPeers() {
+		r.env.Send(transport.Addr(p.info.Addr), wire.Summary{Entries: sum})
+	}
+}
+
+// HandleEnvelope implements runtime.Handler.
+func (r *Registry) HandleEnvelope(env *wire.Envelope, from transport.Addr) {
+	if r.stopped {
+		return
+	}
+	switch b := env.Body.(type) {
+	case wire.Probe:
+		// Active registry discovery: answer with ourselves + alternates.
+		r.env.Send(from, wire.ProbeMatch{Peers: r.sharePeers()})
+	case wire.Beacon:
+		// Beacons only travel by LAN multicast, so the sender is local.
+		r.addPeer(wire.PeerInfo{ID: env.From, Addr: env.FromAddr}, true)
+		r.touchPeer(env.From)
+		r.learnPeers(b.Peers)
+	case wire.ProbeMatch:
+		r.addPeer(wire.PeerInfo{ID: env.From, Addr: env.FromAddr}, true)
+		r.touchPeer(env.From)
+		r.learnPeers(b.Peers)
+	case wire.Bye:
+		delete(r.peers, env.From)
+	case wire.Ping:
+		if b.FromRegistry {
+			r.addPeer(wire.PeerInfo{ID: env.From, Addr: env.FromAddr}, false)
+			r.touchPeer(env.From)
+		}
+		r.env.Send(from, wire.Pong{Peers: r.sharePeers()})
+	case wire.Pong:
+		r.addPeer(wire.PeerInfo{ID: env.From, Addr: env.FromAddr}, false)
+		r.touchPeer(env.From)
+		r.learnPeers(b.Peers)
+	case wire.PeerExchange:
+		r.touchPeer(env.From)
+		r.learnPeers(b.Peers)
+	case wire.Summary:
+		r.handleSummary(env.From, b)
+	case wire.GatewayClaim:
+		// A yielding gateway re-triggers election implicitly: it stops
+		// beaconing as gateway; nothing to store beyond peer liveness.
+		r.touchPeer(env.From)
+	case wire.Publish:
+		r.handlePublish(env, from, b)
+	case wire.Renew:
+		granted, ok := r.store.Renew(b.AdvertID, r.now())
+		r.env.Send(from, wire.RenewAck{
+			AdvertID:    b.AdvertID,
+			OK:          ok,
+			LeaseMillis: uint64(granted / time.Millisecond),
+		})
+		// Under push replication, renewals must refresh the replicas
+		// too, or they age out at the peers while the original lives.
+		if ok && r.cfg.PushReplication {
+			if adv, have := r.store.Advert(b.AdvertID); have {
+				r.pushAdvert(adv, r.cfg.PushHops, env.From)
+			}
+		}
+	case wire.Remove:
+		r.store.Remove(b.AdvertID)
+	case wire.AdvertForward:
+		r.handleAdvertForward(env, b)
+	case wire.Query:
+		r.handleQuery(env, from, b)
+	case wire.QueryResult:
+		r.handleQueryResult(env, b)
+	case wire.ArtifactGet:
+		data, found := r.store.Artifact(b.IRI)
+		r.env.Send(from, wire.ArtifactData{IRI: b.IRI, Found: found, Data: data})
+	case wire.Subscribe:
+		r.handleSubscribe(from, b)
+	case wire.ArtifactPut:
+		r.store.PutArtifact(b.IRI, b.Data)
+		r.env.Send(from, wire.ArtifactPutAck{IRI: b.IRI, OK: true})
+	case wire.Unsubscribe:
+		r.store.Unsubscribe(b.SubID)
+	default:
+		r.env.Tracef("registry: ignoring %v from %s", env.Type, from)
+	}
+}
+
+func (r *Registry) learnPeers(infos []wire.PeerInfo) {
+	for _, in := range infos {
+		r.addPeer(in, false)
+	}
+}
+
+func (r *Registry) handleSummary(from wire.NodeID, s wire.Summary) {
+	p, ok := r.peers[from]
+	if !ok {
+		return
+	}
+	p.lastSeen = r.now()
+	p.summary = make(map[describe.Kind]map[string]bool, len(s.Entries))
+	for _, e := range s.Entries {
+		set := make(map[string]bool, len(e.Tokens))
+		for _, t := range e.Tokens {
+			set[t] = true
+		}
+		p.summary[e.Kind] = set
+	}
+}
+
+func (r *Registry) handlePublish(env *wire.Envelope, from transport.Addr, b wire.Publish) {
+	granted, notes, err := r.store.Publish(b.Advert, r.now())
+	ack := wire.PublishAck{AdvertID: b.Advert.ID, OK: err == nil, LeaseMillis: uint64(granted / time.Millisecond)}
+	if err != nil {
+		ack.Error = err.Error()
+	}
+	r.env.Send(from, ack)
+	for _, n := range notes {
+		r.env.Send(transport.Addr(n.NotifyAddr), wire.QueryResult{
+			QueryID: n.SubID,
+			Adverts: []wire.Advertisement{n.Advert},
+		})
+	}
+	if err == nil && r.cfg.PushReplication {
+		r.pushAdvert(b.Advert, r.cfg.PushHops, env.From)
+	}
+}
+
+func (r *Registry) handleAdvertForward(env *wire.Envelope, b wire.AdvertForward) {
+	// Replicas of content we already hold only refresh the lease; they
+	// are not forwarded again, or every renewal would cascade through
+	// the whole registry network.
+	known := false
+	if existing, ok := r.store.Advert(b.Advert.ID); ok && existing.Version >= b.Advert.Version {
+		known = true
+	}
+	_, notes, err := r.store.Publish(b.Advert, r.now())
+	if err != nil {
+		return // stale or unknown kind: drop silently
+	}
+	for _, n := range notes {
+		r.env.Send(transport.Addr(n.NotifyAddr), wire.QueryResult{
+			QueryID: n.SubID,
+			Adverts: []wire.Advertisement{n.Advert},
+		})
+	}
+	if !known && b.HopsLeft > 0 {
+		r.pushAdvert(b.Advert, b.HopsLeft-1, env.From)
+	}
+}
+
+func (r *Registry) pushAdvert(adv wire.Advertisement, hops uint8, except wire.NodeID) {
+	for _, p := range r.sortedPeers() {
+		if p.info.ID == except || p.info.ID == adv.Provider {
+			continue
+		}
+		r.env.Send(transport.Addr(p.info.Addr), wire.AdvertForward{Advert: adv, HopsLeft: hops})
+		r.stats.AdvertsPushed++
+	}
+}

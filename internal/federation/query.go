@@ -1,0 +1,209 @@
+package federation
+
+import (
+	"time"
+
+	"semdisco/internal/registry"
+	"semdisco/internal/transport"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// pendingQuery tracks one in-flight federated query at this hop:
+// results from forwarded copies aggregate here until every child
+// answered or the hop deadline fires, then the merged, re-ranked,
+// response-controlled result goes back toward the origin (§3.1: the
+// registry, not the client, controls the number of responses).
+type pendingQuery struct {
+	query       wire.Query
+	replyTo     transport.Addr
+	pools       [][]wire.Advertisement
+	outstanding map[wire.NodeID]bool
+	cancel      transport.CancelFunc
+	done        bool
+}
+
+func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, q wire.Query) {
+	r.stats.QueriesReceived++
+	// Loop avoidance by unique query ID (§4.10).
+	if _, dup := r.seen[q.QueryID]; dup {
+		r.stats.DuplicatesSuppressed++
+		// Tell the forwarding registry this branch is exhausted so its
+		// aggregation completes without waiting for the hop deadline.
+		r.env.Send(from, wire.QueryResult{QueryID: q.QueryID, Complete: true})
+		return
+	}
+	r.seen[q.QueryID] = r.now()
+
+	// Local evaluation. A registry without the payload's model still
+	// forwards the query (it may be evaluable elsewhere).
+	var local []wire.Advertisement
+	opts := registry.QueryOptions{MaxResults: int(q.MaxResults), BestOnly: q.BestOnly}
+	if res, err := r.store.Evaluate(q.Kind, q.Payload, opts, r.now()); err == nil {
+		local = res
+	} else {
+		r.env.Tracef("local evaluation skipped: %v", err)
+	}
+
+	targets := r.forwardTargets(q, env.From)
+	if len(targets) == 0 {
+		// Leaf of the forwarding tree: answer immediately.
+		r.respond(q, transport.Addr(q.ReplyAddr), [][]wire.Advertisement{local})
+		return
+	}
+
+	p := &pendingQuery{
+		query:       q,
+		replyTo:     transport.Addr(q.ReplyAddr),
+		pools:       [][]wire.Advertisement{local},
+		outstanding: make(map[wire.NodeID]bool, len(targets)),
+	}
+	r.pending[q.QueryID] = p
+
+	fwd := q
+	fwd.TTL = q.TTL - 1
+	fwd.ReplyAddr = string(r.env.Addr())
+	for _, t := range targets {
+		p.outstanding[t.info.ID] = true
+		r.env.Send(transport.Addr(t.info.Addr), fwd)
+		r.stats.QueriesForwarded++
+	}
+	// Hop deadline: children get proportionally smaller budgets, so a
+	// parent never times out before its children can respond.
+	deadline := r.cfg.QueryTimeout * time.Duration(int(q.TTL)+1)
+	p.cancel = r.env.Clock.After(deadline, func() { r.finalize(q.QueryID) })
+}
+
+// forwardTargets selects the peers this hop forwards to, applying TTL,
+// the forwarding strategy, gateway coordination and summary pruning.
+func (r *Registry) forwardTargets(q wire.Query, sender wire.NodeID) []*peer {
+	if q.TTL == 0 {
+		return nil
+	}
+	gateway := r.IsGateway()
+	var eligible []*peer
+	for _, p := range r.sortedPeers() {
+		if p.info.ID == sender {
+			continue
+		}
+		if !p.lan && !gateway {
+			// Non-gateway registries leave WAN forwarding to the LAN
+			// gateway (§4.7); the gateway is a LAN peer and will relay.
+			continue
+		}
+		if r.cfg.SummaryPruning && r.pruneBySummary(q, p) {
+			r.stats.ForwardsPruned++
+			continue
+		}
+		eligible = append(eligible, p)
+	}
+	switch q.Strategy {
+	case wire.StrategyRandomWalk:
+		k := int(q.Walkers)
+		if k == 0 {
+			k = 1
+		}
+		if len(eligible) > k {
+			r.rng.Shuffle(len(eligible), func(i, j int) {
+				eligible[i], eligible[j] = eligible[j], eligible[i]
+			})
+			eligible = eligible[:k]
+		}
+	default:
+		// Flood and expanding ring forward to all eligible peers; the
+		// ring's growth is driven by the client reissuing with larger
+		// TTLs.
+	}
+	return eligible
+}
+
+// pruneBySummary reports whether the peer's gossiped summary proves it
+// cannot answer the query. Conservative: peers without a summary, or
+// queries without prunable tokens, are never pruned.
+func (r *Registry) pruneBySummary(q wire.Query, p *peer) bool {
+	if p.summary == nil {
+		return false
+	}
+	model, ok := r.store.Models().Model(q.Kind)
+	if !ok {
+		return false
+	}
+	dq, err := model.DecodeQuery(q.Payload)
+	if err != nil {
+		return false
+	}
+	tokens, prunable := model.QueryTokens(dq)
+	if !prunable {
+		return false
+	}
+	have := p.summary[q.Kind]
+	if have == nil {
+		// The peer gossiped a summary that contains nothing of this
+		// kind: it provably stores no matching advertisement. It might
+		// still relay to others, but summary pruning deliberately trades
+		// that reach for bandwidth — the ablation E12 measures the cost.
+		return true
+	}
+	for _, t := range tokens {
+		if have[t] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) handleQueryResult(env *wire.Envelope, res wire.QueryResult) {
+	p, ok := r.pending[res.QueryID]
+	if !ok || p.done {
+		return
+	}
+	if len(res.Adverts) > 0 {
+		p.pools = append(p.pools, res.Adverts)
+	}
+	if res.Complete {
+		delete(p.outstanding, env.From)
+		if len(p.outstanding) == 0 {
+			r.finalize(res.QueryID)
+		}
+	}
+}
+
+// finalize merges all pools, re-ranks and caps them, responds toward
+// the origin, and releases the pending state.
+func (r *Registry) finalize(queryID uuid.UUID) {
+	p, ok := r.pending[queryID]
+	if !ok || p.done {
+		return
+	}
+	p.done = true
+	delete(r.pending, queryID)
+	if p.cancel != nil {
+		p.cancel()
+	}
+	r.respond(p.query, p.replyTo, p.pools)
+}
+
+func (r *Registry) respond(q wire.Query, to transport.Addr, pools [][]wire.Advertisement) {
+	opts := registry.QueryOptions{MaxResults: int(q.MaxResults), BestOnly: q.BestOnly}
+	merged, err := r.store.MergeRank(q.Kind, q.Payload, pools, opts)
+	if err != nil {
+		// No model for this kind here: pass pooled results through
+		// unranked but still capped, so constrained registries can relay.
+		for _, pool := range pools {
+			merged = append(merged, pool...)
+		}
+		limit := int(q.MaxResults)
+		if limit <= 0 {
+			limit = r.store.DefaultMaxResults
+		}
+		if q.BestOnly {
+			limit = 1
+		}
+		if len(merged) > limit {
+			merged = merged[:limit]
+		}
+	}
+	r.stats.QueriesAnswered++
+	r.stats.ResultsReturned += uint64(len(merged))
+	r.env.Send(to, wire.QueryResult{QueryID: q.QueryID, Adverts: merged, Complete: true})
+}

@@ -1,0 +1,7 @@
+// Package integration holds whole-system soak tests: multi-LAN worlds
+// with service churn and registry failures, driven for minutes of
+// virtual time while asserting the architecture's end-to-end
+// invariants — freshness (leases bound staleness), convergence
+// (stable services become discoverable), and liveness (queries always
+// complete by registry, failover, or fallback).
+package integration

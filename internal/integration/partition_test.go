@@ -1,0 +1,102 @@
+package integration_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"semdisco/internal/discovery"
+	"semdisco/internal/federation"
+	"semdisco/internal/node"
+	"semdisco/internal/sim"
+	"semdisco/internal/transport"
+	"semdisco/internal/wire"
+)
+
+// TestPartitionSoak cycles WAN partitions between two organizational
+// branches and asserts the paper's organizational-autonomy claim: "a
+// network disconnect between branches will not prevent services running
+// on the same organizational level from discovering each other", and
+// that global discovery recovers after every heal.
+func TestPartitionSoak(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 777})
+	regCfg := func(seeds ...wire.PeerInfo) federation.Config {
+		return federation.Config{
+			BeaconInterval: 2 * time.Second,
+			PingInterval:   3 * time.Second,
+			PeerTimeout:    9 * time.Second,
+			QueryTimeout:   200 * time.Millisecond,
+			PurgeInterval:  250 * time.Millisecond,
+			Seeds:          seeds,
+		}
+	}
+	rA := w.AddRegistry("branchA", "rA", regCfg())
+	rB := w.AddRegistry("branchB", "rB", regCfg(rA.PeerInfo()))
+
+	svcCfg := node.ServiceConfig{
+		Lease:      4 * time.Second,
+		AckTimeout: 400 * time.Millisecond,
+		Bootstrap:  discovery.Config{ProbeInterval: 500 * time.Millisecond},
+	}
+	for i := 0; i < 3; i++ {
+		w.AddService("branchA", fmt.Sprintf("sA%d", i), svcCfg,
+			w.SemanticProfile(fmt.Sprintf("urn:svc:A%d", i), sim.C("RadarFeed")))
+		w.AddService("branchB", fmt.Sprintf("sB%d", i), svcCfg,
+			w.SemanticProfile(fmt.Sprintf("urn:svc:B%d", i), sim.C("CameraFeed")))
+	}
+	cliCfg := node.ClientConfig{
+		QueryTimeout: 2 * time.Second,
+		Bootstrap:    discovery.Config{ProbeInterval: 500 * time.Millisecond},
+	}
+	cliA := w.AddClient("branchA", "cA", cliCfg)
+	cliB := w.AddClient("branchB", "cB", cliCfg)
+	w.Run(8 * time.Second)
+
+	sideOf := func(lan string) []transport.Addr { return w.Net.NodesOn(lan) }
+	count := func(cli *sim.ClientHandle) int {
+		spec := w.SemanticSpec(sim.C("Service"), 3)
+		spec.MaxResults = 50
+		out := cli.Query(spec, 20*time.Second)
+		if !out.Completed {
+			t.Fatalf("query hung")
+		}
+		seen := map[string]bool{}
+		for _, a := range out.Adverts {
+			d, err := w.Models().DecodeDescription(a.Kind, a.Payload)
+			if err == nil {
+				seen[d.ServiceKey()] = true
+			}
+		}
+		return len(seen)
+	}
+
+	// Healthy: both sides see all 6 services.
+	if got := count(cliA); got != 6 {
+		t.Fatalf("pre-partition view from A = %d, want 6", got)
+	}
+
+	for cycle := 0; cycle < 3; cycle++ {
+		// --- partition ---
+		w.Net.Partition(sideOf("branchA"), sideOf("branchB"))
+		// Let leases of cross-branch replica knowledge lapse.
+		w.Run(15 * time.Second)
+		// Organizational autonomy: each branch still sees its own 3.
+		if got := count(cliA); got != 3 {
+			t.Fatalf("cycle %d: partitioned A sees %d, want its own 3", cycle, got)
+		}
+		if got := count(cliB); got != 3 {
+			t.Fatalf("cycle %d: partitioned B sees %d, want its own 3", cycle, got)
+		}
+		// --- heal ---
+		w.Net.Partition()
+		// Registries re-ping, services renew, federation reconnects.
+		w.Run(20 * time.Second)
+		if got := count(cliA); got != 6 {
+			t.Fatalf("cycle %d: healed A sees %d, want 6", cycle, got)
+		}
+		if got := count(cliB); got != 6 {
+			t.Fatalf("cycle %d: healed B sees %d, want 6", cycle, got)
+		}
+	}
+	_ = rB
+}

@@ -1,0 +1,209 @@
+package integration_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"semdisco/internal/discovery"
+	"semdisco/internal/federation"
+	"semdisco/internal/node"
+	"semdisco/internal/sim"
+	"semdisco/internal/transport/memnet"
+	"semdisco/internal/wire"
+)
+
+// soak drives a 3-LAN federation with 12 churning services and a
+// mid-run registry crash + replacement for four minutes of virtual
+// time, asserting the end-to-end invariants on every probe.
+func TestSoakChurnAndFailures(t *testing.T) {
+	const (
+		lans        = 3
+		perLAN      = 4
+		lease       = 4 * time.Second
+		soakTime    = 4 * time.Minute
+		probeEvery  = 5 * time.Second
+		stableGrace = 15 * time.Second // a service up this long must be findable
+		staleGrace  = lease + 2*time.Second
+	)
+	w := sim.NewWorld(sim.Config{Seed: 1234, Net: memnetConfig()})
+	rng := rand.New(rand.NewSource(99))
+
+	regCfg := func(seeds []wire.PeerInfo) federation.Config {
+		return federation.Config{
+			BeaconInterval: 2 * time.Second,
+			PingInterval:   3 * time.Second,
+			PeerTimeout:    9 * time.Second,
+			QueryTimeout:   200 * time.Millisecond,
+			PurgeInterval:  250 * time.Millisecond,
+			Seeds:          seeds,
+		}
+	}
+	var regs []*sim.RegistryHandle
+	for l := 0; l < lans; l++ {
+		var seeds []wire.PeerInfo
+		for _, r := range regs {
+			seeds = append(seeds, r.PeerInfo())
+		}
+		regs = append(regs, w.AddRegistry(fmt.Sprintf("lan%d", l), fmt.Sprintf("r%d", l), regCfg(seeds)))
+	}
+
+	svcCfg := node.ServiceConfig{
+		Lease:      lease,
+		AckTimeout: 400 * time.Millisecond,
+		Bootstrap:  discovery.Config{ProbeInterval: 500 * time.Millisecond},
+	}
+	type tracked struct {
+		handle  *sim.ServiceHandle
+		iri     string
+		lan     string
+		upSince time.Time // zero when down
+		downAt  time.Time
+	}
+	var services []*tracked
+	categories := []string{"RadarFeed", "CameraFeed", "WeatherService", "MapService"}
+	for l := 0; l < lans; l++ {
+		for i := 0; i < perLAN; i++ {
+			iri := fmt.Sprintf("urn:svc:%d-%d", l, i)
+			lan := fmt.Sprintf("lan%d", l)
+			h := w.AddService(lan, fmt.Sprintf("s%d-%d", l, i), svcCfg,
+				w.SemanticProfile(iri, sim.C(categories[i%len(categories)])))
+			services = append(services, &tracked{handle: h, iri: iri, lan: lan, upSince: w.Net.Now()})
+		}
+	}
+	cli := w.AddClient("lan0", "c0", node.ClientConfig{
+		QueryTimeout: 2 * time.Second,
+		Bootstrap:    discovery.Config{ProbeInterval: 500 * time.Millisecond},
+	})
+	w.Run(8 * time.Second)
+
+	crashedRegistry := false
+	restartCount := 0
+	// missStreak tolerates single-probe misses: with injected datagram
+	// loss one query can legitimately miss one branch; persistence
+	// across consecutive probes is what indicts the architecture.
+	missStreak := map[string]int{}
+	start := w.Net.Now()
+	for w.Net.Now().Sub(start) < soakTime {
+		// --- churn: each step, maybe toggle one service ---
+		if rng.Float64() < 0.6 {
+			s := services[rng.Intn(len(services))]
+			if s.upSince.IsZero() {
+				// restart under the same IRI, fresh node name
+				restartCount++
+				s.handle = w.AddService(s.lan, fmt.Sprintf("re%d", restartCount), svcCfg,
+					w.SemanticProfile(s.iri, sim.C(categories[restartCount%len(categories)])))
+				s.upSince = w.Net.Now()
+			} else {
+				s.handle.Crash()
+				s.upSince = time.Time{}
+				s.downAt = w.Net.Now()
+			}
+		}
+		// --- one registry crash + replacement mid-run ---
+		if !crashedRegistry && w.Net.Now().Sub(start) > soakTime/2 {
+			crashedRegistry = true
+			regs[1].Crash()
+			// A replacement registry joins lan1 shortly after.
+			w.Net.Schedule(w.Net.Now().Add(5*time.Second), func() {
+				regs[1] = w.AddRegistry("lan1", "r1b", regCfg([]wire.PeerInfo{regs[0].PeerInfo(), regs[2].PeerInfo()}))
+			})
+		}
+
+		w.Run(probeEvery)
+
+		// --- probe: a broad WAN query ---
+		spec := w.SemanticSpec(sim.C("Service"), 4)
+		spec.MaxResults = 100
+		out := cli.Query(spec, 30*time.Second)
+
+		// Invariant 1 (liveness): every query completes.
+		if !out.Completed {
+			t.Fatalf("query hung at t=%v", w.Net.Now().Sub(start))
+		}
+
+		now := w.Net.Now()
+		returned := map[string]bool{}
+		for _, a := range out.Adverts {
+			d, err := w.Models().DecodeDescription(a.Kind, a.Payload)
+			if err != nil {
+				t.Fatalf("undecodable advert returned: %v", err)
+			}
+			returned[d.ServiceKey()] = true
+		}
+		for _, s := range services {
+			// Invariant 2 (freshness): a service dead longer than
+			// lease+grace must not be returned.
+			if s.upSince.IsZero() && now.Sub(s.downAt) > staleGrace && returned[s.iri] {
+				t.Fatalf("stale advert for %s returned %v after its crash",
+					s.iri, now.Sub(s.downAt))
+			}
+			// Invariant 3 (convergence): a service stably up longer than
+			// the grace must be discoverable — except during the window
+			// where its LAN registry was crashed and not yet replaced,
+			// and tolerating one lost probe (datagram loss is injected).
+			if !s.upSince.IsZero() && now.Sub(s.upSince) > stableGrace && !returned[s.iri] {
+				if registryAlive(w, s.lan) {
+					missStreak[s.iri]++
+					if missStreak[s.iri] >= 2 {
+						t.Fatalf("stable service %s (up %v) missing from 2 consecutive probes at t=%v",
+							s.iri, now.Sub(s.upSince), now.Sub(start))
+					}
+				}
+			} else {
+				missStreak[s.iri] = 0
+			}
+		}
+	}
+
+	// Epilogue: stop churn, let everything settle, demand full recall.
+	upCount := 0
+	for _, s := range services {
+		if !s.upSince.IsZero() {
+			upCount++
+		}
+	}
+	w.Run(30 * time.Second)
+	spec := w.SemanticSpec(sim.C("Service"), 4)
+	spec.MaxResults = 100
+	out := cli.Query(spec, 30*time.Second)
+	found := map[string]bool{}
+	for _, a := range out.Adverts {
+		d, _ := w.Models().DecodeDescription(a.Kind, a.Payload)
+		if d != nil {
+			found[d.ServiceKey()] = true
+		}
+	}
+	for _, s := range services {
+		if !s.upSince.IsZero() && !found[s.iri] {
+			t.Errorf("after settling, live service %s not discoverable", s.iri)
+		}
+		if s.upSince.IsZero() && found[s.iri] {
+			t.Errorf("after settling, dead service %s still discoverable", s.iri)
+		}
+	}
+	if upCount == 0 {
+		t.Fatal("degenerate soak: no services alive at the end")
+	}
+	t.Logf("soak done: %d/%d services up, %d restarts, stats=%+v",
+		upCount, len(services), restartCount, w.Net.Stats().MessagesSent)
+}
+
+// registryAlive reports whether the LAN currently has a live registry.
+func registryAlive(w *sim.World, lan string) bool {
+	for _, addr := range w.Net.NodesOn(lan) {
+		for _, r := range w.Registries {
+			if r.Addr == addr && w.Net.IsUp(addr) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// memnetConfig adds mild realism: jitter and 1% datagram loss, which
+// the protocol's retries must absorb.
+func memnetConfig() memnet.Config {
+	return memnet.Config{Jitter: 2 * time.Millisecond, Loss: 0.01}
+}

@@ -1,0 +1,188 @@
+// Package lease implements the aliveness mechanism the paper identifies
+// as the missing piece of UDDI-era Web Service discovery (§4.8):
+//
+//	"the provider of a service obtains a lease when publishing its
+//	 service description to the registry. From then on, the provider
+//	 must periodically confirm that it is alive. Should a service
+//	 crash, it would not be able to renew its lease, and the service
+//	 description would be purged from the registry."
+//
+// The table tracks expiry deadlines with a heap so purging expired
+// entries costs O(log n) per expiry regardless of table size. Time is
+// always passed in explicitly, keeping the table deterministic under
+// the experiment simulator and trivially testable.
+package lease
+
+import (
+	"container/heap"
+	"time"
+
+	"semdisco/internal/uuid"
+)
+
+// Policy clamps requested lease durations to what a registry accepts.
+type Policy struct {
+	// Min and Max bound granted durations; zero-valued bounds default
+	// to 1 s and 10 min.
+	Min, Max time.Duration
+	// Default is granted when the request does not specify a duration;
+	// zero defaults to 30 s (Jini's default lease granularity class).
+	Default time.Duration
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Min == 0 {
+		p.Min = time.Second
+	}
+	if p.Max == 0 {
+		p.Max = 10 * time.Minute
+	}
+	if p.Default == 0 {
+		p.Default = 30 * time.Second
+	}
+	return p
+}
+
+// Clamp returns the duration the registry actually grants for a
+// requested duration (0 means "registry default").
+func (p Policy) Clamp(requested time.Duration) time.Duration {
+	p = p.withDefaults()
+	switch {
+	case requested <= 0:
+		return p.Default
+	case requested < p.Min:
+		return p.Min
+	case requested > p.Max:
+		return p.Max
+	default:
+		return requested
+	}
+}
+
+// Table tracks lease expirations for advertisement IDs. The zero value
+// is not usable; construct with NewTable. Table is not safe for
+// concurrent use.
+type Table struct {
+	policy  Policy
+	entries map[uuid.UUID]*entry
+	pq      expiryHeap
+}
+
+type entry struct {
+	id      uuid.UUID
+	expires time.Time
+	index   int // heap index, -1 when removed
+}
+
+type expiryHeap []*entry
+
+func (h expiryHeap) Len() int           { return len(h) }
+func (h expiryHeap) Less(i, j int) bool { return h[i].expires.Before(h[j].expires) }
+func (h expiryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *expiryHeap) Push(x any) {
+	e := x.(*entry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *expiryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// NewTable returns an empty lease table under the given policy.
+func NewTable(policy Policy) *Table {
+	return &Table{
+		policy:  policy.withDefaults(),
+		entries: make(map[uuid.UUID]*entry),
+	}
+}
+
+// Len returns the number of live leases.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Grant creates or refreshes the lease for id, clamping the requested
+// duration by policy, and returns the granted duration.
+func (t *Table) Grant(id uuid.UUID, requested time.Duration, now time.Time) time.Duration {
+	granted := t.policy.Clamp(requested)
+	if e, ok := t.entries[id]; ok {
+		e.expires = now.Add(granted)
+		heap.Fix(&t.pq, e.index)
+		return granted
+	}
+	e := &entry{id: id, expires: now.Add(granted)}
+	t.entries[id] = e
+	heap.Push(&t.pq, e)
+	return granted
+}
+
+// Renew extends an existing lease by its policy-default duration (the
+// wire protocol's renew carries no duration; the registry re-grants
+// what it granted at publish time, clamped). It reports whether the
+// lease still existed — false tells the provider to republish.
+func (t *Table) Renew(id uuid.UUID, requested time.Duration, now time.Time) (time.Duration, bool) {
+	e, ok := t.entries[id]
+	if !ok {
+		return 0, false
+	}
+	granted := t.policy.Clamp(requested)
+	e.expires = now.Add(granted)
+	heap.Fix(&t.pq, e.index)
+	return granted, true
+}
+
+// Remove deletes the lease, reporting whether it existed.
+func (t *Table) Remove(id uuid.UUID) bool {
+	e, ok := t.entries[id]
+	if !ok {
+		return false
+	}
+	delete(t.entries, id)
+	heap.Remove(&t.pq, e.index)
+	return true
+}
+
+// Expires returns the lease deadline, ok=false when no lease exists.
+func (t *Table) Expires(id uuid.UUID) (time.Time, bool) {
+	e, ok := t.entries[id]
+	if !ok {
+		return time.Time{}, false
+	}
+	return e.expires, true
+}
+
+// Alive reports whether id holds an unexpired lease at now.
+func (t *Table) Alive(id uuid.UUID, now time.Time) bool {
+	e, ok := t.entries[id]
+	return ok && !e.expires.Before(now)
+}
+
+// ExpireThrough removes every lease whose deadline is at or before now
+// and returns their IDs (the advertisements the registry must purge).
+func (t *Table) ExpireThrough(now time.Time) []uuid.UUID {
+	var out []uuid.UUID
+	for t.pq.Len() > 0 && !t.pq[0].expires.After(now) {
+		e := heap.Pop(&t.pq).(*entry)
+		delete(t.entries, e.id)
+		out = append(out, e.id)
+	}
+	return out
+}
+
+// NextExpiry returns the earliest deadline in the table; ok=false when
+// empty. Registries use it to schedule their purge timer precisely
+// instead of polling.
+func (t *Table) NextExpiry() (time.Time, bool) {
+	if t.pq.Len() == 0 {
+		return time.Time{}, false
+	}
+	return t.pq[0].expires, true
+}

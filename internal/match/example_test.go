@@ -1,0 +1,32 @@
+package match_test
+
+import (
+	"fmt"
+
+	"semdisco/internal/match"
+	"semdisco/internal/ontology"
+	"semdisco/internal/profile"
+)
+
+// The matchmaker's degrees on the paper's running example: asking for a
+// Sensor finds a Radar service as a PlugIn match.
+func Example() {
+	o := ontology.New("http://x#")
+	o.AddClass("http://x#Sensor")
+	o.AddClass("http://x#Radar", "http://x#Sensor")
+	o.Freeze()
+
+	m := match.New(o)
+	radarSvc := &profile.Profile{
+		ServiceIRI: "urn:svc:radar",
+		Category:   "http://x#Radar",
+		Grounding:  "udp://radar:1",
+	}
+	for _, want := range []ontology.Class{"http://x#Radar", "http://x#Sensor"} {
+		r := m.Match(&profile.Template{Category: want}, radarSvc)
+		fmt.Printf("request %s -> %s\n", want, r.Degree)
+	}
+	// Output:
+	// request http://x#Radar -> exact
+	// request http://x#Sensor -> plugin
+}

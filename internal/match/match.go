@@ -1,0 +1,224 @@
+// Package match implements the semantic matchmaker the architecture
+// delegates to registries (§4.2: "service selection based on semantic
+// descriptions is necessary to find the best-suited services for given
+// tasks", §3.2: "by delegating service selection to the central
+// registry, query evaluation may only have to be carried out once").
+//
+// The matcher follows the OWL-S matchmaking scheme of Paolucci et al.
+// with the four classic degrees, applied to the service category, the
+// required outputs and the provided inputs, plus hard QoS-threshold and
+// geographic-coverage constraints. Within a degree, candidates are
+// ranked by taxonomy similarity (Wu–Palmer) and QoS margin, giving the
+// total order the registry needs for "best-only" query response control.
+package match
+
+import (
+	"fmt"
+	"sort"
+
+	"semdisco/internal/ontology"
+	"semdisco/internal/profile"
+)
+
+// Degree is the qualitative match level, ordered so that a larger value
+// is a better match.
+type Degree uint8
+
+const (
+	// Fail means at least one hard constraint is unsatisfied.
+	Fail Degree = iota
+	// Subsumed means the service offer is strictly more general than
+	// the request (requested concept subsumes the advertised one); it
+	// may only partially satisfy the requester.
+	Subsumed
+	// PlugIn means the service offer is a specialization of the request
+	// (advertised concept subsumed by the requested one), so the service
+	// can plug into the requester's need.
+	PlugIn
+	// Exact means the concepts coincide.
+	Exact
+)
+
+// String renders the degree for reports and logs.
+func (d Degree) String() string {
+	switch d {
+	case Fail:
+		return "fail"
+	case Subsumed:
+		return "subsumed"
+	case PlugIn:
+		return "plugin"
+	case Exact:
+		return "exact"
+	default:
+		return fmt.Sprintf("degree(%d)", uint8(d))
+	}
+}
+
+// Result is the outcome of matching one advertisement against a
+// template.
+type Result struct {
+	// Degree is the minimum degree across all compared aspects.
+	Degree Degree
+	// Score ranks results within a degree: the mean taxonomy similarity
+	// of the compared concept pairs in [0,1], plus a small QoS-margin
+	// bonus. Higher is better.
+	Score float64
+}
+
+// Matches reports whether the result clears the given minimum degree.
+func (r Result) Matches(min Degree) bool {
+	return r.Degree != Fail && r.Degree >= min
+}
+
+// Matcher evaluates templates against profiles over one shared
+// ontology. The zero value is unusable; construct with New.
+type Matcher struct {
+	onto *ontology.Ontology
+}
+
+// New returns a matcher grounded in the given frozen ontology.
+func New(o *ontology.Ontology) *Matcher {
+	if o == nil {
+		panic("match: nil ontology")
+	}
+	return &Matcher{onto: o}
+}
+
+// Match evaluates the template against the profile. The overall degree
+// is the weakest aspect degree (a chain is as strong as its weakest
+// link); the score aggregates concept similarities for ranking.
+func (m *Matcher) Match(t *profile.Template, p *profile.Profile) Result {
+	overall := Exact
+	simSum, simN := 0.0, 0
+
+	consider := func(d Degree, sim float64) {
+		if d < overall {
+			overall = d
+		}
+		simSum += sim
+		simN++
+	}
+
+	// Category: requested concept vs advertised concept.
+	if t.Category != "" {
+		d := m.conceptDegree(t.Category, p.Category)
+		consider(d, m.onto.Similarity(t.Category, p.Category))
+		if d == Fail {
+			return Result{Degree: Fail}
+		}
+	}
+	// Outputs: every required output must be served by the best
+	// advertised output.
+	for _, want := range t.RequiredOutputs {
+		best, sim := Fail, 0.0
+		for _, have := range p.Outputs {
+			d := m.conceptDegree(want, have)
+			s := m.onto.Similarity(want, have)
+			if d > best || (d == best && s > sim) {
+				best, sim = d, s
+			}
+		}
+		consider(best, sim)
+		if best == Fail {
+			return Result{Degree: Fail}
+		}
+	}
+	// Inputs: every advertised input must be satisfiable from what the
+	// client provides. Direction is reversed: the client's concept must
+	// specialize (or equal) the service's expected input.
+	for _, need := range p.Inputs {
+		best, sim := Fail, 0.0
+		for _, have := range t.ProvidedInputs {
+			d := m.conceptDegree(need, have)
+			s := m.onto.Similarity(need, have)
+			if d > best || (d == best && s > sim) {
+				best, sim = d, s
+			}
+		}
+		if len(t.ProvidedInputs) == 0 {
+			// The template does not constrain inputs at all; treat the
+			// aspect as unconstrained rather than failing every service
+			// that needs input.
+			continue
+		}
+		consider(best, sim)
+		if best == Fail {
+			return Result{Degree: Fail}
+		}
+	}
+	// QoS thresholds are hard constraints: missing attribute or value
+	// below threshold fails.
+	qosMargin := 0.0
+	for attr, min := range t.MinQoS {
+		v, ok := p.QoS[attr]
+		if !ok || v < min {
+			return Result{Degree: Fail}
+		}
+		if min > 0 {
+			qosMargin += (v - min) / min
+		}
+	}
+	// Coverage: a service with a declared coverage area must cover the
+	// requester's position.
+	if t.Near != nil && p.Coverage != nil && !p.Coverage.Contains(t.Near.LatDeg, t.Near.LonDeg) {
+		return Result{Degree: Fail}
+	}
+
+	score := 0.0
+	if simN > 0 {
+		score = simSum / float64(simN)
+	} else {
+		score = 1 // unconstrained template: everything is a perfect fit
+	}
+	// QoS margin is a tie-breaker worth at most 0.1.
+	if len(t.MinQoS) > 0 {
+		margin := qosMargin / float64(len(t.MinQoS))
+		if margin > 1 {
+			margin = 1
+		}
+		score += margin * 0.1
+	}
+	return Result{Degree: overall, Score: score}
+}
+
+// conceptDegree compares a requested concept against an advertised one:
+//
+//	Exact    advertised == requested
+//	PlugIn   advertised ⊑ requested (a Radar when a Sensor was asked for)
+//	Subsumed requested ⊑ advertised (a Device when a Sensor was asked for)
+//	Fail     otherwise
+func (m *Matcher) conceptDegree(requested, advertised ontology.Class) Degree {
+	switch {
+	case requested == advertised:
+		return Exact
+	case m.onto.Subsumes(requested, advertised):
+		return PlugIn
+	case m.onto.Subsumes(advertised, requested):
+		return Subsumed
+	default:
+		return Fail
+	}
+}
+
+// Ranked pairs a profile with its match result for sorting.
+type Ranked struct {
+	Profile *profile.Profile
+	Result  Result
+}
+
+// Rank sorts candidates best-first: by degree, then score, then
+// ServiceIRI for a deterministic total order — the property the
+// registry's query response control (max-k, best-only) relies on.
+func Rank(rs []Ranked) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.Result.Degree != b.Result.Degree {
+			return a.Result.Degree > b.Result.Degree
+		}
+		if a.Result.Score != b.Result.Score {
+			return a.Result.Score > b.Result.Score
+		}
+		return a.Profile.ServiceIRI < b.Profile.ServiceIRI
+	})
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("E1 bandwidth", "topology", "nodes", "bytes")
+	tab.AddRow("centralized", 20, 12345.678)
+	tab.AddRow("decentralized", 20, 99999)
+	tab.AddNote("loss=%.1f", 0.0)
+	s := tab.String()
+	if !strings.Contains(s, "== E1 bandwidth ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(s, "12345.678") {
+		t.Fatal("float not rendered")
+	}
+	if !strings.Contains(s, "note: loss=0.0") {
+		t.Fatal("note missing")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// Title + header + separator + 2 rows + note.
+	if len(lines) != 6 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), s)
+	}
+	// Columns align: "topology" column padded to the widest cell.
+	if !strings.HasPrefix(lines[3], "centralized  ") {
+		t.Fatalf("alignment broken: %q", lines[3])
+	}
+	if tab.NumRows() != 2 || tab.Row(1)[0] != "decentralized" {
+		t.Fatal("row accessors broken")
+	}
+}
+
+func TestRatioAndKB(t *testing.T) {
+	if Ratio(10, 4) != "2.50×" {
+		t.Fatalf("Ratio = %s", Ratio(10, 4))
+	}
+	if Ratio(1, 0) != "∞" {
+		t.Fatal("Ratio zero-divide guard failed")
+	}
+	if KB(2048) != "2.0kB" {
+		t.Fatalf("KB = %s", KB(2048))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow("plain", 1)
+	tab.AddRow(`quote"inside`, "with,comma")
+	tab.AddNote("notes are omitted")
+	got := tab.CSV()
+	want := "a,b\nplain,1\n\"quote\"\"inside\",\"with,comma\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,480 @@
+package node
+
+import (
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/discovery"
+	"semdisco/internal/runtime"
+	"semdisco/internal/transport"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// ClientConfig tunes a client node.
+type ClientConfig struct {
+	// QueryTimeout bounds one attempt against one registry; default
+	// scales with TTL: 300 ms × (TTL+2).
+	QueryTimeout time.Duration
+	// MaxAttempts bounds registry failovers per query; default 3.
+	MaxAttempts int
+	// FallbackWindow is how long decentralized fallback collects
+	// responses; default 1 s.
+	FallbackWindow time.Duration
+	// Bootstrap configures registry discovery.
+	Bootstrap discovery.Config
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 3
+	}
+	if c.FallbackWindow == 0 {
+		c.FallbackWindow = time.Second
+	}
+	return c
+}
+
+// QuerySpec describes one discovery request.
+type QuerySpec struct {
+	// Kind and Payload select and parameterize the description model.
+	Kind    describe.Kind
+	Payload []byte
+	// MaxResults / BestOnly delegate response control to the registry.
+	MaxResults int
+	BestOnly   bool
+	// TTL bounds registry-network forwarding (0 = local registry only).
+	TTL uint8
+	// Strategy selects the forwarding scheme. StrategyExpandingRing is
+	// driven by the client: it reissues with growing TTL until results
+	// arrive or TTL reaches the configured maximum.
+	Strategy wire.Strategy
+	// Walkers sets the walker count for random walks; default 2.
+	Walkers uint8
+}
+
+// Via reports which mechanism produced a query's results.
+type Via uint8
+
+// Result provenance values.
+const (
+	// ViaNone means the query produced nothing by any mechanism.
+	ViaNone Via = iota
+	// ViaRegistry means a registry answered.
+	ViaRegistry
+	// ViaFallback means decentralized LAN discovery answered.
+	ViaFallback
+)
+
+// String names the provenance.
+func (v Via) String() string {
+	switch v {
+	case ViaRegistry:
+		return "registry"
+	case ViaFallback:
+		return "fallback"
+	default:
+		return "none"
+	}
+}
+
+// QueryResult is delivered to the query callback.
+type QueryResult struct {
+	Adverts []wire.Advertisement
+	Via     Via
+	// Attempts counts registry attempts made (failovers + 1).
+	Attempts int
+}
+
+type pendingClient struct {
+	spec       QuerySpec
+	cb         func(QueryResult)
+	registry   wire.NodeID
+	attempts   int
+	ringTTL    uint8
+	timer      transport.CancelFunc
+	fallback   bool
+	collected  []wire.Advertisement
+	seenAdvert map[uuid.UUID]bool
+}
+
+// Client is a service-consumer node.
+type Client struct {
+	env     *runtime.Env
+	cfg     ClientConfig
+	boot    *discovery.Bootstrapper
+	pending map[uuid.UUID]*pendingClient
+	artPend map[uuid.UUID]*artifactWait
+	subs    map[uuid.UUID]*Subscription
+	stopped bool
+}
+
+// Subscription is a standing query: the callback fires for every
+// matching advertisement published at the subscribed registry from now
+// on. The client renews the subscription lease automatically and
+// re-subscribes after registry failover.
+type Subscription struct {
+	// ID is the subscription's UUID (the QueryID of its notifications).
+	ID uuid.UUID
+
+	c        *Client
+	spec     QuerySpec
+	lease    time.Duration
+	cb       func(wire.Advertisement)
+	registry wire.NodeID
+	timer    transport.CancelFunc
+	missed   int
+	canceled bool
+}
+
+// Cancel withdraws the subscription.
+func (s *Subscription) Cancel() {
+	if s.canceled {
+		return
+	}
+	s.canceled = true
+	if s.timer != nil {
+		s.timer()
+	}
+	delete(s.c.subs, s.ID)
+	if reg, ok := s.c.boot.Current(); ok {
+		s.c.env.Send(transport.Addr(reg.Addr), wire.Unsubscribe{SubID: s.ID})
+	}
+}
+
+type artifactWait struct {
+	iri   string
+	cb    func([]byte, bool)
+	put   bool
+	putCB func(bool)
+	timer transport.CancelFunc
+}
+
+// NewClient creates a client node.
+func NewClient(env *runtime.Env, cfg ClientConfig) *Client {
+	return &Client{
+		env:     env,
+		cfg:     cfg.withDefaults(),
+		boot:    discovery.New(env, cfg.Bootstrap),
+		pending: make(map[uuid.UUID]*pendingClient),
+		artPend: make(map[uuid.UUID]*artifactWait),
+		subs:    make(map[uuid.UUID]*Subscription),
+	}
+}
+
+// Subscribe registers a standing query at the current registry; cb
+// fires once per matching future advertisement. The lease (default
+// 60 s) renews automatically at one-third intervals, and a dead
+// registry triggers failover re-subscription. Returns nil when no
+// registry is known (subscriptions need one; there is no decentralized
+// subscription fallback).
+func (c *Client) Subscribe(spec QuerySpec, leaseDur time.Duration, cb func(wire.Advertisement)) *Subscription {
+	if _, ok := c.boot.Current(); !ok {
+		return nil
+	}
+	if leaseDur == 0 {
+		leaseDur = time.Minute
+	}
+	s := &Subscription{ID: c.env.NewUUID(), c: c, spec: spec, lease: leaseDur, cb: cb}
+	c.subs[s.ID] = s
+	c.sendSubscribe(s)
+	return s
+}
+
+func (c *Client) sendSubscribe(s *Subscription) {
+	if c.stopped || s.canceled {
+		return
+	}
+	reg, ok := c.boot.Current()
+	if !ok {
+		// Registry-less: retry when one appears (piggyback on probing).
+		s.timer = c.env.Clock.After(c.cfg.FallbackWindow, func() { c.sendSubscribe(s) })
+		return
+	}
+	s.registry = reg.ID
+	c.env.Send(transport.Addr(reg.Addr), wire.Subscribe{
+		SubID:       s.ID,
+		Kind:        s.spec.Kind,
+		Payload:     s.spec.Payload,
+		NotifyAddr:  string(c.env.Addr()),
+		LeaseMillis: uint64(s.lease / time.Millisecond),
+	})
+	// Ack timeout: no answer means the registry is gone.
+	s.timer = c.env.Clock.After(2*time.Second, func() {
+		s.missed++
+		c.boot.MarkDead(s.registry)
+		c.sendSubscribe(s)
+	})
+}
+
+func (c *Client) onSubscribeAck(b wire.SubscribeAck) {
+	s, ok := c.subs[b.SubID]
+	if !ok || s.canceled {
+		return
+	}
+	if s.timer != nil {
+		s.timer()
+	}
+	s.missed = 0
+	if !b.OK {
+		c.env.Tracef("subscription rejected: %s", b.Error)
+		delete(c.subs, b.SubID)
+		return
+	}
+	granted := time.Duration(b.LeaseMillis) * time.Millisecond
+	renewIn := granted / 3
+	if renewIn <= 0 {
+		renewIn = time.Second
+	}
+	s.timer = c.env.Clock.After(renewIn, func() { c.sendSubscribe(s) })
+}
+
+// Bootstrapper exposes the discovery state.
+func (c *Client) Bootstrapper() *discovery.Bootstrapper { return c.boot }
+
+// Start begins registry discovery.
+func (c *Client) Start() { c.boot.Start() }
+
+// Stop cancels all in-flight operations without invoking callbacks.
+func (c *Client) Stop() {
+	c.stopped = true
+	for _, p := range c.pending {
+		if p.timer != nil {
+			p.timer()
+		}
+	}
+	for _, a := range c.artPend {
+		if a.timer != nil {
+			a.timer()
+		}
+	}
+	for _, s := range c.subs {
+		if s.timer != nil {
+			s.timer()
+		}
+	}
+	c.boot.Stop()
+}
+
+// Query submits a discovery request; cb fires exactly once with the
+// outcome. The client transparently retries against alternate
+// registries and finally falls back to decentralized LAN discovery.
+func (c *Client) Query(spec QuerySpec, cb func(QueryResult)) {
+	if spec.Walkers == 0 {
+		spec.Walkers = 2
+	}
+	p := &pendingClient{spec: spec, cb: cb, seenAdvert: make(map[uuid.UUID]bool)}
+	if spec.Strategy == wire.StrategyExpandingRing {
+		p.ringTTL = 1
+	} else {
+		p.ringTTL = spec.TTL
+	}
+	c.attempt(p)
+}
+
+func (c *Client) attemptTimeout(spec QuerySpec, ttl uint8) time.Duration {
+	if c.cfg.QueryTimeout > 0 {
+		return c.cfg.QueryTimeout
+	}
+	_ = spec
+	return 300 * time.Millisecond * time.Duration(int(ttl)+2)
+}
+
+// attempt issues (or re-issues) the query against the current registry.
+// Every attempt uses a fresh query ID: registries deduplicate by query
+// ID, so retries must not be mistaken for forwarding loops.
+func (c *Client) attempt(p *pendingClient) {
+	if c.stopped {
+		return
+	}
+	reg, ok := c.boot.Current()
+	if !ok || p.attempts >= c.cfg.MaxAttempts {
+		c.startFallback(p)
+		return
+	}
+	p.attempts++
+	p.registry = reg.ID
+	qid := c.env.NewUUID()
+	c.pending[qid] = p
+	q := wire.Query{
+		QueryID:    qid,
+		Kind:       p.spec.Kind,
+		Payload:    p.spec.Payload,
+		MaxResults: uint16(p.spec.MaxResults),
+		BestOnly:   p.spec.BestOnly,
+		TTL:        p.ringTTL,
+		Strategy:   p.spec.Strategy,
+		Walkers:    p.spec.Walkers,
+		ReplyAddr:  string(c.env.Addr()),
+	}
+	c.env.Send(transport.Addr(reg.Addr), q)
+	p.timer = c.env.Clock.After(c.attemptTimeout(p.spec, p.ringTTL), func() {
+		delete(c.pending, qid)
+		// No answer: declare the registry dead and fail over (§4.5).
+		c.boot.MarkDead(p.registry)
+		c.attempt(p)
+	})
+}
+
+// startFallback switches to decentralized LAN discovery: multicast the
+// query, collect direct answers from service nodes for the window.
+func (c *Client) startFallback(p *pendingClient) {
+	if c.stopped {
+		return
+	}
+	p.fallback = true
+	qid := c.env.NewUUID()
+	c.pending[qid] = p
+	c.env.Multicast(wire.PeerQuery{
+		QueryID:   qid,
+		Kind:      p.spec.Kind,
+		Payload:   p.spec.Payload,
+		ReplyAddr: string(c.env.Addr()),
+	})
+	p.timer = c.env.Clock.After(c.cfg.FallbackWindow, func() {
+		delete(c.pending, qid)
+		via := ViaFallback
+		if len(p.collected) == 0 {
+			via = ViaNone
+		}
+		adverts := p.collected
+		if p.spec.BestOnly && len(adverts) > 1 {
+			adverts = adverts[:1]
+		} else if p.spec.MaxResults > 0 && len(adverts) > p.spec.MaxResults {
+			adverts = adverts[:p.spec.MaxResults]
+		}
+		p.cb(QueryResult{Adverts: adverts, Via: via, Attempts: p.attempts})
+	})
+}
+
+// FetchArtifact retrieves an ontology/schema document from the registry
+// network's artifact repository (§4.6).
+func (c *Client) FetchArtifact(iri string, timeout time.Duration, cb func(data []byte, ok bool)) {
+	reg, okReg := c.boot.Current()
+	if !okReg {
+		cb(nil, false)
+		return
+	}
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	id := c.env.NewUUID()
+	w := &artifactWait{iri: iri, cb: cb}
+	c.artPend[id] = w
+	c.env.Send(transport.Addr(reg.Addr), wire.ArtifactGet{IRI: iri})
+	w.timer = c.env.Clock.After(timeout, func() {
+		delete(c.artPend, id)
+		cb(nil, false)
+	})
+}
+
+// PutArtifact uploads a document into the current registry's artifact
+// repository; cb reports the outcome.
+func (c *Client) PutArtifact(iri string, data []byte, timeout time.Duration, cb func(ok bool)) {
+	reg, okReg := c.boot.Current()
+	if !okReg {
+		cb(false)
+		return
+	}
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	id := c.env.NewUUID()
+	w := &artifactWait{iri: iri, put: true, putCB: cb}
+	c.artPend[id] = w
+	c.env.Send(transport.Addr(reg.Addr), wire.ArtifactPut{IRI: iri, Data: data})
+	w.timer = c.env.Clock.After(timeout, func() {
+		delete(c.artPend, id)
+		cb(false)
+	})
+}
+
+// HandleEnvelope implements runtime.Handler.
+func (c *Client) HandleEnvelope(env *wire.Envelope, from transport.Addr) {
+	if c.stopped {
+		return
+	}
+	c.boot.Observe(env)
+	switch b := env.Body.(type) {
+	case wire.QueryResult:
+		c.onQueryResult(b)
+	case wire.ArtifactData:
+		c.onArtifactData(b)
+	case wire.SubscribeAck:
+		c.onSubscribeAck(b)
+	case wire.ArtifactPutAck:
+		for id, w := range c.artPend {
+			if w.put && w.iri == b.IRI {
+				if w.timer != nil {
+					w.timer()
+				}
+				delete(c.artPend, id)
+				w.putCB(b.OK)
+				return
+			}
+		}
+	}
+}
+
+func (c *Client) onQueryResult(b wire.QueryResult) {
+	// Subscription notifications reuse QueryResult with the SubID as
+	// QueryID; they stream indefinitely.
+	if s, ok := c.subs[b.QueryID]; ok && !s.canceled {
+		for _, a := range b.Adverts {
+			s.cb(a)
+		}
+		return
+	}
+	p, ok := c.pending[b.QueryID]
+	if !ok {
+		return
+	}
+	if p.fallback {
+		// Collect from many service nodes until the window closes;
+		// deduplicate by advertisement ID.
+		for _, a := range b.Adverts {
+			if !p.seenAdvert[a.ID] {
+				p.seenAdvert[a.ID] = true
+				p.collected = append(p.collected, a)
+			}
+		}
+		return
+	}
+	if !b.Complete {
+		p.collected = append(p.collected, b.Adverts...)
+		return
+	}
+	if p.timer != nil {
+		p.timer()
+	}
+	delete(c.pending, b.QueryID)
+	adverts := append(p.collected, b.Adverts...)
+	// Expanding ring: empty result and room to grow → reissue wider.
+	if len(adverts) == 0 && p.spec.Strategy == wire.StrategyExpandingRing && p.ringTTL < p.spec.TTL {
+		next := p.ringTTL * 2
+		if next > p.spec.TTL {
+			next = p.spec.TTL
+		}
+		p.ringTTL = next
+		p.collected = nil
+		// Ring growth is a widening of the same logical query, not a
+		// failover; don't count it against MaxAttempts.
+		p.attempts--
+		c.attempt(p)
+		return
+	}
+	p.cb(QueryResult{Adverts: adverts, Via: ViaRegistry, Attempts: p.attempts})
+}
+
+func (c *Client) onArtifactData(b wire.ArtifactData) {
+	for id, w := range c.artPend {
+		if !w.put && w.iri == b.IRI {
+			if w.timer != nil {
+				w.timer()
+			}
+			delete(c.artPend, id)
+			w.cb(b.Data, b.Found)
+			return
+		}
+	}
+}

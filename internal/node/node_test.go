@@ -1,0 +1,273 @@
+package node_test
+
+import (
+	"testing"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/discovery"
+	"semdisco/internal/federation"
+	"semdisco/internal/node"
+	"semdisco/internal/sim"
+	"semdisco/internal/wire"
+)
+
+func fastClient() node.ClientConfig {
+	return node.ClientConfig{
+		QueryTimeout:   500 * time.Millisecond,
+		FallbackWindow: 300 * time.Millisecond,
+		Bootstrap:      discovery.Config{ProbeInterval: 200 * time.Millisecond},
+	}
+}
+
+func fastService() node.ServiceConfig {
+	return node.ServiceConfig{
+		Lease:      2 * time.Second,
+		AckTimeout: 300 * time.Millisecond,
+		Bootstrap:  discovery.Config{ProbeInterval: 200 * time.Millisecond},
+	}
+}
+
+func TestServicePublishesAfterDiscovery(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	reg := w.AddRegistry("lan0", "r1", federation.Config{})
+	w.AddService("lan0", "s1", fastService(), w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	w.Run(2 * time.Second)
+	if reg.Reg.Store().Len() != 1 {
+		t.Fatalf("registry holds %d adverts, want 1", reg.Reg.Store().Len())
+	}
+}
+
+func TestServiceDiscoversRegistryStartedLater(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 2})
+	w.AddService("lan0", "s1", fastService(), w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	w.Run(2 * time.Second) // no registry yet: probes go unanswered
+	reg := w.AddRegistry("lan0", "r1", federation.Config{BeaconInterval: 500 * time.Millisecond})
+	w.Run(3 * time.Second)
+	if reg.Reg.Store().Len() != 1 {
+		t.Fatal("service did not publish to a late-arriving registry")
+	}
+}
+
+func TestClientQueryEndToEnd(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 3})
+	w.AddRegistry("lan0", "r1", federation.Config{})
+	w.AddService("lan0", "s1", fastService(), w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	cli := w.AddClient("lan0", "c1", fastClient())
+	w.Run(time.Second)
+	// Querying the superclass finds the RadarFeed — the architecture's
+	// semantic discovery promise, end to end over the wire.
+	out := cli.Query(w.SemanticSpec(sim.C("SensorFeed"), 0), 5*time.Second)
+	if !out.Completed || out.Via != node.ViaRegistry {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if len(out.Adverts) != 1 {
+		t.Fatalf("adverts = %d", len(out.Adverts))
+	}
+	// The advert's endpoint is usable for direct invocation.
+	d, err := w.Models().DecodeDescription(out.Adverts[0].Kind, out.Adverts[0].Payload)
+	if err != nil || d.Endpoint() == "" {
+		t.Fatalf("endpoint decode = (%v, %v)", d, err)
+	}
+}
+
+func TestServiceCrashLeasingPurges(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 4})
+	reg := w.AddRegistry("lan0", "r1", federation.Config{PurgeInterval: 200 * time.Millisecond})
+	svc := w.AddService("lan0", "s1", fastService(), w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	w.Run(2 * time.Second)
+	if reg.Reg.Store().Len() != 1 {
+		t.Fatal("setup: publish failed")
+	}
+	svc.Crash()
+	// Within ~1 lease (2s) + purge interval the advert must disappear.
+	w.Run(4 * time.Second)
+	if reg.Reg.Store().Len() != 0 {
+		t.Fatal("crashed service's advert not purged — the §4.8 mechanism failed")
+	}
+}
+
+func TestServiceFailsOverToAlternateRegistry(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 5})
+	r1 := w.AddRegistry("lan0", "r1", federation.Config{BeaconInterval: 500 * time.Millisecond})
+	r2 := w.AddRegistry("lan0", "r2", federation.Config{BeaconInterval: 500 * time.Millisecond})
+	w.AddService("lan0", "s1", fastService(), w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	w.Run(2 * time.Second)
+	holder, other := r1, r2
+	if r1.Reg.Store().Len() == 0 {
+		holder, other = r2, r1
+	}
+	if holder.Reg.Store().Len() != 1 {
+		t.Fatal("setup: no registry holds the advert")
+	}
+	holder.Crash()
+	// Renewals time out, the service marks the registry dead and
+	// republishes to the alternate it learned via beacons.
+	w.Run(10 * time.Second)
+	if other.Reg.Store().Len() != 1 {
+		t.Fatal("service did not republish to the alternate registry")
+	}
+}
+
+func TestClientFailoverOnRegistryCrash(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 6})
+	r1 := w.AddRegistry("lan0", "r1", federation.Config{BeaconInterval: 300 * time.Millisecond})
+	r2 := w.AddRegistry("lan0", "r2", federation.Config{BeaconInterval: 300 * time.Millisecond})
+	w.AddService("lan0", "s1", fastService(), w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	cli := w.AddClient("lan0", "c1", fastClient())
+	w.Run(2 * time.Second)
+	// Crash whichever registry the client prefers (lowest ID).
+	cur, ok := cli.Cli.Bootstrapper().Current()
+	if !ok {
+		t.Fatal("client knows no registry")
+	}
+	crashed := r1
+	if r2.Reg.ID() == cur.ID {
+		crashed = r2
+	}
+	crashed.Crash()
+	// Give the surviving registry time to hold the advert (the service
+	// may itself need to fail over).
+	w.Run(10 * time.Second)
+	out := cli.Query(w.SemanticSpec(sim.C("SensorFeed"), 0), 10*time.Second)
+	if !out.Completed || out.Via != node.ViaRegistry || len(out.Adverts) != 1 {
+		t.Fatalf("failover query outcome = %+v", out)
+	}
+	if out.Attempts < 2 {
+		t.Fatalf("attempts = %d, expected a failover retry", out.Attempts)
+	}
+}
+
+func TestDecentralizedFallback(t *testing.T) {
+	// No registry at all: the client multicasts a PeerQuery and service
+	// nodes answer directly (Fig. 3 right).
+	w := sim.NewWorld(sim.Config{Seed: 7})
+	w.AddService("lan0", "s1", fastService(), w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	w.AddService("lan0", "s2", fastService(), w.SemanticProfile("urn:svc:cam", sim.C("CameraFeed")))
+	cfg := fastClient()
+	cfg.MaxAttempts = 1
+	cli := w.AddClient("lan0", "c1", cfg)
+	w.Run(time.Second)
+	out := cli.Query(w.SemanticSpec(sim.C("SensorFeed"), 0), 5*time.Second)
+	if !out.Completed || out.Via != node.ViaFallback {
+		t.Fatalf("outcome = %+v, want fallback", out)
+	}
+	if len(out.Adverts) != 2 {
+		t.Fatalf("fallback found %d services, want 2", len(out.Adverts))
+	}
+	// A non-matching fallback query completes with ViaNone.
+	out = cli.Query(w.SemanticSpec(sim.C("ChatService"), 0), 5*time.Second)
+	if !out.Completed || out.Via != node.ViaNone || len(out.Adverts) != 0 {
+		t.Fatalf("no-match outcome = %+v", out)
+	}
+}
+
+func TestExpandingRing(t *testing.T) {
+	// Chain: lan0 — lan1 — lan2; service only on lan2. An expanding
+	// ring query from lan0 must widen until it reaches lan2.
+	w := sim.NewWorld(sim.Config{Seed: 8})
+	r0 := w.AddRegistry("lan0", "r0", federation.Config{})
+	r1 := w.AddRegistry("lan1", "r1", federation.Config{Seeds: []wire.PeerInfo{r0.PeerInfo()}})
+	w.AddRegistry("lan2", "r2", federation.Config{Seeds: []wire.PeerInfo{r1.PeerInfo()}})
+	w.AddService("lan2", "s1", fastService(), w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	cli := w.AddClient("lan0", "c1", node.ClientConfig{
+		QueryTimeout: 2 * time.Second,
+		Bootstrap:    discovery.Config{ProbeInterval: 200 * time.Millisecond},
+	})
+	w.Run(2 * time.Second)
+	spec := w.SemanticSpec(sim.C("SensorFeed"), 4)
+	spec.Strategy = wire.StrategyExpandingRing
+	out := cli.Query(spec, 30*time.Second)
+	if !out.Completed || len(out.Adverts) != 1 {
+		t.Fatalf("expanding ring outcome = %+v", out)
+	}
+}
+
+func TestClientArtifactFetch(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 9})
+	w.AddRegistry("lan0", "r1", federation.Config{})
+	cli := w.AddClient("lan0", "c1", fastClient())
+	w.Run(time.Second)
+	var data []byte
+	var ok, done bool
+	cli.Cli.FetchArtifact(w.Onto.IRI, time.Second, func(d []byte, o bool) {
+		data, ok, done = d, o, true
+	})
+	w.Run(2 * time.Second)
+	if !done || !ok || len(data) == 0 {
+		t.Fatalf("artifact fetch = (done=%v ok=%v %d bytes)", done, ok, len(data))
+	}
+	// Missing artifact: ok=false.
+	done, ok = false, true
+	cli.Cli.FetchArtifact("urn:missing", time.Second, func(d []byte, o bool) { ok, done = o, true })
+	w.Run(2 * time.Second)
+	if !done || ok {
+		t.Fatalf("missing artifact = (done=%v ok=%v)", done, ok)
+	}
+}
+
+func TestUpdateDescriptionBumpsVersion(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 10})
+	reg := w.AddRegistry("lan0", "r1", federation.Config{})
+	desc := w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed"))
+	svc := w.AddService("lan0", "s1", fastService(), desc)
+	cli := w.AddClient("lan0", "c1", fastClient())
+	w.Run(time.Second)
+	// Update the description to a different category.
+	if !svc.Svc.UpdateDescription(w.SemanticProfile("urn:svc:radar", sim.C("CameraFeed"))) {
+		t.Fatal("UpdateDescription did not find the advert")
+	}
+	w.Run(time.Second)
+	if reg.Reg.Store().Len() != 1 {
+		t.Fatalf("store has %d adverts after update", reg.Reg.Store().Len())
+	}
+	out := cli.Query(w.SemanticSpec(sim.C("CameraFeed"), 0), 5*time.Second)
+	if len(out.Adverts) != 1 || out.Adverts[0].Version != 2 {
+		t.Fatalf("updated advert = %+v", out.Adverts)
+	}
+	// The old content is gone.
+	out = cli.Query(w.SemanticSpec(sim.C("RadarFeed"), 0), 5*time.Second)
+	if len(out.Adverts) != 0 {
+		t.Fatal("stale pre-update content still discoverable")
+	}
+	if svc.Svc.UpdateDescription(w.SemanticProfile("urn:other", sim.C("MapService"))) {
+		t.Fatal("UpdateDescription matched a foreign service key")
+	}
+}
+
+func TestGracefulStopDeregisters(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 11})
+	reg := w.AddRegistry("lan0", "r1", federation.Config{})
+	svc := w.AddService("lan0", "s1", fastService(), w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	w.Run(time.Second)
+	if reg.Reg.Store().Len() != 1 {
+		t.Fatal("setup failed")
+	}
+	svc.Svc.Stop()
+	w.Run(time.Second)
+	if reg.Reg.Store().Len() != 0 {
+		t.Fatal("graceful stop did not remove the advert")
+	}
+}
+
+func TestURIModelOverSameInfrastructure(t *testing.T) {
+	// The paper's layered claim: primitive URI-based descriptions use
+	// the same registries, leases and queries as semantic ones.
+	w := sim.NewWorld(sim.Config{Seed: 12})
+	w.AddRegistry("lan0", "r1", federation.Config{})
+	uriDesc := &describe.URIDescription{
+		TypeURI: "urn:nato:tdl:link16", ServiceURI: "urn:svc:jtids-1",
+		Name: "JTIDS terminal", Addr: "udp://10.0.0.7:1000",
+	}
+	w.AddService("lan0", "s1", fastService(), uriDesc)
+	cli := w.AddClient("lan0", "c1", fastClient())
+	w.Run(time.Second)
+	q := &describe.URIQuery{TypeURI: "urn:nato:tdl:link16"}
+	out := cli.Query(node.QuerySpec{Kind: describe.KindURI, Payload: q.Encode()}, 5*time.Second)
+	if !out.Completed || len(out.Adverts) != 1 {
+		t.Fatalf("URI query over shared infrastructure = %+v", out)
+	}
+	if out.Adverts[0].Kind != describe.KindURI {
+		t.Fatal("wrong payload kind")
+	}
+}

@@ -1,0 +1,327 @@
+// Package node implements the client and service roles of the SOA
+// triangle (§4.1). Both roles embed the discovery bootstrapper; the
+// registry role lives in internal/federation.
+//
+// A Service publishes its descriptions with a lease, renews the lease
+// periodically, republishes when a renewal is refused ("the service
+// node must try to find another connection point to the registry
+// network and publish its advertisement there"), and answers
+// decentralized fallback queries directly (Fig. 3 right).
+//
+// A Client discovers a registry, submits queries with delegated
+// response control, fails over to signaled alternates when its registry
+// dies, and falls back to decentralized LAN discovery when no registry
+// remains.
+package node
+
+import (
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/discovery"
+	"semdisco/internal/runtime"
+	"semdisco/internal/transport"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// ServiceConfig tunes a service node.
+type ServiceConfig struct {
+	// Lease is the requested advertisement lease; default 30 s.
+	Lease time.Duration
+	// RenewFraction renews after granted×fraction; default 1/3 (three
+	// renewal attempts fit inside one lease).
+	RenewFraction float64
+	// AckTimeout bounds the wait for publish/renew acks; default 2 s.
+	AckTimeout time.Duration
+	// MaxMissed is the number of consecutive unacked renewals before
+	// the registry is declared dead; default 2.
+	MaxMissed int
+	// Bootstrap configures registry discovery.
+	Bootstrap discovery.Config
+}
+
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	if c.Lease == 0 {
+		c.Lease = 30 * time.Second
+	}
+	if c.RenewFraction == 0 {
+		c.RenewFraction = 1.0 / 3.0
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 2 * time.Second
+	}
+	if c.MaxMissed == 0 {
+		c.MaxMissed = 2
+	}
+	return c
+}
+
+type servAdvert struct {
+	desc    describe.Description
+	id      uuid.UUID
+	version uint64
+	granted time.Duration
+	// registry holds the registry currently leasing this advert.
+	registry   wire.NodeID
+	missed     int
+	renewTimer transport.CancelFunc
+	ackTimer   transport.CancelFunc
+}
+
+// Service is a service-provider node.
+type Service struct {
+	env     *runtime.Env
+	cfg     ServiceConfig
+	boot    *discovery.Bootstrapper
+	models  *describe.Registry
+	adverts []*servAdvert
+	stopped bool
+}
+
+// NewService creates a service node hosting the given descriptions.
+func NewService(env *runtime.Env, models *describe.Registry, cfg ServiceConfig, descs ...describe.Description) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		env:    env,
+		cfg:    cfg,
+		models: models,
+		boot:   discovery.New(env, cfg.Bootstrap),
+	}
+	for _, d := range descs {
+		s.adverts = append(s.adverts, &servAdvert{desc: d, id: env.NewUUID(), version: 1})
+	}
+	s.boot.OnRegistryFound(func() { s.publishAll() })
+	return s
+}
+
+// Bootstrapper exposes the discovery state (tests, reports).
+func (s *Service) Bootstrapper() *discovery.Bootstrapper { return s.boot }
+
+// Start begins registry discovery; publishing follows automatically
+// once a registry is found.
+func (s *Service) Start() {
+	s.boot.Start()
+	if _, ok := s.boot.Current(); ok {
+		s.publishAll()
+	}
+}
+
+// Stop removes the node's advertisements (graceful deregistration) and
+// cancels all timers.
+func (s *Service) Stop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	if reg, ok := s.boot.Current(); ok {
+		for _, a := range s.adverts {
+			s.env.Send(transport.Addr(reg.Addr), wire.Remove{AdvertID: a.id})
+		}
+	}
+	for _, a := range s.adverts {
+		cancelTimers(a)
+	}
+	s.boot.Stop()
+}
+
+// Crash halts the service abruptly without deregistering — the failure
+// mode leasing exists for: its advertisements must age out of the
+// registry by lease expiry (§4.8).
+func (s *Service) Crash() {
+	s.stopped = true
+	for _, a := range s.adverts {
+		cancelTimers(a)
+	}
+	s.boot.Stop()
+}
+
+func cancelTimers(a *servAdvert) {
+	if a.renewTimer != nil {
+		a.renewTimer()
+		a.renewTimer = nil
+	}
+	if a.ackTimer != nil {
+		a.ackTimer()
+		a.ackTimer = nil
+	}
+}
+
+// UpdateDescription replaces the description whose ServiceKey matches
+// and republishes it with a bumped version — the frequent-update path
+// the paper expects of rich descriptions (e.g. changed coverage areas).
+func (s *Service) UpdateDescription(d describe.Description) bool {
+	for _, a := range s.adverts {
+		if a.desc.ServiceKey() == d.ServiceKey() && a.desc.Kind() == d.Kind() {
+			a.desc = d
+			a.version++
+			s.publish(a)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Service) publishAll() {
+	for _, a := range s.adverts {
+		s.publish(a)
+	}
+}
+
+func (s *Service) publish(a *servAdvert) {
+	if s.stopped {
+		return
+	}
+	reg, ok := s.boot.Current()
+	if !ok {
+		return // OnRegistryFound will retry
+	}
+	cancelTimers(a)
+	a.registry = reg.ID
+	adv := wire.Advertisement{
+		ID:           a.id,
+		Provider:     s.env.ID,
+		ProviderAddr: string(s.env.Addr()),
+		Kind:         a.desc.Kind(),
+		Payload:      a.desc.Encode(),
+		LeaseMillis:  uint64(s.cfg.Lease / time.Millisecond),
+		Version:      a.version,
+	}
+	s.env.Send(transport.Addr(reg.Addr), wire.Publish{Advert: adv})
+	a.ackTimer = s.env.Clock.After(s.cfg.AckTimeout, func() { s.onAckTimeout(a) })
+}
+
+func (s *Service) renew(a *servAdvert) {
+	if s.stopped {
+		return
+	}
+	reg, ok := s.boot.Current()
+	if !ok || reg.ID != a.registry {
+		// Our registry vanished from the table; publish to the new one.
+		s.publish(a)
+		return
+	}
+	s.env.Send(transport.Addr(reg.Addr), wire.Renew{AdvertID: a.id})
+	a.ackTimer = s.env.Clock.After(s.cfg.AckTimeout, func() { s.onAckTimeout(a) })
+}
+
+func (s *Service) onAckTimeout(a *servAdvert) {
+	if s.stopped {
+		return
+	}
+	a.ackTimer = nil
+	a.missed++
+	if a.missed >= s.cfg.MaxMissed {
+		// Registry presumed dead: fail over (§4.1 "the service node must
+		// try to find another connection point … and publish there").
+		s.boot.MarkDead(a.registry)
+		a.missed = 0
+		s.publish(a)
+		return
+	}
+	s.renew(a)
+}
+
+func (s *Service) scheduleRenew(a *servAdvert) {
+	if a.renewTimer != nil {
+		a.renewTimer()
+	}
+	d := time.Duration(float64(a.granted) * s.cfg.RenewFraction)
+	if d <= 0 {
+		d = a.granted / 3
+	}
+	a.renewTimer = s.env.Clock.After(d, func() { s.renew(a) })
+}
+
+// HandleEnvelope implements runtime.Handler.
+func (s *Service) HandleEnvelope(env *wire.Envelope, from transport.Addr) {
+	if s.stopped {
+		return
+	}
+	s.boot.Observe(env)
+	switch b := env.Body.(type) {
+	case wire.PublishAck:
+		s.onPublishAck(b)
+	case wire.RenewAck:
+		s.onRenewAck(b)
+	case wire.PeerQuery:
+		s.onPeerQuery(b)
+	}
+}
+
+func (s *Service) findAdvert(id uuid.UUID) *servAdvert {
+	for _, a := range s.adverts {
+		if a.id == id {
+			return a
+		}
+	}
+	return nil
+}
+
+func (s *Service) onPublishAck(b wire.PublishAck) {
+	a := s.findAdvert(b.AdvertID)
+	if a == nil {
+		return
+	}
+	cancelTimers(a)
+	a.missed = 0
+	if !b.OK {
+		s.env.Tracef("publish rejected: %s", b.Error)
+		return
+	}
+	a.granted = time.Duration(b.LeaseMillis) * time.Millisecond
+	s.scheduleRenew(a)
+}
+
+func (s *Service) onRenewAck(b wire.RenewAck) {
+	a := s.findAdvert(b.AdvertID)
+	if a == nil {
+		return
+	}
+	cancelTimers(a)
+	a.missed = 0
+	if !b.OK {
+		// Lease lapsed at the registry (e.g. it restarted): republish.
+		s.publish(a)
+		return
+	}
+	a.granted = time.Duration(b.LeaseMillis) * time.Millisecond
+	s.scheduleRenew(a)
+}
+
+// onPeerQuery answers a decentralized fallback query directly from the
+// node's own descriptions — "all provider nodes must evaluate the query
+// independently of each other" (§3.1); the bandwidth cost of exactly
+// this behaviour is measured by experiment E1.
+func (s *Service) onPeerQuery(b wire.PeerQuery) {
+	model, ok := s.models.Model(b.Kind)
+	if !ok {
+		return // silently discard unknown kinds
+	}
+	q, err := model.DecodeQuery(b.Payload)
+	if err != nil {
+		return
+	}
+	var hits []wire.Advertisement
+	for _, a := range s.adverts {
+		if a.desc.Kind() != b.Kind {
+			continue
+		}
+		if ev := model.Evaluate(q, a.desc); ev.Matched {
+			hits = append(hits, wire.Advertisement{
+				ID:           a.id,
+				Provider:     s.env.ID,
+				ProviderAddr: string(s.env.Addr()),
+				Kind:         a.desc.Kind(),
+				Payload:      a.desc.Encode(),
+				LeaseMillis:  uint64(s.cfg.Lease / time.Millisecond),
+				Version:      a.version,
+			})
+		}
+	}
+	if len(hits) > 0 {
+		s.env.Send(transport.Addr(b.ReplyAddr), wire.QueryResult{
+			QueryID: b.QueryID, Adverts: hits, Complete: true,
+		})
+	}
+}

@@ -1,0 +1,296 @@
+package node_test
+
+import (
+	"testing"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/discovery"
+	"semdisco/internal/federation"
+	"semdisco/internal/node"
+	"semdisco/internal/sim"
+	"semdisco/internal/wire"
+)
+
+func TestSubscribeNotifiesOnPublish(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 31})
+	reg := w.AddRegistry("lan0", "r1", federation.Config{})
+	cli := w.AddClient("lan0", "c1", fastClient())
+	w.Run(time.Second)
+
+	var got []wire.Advertisement
+	sub := cli.Cli.Subscribe(w.SemanticSpec(sim.C("SensorFeed"), 0), 30*time.Second, func(a wire.Advertisement) {
+		got = append(got, a)
+	})
+	if sub == nil {
+		t.Fatal("Subscribe returned nil with a known registry")
+	}
+	w.Run(time.Second)
+	if reg.Reg.Store().NumSubscriptions() != 1 {
+		t.Fatalf("registry holds %d subscriptions", reg.Reg.Store().NumSubscriptions())
+	}
+
+	// A matching service appears: one notification.
+	w.AddService("lan0", "s1", fastService(), w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	w.Run(2 * time.Second)
+	if len(got) != 1 {
+		t.Fatalf("notifications = %d, want 1", len(got))
+	}
+	// A non-matching service: no notification.
+	w.AddService("lan0", "s2", fastService(), w.SemanticProfile("urn:svc:chat", sim.C("ChatService")))
+	w.Run(2 * time.Second)
+	if len(got) != 1 {
+		t.Fatalf("non-matching publish notified: %d", len(got))
+	}
+}
+
+func TestSubscribeWithoutRegistryReturnsNil(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 32})
+	cli := w.AddClient("lan0", "c1", fastClient())
+	w.Run(time.Second)
+	if sub := cli.Cli.Subscribe(w.SemanticSpec(sim.C("SensorFeed"), 0), 0, func(wire.Advertisement) {}); sub != nil {
+		t.Fatal("Subscribe succeeded without any registry")
+	}
+}
+
+func TestSubscriptionLeaseRenewal(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 33})
+	reg := w.AddRegistry("lan0", "r1", federation.Config{PurgeInterval: 200 * time.Millisecond})
+	cli := w.AddClient("lan0", "c1", fastClient())
+	w.Run(time.Second)
+	var got int
+	cli.Cli.Subscribe(w.SemanticSpec(sim.C("SensorFeed"), 0), 2*time.Second, func(wire.Advertisement) { got++ })
+	// Run well past several lease periods: auto-renewal must keep the
+	// subscription alive at the registry.
+	w.Run(10 * time.Second)
+	if reg.Reg.Store().NumSubscriptions() != 1 {
+		t.Fatal("renewed subscription was pruned")
+	}
+	w.AddService("lan0", "s1", fastService(), w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	w.Run(2 * time.Second)
+	if got != 1 {
+		t.Fatalf("notifications after long renewal = %d, want 1", got)
+	}
+}
+
+func TestSubscriberCrashLeasePrunes(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 34})
+	reg := w.AddRegistry("lan0", "r1", federation.Config{PurgeInterval: 200 * time.Millisecond})
+	cli := w.AddClient("lan0", "c1", fastClient())
+	w.Run(time.Second)
+	cli.Cli.Subscribe(w.SemanticSpec(sim.C("SensorFeed"), 0), 2*time.Second, func(wire.Advertisement) {})
+	w.Run(time.Second)
+	if reg.Reg.Store().NumSubscriptions() != 1 {
+		t.Fatal("setup: subscription missing")
+	}
+	// Crash the subscriber: no more renewals, lease lapses, pruned.
+	cli.Cli.Stop()
+	w.Net.SetUp(cli.Addr, false)
+	w.Run(5 * time.Second)
+	if reg.Reg.Store().NumSubscriptions() != 0 {
+		t.Fatal("crashed subscriber's standing query survived its lease")
+	}
+}
+
+func TestSubscriptionCancel(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 35})
+	reg := w.AddRegistry("lan0", "r1", federation.Config{})
+	cli := w.AddClient("lan0", "c1", fastClient())
+	w.Run(time.Second)
+	var got int
+	sub := cli.Cli.Subscribe(w.SemanticSpec(sim.C("SensorFeed"), 0), time.Minute, func(wire.Advertisement) { got++ })
+	w.Run(time.Second)
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	w.Run(time.Second)
+	if reg.Reg.Store().NumSubscriptions() != 0 {
+		t.Fatal("unsubscribe did not remove the standing query")
+	}
+	w.AddService("lan0", "s1", fastService(), w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	w.Run(2 * time.Second)
+	if got != 0 {
+		t.Fatalf("canceled subscription notified %d times", got)
+	}
+}
+
+func TestSubscriptionFailsOverToAlternateRegistry(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 36})
+	r1 := w.AddRegistry("lan0", "r1", federation.Config{BeaconInterval: 300 * time.Millisecond})
+	r2 := w.AddRegistry("lan0", "r2", federation.Config{BeaconInterval: 300 * time.Millisecond})
+	cli := w.AddClient("lan0", "c1", fastClient())
+	w.Run(2 * time.Second)
+	var got int
+	sub := cli.Cli.Subscribe(w.SemanticSpec(sim.C("SensorFeed"), 0), 5*time.Second, func(wire.Advertisement) { got++ })
+	if sub == nil {
+		t.Fatal("subscribe failed")
+	}
+	w.Run(time.Second)
+	// Crash whichever registry holds the subscription.
+	holder, other := r1, r2
+	if r2.Reg.Store().NumSubscriptions() == 1 {
+		holder, other = r2, r1
+	}
+	if holder.Reg.Store().NumSubscriptions() != 1 {
+		t.Fatal("setup: no registry holds the subscription")
+	}
+	holder.Crash()
+	// Renewal fails, client marks registry dead, re-subscribes at the
+	// alternate.
+	w.Run(15 * time.Second)
+	if other.Reg.Store().NumSubscriptions() != 1 {
+		t.Fatal("subscription did not fail over to the alternate registry")
+	}
+	// Publications at the new registry notify the subscriber.
+	svcCfg := fastService()
+	w.AddService("lan0", "s1", svcCfg, w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	w.Run(3 * time.Second)
+	if got == 0 {
+		t.Fatal("no notification after failover")
+	}
+}
+
+func TestSubscriptionViaQuerySpecKinds(t *testing.T) {
+	// Subscriptions work for the lightweight URI model too: the same
+	// infrastructure carries all description models.
+	w := sim.NewWorld(sim.Config{Seed: 37})
+	w.AddRegistry("lan0", "r1", federation.Config{})
+	cli := w.AddClient("lan0", "c1", fastClient())
+	w.Run(time.Second)
+	var got int
+	spec := node.QuerySpec{
+		Kind:    2, // describe.KindKV
+		Payload: kvQueryPayload(),
+	}
+	sub := cli.Cli.Subscribe(spec, time.Minute, func(wire.Advertisement) { got++ })
+	if sub == nil {
+		t.Fatal("KV subscription failed")
+	}
+	w.Run(time.Second)
+	w.AddService("lan0", "s1", fastService(), kvDescription())
+	w.Run(2 * time.Second)
+	if got != 1 {
+		t.Fatalf("KV notifications = %d, want 1", got)
+	}
+}
+
+func kvQueryPayload() []byte {
+	return (&describe.KVQuery{TypeURI: "urn:type:weather"}).Encode()
+}
+
+func kvDescription() describe.Description {
+	return &describe.KVDescription{
+		ServiceURI: "urn:svc:w1", Name: "Weather", TypeURI: "urn:type:weather", Addr: "a",
+	}
+}
+
+func TestViaString(t *testing.T) {
+	if node.ViaRegistry.String() != "registry" || node.ViaFallback.String() != "fallback" || node.ViaNone.String() != "none" {
+		t.Fatal("Via.String broken")
+	}
+}
+
+func TestClientStopCancelsEverything(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 41})
+	w.AddRegistry("lan0", "r1", federation.Config{})
+	cli := w.AddClient("lan0", "c1", fastClient())
+	w.Run(time.Second)
+	fired := false
+	cli.Cli.Query(w.SemanticSpec(sim.C("SensorFeed"), 0), func(node.QueryResult) { fired = true })
+	cli.Cli.Subscribe(w.SemanticSpec(sim.C("SensorFeed"), 0), time.Minute, func(wire.Advertisement) { fired = true })
+	cli.Cli.FetchArtifact("urn:x", time.Second, func([]byte, bool) { fired = true })
+	cli.Cli.Stop()
+	w.Run(5 * time.Second)
+	if fired {
+		t.Fatal("callback fired after Stop")
+	}
+}
+
+func TestFetchArtifactWithoutRegistry(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 42})
+	cli := w.AddClient("lan0", "c1", fastClient())
+	w.Run(time.Second)
+	var done, ok bool
+	cli.Cli.FetchArtifact("urn:x", time.Second, func(_ []byte, o bool) { done, ok = true, o })
+	if !done || ok {
+		t.Fatalf("registry-less artifact fetch = (done=%v ok=%v), want immediate failure", done, ok)
+	}
+}
+
+func TestCustomQueryTimeoutHonored(t *testing.T) {
+	// With an explicit QueryTimeout and a dead seed registry, the first
+	// attempt must take about that long before failover.
+	w := sim.NewWorld(sim.Config{Seed: 43})
+	reg := w.AddRegistry("lan0", "r1", federation.Config{})
+	reg.Crash()
+	cfg := node.ClientConfig{
+		QueryTimeout:   400 * time.Millisecond,
+		FallbackWindow: 200 * time.Millisecond,
+		MaxAttempts:    1,
+		Bootstrap:      discoveryConfigWithSeed(reg),
+	}
+	cli := w.AddClient("lan0", "c1", cfg)
+	w.Run(time.Second)
+	out := cli.Query(w.SemanticSpec(sim.C("SensorFeed"), 0), 10*time.Second)
+	if !out.Completed || out.Via != node.ViaNone {
+		t.Fatalf("dead-seed outcome = %+v", out)
+	}
+	// One attempt (400ms) + fallback window (200ms) ≈ 600ms–1s.
+	if out.Elapsed > 2*time.Second {
+		t.Fatalf("elapsed %v, expected custom timeout to apply", out.Elapsed)
+	}
+}
+
+func TestServiceStartWithKnownSeedPublishesImmediately(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 44})
+	reg := w.AddRegistry("lan0", "r1", federation.Config{})
+	cfg := fastService()
+	cfg.Bootstrap.Seeds = []wire.PeerInfo{reg.PeerInfo()}
+	w.AddService("lan0", "s1", cfg, w.SemanticProfile("urn:svc:x", sim.C("RadarFeed")))
+	// Publication happens on Start without waiting for discovery.
+	w.Run(300 * time.Millisecond)
+	if reg.Reg.Store().Len() != 1 {
+		t.Fatal("seeded service did not publish immediately")
+	}
+}
+
+func discoveryConfigWithSeed(reg *sim.RegistryHandle) discovery.Config {
+	return discovery.Config{Seeds: []wire.PeerInfo{reg.PeerInfo()}, ProbeInterval: 200 * time.Millisecond}
+}
+
+func TestPutArtifactOverWire(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 45})
+	reg := w.AddRegistry("lan0", "r1", federation.Config{})
+	cli := w.AddClient("lan0", "c1", fastClient())
+	w.Run(time.Second)
+	var ok, done bool
+	cli.Cli.PutArtifact("urn:custom:taxonomy", []byte("@prefix ex: <http://e/> ."), time.Second, func(o bool) {
+		ok, done = o, true
+	})
+	w.Run(2 * time.Second)
+	if !done || !ok {
+		t.Fatalf("PutArtifact = (done=%v ok=%v)", done, ok)
+	}
+	if _, have := reg.Reg.Store().Artifact("urn:custom:taxonomy"); !have {
+		t.Fatal("uploaded artifact not stored")
+	}
+	// Round trip: another client fetches it back.
+	cli2 := w.AddClient("lan0", "c2", fastClient())
+	w.Run(time.Second)
+	var data []byte
+	done = false
+	cli2.Cli.FetchArtifact("urn:custom:taxonomy", time.Second, func(d []byte, o bool) {
+		data, done = d, o
+	})
+	w.Run(2 * time.Second)
+	if !done || string(data) != "@prefix ex: <http://e/> ." {
+		t.Fatalf("fetched artifact = %q", data)
+	}
+	// Registry-less upload fails immediately.
+	w2 := sim.NewWorld(sim.Config{Seed: 46})
+	lone := w2.AddClient("lan0", "c1", fastClient())
+	var failed bool
+	lone.Cli.PutArtifact("urn:x", nil, time.Second, func(o bool) { failed = !o })
+	if !failed {
+		t.Fatal("registry-less PutArtifact did not fail")
+	}
+}

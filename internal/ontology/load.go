@@ -1,0 +1,150 @@
+package ontology
+
+import (
+	"fmt"
+
+	"semdisco/internal/rdf"
+)
+
+// FromGraph builds an ontology from an RDF graph containing
+// rdfs:subClassOf / rdfs:subPropertyOf / rdfs:domain / rdfs:range /
+// rdfs:label triples (the RDFS vocabulary the paper's "shared semantic
+// model" needs). owl:equivalentClass is honored via mutual subclassing.
+// The ontology is returned frozen.
+func FromGraph(iri string, g *rdf.Graph) (*Ontology, error) {
+	o := New(iri)
+
+	addClassIRI := func(t rdf.Term) (Class, error) {
+		if !t.IsIRI() {
+			return "", fmt.Errorf("ontology: class term %v is not an IRI", t)
+		}
+		c := Class(t.Value)
+		if err := o.AddClass(c); err != nil {
+			return "", err
+		}
+		return c, nil
+	}
+
+	// Explicit class declarations.
+	for _, class := range []rdf.Term{rdf.IRI(rdf.OWLClass), rdf.IRI(rdf.RDFSClass)} {
+		for _, t := range g.Match(rdf.Wildcard, rdf.IRI(rdf.RDFType), class) {
+			if _, err := addClassIRI(t.S); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Subclass axioms.
+	for _, t := range g.Match(rdf.Wildcard, rdf.IRI(rdf.RDFSSubClassOf), rdf.Wildcard) {
+		sub, err := addClassIRI(t.S)
+		if err != nil {
+			return nil, err
+		}
+		super, err := addClassIRI(t.O)
+		if err != nil {
+			return nil, err
+		}
+		if err := o.AddClass(sub, super); err != nil {
+			return nil, err
+		}
+	}
+	// Equivalence becomes mutual subclassing.
+	for _, t := range g.Match(rdf.Wildcard, rdf.IRI(rdf.OWLEquivClass), rdf.Wildcard) {
+		a, err := addClassIRI(t.S)
+		if err != nil {
+			return nil, err
+		}
+		b, err := addClassIRI(t.O)
+		if err != nil {
+			return nil, err
+		}
+		if err := o.AddClass(a, b); err != nil {
+			return nil, err
+		}
+		if err := o.AddClass(b, a); err != nil {
+			return nil, err
+		}
+	}
+	// Properties: declared via subPropertyOf, domain, or range.
+	for _, t := range g.Match(rdf.Wildcard, rdf.IRI(rdf.RDFSSubPropOf), rdf.Wildcard) {
+		if !t.S.IsIRI() || !t.O.IsIRI() {
+			return nil, fmt.Errorf("ontology: non-IRI property in %v", t)
+		}
+		if err := o.AddProperty(Property(t.S.Value), "", "", Property(t.O.Value)); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range g.Match(rdf.Wildcard, rdf.IRI(rdf.RDFSDomain), rdf.Wildcard) {
+		if !t.S.IsIRI() || !t.O.IsIRI() {
+			continue
+		}
+		dom, err := addClassIRI(t.O)
+		if err != nil {
+			return nil, err
+		}
+		if err := o.AddProperty(Property(t.S.Value), dom, ""); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range g.Match(rdf.Wildcard, rdf.IRI(rdf.RDFSRange), rdf.Wildcard) {
+		if !t.S.IsIRI() || !t.O.IsIRI() {
+			continue
+		}
+		rng, err := addClassIRI(t.O)
+		if err != nil {
+			return nil, err
+		}
+		if err := o.AddProperty(Property(t.S.Value), "", rng); err != nil {
+			return nil, err
+		}
+	}
+	// Labels.
+	for _, t := range g.Match(rdf.Wildcard, rdf.IRI(rdf.RDFSLabel), rdf.Wildcard) {
+		if t.S.IsIRI() && t.O.IsLiteral() && o.HasClass(Class(t.S.Value)) {
+			if err := o.SetLabel(Class(t.S.Value), t.O.Value); err != nil {
+				return nil, err
+			}
+		}
+	}
+	o.Freeze()
+	return o, nil
+}
+
+// FromTurtle parses a Turtle document and builds a frozen ontology.
+func FromTurtle(iri, src string) (*Ontology, error) {
+	g, err := rdf.ParseTurtle(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromGraph(iri, g)
+}
+
+// ToGraph serializes the ontology back into an RDF graph — the document
+// a registry's artifact repository stores and serves (ICDEW'06 §4.6).
+func (o *Ontology) ToGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	for _, c := range o.Classes() {
+		if c == Thing {
+			continue
+		}
+		g.MustAdd(rdf.Triple{S: rdf.IRI(string(c)), P: rdf.IRI(rdf.RDFType), O: rdf.IRI(rdf.OWLClass)})
+		for _, p := range o.Parents(c) {
+			g.MustAdd(rdf.Triple{S: rdf.IRI(string(c)), P: rdf.IRI(rdf.RDFSSubClassOf), O: rdf.IRI(string(p))})
+		}
+		if ci := o.classes[c]; ci.label != "" {
+			g.MustAdd(rdf.Triple{S: rdf.IRI(string(c)), P: rdf.IRI(rdf.RDFSLabel), O: rdf.Literal(ci.label)})
+		}
+	}
+	for _, p := range o.Properties() {
+		pi := o.props[p]
+		for _, par := range pi.parents {
+			g.MustAdd(rdf.Triple{S: rdf.IRI(string(p)), P: rdf.IRI(rdf.RDFSSubPropOf), O: rdf.IRI(string(par))})
+		}
+		if pi.domain != "" {
+			g.MustAdd(rdf.Triple{S: rdf.IRI(string(p)), P: rdf.IRI(rdf.RDFSDomain), O: rdf.IRI(string(pi.domain))})
+		}
+		if pi.rang != "" {
+			g.MustAdd(rdf.Triple{S: rdf.IRI(string(p)), P: rdf.IRI(rdf.RDFSRange), O: rdf.IRI(string(pi.rang))})
+		}
+	}
+	return g
+}

@@ -1,0 +1,569 @@
+// Package ontology provides the shared semantic model that semantic
+// service descriptions are grounded in (ICDEW'06 §1: "upper-level
+// ontologies and service taxonomies could be standardized, facilitating
+// semantic service descriptions, and thereby precise selection of
+// relevant services").
+//
+// It models a class taxonomy with multiple inheritance and typed
+// properties, and precomputes the subsumption closure so matchmaking
+// queries ("is a Radar a kind of Sensor?") answer in O(1). It also
+// provides taxonomy-distance similarity (Wu–Palmer), used by the
+// matchmaker to rank services within the same match degree.
+package ontology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Class is a class IRI in the ontology.
+type Class string
+
+// Property is a property IRI in the ontology.
+type Property string
+
+// Thing is the universal superclass; every class is subsumed by Thing.
+const Thing Class = "http://www.w3.org/2002/07/owl#Thing"
+
+// Ontology is an immutable-after-Freeze class and property taxonomy.
+// Build it with AddClass/AddProperty (or ontology.FromGraph), then call
+// Freeze to compute the subsumption closure. All query methods require a
+// frozen ontology and panic otherwise, which converts misuse into an
+// immediate, debuggable failure instead of silently wrong match results.
+type Ontology struct {
+	// IRI identifies the ontology itself; registries serve the document
+	// for this IRI from their artifact repository (§4.6).
+	IRI string
+
+	classes map[Class]*classInfo
+	props   map[Property]*propInfo
+	frozen  bool
+}
+
+type classInfo struct {
+	parents   []Class
+	children  []Class
+	ancestors map[Class]struct{} // reflexive-transitive, computed at Freeze
+	depth     int                // shortest hop count from Thing
+	label     string
+}
+
+type propInfo struct {
+	parents []Property
+	domain  Class
+	rang    Class
+	label   string
+	supers  map[Property]struct{} // reflexive-transitive
+}
+
+// New returns an empty ontology containing only Thing.
+func New(iri string) *Ontology {
+	o := &Ontology{
+		IRI:     iri,
+		classes: make(map[Class]*classInfo),
+		props:   make(map[Property]*propInfo),
+	}
+	o.classes[Thing] = &classInfo{}
+	return o
+}
+
+// ErrFrozen is returned when mutating a frozen ontology.
+var ErrFrozen = errors.New("ontology: frozen")
+
+// ErrUnknownClass is returned when referencing an undeclared class.
+var ErrUnknownClass = errors.New("ontology: unknown class")
+
+// AddClass declares a class with the given direct superclasses. Parents
+// need not be declared yet; forward references are resolved at Freeze.
+// Declaring the same class twice merges the parent sets.
+func (o *Ontology) AddClass(c Class, parents ...Class) error {
+	if o.frozen {
+		return ErrFrozen
+	}
+	if c == "" {
+		return errors.New("ontology: empty class IRI")
+	}
+	ci := o.classes[c]
+	if ci == nil {
+		ci = &classInfo{}
+		o.classes[c] = ci
+	}
+	for _, p := range parents {
+		if p == c {
+			continue // reflexive edges are implicit
+		}
+		ci.parents = append(ci.parents, p)
+	}
+	return nil
+}
+
+// SetLabel attaches a human-readable label to a class.
+func (o *Ontology) SetLabel(c Class, label string) error {
+	if o.frozen {
+		return ErrFrozen
+	}
+	ci := o.classes[c]
+	if ci == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownClass, c)
+	}
+	ci.label = label
+	return nil
+}
+
+// AddProperty declares a property with optional domain, range and
+// superproperties. An empty domain/range means unconstrained.
+func (o *Ontology) AddProperty(p Property, domain, rang Class, parents ...Property) error {
+	if o.frozen {
+		return ErrFrozen
+	}
+	if p == "" {
+		return errors.New("ontology: empty property IRI")
+	}
+	pi := o.props[p]
+	if pi == nil {
+		pi = &propInfo{}
+		o.props[p] = pi
+	}
+	if domain != "" {
+		pi.domain = domain
+	}
+	if rang != "" {
+		pi.rang = rang
+	}
+	for _, par := range parents {
+		if par == p {
+			continue
+		}
+		pi.parents = append(pi.parents, par)
+	}
+	return nil
+}
+
+// Freeze resolves forward references, links every root to Thing,
+// computes the reflexive-transitive subsumption closure and class
+// depths, and makes the ontology immutable. Freeze is idempotent.
+// Undeclared parent classes are implicitly declared as direct children
+// of Thing, matching how RDFS treats unknown terms.
+func (o *Ontology) Freeze() {
+	if o.frozen {
+		return
+	}
+	// Implicitly declare referenced-but-undeclared parents.
+	for {
+		var missing []Class
+		for _, ci := range o.classes {
+			for _, p := range ci.parents {
+				if _, ok := o.classes[p]; !ok {
+					missing = append(missing, p)
+				}
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		for _, m := range missing {
+			if _, ok := o.classes[m]; !ok {
+				o.classes[m] = &classInfo{}
+			}
+		}
+	}
+	// Every parentless class (except Thing) becomes a child of Thing.
+	for c, ci := range o.classes {
+		if c != Thing && len(ci.parents) == 0 {
+			ci.parents = []Class{Thing}
+		}
+		ci.parents = dedupClasses(ci.parents)
+	}
+	// Children lists (deterministic order).
+	for c, ci := range o.classes {
+		for _, p := range ci.parents {
+			o.classes[p].children = append(o.classes[p].children, c)
+		}
+		_ = ci
+	}
+	for _, ci := range o.classes {
+		sort.Slice(ci.children, func(i, j int) bool { return ci.children[i] < ci.children[j] })
+	}
+	// Ancestor closure and depths. Subclass cycles are legal input
+	// (they assert class equivalence), so we condense strongly
+	// connected components first and compute both the closure and the
+	// depths on the resulting DAG: every member of an SCC shares one
+	// ancestor set (containing all members) and one depth.
+	o.computeAncestorsAndDepths()
+	// Property superproperty closure and implicit declarations.
+	for {
+		var missing []Property
+		for _, pi := range o.props {
+			for _, par := range pi.parents {
+				if _, ok := o.props[par]; !ok {
+					missing = append(missing, par)
+				}
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		for _, m := range missing {
+			if _, ok := o.props[m]; !ok {
+				o.props[m] = &propInfo{}
+			}
+		}
+	}
+	for p := range o.props {
+		o.propClosure(p, make(map[Property]bool))
+	}
+	o.frozen = true
+}
+
+func dedupClasses(cs []Class) []Class {
+	seen := make(map[Class]bool, len(cs))
+	out := cs[:0]
+	for _, c := range cs {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// computeAncestorsAndDepths fills every classInfo.ancestors with the
+// reflexive-transitive superclass set and every depth with the shortest
+// superclass-path length from Thing, correctly handling subclass cycles
+// via Tarjan SCC condensation: all members of an SCC share one ancestor
+// set and one depth, and an SCC with no external superclass (a
+// top-level equivalence cluster) sits directly under Thing at depth 1.
+func (o *Ontology) computeAncestorsAndDepths() {
+	// Tarjan over parent edges (recursion is fine; ontologies are small
+	// and shallow).
+	index := make(map[Class]int, len(o.classes))
+	low := make(map[Class]int, len(o.classes))
+	onStack := make(map[Class]bool, len(o.classes))
+	var stack []Class
+	sccOf := make(map[Class]int, len(o.classes))
+	var sccs [][]Class
+	counter := 0
+
+	var strongconnect func(Class)
+	strongconnect = func(v Class) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range o.classes[v].parents {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			id := len(sccs)
+			var comp []Class
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				sccOf[w] = id
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+	for c := range o.classes {
+		if _, seen := index[c]; !seen {
+			strongconnect(c)
+		}
+	}
+	// Tarjan emits SCCs in reverse topological order of the condensation
+	// (an SCC is emitted only after all SCCs it points to — here, its
+	// superclass SCCs), so one pass over sccs in emission order computes
+	// closures and depths bottom-up from the roots.
+	closures := make([]map[Class]struct{}, len(sccs))
+	depths := make([]int, len(sccs))
+	thingSCC := sccOf[Thing]
+	for id, comp := range sccs {
+		anc := make(map[Class]struct{}, len(comp)+4)
+		for _, m := range comp {
+			anc[m] = struct{}{}
+		}
+		minParentDepth := -1
+		for _, m := range comp {
+			for _, p := range o.classes[m].parents {
+				pid := sccOf[p]
+				if pid == id {
+					continue
+				}
+				for a := range closures[pid] {
+					anc[a] = struct{}{}
+				}
+				if minParentDepth == -1 || depths[pid] < minParentDepth {
+					minParentDepth = depths[pid]
+				}
+			}
+		}
+		closures[id] = anc
+		switch {
+		case id == thingSCC:
+			depths[id] = 0
+		case minParentDepth == -1:
+			// No external superclass: a top-level (possibly cyclic)
+			// cluster, conceptually a direct child of Thing.
+			depths[id] = 1
+		default:
+			depths[id] = minParentDepth + 1
+		}
+	}
+	for c, ci := range o.classes {
+		ci.ancestors = closures[sccOf[c]]
+		ci.depth = depths[sccOf[c]]
+	}
+}
+
+func (o *Ontology) propClosure(p Property, visiting map[Property]bool) map[Property]struct{} {
+	pi := o.props[p]
+	if pi.supers != nil {
+		return pi.supers
+	}
+	if visiting[p] {
+		return map[Property]struct{}{p: {}}
+	}
+	visiting[p] = true
+	sup := map[Property]struct{}{p: {}}
+	for _, par := range pi.parents {
+		for a := range o.propClosure(par, visiting) {
+			sup[a] = struct{}{}
+		}
+	}
+	delete(visiting, p)
+	pi.supers = sup
+	return sup
+}
+
+func (o *Ontology) mustFrozen() {
+	if !o.frozen {
+		panic("ontology: query before Freeze")
+	}
+}
+
+// HasClass reports whether c is declared.
+func (o *Ontology) HasClass(c Class) bool {
+	_, ok := o.classes[c]
+	return ok
+}
+
+// HasProperty reports whether p is declared.
+func (o *Ontology) HasProperty(p Property) bool {
+	_, ok := o.props[p]
+	return ok
+}
+
+// Subsumes reports whether super subsumes sub, i.e. sub ⊑ super.
+// Reflexive: Subsumes(c, c) is true for declared c. Unknown classes
+// subsume nothing and are subsumed only by Thing (open-world lenience:
+// an unknown class is still a Thing).
+func (o *Ontology) Subsumes(super, sub Class) bool {
+	o.mustFrozen()
+	if super == Thing {
+		return true
+	}
+	ci, ok := o.classes[sub]
+	if !ok {
+		return false
+	}
+	_, ok = ci.ancestors[super]
+	return ok
+}
+
+// Ancestors returns the reflexive-transitive superclasses of c in
+// deterministic order. Unknown classes yield nil.
+func (o *Ontology) Ancestors(c Class) []Class {
+	o.mustFrozen()
+	ci, ok := o.classes[c]
+	if !ok {
+		return nil
+	}
+	out := make([]Class, 0, len(ci.ancestors))
+	for a := range ci.ancestors {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Parents returns the direct superclasses of c.
+func (o *Ontology) Parents(c Class) []Class {
+	ci, ok := o.classes[c]
+	if !ok {
+		return nil
+	}
+	return append([]Class(nil), ci.parents...)
+}
+
+// Children returns the direct subclasses of c in deterministic order.
+func (o *Ontology) Children(c Class) []Class {
+	o.mustFrozen()
+	ci, ok := o.classes[c]
+	if !ok {
+		return nil
+	}
+	return append([]Class(nil), ci.children...)
+}
+
+// Descendants returns all classes subsumed by c (including c itself).
+func (o *Ontology) Descendants(c Class) []Class {
+	o.mustFrozen()
+	if !o.HasClass(c) {
+		return nil
+	}
+	var out []Class
+	seen := make(map[Class]bool)
+	var walk func(Class)
+	walk = func(x Class) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		out = append(out, x)
+		for _, ch := range o.classes[x].children {
+			walk(ch)
+		}
+	}
+	walk(c)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Depth returns the shortest superclass-path length from Thing to c;
+// Thing has depth 0. Unknown classes return -1.
+func (o *Ontology) Depth(c Class) int {
+	o.mustFrozen()
+	ci, ok := o.classes[c]
+	if !ok {
+		return -1
+	}
+	return ci.depth
+}
+
+// Label returns the class label, or the IRI local name when unset.
+func (o *Ontology) Label(c Class) string {
+	if ci, ok := o.classes[c]; ok && ci.label != "" {
+		return ci.label
+	}
+	return localName(string(c))
+}
+
+// LCS returns the deepest common subsumer of a and b (an ancestor of
+// both with maximal depth), preferring the lexically smallest on ties.
+// Returns Thing when either class is unknown.
+func (o *Ontology) LCS(a, b Class) Class {
+	o.mustFrozen()
+	ca, okA := o.classes[a]
+	cb, okB := o.classes[b]
+	if !okA || !okB {
+		return Thing
+	}
+	best := Thing
+	bestDepth := -1
+	for anc := range ca.ancestors {
+		if _, shared := cb.ancestors[anc]; !shared {
+			continue
+		}
+		d := o.classes[anc].depth
+		if d > bestDepth || (d == bestDepth && anc < best) {
+			best, bestDepth = anc, d
+		}
+	}
+	return best
+}
+
+// Similarity returns the Wu–Palmer similarity of two classes:
+// 2·depth(lcs) / (depth(a)+depth(b)), in [0, 1]. Identical classes have
+// similarity 1; classes related only through Thing have similarity 0.
+// Unknown classes have similarity 0 to everything, including themselves.
+func (o *Ontology) Similarity(a, b Class) float64 {
+	o.mustFrozen()
+	if a == b && o.HasClass(a) {
+		return 1
+	}
+	ca, okA := o.classes[a]
+	cb, okB := o.classes[b]
+	if !okA || !okB {
+		return 0
+	}
+	lcs := o.LCS(a, b)
+	dl := o.classes[lcs].depth
+	if ca.depth+cb.depth == 0 {
+		return 0
+	}
+	return 2 * float64(dl) / float64(ca.depth+cb.depth)
+}
+
+// SubPropertyOf reports whether sub ⊑ super in the property hierarchy
+// (reflexive).
+func (o *Ontology) SubPropertyOf(sub, super Property) bool {
+	o.mustFrozen()
+	pi, ok := o.props[sub]
+	if !ok {
+		return sub == super
+	}
+	_, ok = pi.supers[super]
+	return ok
+}
+
+// PropertyDomain returns the declared domain class ("" if unconstrained).
+func (o *Ontology) PropertyDomain(p Property) Class {
+	if pi, ok := o.props[p]; ok {
+		return pi.domain
+	}
+	return ""
+}
+
+// PropertyRange returns the declared range class ("" if unconstrained).
+func (o *Ontology) PropertyRange(p Property) Class {
+	if pi, ok := o.props[p]; ok {
+		return pi.rang
+	}
+	return ""
+}
+
+// Classes returns all declared classes in deterministic order.
+func (o *Ontology) Classes() []Class {
+	out := make([]Class, 0, len(o.classes))
+	for c := range o.classes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Properties returns all declared properties in deterministic order.
+func (o *Ontology) Properties() []Property {
+	out := make([]Property, 0, len(o.props))
+	for p := range o.props {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumClasses returns the number of declared classes (including Thing).
+func (o *Ontology) NumClasses() int { return len(o.classes) }
+
+func localName(iri string) string {
+	for i := len(iri) - 1; i >= 0; i-- {
+		if iri[i] == '#' || iri[i] == '/' {
+			return iri[i+1:]
+		}
+	}
+	return iri
+}

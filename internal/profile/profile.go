@@ -1,0 +1,439 @@
+// Package profile implements the OWL-S-style semantic service profile
+// that the paper's "rich" description tier needs (§4.2): a service is
+// described by its category concept, the concepts of its inputs and
+// outputs, quality-of-service attributes, and an optional geographic
+// coverage area (the paper's example of description content that changes
+// frequently in dynamic environments).
+//
+// A Template is the partial profile a client fills out when querying
+// ("Querying for a service is most often accomplished by filling out a
+// partial template for the service wanted"). Matching semantics live in
+// internal/match; this package defines the data model, its compact
+// binary wire encoding, and its RDF rendering.
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"semdisco/internal/codec"
+	"semdisco/internal/ontology"
+	"semdisco/internal/rdf"
+)
+
+// Profile is a semantic description of one service.
+type Profile struct {
+	// ServiceIRI uniquely identifies the described service.
+	ServiceIRI string
+	// Name is a short human-readable service name.
+	Name string
+	// Text is a free-text description used by keyword baselines.
+	Text string
+	// Category is the service category concept from the shared ontology.
+	Category ontology.Class
+	// Inputs are the concepts the service consumes.
+	Inputs []ontology.Class
+	// Outputs are the concepts the service produces.
+	Outputs []ontology.Class
+	// QoS holds quality-of-service attributes (latency, accuracy, …),
+	// matched with per-attribute minimum thresholds.
+	QoS map[string]float64
+	// Grounding is the invocation endpoint; discovery establishes
+	// contact, invocation then proceeds directly (§1).
+	Grounding string
+	// Coverage optionally restricts where the service is useful; nil
+	// means unrestricted.
+	Coverage *Circle
+	// OntologyIRI names the ontology the concepts are drawn from, so a
+	// client missing it can fetch it from the registry's artifact
+	// repository (§4.6).
+	OntologyIRI string
+}
+
+// Circle is a geographic coverage area: a center and radius. The flat
+// (equirectangular) distance approximation is adequate for the tens-of-
+// kilometre coverage areas in the paper's scenarios.
+type Circle struct {
+	LatDeg, LonDeg float64
+	RadiusKm       float64
+}
+
+// Contains reports whether the point lies inside the circle.
+func (c Circle) Contains(latDeg, lonDeg float64) bool {
+	return c.distKm(latDeg, lonDeg) <= c.RadiusKm
+}
+
+// Overlaps reports whether two circles intersect.
+func (c Circle) Overlaps(o Circle) bool {
+	return c.distKm(o.LatDeg, o.LonDeg) <= c.RadiusKm+o.RadiusKm
+}
+
+func (c Circle) distKm(latDeg, lonDeg float64) float64 {
+	const kmPerDegLat = 111.32
+	dLat := (latDeg - c.LatDeg) * kmPerDegLat
+	dLon := (lonDeg - c.LonDeg) * kmPerDegLat * math.Cos(c.LatDeg*math.Pi/180)
+	return math.Hypot(dLat, dLon)
+}
+
+// Validate checks structural invariants before publishing.
+func (p *Profile) Validate() error {
+	switch {
+	case p.ServiceIRI == "":
+		return errors.New("profile: ServiceIRI is required")
+	case p.Category == "":
+		return errors.New("profile: Category is required")
+	case p.Grounding == "":
+		return errors.New("profile: Grounding endpoint is required")
+	}
+	for k, v := range p.QoS {
+		if k == "" {
+			return errors.New("profile: empty QoS attribute name")
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("profile: QoS %q is not finite", k)
+		}
+	}
+	if p.Coverage != nil && (p.Coverage.RadiusKm < 0 || math.IsNaN(p.Coverage.RadiusKm)) {
+		return errors.New("profile: negative coverage radius")
+	}
+	return nil
+}
+
+// Clone returns a deep copy; registries clone stored profiles before
+// handing them to callers so stored state cannot be mutated.
+func (p *Profile) Clone() *Profile {
+	cp := *p
+	cp.Inputs = append([]ontology.Class(nil), p.Inputs...)
+	cp.Outputs = append([]ontology.Class(nil), p.Outputs...)
+	if p.QoS != nil {
+		cp.QoS = make(map[string]float64, len(p.QoS))
+		for k, v := range p.QoS {
+			cp.QoS[k] = v
+		}
+	}
+	if p.Coverage != nil {
+		c := *p.Coverage
+		cp.Coverage = &c
+	}
+	return &cp
+}
+
+const profileVersion = 1
+
+// Encode renders the profile in the compact binary form carried inside
+// advertisements. Map keys are sorted so encoding is deterministic.
+func (p *Profile) Encode() []byte {
+	var w codec.Buffer
+	w.Byte(profileVersion)
+	w.String(p.ServiceIRI)
+	w.String(p.Name)
+	w.String(p.Text)
+	w.String(string(p.Category))
+	w.StringSlice(classesToStrings(p.Inputs))
+	w.StringSlice(classesToStrings(p.Outputs))
+	keys := make([]string, 0, len(p.QoS))
+	for k := range p.QoS {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		w.Float64(p.QoS[k])
+	}
+	w.String(p.Grounding)
+	if p.Coverage != nil {
+		w.Bool(true)
+		w.Float64(p.Coverage.LatDeg)
+		w.Float64(p.Coverage.LonDeg)
+		w.Float64(p.Coverage.RadiusKm)
+	} else {
+		w.Bool(false)
+	}
+	w.String(p.OntologyIRI)
+	return w.Bytes()
+}
+
+// Decode parses an encoded profile, rejecting truncation, trailing
+// garbage and unknown versions.
+func Decode(b []byte) (*Profile, error) {
+	r := codec.NewReader(b)
+	v, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if v != profileVersion {
+		return nil, fmt.Errorf("profile: unsupported version %d", v)
+	}
+	p := &Profile{}
+	if p.ServiceIRI, err = r.String(); err != nil {
+		return nil, err
+	}
+	if p.Name, err = r.String(); err != nil {
+		return nil, err
+	}
+	if p.Text, err = r.String(); err != nil {
+		return nil, err
+	}
+	cat, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	p.Category = ontology.Class(cat)
+	in, err := r.StringSlice()
+	if err != nil {
+		return nil, err
+	}
+	p.Inputs = stringsToClasses(in)
+	out, err := r.StringSlice()
+	if err != nil {
+		return nil, err
+	}
+	p.Outputs = stringsToClasses(out)
+	nq, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nq > 0 {
+		if nq > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("profile: QoS count %d exceeds payload", nq)
+		}
+		p.QoS = make(map[string]float64, nq)
+		for i := uint64(0); i < nq; i++ {
+			k, err := r.String()
+			if err != nil {
+				return nil, err
+			}
+			val, err := r.Float64()
+			if err != nil {
+				return nil, err
+			}
+			p.QoS[k] = val
+		}
+	}
+	if p.Grounding, err = r.String(); err != nil {
+		return nil, err
+	}
+	hasCov, err := r.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasCov {
+		var c Circle
+		if c.LatDeg, err = r.Float64(); err != nil {
+			return nil, err
+		}
+		if c.LonDeg, err = r.Float64(); err != nil {
+			return nil, err
+		}
+		if c.RadiusKm, err = r.Float64(); err != nil {
+			return nil, err
+		}
+		p.Coverage = &c
+	}
+	if p.OntologyIRI, err = r.String(); err != nil {
+		return nil, err
+	}
+	if err := r.Expect("profile"); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func classesToStrings(cs []ontology.Class) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = string(c)
+	}
+	return out
+}
+
+func stringsToClasses(ss []string) []ontology.Class {
+	if len(ss) == 0 {
+		return nil
+	}
+	out := make([]ontology.Class, len(ss))
+	for i, s := range ss {
+		out[i] = ontology.Class(s)
+	}
+	return out
+}
+
+// Vocabulary IRIs for the RDF rendering of profiles (an OWL-S-shaped
+// mini vocabulary under the semdisco namespace).
+const (
+	VocabNS        = "http://semdisco.example/vocab#"
+	vocabService   = VocabNS + "Service"
+	vocabCategory  = VocabNS + "category"
+	vocabInput     = VocabNS + "hasInput"
+	vocabOutput    = VocabNS + "hasOutput"
+	vocabGrounding = VocabNS + "grounding"
+	vocabQoSPrefix = VocabNS + "qos-"
+	vocabLat       = VocabNS + "coverageLat"
+	vocabLon       = VocabNS + "coverageLon"
+	vocabRadius    = VocabNS + "coverageRadiusKm"
+	vocabOntology  = VocabNS + "usesOntology"
+)
+
+// ToGraph renders the profile as RDF, the form in which semantic
+// descriptions would travel in an RDF/XML-era deployment; experiments
+// use it to quantify the paper's "semantic advertisements are quite
+// large" claim against the binary form.
+func (p *Profile) ToGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	s := rdf.IRI(p.ServiceIRI)
+	g.MustAdd(rdf.Triple{S: s, P: rdf.IRI(rdf.RDFType), O: rdf.IRI(vocabService)})
+	if p.Name != "" {
+		g.MustAdd(rdf.Triple{S: s, P: rdf.IRI(rdf.RDFSLabel), O: rdf.Literal(p.Name)})
+	}
+	if p.Text != "" {
+		g.MustAdd(rdf.Triple{S: s, P: rdf.IRI(rdf.RDFSComment), O: rdf.Literal(p.Text)})
+	}
+	g.MustAdd(rdf.Triple{S: s, P: rdf.IRI(vocabCategory), O: rdf.IRI(string(p.Category))})
+	for _, in := range p.Inputs {
+		g.MustAdd(rdf.Triple{S: s, P: rdf.IRI(vocabInput), O: rdf.IRI(string(in))})
+	}
+	for _, out := range p.Outputs {
+		g.MustAdd(rdf.Triple{S: s, P: rdf.IRI(vocabOutput), O: rdf.IRI(string(out))})
+	}
+	for k, v := range p.QoS {
+		g.MustAdd(rdf.Triple{S: s, P: rdf.IRI(vocabQoSPrefix + k), O: rdf.FloatLiteral(v)})
+	}
+	g.MustAdd(rdf.Triple{S: s, P: rdf.IRI(vocabGrounding), O: rdf.IRI(p.Grounding)})
+	if p.Coverage != nil {
+		g.MustAdd(rdf.Triple{S: s, P: rdf.IRI(vocabLat), O: rdf.FloatLiteral(p.Coverage.LatDeg)})
+		g.MustAdd(rdf.Triple{S: s, P: rdf.IRI(vocabLon), O: rdf.FloatLiteral(p.Coverage.LonDeg)})
+		g.MustAdd(rdf.Triple{S: s, P: rdf.IRI(vocabRadius), O: rdf.FloatLiteral(p.Coverage.RadiusKm)})
+	}
+	if p.OntologyIRI != "" {
+		g.MustAdd(rdf.Triple{S: s, P: rdf.IRI(vocabOntology), O: rdf.IRI(p.OntologyIRI)})
+	}
+	return g
+}
+
+// Template is the partial profile a client submits as a query.
+// Zero-valued fields are unconstrained.
+type Template struct {
+	// Category restricts to services whose category is subsumed by it.
+	Category ontology.Class
+	// RequiredOutputs must each be covered by some service output.
+	RequiredOutputs []ontology.Class
+	// ProvidedInputs are what the client can supply; every service
+	// input must be satisfiable from them.
+	ProvidedInputs []ontology.Class
+	// MinQoS holds per-attribute minimum thresholds.
+	MinQoS map[string]float64
+	// Keywords is a fallback text constraint (used by the keyword
+	// baseline; the semantic matcher ignores it).
+	Keywords []string
+	// Near, when non-nil, requires the service coverage (if any) to
+	// contain the point.
+	Near *Point
+}
+
+// Point is a geographic position.
+type Point struct {
+	LatDeg, LonDeg float64
+}
+
+const templateVersion = 1
+
+// Encode renders the template for the wire.
+func (t *Template) Encode() []byte {
+	var w codec.Buffer
+	w.Byte(templateVersion)
+	w.String(string(t.Category))
+	w.StringSlice(classesToStrings(t.RequiredOutputs))
+	w.StringSlice(classesToStrings(t.ProvidedInputs))
+	keys := make([]string, 0, len(t.MinQoS))
+	for k := range t.MinQoS {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		w.Float64(t.MinQoS[k])
+	}
+	w.StringSlice(t.Keywords)
+	if t.Near != nil {
+		w.Bool(true)
+		w.Float64(t.Near.LatDeg)
+		w.Float64(t.Near.LonDeg)
+	} else {
+		w.Bool(false)
+	}
+	return w.Bytes()
+}
+
+// DecodeTemplate parses an encoded template.
+func DecodeTemplate(b []byte) (*Template, error) {
+	r := codec.NewReader(b)
+	v, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if v != templateVersion {
+		return nil, fmt.Errorf("profile: unsupported template version %d", v)
+	}
+	t := &Template{}
+	cat, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	t.Category = ontology.Class(cat)
+	ro, err := r.StringSlice()
+	if err != nil {
+		return nil, err
+	}
+	t.RequiredOutputs = stringsToClasses(ro)
+	pi, err := r.StringSlice()
+	if err != nil {
+		return nil, err
+	}
+	t.ProvidedInputs = stringsToClasses(pi)
+	nq, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nq > 0 {
+		if nq > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("profile: MinQoS count %d exceeds payload", nq)
+		}
+		t.MinQoS = make(map[string]float64, nq)
+		for i := uint64(0); i < nq; i++ {
+			k, err := r.String()
+			if err != nil {
+				return nil, err
+			}
+			val, err := r.Float64()
+			if err != nil {
+				return nil, err
+			}
+			t.MinQoS[k] = val
+		}
+	}
+	if t.Keywords, err = r.StringSlice(); err != nil {
+		return nil, err
+	}
+	hasNear, err := r.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasNear {
+		var pt Point
+		if pt.LatDeg, err = r.Float64(); err != nil {
+			return nil, err
+		}
+		if pt.LonDeg, err = r.Float64(); err != nil {
+			return nil, err
+		}
+		t.Near = &pt
+	}
+	if err := r.Expect("template"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,120 @@
+package rdf
+
+import (
+	"sort"
+	"strings"
+)
+
+// EncodeNTriples serializes the graph as canonical N-Triples: one triple
+// per line, sorted, UTF-8. The output is deterministic, so two graphs
+// with the same triples encode to identical bytes — which lets tests and
+// the wire layer compare graphs by their serialization.
+func EncodeNTriples(g *Graph) string {
+	ts := g.Triples()
+	var b strings.Builder
+	for _, t := range ts {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// EncodeTurtle serializes the graph as compact Turtle using the supplied
+// prefix map (label → namespace IRI). Subjects are grouped with ';'
+// predicate lists and ',' object lists. Deterministic output.
+func EncodeTurtle(g *Graph, prefixes map[string]string) string {
+	type pn struct{ label, ns string }
+	ordered := make([]pn, 0, len(prefixes))
+	for l, ns := range prefixes {
+		ordered = append(ordered, pn{l, ns})
+	}
+	// Longest namespace first so the most specific prefix wins.
+	sort.Slice(ordered, func(i, j int) bool {
+		if len(ordered[i].ns) != len(ordered[j].ns) {
+			return len(ordered[i].ns) > len(ordered[j].ns)
+		}
+		return ordered[i].label < ordered[j].label
+	})
+
+	abbrev := func(t Term) string {
+		if t.Kind == KindIRI {
+			if t.Value == RDFType {
+				return "a"
+			}
+			for _, p := range ordered {
+				if rest, ok := strings.CutPrefix(t.Value, p.ns); ok && isLocalName(rest) {
+					return p.label + ":" + rest
+				}
+			}
+		}
+		if t.Kind == KindLiteral && t.Lang == "" && t.Datatype != "" && t.Datatype != XSDString {
+			switch t.Datatype {
+			case XSDInteger, XSDDecimal, XSDBoolean:
+				return t.Value
+			}
+			for _, p := range ordered {
+				if rest, ok := strings.CutPrefix(t.Datatype, p.ns); ok && isLocalName(rest) {
+					return quoteLiteral(t.Value) + "^^" + p.label + ":" + rest
+				}
+			}
+		}
+		return t.String()
+	}
+
+	var b strings.Builder
+	labels := make([]string, 0, len(prefixes))
+	for l := range prefixes {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		b.WriteString("@prefix " + l + ": <" + prefixes[l] + "> .\n")
+	}
+	if len(labels) > 0 {
+		b.WriteByte('\n')
+	}
+
+	ts := g.Triples()
+	for i := 0; i < len(ts); {
+		s := ts[i].S
+		b.WriteString(abbrev(s))
+		first := true
+		for i < len(ts) && ts[i].S == s {
+			p := ts[i].P
+			if first {
+				b.WriteByte(' ')
+				first = false
+			} else {
+				b.WriteString(" ;\n\t")
+			}
+			b.WriteString(abbrev(p))
+			firstObj := true
+			for i < len(ts) && ts[i].S == s && ts[i].P == p {
+				if firstObj {
+					b.WriteByte(' ')
+					firstObj = false
+				} else {
+					b.WriteString(", ")
+				}
+				b.WriteString(abbrev(ts[i].O))
+				i++
+			}
+		}
+		b.WriteString(" .\n")
+	}
+	return b.String()
+}
+
+// isLocalName reports whether s is usable as the local part of a Turtle
+// prefixed name in our subset (no slashes, hashes, or empty names).
+func isLocalName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i]) {
+			return false
+		}
+	}
+	return !strings.HasPrefix(s, ".") && !strings.HasSuffix(s, ".")
+}

@@ -1,0 +1,59 @@
+package rdf
+
+import "testing"
+
+// FuzzParseTurtle checks the parser never panics and that everything it
+// accepts survives an encode/parse round trip.
+func FuzzParseTurtle(f *testing.F) {
+	seeds := []string{
+		"",
+		"<http://a> <http://b> <http://c> .",
+		`@prefix ex: <http://e/> .` + "\n" + `ex:a ex:b "lit"@en, 42, 3.5, true ; a ex:C .`,
+		`# comment only`,
+		`@base <http://b/> . <s> <p> <o> .`,
+		`PREFIX ex: <http://e/>` + "\n" + `ex:s ex:p "x\n\"y\"" .`,
+		"_:b0 <http://p> _:b1 .",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseTurtle(src)
+		if err != nil {
+			return
+		}
+		enc := EncodeNTriples(g)
+		back, err := ParseTurtle(enc)
+		if err != nil {
+			t.Fatalf("canonical N-Triples failed to re-parse: %v\n%s", err, enc)
+		}
+		if EncodeNTriples(back) != enc {
+			t.Fatalf("round trip diverged for:\n%s", enc)
+		}
+	})
+}
+
+// FuzzInference checks RDFS forward chaining terminates and stays sound
+// (never invents literal subjects) on arbitrary accepted graphs.
+func FuzzInference(f *testing.F) {
+	f.Add(`@prefix r: <http://www.w3.org/2000/01/rdf-schema#> .
+<http://a> r:subClassOf <http://b> . <http://b> r:subClassOf <http://a> .`)
+	f.Add(`@prefix r: <http://www.w3.org/2000/01/rdf-schema#> .
+<http://p> r:domain <http://C> . <http://x> <http://p> "lit" .`)
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseTurtle(src)
+		if err != nil || g.Len() > 200 {
+			return
+		}
+		InferRDFS(g)
+		for _, tr := range g.Triples() {
+			if !tr.Valid() {
+				t.Fatalf("inference produced invalid triple %v", tr)
+			}
+		}
+		// Fixpoint: a second run adds nothing.
+		if n := InferRDFS(g); n != 0 {
+			t.Fatalf("second inference pass added %d triples", n)
+		}
+	})
+}

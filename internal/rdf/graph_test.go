@@ -1,0 +1,241 @@
+package rdf
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	ex     = "http://example.org/"
+	alice  = IRI(ex + "alice")
+	bob    = IRI(ex + "bob")
+	knows  = IRI(ex + "knows")
+	name   = IRI(ex + "name")
+	radar  = IRI(ex + "Radar")
+	sensor = IRI(ex + "Sensor")
+)
+
+func TestAddHasRemove(t *testing.T) {
+	g := NewGraph()
+	tr := Triple{alice, knows, bob}
+	added, err := g.Add(tr)
+	if err != nil || !added {
+		t.Fatalf("Add = (%v, %v), want (true, nil)", added, err)
+	}
+	if !g.Has(tr) {
+		t.Fatal("Has = false after Add")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	added, err = g.Add(tr)
+	if err != nil || added {
+		t.Fatalf("duplicate Add = (%v, %v), want (false, nil)", added, err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len after dup = %d, want 1", g.Len())
+	}
+	if !g.Remove(tr) {
+		t.Fatal("Remove = false for present triple")
+	}
+	if g.Has(tr) || g.Len() != 0 {
+		t.Fatal("triple still present after Remove")
+	}
+	if g.Remove(tr) {
+		t.Fatal("Remove = true for absent triple")
+	}
+}
+
+func TestAddRejectsInvalid(t *testing.T) {
+	g := NewGraph()
+	cases := []Triple{
+		{Literal("x"), knows, bob}, // literal subject
+		{alice, Literal("x"), bob}, // literal predicate
+		{alice, Blank("b"), bob},   // blank predicate
+	}
+	for _, tr := range cases {
+		if _, err := g.Add(tr); err == nil {
+			t.Errorf("Add(%v) succeeded, want error", tr)
+		}
+	}
+	if g.Len() != 0 {
+		t.Fatal("invalid triples entered the store")
+	}
+}
+
+func TestMatchAllPatterns(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(Triple{alice, knows, bob})
+	g.MustAdd(Triple{bob, knows, alice})
+	g.MustAdd(Triple{alice, name, Literal("Alice")})
+
+	cases := []struct {
+		s, p, o Term
+		want    int
+	}{
+		{alice, knows, bob, 1},
+		{alice, knows, Wildcard, 1},
+		{Wildcard, knows, bob, 1},
+		{alice, Wildcard, bob, 1},
+		{alice, Wildcard, Wildcard, 2},
+		{Wildcard, knows, Wildcard, 2},
+		{Wildcard, Wildcard, bob, 1},
+		{Wildcard, Wildcard, Wildcard, 3},
+		{bob, name, Wildcard, 0},
+	}
+	for _, c := range cases {
+		got := g.Match(c.s, c.p, c.o)
+		if len(got) != c.want {
+			t.Errorf("Match(%v,%v,%v) = %d results, want %d", c.s, c.p, c.o, len(got), c.want)
+		}
+	}
+}
+
+func TestMatchDeterministicOrder(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(Triple{bob, knows, alice})
+	g.MustAdd(Triple{alice, knows, bob})
+	g.MustAdd(Triple{alice, name, Literal("Alice")})
+	first := g.Match(Wildcard, Wildcard, Wildcard)
+	for i := 0; i < 10; i++ {
+		if got := g.Match(Wildcard, Wildcard, Wildcard); !reflect.DeepEqual(got, first) {
+			t.Fatal("Match order is not deterministic")
+		}
+	}
+}
+
+func TestMatchFuncEarlyStop(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(Triple{alice, knows, bob})
+	g.MustAdd(Triple{bob, knows, alice})
+	count := 0
+	g.MatchFunc(Wildcard, knows, Wildcard, func(Triple) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop delivered %d triples, want 1", count)
+	}
+}
+
+func TestObjectsSubjectsFirstObject(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(Triple{radar, IRI(RDFSSubClassOf), sensor})
+	g.MustAdd(Triple{radar, IRI(RDFSSubClassOf), IRI(ex + "Device")})
+	objs := g.Objects(radar, IRI(RDFSSubClassOf))
+	if len(objs) != 2 {
+		t.Fatalf("Objects = %v, want 2 entries", objs)
+	}
+	subs := g.Subjects(IRI(RDFSSubClassOf), sensor)
+	if len(subs) != 1 || subs[0] != radar {
+		t.Fatalf("Subjects = %v, want [radar]", subs)
+	}
+	first, ok := g.FirstObject(radar, IRI(RDFSSubClassOf))
+	if !ok || first != IRI(ex+"Device") { // "Device" < "Sensor"
+		t.Fatalf("FirstObject = (%v, %v)", first, ok)
+	}
+	if _, ok := g.FirstObject(bob, knows); ok {
+		t.Fatal("FirstObject reported ok for missing subject")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(Triple{alice, knows, bob})
+	c := g.Clone()
+	c.MustAdd(Triple{bob, knows, alice})
+	if g.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("clone not independent: g=%d c=%d", g.Len(), c.Len())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(Triple{alice, knows, bob})
+	h := NewGraph()
+	h.MustAdd(Triple{alice, knows, bob})
+	h.MustAdd(Triple{bob, knows, alice})
+	if n := g.Merge(h); n != 1 {
+		t.Fatalf("Merge added %d, want 1", n)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len after merge = %d, want 2", g.Len())
+	}
+}
+
+func TestIndexConsistencyProperty(t *testing.T) {
+	// Property: after any sequence of adds/removes, every index answers
+	// the same membership question.
+	f := func(ops []struct {
+		S, P, O uint8
+		Del     bool
+	}) bool {
+		g := NewGraph()
+		model := make(map[Triple]bool)
+		terms := []Term{alice, bob, radar, sensor}
+		preds := []Term{knows, name, IRI(RDFSSubClassOf)}
+		for _, op := range ops {
+			tr := Triple{terms[int(op.S)%len(terms)], preds[int(op.P)%len(preds)], terms[int(op.O)%len(terms)]}
+			if op.Del {
+				g.Remove(tr)
+				delete(model, tr)
+			} else {
+				g.MustAdd(tr)
+				model[tr] = true
+			}
+		}
+		if g.Len() != len(model) {
+			return false
+		}
+		for tr := range model {
+			if !g.Has(tr) {
+				return false
+			}
+			if len(g.Match(tr.S, tr.P, Wildcard)) == 0 ||
+				len(g.Match(Wildcard, tr.P, tr.O)) == 0 ||
+				len(g.Match(tr.S, Wildcard, tr.O)) == 0 {
+				return false
+			}
+		}
+		return len(g.Match(Wildcard, Wildcard, Wildcard)) == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTermLiteralAccessors(t *testing.T) {
+	if v, ok := IntLiteral(42).Int(); !ok || v != 42 {
+		t.Fatalf("Int() = (%d, %v)", v, ok)
+	}
+	if v, ok := FloatLiteral(2.5).Float(); !ok || v != 2.5 {
+		t.Fatalf("Float() = (%v, %v)", v, ok)
+	}
+	if _, ok := alice.Int(); ok {
+		t.Fatal("IRI parsed as int")
+	}
+	if _, ok := Literal("abc").Int(); ok {
+		t.Fatal("non-numeric literal parsed as int")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		t    Term
+		want string
+	}{
+		{alice, "<http://example.org/alice>"},
+		{Blank("b0"), "_:b0"},
+		{Literal("hi"), `"hi"`},
+		{Literal("a\"b\\c\nd"), `"a\"b\\c\nd"`},
+		{LangLiteral("hei", "no"), `"hei"@no`},
+		{IntLiteral(7), `"7"^^<` + XSDInteger + `>`},
+		{TypedLiteral("x", XSDString), `"x"`},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package rdf
+
+// InferRDFS runs RDFS forward-chaining on the graph in place until
+// fixpoint, implementing the entailment rules that semantic service
+// matchmaking depends on:
+//
+//	rdfs5  (p subPropertyOf q) ∧ (q subPropertyOf r) ⇒ (p subPropertyOf r)
+//	rdfs7  (s p o) ∧ (p subPropertyOf q)             ⇒ (s q o)
+//	rdfs11 (a subClassOf b) ∧ (b subClassOf c)       ⇒ (a subClassOf c)
+//	rdfs9  (x type a) ∧ (a subClassOf b)             ⇒ (x type b)
+//	rdfs2  (s p o) ∧ (p domain c)                    ⇒ (s type c)
+//	rdfs3  (s p o) ∧ (p range c)                     ⇒ (o type c) for non-literal o
+//	owl:equivalentClass a≡b                          ⇒ a subClassOf b ∧ b subClassOf a
+//
+// It returns the number of inferred triples added. The implementation is
+// semi-naive (each round only joins against facts derived in the
+// previous round where possible) but favors clarity over raw speed: the
+// ontologies in this system are thousands of triples, not millions.
+func InferRDFS(g *Graph) int {
+	total := 0
+
+	// Expand owl:equivalentClass into mutual subClassOf once up front.
+	subClassOf := IRI(RDFSSubClassOf)
+	for _, t := range g.Match(Wildcard, IRI(OWLEquivClass), Wildcard) {
+		if t.O.IsLiteral() {
+			continue
+		}
+		if g.MustAdd(Triple{t.S, subClassOf, t.O}) {
+			total++
+		}
+		if g.MustAdd(Triple{t.O, subClassOf, t.S}) {
+			total++
+		}
+	}
+
+	for {
+		added := 0
+		added += inferTransitive(g, RDFSSubPropOf)
+		added += inferSubProperty(g)
+		added += inferTransitive(g, RDFSSubClassOf)
+		added += inferTypes(g)
+		added += inferDomainRange(g)
+		total += added
+		if added == 0 {
+			return total
+		}
+	}
+}
+
+// inferTransitive closes the given predicate transitively (rdfs5/rdfs11).
+func inferTransitive(g *Graph, pred string) int {
+	p := IRI(pred)
+	added := 0
+	// Repeated single-step join until no change; each pass is O(E·avg-out).
+	for {
+		n := 0
+		for _, t := range g.Match(Wildcard, p, Wildcard) {
+			for _, next := range g.Objects(t.O, p) {
+				if next == t.S { // skip trivial cycles back to self
+					continue
+				}
+				if g.MustAdd(Triple{t.S, p, next}) {
+					n++
+				}
+			}
+		}
+		added += n
+		if n == 0 {
+			return added
+		}
+	}
+}
+
+// inferSubProperty applies rdfs7.
+func inferSubProperty(g *Graph) int {
+	sub := IRI(RDFSSubPropOf)
+	added := 0
+	for _, sp := range g.Match(Wildcard, sub, Wildcard) {
+		if !sp.S.IsIRI() || !sp.O.IsIRI() {
+			continue
+		}
+		for _, t := range g.Match(Wildcard, sp.S, Wildcard) {
+			if g.MustAdd(Triple{t.S, IRI(sp.O.Value), t.O}) {
+				added++
+			}
+		}
+	}
+	return added
+}
+
+// inferTypes applies rdfs9.
+func inferTypes(g *Graph) int {
+	typ := IRI(RDFType)
+	sub := IRI(RDFSSubClassOf)
+	added := 0
+	for _, t := range g.Match(Wildcard, typ, Wildcard) {
+		for _, super := range g.Objects(t.O, sub) {
+			if super.IsLiteral() {
+				continue
+			}
+			if g.MustAdd(Triple{t.S, typ, super}) {
+				added++
+			}
+		}
+	}
+	return added
+}
+
+// inferDomainRange applies rdfs2 and rdfs3.
+func inferDomainRange(g *Graph) int {
+	typ := IRI(RDFType)
+	added := 0
+	for _, dom := range g.Match(Wildcard, IRI(RDFSDomain), Wildcard) {
+		if !dom.S.IsIRI() || dom.O.IsLiteral() {
+			continue
+		}
+		for _, t := range g.Match(Wildcard, IRI(dom.S.Value), Wildcard) {
+			if g.MustAdd(Triple{t.S, typ, dom.O}) {
+				added++
+			}
+		}
+	}
+	for _, rng := range g.Match(Wildcard, IRI(RDFSRange), Wildcard) {
+		if !rng.S.IsIRI() || rng.O.IsLiteral() {
+			continue
+		}
+		for _, t := range g.Match(Wildcard, IRI(rng.S.Value), Wildcard) {
+			if t.O.IsLiteral() {
+				continue
+			}
+			if g.MustAdd(Triple{t.O, typ, rng.O}) {
+				added++
+			}
+		}
+	}
+	return added
+}

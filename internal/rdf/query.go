@@ -1,0 +1,124 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var is a query variable in a basic graph pattern, e.g. Var("s").
+type Var string
+
+// Pattern is one triple pattern; each position holds a Term or a Var.
+type Pattern struct {
+	S, P, O any
+}
+
+// Binding maps variables to the terms they matched.
+type Binding map[Var]Term
+
+func (b Binding) clone() Binding {
+	out := make(Binding, len(b)+1)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// key renders a binding deterministically for sorting and dedup.
+func (b Binding) key() string {
+	vars := make([]string, 0, len(b))
+	for v := range b {
+		vars = append(vars, string(v))
+	}
+	sort.Strings(vars)
+	var s strings.Builder
+	for _, v := range vars {
+		s.WriteString(v)
+		s.WriteByte('=')
+		s.WriteString(b[Var(v)].String())
+		s.WriteByte(';')
+	}
+	return s.String()
+}
+
+// Select evaluates a basic graph pattern (the conjunction of all
+// patterns) against the graph and returns all variable bindings,
+// deterministically ordered and deduplicated. Patterns are evaluated
+// left to right with bindings substituted into later patterns, so
+// placing the most selective pattern first is the caller's (cheap)
+// query plan.
+//
+// An error is returned for malformed patterns (positions that are
+// neither Term nor Var), not for empty results.
+func Select(g *Graph, patterns []Pattern) ([]Binding, error) {
+	for i, p := range patterns {
+		for _, pos := range []any{p.S, p.P, p.O} {
+			switch pos.(type) {
+			case Term, Var:
+			default:
+				return nil, fmt.Errorf("rdf: pattern %d: position must be Term or Var, got %T", i, pos)
+			}
+		}
+	}
+	results := []Binding{{}}
+	for _, pat := range patterns {
+		var next []Binding
+		for _, bound := range results {
+			s, sv := resolve(pat.S, bound)
+			p, pv := resolve(pat.P, bound)
+			o, ov := resolve(pat.O, bound)
+			g.MatchFunc(s, p, o, func(t Triple) bool {
+				nb := bound.clone()
+				if sv != "" {
+					nb[sv] = t.S
+				}
+				if pv != "" {
+					nb[pv] = t.P
+				}
+				if ov != "" {
+					nb[ov] = t.O
+				}
+				next = append(next, nb)
+				return true
+			})
+		}
+		results = next
+		if len(results) == 0 {
+			return nil, nil
+		}
+	}
+	// Deduplicate and order deterministically.
+	seen := make(map[string]bool, len(results))
+	out := results[:0]
+	for _, b := range results {
+		k := b.key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out, nil
+}
+
+// resolve turns a pattern position into a Match argument: bound
+// variables and terms become constants, free variables become Wildcard.
+func resolve(pos any, b Binding) (Term, Var) {
+	switch v := pos.(type) {
+	case Term:
+		return v, ""
+	case Var:
+		if t, ok := b[v]; ok {
+			return t, ""
+		}
+		return Wildcard, v
+	}
+	panic("unreachable: pattern positions validated by Select")
+}
+
+// Ask reports whether the basic graph pattern has at least one solution.
+func Ask(g *Graph, patterns []Pattern) (bool, error) {
+	bs, err := Select(g, patterns)
+	return len(bs) > 0, err
+}

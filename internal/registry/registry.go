@@ -1,0 +1,590 @@
+// Package registry implements the autonomous "thick" registry node of
+// the conceptual architecture (§4.1): it stores complete advertisements
+// (not just pointers), evaluates queries itself with pluggable
+// description models, purges advertisements whose leases expire,
+// exercises query response control (max-k / best-only, §3.1), notifies
+// subscribers about newly published matches, and doubles as the
+// artifact repository for ontologies and schemas so discovery works
+// disconnected from the Internet (§4.6).
+//
+// The store is pure state with explicit time parameters — no goroutines
+// and no I/O — so the same code runs deterministically under the
+// experiment simulator and behind the real UDP runtime (which wraps it
+// in a lock).
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/lease"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// Store is the registry state: advertisements with leases, the model
+// registry for query evaluation, subscriptions, and artifacts.
+type Store struct {
+	models *describe.Registry
+	leases *lease.Table
+
+	adverts map[uuid.UUID]*stored
+	byKind  map[describe.Kind]map[uuid.UUID]*stored
+	// byService maps a description's service key to the advert that
+	// currently describes it, so republished services do not pile up as
+	// duplicates under fresh advertisement IDs.
+	byService map[string]uuid.UUID
+	// byToken indexes adverts by their summary tokens per kind, so
+	// prunable queries (the ones whose model exposes QueryTokens)
+	// evaluate only candidate buckets instead of scanning every advert
+	// of the kind — the same soundness argument as federation summary
+	// pruning, applied inside one registry.
+	byToken map[describe.Kind]map[string]map[uuid.UUID]*stored
+	// noToken holds adverts whose descriptions produced no summary
+	// tokens; they must be considered by every query conservatively.
+	noToken map[describe.Kind]map[uuid.UUID]*stored
+
+	artifacts map[string][]byte
+
+	subs    map[uuid.UUID]*subscription
+	subsArr []*subscription // deterministic iteration order
+
+	// DefaultMaxResults caps result sets when the query does not; the
+	// response-implosion guard of §3.1.
+	DefaultMaxResults int
+}
+
+type stored struct {
+	advert wire.Advertisement
+	desc   describe.Description
+	tokens []string
+}
+
+type subscription struct {
+	id     uuid.UUID
+	kind   describe.Kind
+	query  describe.Query
+	notify string // opaque subscriber address, returned in events
+	// expires leases the subscription (§4.8 applies to standing queries
+	// too: crashed subscribers must stop consuming notifications).
+	// The zero time means no expiry (local in-process subscriptions).
+	expires time.Time
+}
+
+func (sub *subscription) alive(now time.Time) bool {
+	return sub.expires.IsZero() || !sub.expires.Before(now)
+}
+
+// Options configures a store.
+type Options struct {
+	// Models is the description-model registry; required.
+	Models *describe.Registry
+	// Leases is the lease policy for granted advertisements.
+	Leases lease.Policy
+	// DefaultMaxResults caps result sets when queries don't; zero
+	// means 25.
+	DefaultMaxResults int
+}
+
+// New returns an empty registry store.
+func New(opts Options) *Store {
+	if opts.Models == nil {
+		panic("registry: nil model registry")
+	}
+	if opts.DefaultMaxResults == 0 {
+		opts.DefaultMaxResults = 25
+	}
+	return &Store{
+		models:            opts.Models,
+		leases:            lease.NewTable(opts.Leases),
+		adverts:           make(map[uuid.UUID]*stored),
+		byKind:            make(map[describe.Kind]map[uuid.UUID]*stored),
+		byService:         make(map[string]uuid.UUID),
+		byToken:           make(map[describe.Kind]map[string]map[uuid.UUID]*stored),
+		noToken:           make(map[describe.Kind]map[uuid.UUID]*stored),
+		artifacts:         make(map[string][]byte),
+		subs:              make(map[uuid.UUID]*subscription),
+		DefaultMaxResults: opts.DefaultMaxResults,
+	}
+}
+
+// Len returns the number of stored advertisements.
+func (s *Store) Len() int { return len(s.adverts) }
+
+// Models exposes the model registry (federation needs it for summary
+// pruning decisions).
+func (s *Store) Models() *describe.Registry { return s.models }
+
+// Errors returned by Publish.
+var (
+	// ErrUnknownKind means this registry has no model for the payload
+	// kind; per the paper the node "silently discards" such payloads,
+	// which callers implement by mapping this error to a skip.
+	ErrUnknownKind = errors.New("registry: unknown description kind")
+	// ErrStaleVersion rejects a publish older than the stored version.
+	ErrStaleVersion = errors.New("registry: stale advertisement version")
+	// ErrBadPayload wraps description decode failures.
+	ErrBadPayload = errors.New("registry: bad description payload")
+)
+
+// Notification reports a subscription hit caused by a publish.
+type Notification struct {
+	SubID      uuid.UUID
+	NotifyAddr string
+	Advert     wire.Advertisement
+}
+
+// Publish stores (or updates) an advertisement and grants its lease.
+// It returns the granted lease duration and any notifications due.
+//
+// Update semantics follow §4.10: the advertisement ID is the handle;
+// a publish with a known ID and version ≥ stored version replaces the
+// content and refreshes the lease; a lower version is rejected as
+// stale (it may arrive late through a slower forwarding path).
+func (s *Store) Publish(adv wire.Advertisement, now time.Time) (time.Duration, []Notification, error) {
+	model, ok := s.models.Model(adv.Kind)
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %v", ErrUnknownKind, adv.Kind)
+	}
+	desc, err := model.DecodeDescription(adv.Payload)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	if adv.ID.IsNil() {
+		return 0, nil, errors.New("registry: advertisement has nil ID")
+	}
+	if old, exists := s.adverts[adv.ID]; exists && adv.Version < old.advert.Version {
+		return 0, nil, fmt.Errorf("%w: have v%d, got v%d", ErrStaleVersion, old.advert.Version, adv.Version)
+	}
+	// A service republishing under a new advertisement ID (e.g. after
+	// its registry crashed) supersedes its previous advert.
+	key := desc.ServiceKey()
+	if key != "" {
+		if oldID, ok := s.byService[key]; ok && oldID != adv.ID {
+			if old, exists := s.adverts[oldID]; exists && adv.Version >= old.advert.Version {
+				s.remove(oldID)
+			}
+		}
+	}
+
+	// An update may change the description's tokens: unindex first.
+	if _, exists := s.adverts[adv.ID]; exists {
+		s.remove(adv.ID)
+	}
+	st := &stored{advert: adv, desc: desc, tokens: model.SummaryTokens(desc)}
+	s.adverts[adv.ID] = st
+	km := s.byKind[adv.Kind]
+	if km == nil {
+		km = make(map[uuid.UUID]*stored)
+		s.byKind[adv.Kind] = km
+	}
+	km[adv.ID] = st
+	if key != "" {
+		s.byService[key] = adv.ID
+	}
+	if len(st.tokens) == 0 {
+		nt := s.noToken[adv.Kind]
+		if nt == nil {
+			nt = make(map[uuid.UUID]*stored)
+			s.noToken[adv.Kind] = nt
+		}
+		nt[adv.ID] = st
+	} else {
+		tm := s.byToken[adv.Kind]
+		if tm == nil {
+			tm = make(map[string]map[uuid.UUID]*stored)
+			s.byToken[adv.Kind] = tm
+		}
+		for _, tok := range st.tokens {
+			bucket := tm[tok]
+			if bucket == nil {
+				bucket = make(map[uuid.UUID]*stored)
+				tm[tok] = bucket
+			}
+			bucket[adv.ID] = st
+		}
+	}
+	granted := s.leases.Grant(adv.ID, time.Duration(adv.LeaseMillis)*time.Millisecond, now)
+
+	// Subscription notifications (expired standing queries are skipped;
+	// PruneSubscriptions removes them for good).
+	var notes []Notification
+	for _, sub := range s.subsArr {
+		if sub.kind != adv.Kind || !sub.alive(now) {
+			continue
+		}
+		if ev := model.Evaluate(sub.query, desc); ev.Matched {
+			notes = append(notes, Notification{SubID: sub.id, NotifyAddr: sub.notify, Advert: adv})
+		}
+	}
+	return granted, notes, nil
+}
+
+// Renew refreshes an advertisement lease; ok=false means the registry
+// no longer holds the advertisement and the provider must republish.
+func (s *Store) Renew(id uuid.UUID, now time.Time) (time.Duration, bool) {
+	st, ok := s.adverts[id]
+	if !ok {
+		return 0, false
+	}
+	return s.leases.Renew(id, time.Duration(st.advert.LeaseMillis)*time.Millisecond, now)
+}
+
+// Remove withdraws an advertisement explicitly.
+func (s *Store) Remove(id uuid.UUID) bool {
+	if _, ok := s.adverts[id]; !ok {
+		return false
+	}
+	s.remove(id)
+	s.leases.Remove(id)
+	return true
+}
+
+func (s *Store) remove(id uuid.UUID) {
+	st, ok := s.adverts[id]
+	if !ok {
+		return
+	}
+	delete(s.adverts, id)
+	delete(s.byKind[st.advert.Kind], id)
+	if key := st.desc.ServiceKey(); key != "" && s.byService[key] == id {
+		delete(s.byService, key)
+	}
+	if len(st.tokens) == 0 {
+		delete(s.noToken[st.advert.Kind], id)
+	} else if tm := s.byToken[st.advert.Kind]; tm != nil {
+		for _, tok := range st.tokens {
+			if bucket := tm[tok]; bucket != nil {
+				delete(bucket, id)
+				if len(bucket) == 0 {
+					delete(tm, tok)
+				}
+			}
+		}
+	}
+}
+
+// ExpireThrough purges every advertisement whose lease deadline is at
+// or before now and returns the purged advertisements — "removal of
+// obsolete advertisements" (§4.8).
+func (s *Store) ExpireThrough(now time.Time) []wire.Advertisement {
+	var out []wire.Advertisement
+	for _, id := range s.leases.ExpireThrough(now) {
+		if st, ok := s.adverts[id]; ok {
+			out = append(out, st.advert)
+			s.remove(id)
+		}
+	}
+	return out
+}
+
+// NextExpiry returns the earliest lease deadline for purge scheduling.
+func (s *Store) NextExpiry() (time.Time, bool) { return s.leases.NextExpiry() }
+
+// QueryOptions is the response control the client delegates to the
+// registry (§3.1: "limited clients should be allowed to delegate
+// service selection to registry nodes").
+type QueryOptions struct {
+	// MaxResults caps the result count; 0 uses the store default.
+	MaxResults int
+	// BestOnly returns only the single best-ranked advertisement.
+	BestOnly bool
+}
+
+// Evaluate runs a query payload against the stored advertisements of
+// its kind and returns matching advertisements ranked best-first and
+// capped per the options. Unknown kinds return ErrUnknownKind so the
+// caller can skip-and-forward (a registry may still forward queries it
+// cannot evaluate itself).
+func (s *Store) Evaluate(kind describe.Kind, payload []byte, opts QueryOptions, now time.Time) ([]wire.Advertisement, error) {
+	model, ok := s.models.Model(kind)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownKind, kind)
+	}
+	q, err := model.DecodeQuery(payload)
+	if err != nil {
+		return nil, fmt.Errorf("registry: bad query payload: %w", err)
+	}
+	type hit struct {
+		st *stored
+		ev describe.Evaluation
+	}
+	var hits []hit
+	consider := func(id uuid.UUID, st *stored) {
+		if !s.leases.Alive(id, now) {
+			return // expired but not yet purged: never serve stale data
+		}
+		if ev := model.Evaluate(q, st.desc); ev.Matched {
+			hits = append(hits, hit{st: st, ev: ev})
+		}
+	}
+	if tokens, prunable := model.QueryTokens(q); prunable {
+		// Indexed path: only adverts sharing a token can match, plus
+		// token-less adverts which are always considered conservatively.
+		seen := make(map[uuid.UUID]bool)
+		tm := s.byToken[kind]
+		for _, tok := range tokens {
+			for id, st := range tm[tok] {
+				if !seen[id] {
+					seen[id] = true
+					consider(id, st)
+				}
+			}
+		}
+		for id, st := range s.noToken[kind] {
+			if !seen[id] {
+				consider(id, st)
+			}
+		}
+	} else {
+		for id, st := range s.byKind[kind] {
+			consider(id, st)
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		a, b := hits[i], hits[j]
+		if a.ev.Degree != b.ev.Degree {
+			return a.ev.Degree > b.ev.Degree
+		}
+		if a.ev.Score != b.ev.Score {
+			return a.ev.Score > b.ev.Score
+		}
+		if ak, bk := a.st.desc.ServiceKey(), b.st.desc.ServiceKey(); ak != bk {
+			return ak < bk
+		}
+		return uuid.Compare(a.st.advert.ID, b.st.advert.ID) < 0
+	})
+	limit := opts.MaxResults
+	if limit <= 0 {
+		limit = s.DefaultMaxResults
+	}
+	if opts.BestOnly {
+		limit = 1
+	}
+	if len(hits) > limit {
+		hits = hits[:limit]
+	}
+	out := make([]wire.Advertisement, len(hits))
+	for i, h := range hits {
+		out[i] = h.st.advert
+	}
+	return out, nil
+}
+
+// MergeRank re-ranks advertisements pooled from several registries and
+// applies response control once more — the entry registry's aggregation
+// step for federated queries. Duplicate advertisement IDs keep the
+// highest version; duplicate service keys keep one advert.
+func (s *Store) MergeRank(kind describe.Kind, payload []byte, pools [][]wire.Advertisement, opts QueryOptions) ([]wire.Advertisement, error) {
+	model, ok := s.models.Model(kind)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownKind, kind)
+	}
+	q, err := model.DecodeQuery(payload)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[uuid.UUID]wire.Advertisement)
+	for _, pool := range pools {
+		for _, a := range pool {
+			if prev, ok := byID[a.ID]; !ok || a.Version > prev.Version {
+				byID[a.ID] = a
+			}
+		}
+	}
+	type hit struct {
+		adv  wire.Advertisement
+		desc describe.Description
+		ev   describe.Evaluation
+	}
+	var hits []hit
+	seenService := make(map[string]bool)
+	// Deterministic iteration for the dedup-by-service step.
+	ids := make([]uuid.UUID, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return uuid.Compare(ids[i], ids[j]) < 0 })
+	for _, id := range ids {
+		a := byID[id]
+		desc, err := model.DecodeDescription(a.Payload)
+		if err != nil {
+			continue // corrupt result from a remote registry: skip
+		}
+		if key := desc.ServiceKey(); key != "" {
+			if seenService[key] {
+				continue
+			}
+			seenService[key] = true
+		}
+		ev := model.Evaluate(q, desc)
+		if !ev.Matched {
+			continue // remote registry had a different opinion: re-check
+		}
+		hits = append(hits, hit{adv: a, desc: desc, ev: ev})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		a, b := hits[i], hits[j]
+		if a.ev.Degree != b.ev.Degree {
+			return a.ev.Degree > b.ev.Degree
+		}
+		if a.ev.Score != b.ev.Score {
+			return a.ev.Score > b.ev.Score
+		}
+		if ak, bk := a.desc.ServiceKey(), b.desc.ServiceKey(); ak != bk {
+			return ak < bk
+		}
+		return uuid.Compare(a.adv.ID, b.adv.ID) < 0
+	})
+	limit := opts.MaxResults
+	if limit <= 0 {
+		limit = s.DefaultMaxResults
+	}
+	if opts.BestOnly {
+		limit = 1
+	}
+	if len(hits) > limit {
+		hits = hits[:limit]
+	}
+	out := make([]wire.Advertisement, len(hits))
+	for i, h := range hits {
+		out[i] = h.adv
+	}
+	return out, nil
+}
+
+// Summary aggregates the summary tokens of all live advertisements per
+// kind — the digest registries gossip to peers for forwarding pruning.
+func (s *Store) Summary() []wire.SummaryEntry {
+	var entries []wire.SummaryEntry
+	kinds := s.models.Kinds()
+	for _, k := range kinds {
+		tokens := map[string]bool{}
+		for _, st := range s.byKind[k] {
+			for _, tok := range st.tokens {
+				tokens[tok] = true
+			}
+		}
+		if len(tokens) == 0 {
+			continue
+		}
+		list := make([]string, 0, len(tokens))
+		for t := range tokens {
+			list = append(list, t)
+		}
+		sort.Strings(list)
+		entries = append(entries, wire.SummaryEntry{Kind: k, Tokens: list})
+	}
+	return entries
+}
+
+// Adverts returns all stored advertisements (deterministic order); the
+// federation's push-cooperation and tests use it.
+func (s *Store) Adverts() []wire.Advertisement {
+	ids := make([]uuid.UUID, 0, len(s.adverts))
+	for id := range s.adverts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return uuid.Compare(ids[i], ids[j]) < 0 })
+	out := make([]wire.Advertisement, len(ids))
+	for i, id := range ids {
+		out[i] = s.adverts[id].advert
+	}
+	return out
+}
+
+// Advert returns a stored advertisement by ID.
+func (s *Store) Advert(id uuid.UUID) (wire.Advertisement, bool) {
+	st, ok := s.adverts[id]
+	if !ok {
+		return wire.Advertisement{}, false
+	}
+	return st.advert, true
+}
+
+// Has reports whether the advertisement is stored (and not yet purged).
+func (s *Store) Has(id uuid.UUID) bool {
+	_, ok := s.adverts[id]
+	return ok
+}
+
+// Subscribe registers a standing query; every future publish whose
+// description matches produces a Notification (the paper notes "some
+// systems today also allow registration for notifications about service
+// advertisements of interest"). The zero expires time means no expiry
+// (in-process subscriptions); wire subscriptions pass a lease deadline
+// and renew by re-subscribing under the same ID.
+func (s *Store) Subscribe(kind describe.Kind, payload []byte, notifyAddr string, id uuid.UUID, expires time.Time) (uuid.UUID, error) {
+	model, ok := s.models.Model(kind)
+	if !ok {
+		return uuid.Nil, fmt.Errorf("%w: %v", ErrUnknownKind, kind)
+	}
+	q, err := model.DecodeQuery(payload)
+	if err != nil {
+		return uuid.Nil, err
+	}
+	if existing, ok := s.subs[id]; ok {
+		// Renewal: refresh query, address and lease in place.
+		existing.kind = kind
+		existing.query = q
+		existing.notify = notifyAddr
+		existing.expires = expires
+		return id, nil
+	}
+	sub := &subscription{id: id, kind: kind, query: q, notify: notifyAddr, expires: expires}
+	s.subs[id] = sub
+	s.subsArr = append(s.subsArr, sub)
+	return id, nil
+}
+
+// PruneSubscriptions drops standing queries whose lease lapsed and
+// returns how many were removed.
+func (s *Store) PruneSubscriptions(now time.Time) int {
+	removed := 0
+	kept := s.subsArr[:0]
+	for _, sub := range s.subsArr {
+		if sub.alive(now) {
+			kept = append(kept, sub)
+			continue
+		}
+		delete(s.subs, sub.id)
+		removed++
+	}
+	s.subsArr = kept
+	return removed
+}
+
+// NumSubscriptions returns the number of standing queries (including
+// expired-but-unpruned ones).
+func (s *Store) NumSubscriptions() int { return len(s.subs) }
+
+// Unsubscribe removes a standing query.
+func (s *Store) Unsubscribe(id uuid.UUID) bool {
+	if _, ok := s.subs[id]; !ok {
+		return false
+	}
+	delete(s.subs, id)
+	for i, sub := range s.subsArr {
+		if sub.id == id {
+			s.subsArr = append(s.subsArr[:i], s.subsArr[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// PutArtifact stores an ontology/schema document under its IRI (§4.6).
+func (s *Store) PutArtifact(iri string, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.artifacts[iri] = cp
+}
+
+// Artifact fetches a stored artifact.
+func (s *Store) Artifact(iri string) ([]byte, bool) {
+	d, ok := s.artifacts[iri]
+	return d, ok
+}

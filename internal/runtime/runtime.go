@@ -1,0 +1,95 @@
+// Package runtime provides the execution environment protocol state
+// machines run in: identity, transport attachment, clock, and UUID
+// generation. All protocol logic (registry federation, service and
+// client roles, discovery bootstrap) is written as synchronous handlers
+// against an Env; the environment guarantees handlers and timer
+// callbacks never run concurrently — the simulator by construction
+// (single event loop), the UDP runtime by serializing onto one
+// goroutine per node.
+package runtime
+
+import (
+	"fmt"
+
+	"semdisco/internal/transport"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// Env is one node's execution environment.
+type Env struct {
+	// ID is the node's stable identity.
+	ID wire.NodeID
+	// Iface is the node's network attachment.
+	Iface transport.Iface
+	// Clock provides time and timers.
+	Clock transport.Clock
+	// Gen yields UUIDs; deterministic in simulation.
+	Gen *uuid.Generator
+	// Trace, when non-nil, receives debug lines.
+	Trace func(format string, args ...any)
+}
+
+// Addr returns the node's transport address.
+func (e *Env) Addr() transport.Addr { return e.Iface.Addr() }
+
+// NewUUID draws a fresh UUID.
+func (e *Env) NewUUID() uuid.UUID {
+	if e.Gen != nil {
+		return e.Gen.New()
+	}
+	return uuid.New()
+}
+
+// Envelope wraps a body with this node's identity and a fresh message ID.
+func (e *Env) Envelope(body wire.Body) *wire.Envelope {
+	return wire.NewEnvelope(e.ID, string(e.Addr()), body, e.Gen)
+}
+
+// Send marshals and unicasts a body.
+func (e *Env) Send(to transport.Addr, body wire.Body) error {
+	b, err := wire.Marshal(e.Envelope(body))
+	if err != nil {
+		return fmt.Errorf("runtime: marshal %T: %w", body, err)
+	}
+	return e.Iface.Unicast(to, b)
+}
+
+// Multicast marshals and multicasts a body on the local LAN scope.
+func (e *Env) Multicast(body wire.Body) error {
+	b, err := wire.Marshal(e.Envelope(body))
+	if err != nil {
+		return fmt.Errorf("runtime: marshal %T: %w", body, err)
+	}
+	return e.Iface.Multicast(b)
+}
+
+// Tracef emits a debug line when tracing is enabled.
+func (e *Env) Tracef(format string, args ...any) {
+	if e.Trace != nil {
+		e.Trace(format, args...)
+	}
+}
+
+// Handler is the message entry point every protocol node implements.
+type Handler interface {
+	// HandleEnvelope processes one received protocol message. The from
+	// address is the transport-level sender (which for forwarded
+	// messages differs from the envelope's original FromAddr).
+	HandleEnvelope(env *wire.Envelope, from transport.Addr)
+}
+
+// Dispatch decodes a datagram and passes it to the handler, silently
+// discarding undecodable messages — the paper's "quickly filter and
+// silently discard messages they cannot understand anyway".
+func Dispatch(h Handler, e *Env, from transport.Addr, data []byte) {
+	env, err := wire.Unmarshal(data)
+	if err != nil {
+		e.Tracef("discard from %s: %v", from, err)
+		return
+	}
+	if env.From == e.ID {
+		return // our own multicast looped back
+	}
+	h.HandleEnvelope(env, from)
+}

@@ -1,0 +1,143 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"semdisco/internal/transport"
+	"semdisco/internal/transport/memnet"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+type recorder struct {
+	envs  []*wire.Envelope
+	froms []transport.Addr
+}
+
+func (r *recorder) HandleEnvelope(env *wire.Envelope, from transport.Addr) {
+	r.envs = append(r.envs, env)
+	r.froms = append(r.froms, from)
+}
+
+func setup(t *testing.T) (*memnet.Network, *Env, *Env, *recorder) {
+	t.Helper()
+	net := memnet.New(memnet.Config{Seed: 1})
+	gen := uuid.NewGenerator(5)
+	rec := &recorder{}
+	envA := &Env{ID: gen.New(), Clock: net, Gen: gen}
+	envA.Iface = net.Attach("lan0/a", "lan0", nil)
+	envB := &Env{ID: gen.New(), Clock: net, Gen: gen}
+	envB.Iface = net.Attach("lan0/b", "lan0", func(from transport.Addr, data []byte) {
+		Dispatch(rec, envB, from, data)
+	})
+	return net, envA, envB, rec
+}
+
+func TestSendAndDispatch(t *testing.T) {
+	net, a, _, rec := setup(t)
+	if err := a.Send("lan0/b", wire.Ping{FromRegistry: true}); err != nil {
+		t.Fatal(err)
+	}
+	net.RunFor(time.Second)
+	if len(rec.envs) != 1 {
+		t.Fatalf("dispatched %d envelopes", len(rec.envs))
+	}
+	e := rec.envs[0]
+	if e.Type != wire.TPing || e.From != a.ID || e.FromAddr != "lan0/a" {
+		t.Fatalf("envelope = %+v", e)
+	}
+	if rec.froms[0] != "lan0/a" {
+		t.Fatalf("from = %s", rec.froms[0])
+	}
+}
+
+func TestMulticastDispatch(t *testing.T) {
+	net, a, _, rec := setup(t)
+	if err := a.Multicast(wire.Probe{}); err != nil {
+		t.Fatal(err)
+	}
+	net.RunFor(time.Second)
+	if len(rec.envs) != 1 || rec.envs[0].Type != wire.TProbe {
+		t.Fatalf("multicast dispatch = %+v", rec.envs)
+	}
+}
+
+func TestDispatchDropsGarbage(t *testing.T) {
+	net, _, b, rec := setup(t)
+	raw := net.Attach("lan0/x", "lan0", nil)
+	raw.Unicast("lan0/b", []byte("not a protocol message"))
+	raw.Unicast("lan0/b", nil)
+	net.RunFor(time.Second)
+	_ = b
+	if len(rec.envs) != 0 {
+		t.Fatalf("garbage dispatched: %+v", rec.envs)
+	}
+}
+
+func TestDispatchDropsOwnLoopback(t *testing.T) {
+	net := memnet.New(memnet.Config{Seed: 2})
+	gen := uuid.NewGenerator(6)
+	rec := &recorder{}
+	var env *Env
+	env = &Env{ID: gen.New(), Clock: net, Gen: gen}
+	env.Iface = net.Attach("lan0/self", "lan0", func(from transport.Addr, data []byte) {
+		Dispatch(rec, env, from, data)
+	})
+	// Another node relays our own envelope back (e.g. a multicast
+	// reflector); Dispatch must drop messages from our own ID.
+	b, err := wire.Marshal(env.Envelope(wire.Probe{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := net.Attach("lan0/relay", "lan0", nil)
+	relay.Unicast("lan0/self", b)
+	net.RunFor(time.Second)
+	if len(rec.envs) != 0 {
+		t.Fatal("own message dispatched back to self")
+	}
+}
+
+func TestEnvelopeIdentity(t *testing.T) {
+	_, a, _, _ := setup(t)
+	e1 := a.Envelope(wire.Bye{})
+	e2 := a.Envelope(wire.Bye{})
+	if e1.MsgID == e2.MsgID {
+		t.Fatal("message IDs not unique")
+	}
+	if e1.From != a.ID || e1.FromAddr != string(a.Addr()) || e1.Type != wire.TBye {
+		t.Fatalf("envelope identity wrong: %+v", e1)
+	}
+}
+
+func TestNewUUIDFallsBackToCryptoRand(t *testing.T) {
+	e := &Env{}
+	u := e.NewUUID()
+	if u.IsNil() {
+		t.Fatal("NewUUID returned Nil without a generator")
+	}
+}
+
+func TestTracef(t *testing.T) {
+	var lines []string
+	e := &Env{Trace: func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}}
+	e.Tracef("hello %d", 42)
+	if len(lines) != 1 || lines[0] != "hello 42" {
+		t.Fatalf("trace = %v", lines)
+	}
+	e.Trace = nil
+	e.Tracef("must not panic")
+}
+
+func TestSendMarshalErrorSurface(t *testing.T) {
+	_, a, _, _ := setup(t)
+	// A mismatched envelope cannot be produced through Send (it builds
+	// the envelope itself), so Send errors only on transport failure.
+	a.Iface.Close()
+	if err := a.Send("lan0/b", wire.Ping{}); err == nil {
+		t.Fatal("send on closed iface succeeded")
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+
+	"semdisco/internal/baseline"
+	"semdisco/internal/runtime"
+	"semdisco/internal/transport"
+	"semdisco/internal/wire"
+)
+
+// CentralHandle wraps a deployed UDDI-like central registry.
+type CentralHandle struct {
+	Central *baseline.CentralRegistry
+	Env     *runtime.Env
+	Addr    transport.Addr
+	w       *World
+}
+
+// AddCentral deploys the UDDI-like baseline registry. It answers no
+// probes and sends no beacons: clients and services must be seeded with
+// its endpoint, modelling UDDI's static configuration.
+func (w *World) AddCentral(lan, name string) *CentralHandle {
+	addr := transport.Addr(lan + "/" + name)
+	var c *baseline.CentralRegistry
+	env := w.env(addr, lan, func(e *runtime.Env) transport.Handler {
+		return func(from transport.Addr, data []byte) { runtime.Dispatch(c, e, from, data) }
+	})
+	c = baseline.NewCentral(env, w.models)
+	h := &CentralHandle{Central: c, Env: env, Addr: addr, w: w}
+	return h
+}
+
+// PeerInfo returns the central registry's seeding info.
+func (h *CentralHandle) PeerInfo() wire.PeerInfo {
+	return wire.PeerInfo{ID: h.Env.ID, Addr: string(h.Addr)}
+}
+
+// Crash abruptly fails the central registry.
+func (h *CentralHandle) Crash() { h.w.Net.SetUp(h.Addr, false) }
+
+// DHTHandle wraps a deployed DHT baseline node.
+type DHTHandle struct {
+	Node *baseline.DHTNode
+	Env  *runtime.Env
+	Addr transport.Addr
+	w    *World
+}
+
+// AddDHTRing deploys n DHT baseline nodes, one per lan name given, and
+// installs the full static ring in each.
+func (w *World) AddDHTRing(lans []string) []*DHTHandle {
+	var handles []*DHTHandle
+	var members []wire.PeerInfo
+	for i, lan := range lans {
+		addr := transport.Addr(fmt.Sprintf("%s/dht%d", lan, i))
+		var d *baseline.DHTNode
+		env := w.env(addr, lan, func(e *runtime.Env) transport.Handler {
+			return func(from transport.Addr, data []byte) { runtime.Dispatch(d, e, from, data) }
+		})
+		d = baseline.NewDHT(env, w.models)
+		handles = append(handles, &DHTHandle{Node: d, Env: env, Addr: addr, w: w})
+		members = append(members, wire.PeerInfo{ID: env.ID, Addr: string(addr)})
+	}
+	for _, h := range handles {
+		h.Node.SetRing(members)
+	}
+	return handles
+}
+
+// PeerInfo returns the DHT node's seeding info.
+func (h *DHTHandle) PeerInfo() wire.PeerInfo {
+	return wire.PeerInfo{ID: h.Env.ID, Addr: string(h.Addr)}
+}

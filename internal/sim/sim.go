@@ -1,0 +1,304 @@
+// Package sim assembles complete discovery deployments — registries,
+// service nodes, client nodes on LAN segments of a simulated network —
+// and drives them deterministically for the experiments. It is the
+// "testbed" substitute for the network environments the paper targets
+// but never measures.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/federation"
+	"semdisco/internal/lease"
+	"semdisco/internal/node"
+	"semdisco/internal/ontology"
+	"semdisco/internal/profile"
+	"semdisco/internal/rdf"
+	"semdisco/internal/registry"
+	"semdisco/internal/runtime"
+	"semdisco/internal/transport"
+	"semdisco/internal/transport/memnet"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// Config sets up a world.
+type Config struct {
+	// Seed drives all world randomness (UUIDs, network jitter/loss).
+	Seed int64
+	// Net configures the simulated network; Seed is copied into it.
+	Net memnet.Config
+	// Onto is the shared ontology; nil builds a small default sensor
+	// taxonomy.
+	Onto *ontology.Ontology
+	// Leases is the registry-side lease policy; zero uses defaults with
+	// Min=100ms (so experiments can use short leases).
+	Leases lease.Policy
+}
+
+// World is one assembled deployment.
+type World struct {
+	Net  *memnet.Network
+	Onto *ontology.Ontology
+	Gen  *uuid.Generator
+
+	models *describe.Registry
+	leases lease.Policy
+
+	Registries []*RegistryHandle
+	Services   []*ServiceHandle
+	Clients    []*ClientHandle
+}
+
+// RegistryHandle wraps one deployed registry.
+type RegistryHandle struct {
+	Reg  *federation.Registry
+	Env  *runtime.Env
+	LAN  string
+	Addr transport.Addr
+	w    *World
+}
+
+// ServiceHandle wraps one deployed service node.
+type ServiceHandle struct {
+	Svc  *node.Service
+	Env  *runtime.Env
+	LAN  string
+	Addr transport.Addr
+	// Descs are the descriptions the node hosts.
+	Descs []describe.Description
+	w     *World
+}
+
+// ClientHandle wraps one deployed client node.
+type ClientHandle struct {
+	Cli  *node.Client
+	Env  *runtime.Env
+	LAN  string
+	Addr transport.Addr
+	w    *World
+}
+
+// NewWorld builds an empty world.
+func NewWorld(cfg Config) *World {
+	cfg.Net.Seed = cfg.Seed
+	onto := cfg.Onto
+	if onto == nil {
+		onto = DefaultOntology()
+	}
+	leases := cfg.Leases
+	if leases.Min == 0 {
+		leases.Min = 100 * time.Millisecond
+	}
+	w := &World{
+		Net:    memnet.New(cfg.Net),
+		Onto:   onto,
+		Gen:    uuid.NewGenerator(uint64(cfg.Seed)*2654435761 + 1),
+		leases: leases,
+	}
+	w.models = describe.NewRegistry(
+		describe.URIModel{},
+		describe.KVModel{},
+		describe.NewSemanticModel(onto),
+	)
+	return w
+}
+
+// Models returns the shared description-model registry.
+func (w *World) Models() *describe.Registry { return w.models }
+
+// DefaultNS is the namespace of the default ontology.
+const DefaultNS = "http://semdisco.example/onto#"
+
+// C returns a class in the default namespace.
+func C(name string) ontology.Class { return ontology.Class(DefaultNS + name) }
+
+// DefaultOntology is a small sensor/service taxonomy modelled on the
+// paper's crisis-management and battlefield examples.
+func DefaultOntology() *ontology.Ontology {
+	o := ontology.New(DefaultNS)
+	axioms := [][2]string{
+		{"Service", ""},
+		{"InformationService", "Service"},
+		{"SensorFeed", "InformationService"},
+		{"RadarFeed", "SensorFeed"},
+		{"CoastalRadarFeed", "RadarFeed"},
+		{"CameraFeed", "SensorFeed"},
+		{"InfraredCameraFeed", "CameraFeed"},
+		{"WeatherService", "InformationService"},
+		{"MapService", "InformationService"},
+		{"CommunicationService", "Service"},
+		{"ChatService", "CommunicationService"},
+		{"Track", ""},
+		{"AirTrack", "Track"},
+		{"SurfaceTrack", "Track"},
+		{"Image", ""},
+		{"Region", ""},
+		{"AreaOfInterest", "Region"},
+	}
+	for _, a := range axioms {
+		if a[1] == "" {
+			must(o.AddClass(C(a[0])))
+		} else {
+			must(o.AddClass(C(a[0]), C(a[1])))
+		}
+	}
+	o.Freeze()
+	return o
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func (w *World) env(addr transport.Addr, lan string, dispatch func(*runtime.Env) transport.Handler) *runtime.Env {
+	env := &runtime.Env{ID: w.Gen.New(), Clock: w.Net, Gen: w.Gen}
+	env.Iface = w.Net.Attach(addr, lan, dispatch(env))
+	return env
+}
+
+// AddRegistry deploys and starts a federated registry on the LAN.
+func (w *World) AddRegistry(lan, name string, cfg federation.Config) *RegistryHandle {
+	addr := transport.Addr(lan + "/" + name)
+	store := registry.New(registry.Options{Models: w.models, Leases: w.leases})
+	// Pre-load the shared ontology into every registry's artifact
+	// repository (§4.6: the registry serves ontologies when offline).
+	if w.Onto != nil {
+		store.PutArtifact(w.Onto.IRI, ontologyDocument(w.Onto))
+	}
+	var reg *federation.Registry
+	env := w.env(addr, lan, func(e *runtime.Env) transport.Handler {
+		return func(from transport.Addr, data []byte) { runtime.Dispatch(reg, e, from, data) }
+	})
+	if cfg.Seed == 0 {
+		cfg.Seed = int64(env.ID[0])<<8 | int64(env.ID[1])
+	}
+	reg = federation.New(env, store, cfg)
+	reg.Start()
+	h := &RegistryHandle{Reg: reg, Env: env, LAN: lan, Addr: addr, w: w}
+	w.Registries = append(w.Registries, h)
+	return h
+}
+
+func ontologyDocument(o *ontology.Ontology) []byte {
+	return []byte(rdf.EncodeNTriples(o.ToGraph()))
+}
+
+// AddService deploys and starts a service node hosting the given
+// descriptions.
+func (w *World) AddService(lan, name string, cfg node.ServiceConfig, descs ...describe.Description) *ServiceHandle {
+	addr := transport.Addr(lan + "/" + name)
+	var svc *node.Service
+	env := w.env(addr, lan, func(e *runtime.Env) transport.Handler {
+		return func(from transport.Addr, data []byte) { runtime.Dispatch(svc, e, from, data) }
+	})
+	svc = node.NewService(env, w.models, cfg, descs...)
+	svc.Start()
+	h := &ServiceHandle{Svc: svc, Env: env, LAN: lan, Addr: addr, Descs: descs, w: w}
+	w.Services = append(w.Services, h)
+	return h
+}
+
+// AddClient deploys and starts a client node.
+func (w *World) AddClient(lan, name string, cfg node.ClientConfig) *ClientHandle {
+	addr := transport.Addr(lan + "/" + name)
+	var cli *node.Client
+	env := w.env(addr, lan, func(e *runtime.Env) transport.Handler {
+		return func(from transport.Addr, data []byte) { runtime.Dispatch(cli, e, from, data) }
+	})
+	cli = node.NewClient(env, cfg)
+	cli.Start()
+	h := &ClientHandle{Cli: cli, Env: env, LAN: lan, Addr: addr, w: w}
+	w.Clients = append(w.Clients, h)
+	return h
+}
+
+// Run advances virtual time.
+func (w *World) Run(d time.Duration) { w.Net.RunFor(d) }
+
+// Crash abruptly fails a registry: no departure message, timers halted.
+func (h *RegistryHandle) Crash() {
+	h.Reg.Crash()
+	h.w.Net.SetUp(h.Addr, false)
+}
+
+// Crash abruptly fails a service node.
+func (h *ServiceHandle) Crash() {
+	h.Svc.Crash()
+	h.w.Net.SetUp(h.Addr, false)
+}
+
+// PeerInfo returns the registry's connection info for seeding.
+func (h *RegistryHandle) PeerInfo() wire.PeerInfo {
+	return wire.PeerInfo{ID: h.Reg.ID(), Addr: string(h.Addr)}
+}
+
+// QueryOutcome is the synchronous result of ClientHandle.Query.
+type QueryOutcome struct {
+	node.QueryResult
+	// Completed is false when the callback never fired within the
+	// window (a bug or an extreme timeout configuration).
+	Completed bool
+	// Elapsed is virtual time from submission to callback.
+	Elapsed time.Duration
+}
+
+// Query submits a query and runs the world until the callback fires or
+// window elapses.
+func (h *ClientHandle) Query(spec node.QuerySpec, window time.Duration) QueryOutcome {
+	var out QueryOutcome
+	start := h.w.Net.Now()
+	h.Cli.Query(spec, func(r node.QueryResult) {
+		out.QueryResult = r
+		out.Completed = true
+		out.Elapsed = h.w.Net.Now().Sub(start)
+	})
+	deadline := start.Add(window)
+	for !out.Completed && h.w.Net.Now().Before(deadline) {
+		// Advance in small steps so we stop soon after the callback.
+		h.w.Net.RunFor(10 * time.Millisecond)
+	}
+	return out
+}
+
+// SemanticSpec builds a semantic query spec for a category.
+func (w *World) SemanticSpec(category ontology.Class, ttl uint8) node.QuerySpec {
+	q := &describe.SemanticQuery{Template: &profile.Template{Category: category}}
+	return node.QuerySpec{Kind: describe.KindSemantic, Payload: q.Encode(), TTL: ttl}
+}
+
+// SemanticProfile builds a minimal semantic description for a category,
+// naming the service by IRI.
+func (w *World) SemanticProfile(serviceIRI string, category ontology.Class) describe.Description {
+	return &describe.SemanticDescription{Profile: &profile.Profile{
+		ServiceIRI:  serviceIRI,
+		Category:    category,
+		Grounding:   "urn:grounding:" + serviceIRI,
+		OntologyIRI: w.Onto.IRI,
+	}}
+}
+
+// StaleFraction computes, for a set of returned advertisements, the
+// fraction whose providers are down — the staleness metric of E4.
+func (w *World) StaleFraction(adverts []wire.Advertisement) float64 {
+	if len(adverts) == 0 {
+		return 0
+	}
+	stale := 0
+	for _, a := range adverts {
+		if !w.Net.IsUp(transport.Addr(a.ProviderAddr)) {
+			stale++
+		}
+	}
+	return float64(stale) / float64(len(adverts))
+}
+
+// Fmt renders a world summary line for experiment logs.
+func (w *World) Fmt() string {
+	return fmt.Sprintf("world{lans=%d regs=%d svcs=%d clis=%d}",
+		len(w.Net.LANs()), len(w.Registries), len(w.Services), len(w.Clients))
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"semdisco/internal/federation"
+	"semdisco/internal/node"
+	"semdisco/internal/transport"
+)
+
+func TestWorldDeterminism(t *testing.T) {
+	run := func() (int, uint64, string) {
+		w := NewWorld(Config{Seed: 99})
+		r := w.AddRegistry("lan0", "r0", federation.Config{})
+		w.AddService("lan0", "s0", node.ServiceConfig{}, w.SemanticProfile("urn:svc:x", C("RadarFeed")))
+		cli := w.AddClient("lan0", "c0", node.ClientConfig{})
+		w.Run(3 * time.Second)
+		out := cli.Query(w.SemanticSpec(C("SensorFeed"), 0), 5*time.Second)
+		id := ""
+		if len(out.Adverts) > 0 {
+			id = out.Adverts[0].ID.String()
+		}
+		return r.Reg.Store().Len(), w.Net.Stats().BytesSent, id
+	}
+	l1, b1, id1 := run()
+	l2, b2, id2 := run()
+	if l1 != l2 || b1 != b2 || id1 != id2 {
+		t.Fatalf("same seed diverged: (%d,%d,%s) vs (%d,%d,%s)", l1, b1, id1, l2, b2, id2)
+	}
+	if l1 != 1 || id1 == "" {
+		t.Fatalf("world did not function: %d adverts, id=%q", l1, id1)
+	}
+}
+
+func TestWorldSeedsDiffer(t *testing.T) {
+	mk := func(seed int64) string {
+		w := NewWorld(Config{Seed: seed})
+		return w.Gen.New().String()
+	}
+	if mk(1) == mk(2) {
+		t.Fatal("different seeds produced identical UUID streams")
+	}
+}
+
+func TestDefaultOntologyShape(t *testing.T) {
+	o := DefaultOntology()
+	cases := []struct {
+		super, sub string
+		want       bool
+	}{
+		{"SensorFeed", "RadarFeed", true},
+		{"SensorFeed", "CoastalRadarFeed", true},
+		{"Service", "ChatService", true},
+		{"SensorFeed", "MapService", false},
+	}
+	for _, c := range cases {
+		if got := o.Subsumes(C(c.super), C(c.sub)); got != c.want {
+			t.Errorf("Subsumes(%s, %s) = %v, want %v", c.super, c.sub, got, c.want)
+		}
+	}
+}
+
+func TestRegistryArtifactPreloaded(t *testing.T) {
+	w := NewWorld(Config{Seed: 3})
+	r := w.AddRegistry("lan0", "r0", federation.Config{})
+	if _, ok := r.Reg.Store().Artifact(w.Onto.IRI); !ok {
+		t.Fatal("registry missing the preloaded ontology artifact")
+	}
+}
+
+func TestCrashHandles(t *testing.T) {
+	w := NewWorld(Config{Seed: 4})
+	r := w.AddRegistry("lan0", "r0", federation.Config{})
+	s := w.AddService("lan0", "s0", node.ServiceConfig{}, w.SemanticProfile("urn:svc:x", C("RadarFeed")))
+	w.Run(time.Second)
+	r.Crash()
+	s.Crash()
+	if w.Net.IsUp(r.Addr) || w.Net.IsUp(s.Addr) {
+		t.Fatal("crashed nodes still up on the network")
+	}
+}
+
+func TestStaleFraction(t *testing.T) {
+	w := NewWorld(Config{Seed: 5})
+	w.AddRegistry("lan0", "r0", federation.Config{})
+	s1 := w.AddService("lan0", "s1", node.ServiceConfig{}, w.SemanticProfile("urn:svc:a", C("RadarFeed")))
+	w.AddService("lan0", "s2", node.ServiceConfig{}, w.SemanticProfile("urn:svc:b", C("RadarFeed")))
+	cli := w.AddClient("lan0", "c0", node.ClientConfig{})
+	w.Run(2 * time.Second)
+	out := cli.Query(w.SemanticSpec(C("RadarFeed"), 0), 5*time.Second)
+	if got := w.StaleFraction(out.Adverts); got != 0 {
+		t.Fatalf("StaleFraction with all up = %v", got)
+	}
+	s1.Crash()
+	if got := w.StaleFraction(out.Adverts); got != 0.5 {
+		t.Fatalf("StaleFraction with one down = %v, want 0.5", got)
+	}
+	if got := w.StaleFraction(nil); got != 0 {
+		t.Fatalf("StaleFraction(nil) = %v", got)
+	}
+}
+
+func TestQueryOutcomeTimesOutCleanly(t *testing.T) {
+	w := NewWorld(Config{Seed: 6})
+	// No registry, no services; short fallback window.
+	cli := w.AddClient("lan0", "c0", node.ClientConfig{
+		QueryTimeout:   200 * time.Millisecond,
+		FallbackWindow: 200 * time.Millisecond,
+		MaxAttempts:    1,
+	})
+	w.Run(time.Second)
+	out := cli.Query(w.SemanticSpec(C("RadarFeed"), 0), 5*time.Second)
+	if !out.Completed {
+		t.Fatal("query never completed (fallback should deliver ViaNone)")
+	}
+	if out.Via != node.ViaNone || len(out.Adverts) != 0 {
+		t.Fatalf("empty-world outcome = %+v", out)
+	}
+	if out.Elapsed <= 0 {
+		t.Fatal("elapsed not measured")
+	}
+}
+
+func TestBaselineHandlesIntegration(t *testing.T) {
+	w := NewWorld(Config{Seed: 7})
+	c := w.AddCentral("lan0", "uddi")
+	ring := w.AddDHTRing([]string{"lan1", "lan2"})
+	if c.PeerInfo().Addr != string(c.Addr) {
+		t.Fatal("central PeerInfo mismatch")
+	}
+	if len(ring) != 2 {
+		t.Fatalf("ring size = %d", len(ring))
+	}
+	for _, h := range ring {
+		if h.PeerInfo().ID != h.Env.ID {
+			t.Fatal("dht PeerInfo mismatch")
+		}
+	}
+	var addrs []transport.Addr
+	for _, lan := range w.Net.LANs() {
+		addrs = append(addrs, w.Net.NodesOn(lan)...)
+	}
+	if len(addrs) != 3 {
+		t.Fatalf("attached nodes = %d", len(addrs))
+	}
+}
+
+func TestFmt(t *testing.T) {
+	w := NewWorld(Config{Seed: 8})
+	w.AddRegistry("lan0", "r0", federation.Config{})
+	if s := w.Fmt(); s == "" {
+		t.Fatal("Fmt empty")
+	}
+}

@@ -1,0 +1,379 @@
+// Package memnet is the deterministic simulated network the experiments
+// run on: LAN segments with multicast scope, WAN unicast links,
+// configurable latency and loss, node failures and network partitions,
+// and byte-exact traffic accounting per protocol message category.
+//
+// The network owns virtual time: all deliveries and timers are events
+// on one priority queue, executed in (time, sequence) order by Run.
+// Protocol state machines therefore execute single-threaded and every
+// experiment with the same seed replays identically.
+package memnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"semdisco/internal/transport"
+	"semdisco/internal/wire"
+)
+
+// Config tunes the simulated network. The zero value is a lossless
+// zero-jitter network with 1 ms LAN latency and 20 ms WAN latency.
+type Config struct {
+	// Seed drives all randomness (latency jitter, loss draws).
+	Seed int64
+	// LANLatency is the base one-way delay within a LAN segment.
+	LANLatency time.Duration
+	// WANLatency is the base one-way delay between LAN segments.
+	WANLatency time.Duration
+	// Jitter adds up to this much uniform extra delay per message.
+	Jitter time.Duration
+	// Loss is the probability in [0,1) that any single datagram is
+	// dropped (wireless links in the paper's environments are lossy).
+	Loss float64
+	// Start is the initial virtual time; zero means the Unix epoch.
+	Start time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.LANLatency == 0 {
+		c.LANLatency = time.Millisecond
+	}
+	if c.WANLatency == 0 {
+		c.WANLatency = 20 * time.Millisecond
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Unix(0, 0).UTC()
+	}
+	return c
+}
+
+// Network is the simulated network plus its virtual-time scheduler.
+// It is not safe for concurrent use; everything runs on the event loop.
+type Network struct {
+	cfg   Config
+	rng   *rand.Rand
+	now   time.Time
+	seq   uint64
+	queue eventQueue
+	nodes map[transport.Addr]*node
+
+	// partition maps an address to its partition ID; addresses in
+	// different partitions cannot exchange messages. Empty map means no
+	// partition (everyone connected).
+	partition map[transport.Addr]int
+
+	stats Stats
+}
+
+type node struct {
+	addr    transport.Addr
+	lan     string
+	handler transport.Handler
+	up      bool
+	closed  bool
+}
+
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Stats is the network's cumulative traffic accounting, broken down by
+// the wire protocol's operation categories — the paper's bandwidth
+// dimension.
+type Stats struct {
+	// MessagesSent counts transmissions (one multicast to k receivers
+	// counts as 1 transmission and k deliveries).
+	MessagesSent uint64
+	// MessagesDelivered counts successful deliveries.
+	MessagesDelivered uint64
+	// MessagesDropped counts losses, partition drops and down-node
+	// drops.
+	MessagesDropped uint64
+	// BytesSent sums datagram sizes at the sender, once per
+	// transmission.
+	BytesSent uint64
+	// BytesDelivered sums datagram sizes at receivers (a multicast of
+	// b bytes to k receivers adds k·b — the broadcast-medium load the
+	// paper worries about).
+	BytesDelivered uint64
+	// ByCategory breaks sent bytes/messages down by protocol category.
+	ByCategory [3]CategoryStats
+	// DeliveredByCategory breaks delivered bytes/messages down by
+	// category; a multicast counts once per receiver, measuring the
+	// actual load on the (possibly broadcast) medium.
+	DeliveredByCategory [3]CategoryStats
+}
+
+// CategoryStats is traffic for one protocol message category.
+type CategoryStats struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+// New returns an empty network.
+func New(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		now:       cfg.Start,
+		nodes:     make(map[transport.Addr]*node),
+		partition: make(map[transport.Addr]int),
+	}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Time { return n.now }
+
+// Stats returns a copy of the cumulative traffic statistics.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the traffic accounting (used between experiment
+// warm-up and measurement phases).
+func (n *Network) ResetStats() { n.stats = Stats{} }
+
+// errClosed is returned when sending through a closed interface.
+var errClosed = errors.New("memnet: interface closed")
+
+// Attach adds a node to the network on the given LAN segment. The
+// handler is invoked on the event loop for every delivered datagram.
+// Attaching an existing address replaces its handler and brings the
+// node up (modelling a process restart).
+func (n *Network) Attach(addr transport.Addr, lan string, handler transport.Handler) transport.Iface {
+	nd := &node{addr: addr, lan: lan, handler: handler, up: true}
+	n.nodes[addr] = nd
+	return &iface{net: n, node: nd}
+}
+
+// SetUp marks a node up or down. Messages to and from down nodes are
+// dropped — the abrupt service/registry crash of the paper's dynamic
+// environments.
+func (n *Network) SetUp(addr transport.Addr, up bool) {
+	if nd, ok := n.nodes[addr]; ok {
+		nd.up = up
+	}
+}
+
+// IsUp reports whether a node is attached and up.
+func (n *Network) IsUp(addr transport.Addr) bool {
+	nd, ok := n.nodes[addr]
+	return ok && nd.up && !nd.closed
+}
+
+// Partition assigns nodes to connectivity islands: addresses sharing a
+// group number can communicate, others cannot. Call with no arguments
+// to heal all partitions.
+func (n *Network) Partition(groups ...[]transport.Addr) {
+	n.partition = make(map[transport.Addr]int)
+	for i, g := range groups {
+		for _, a := range g {
+			n.partition[a] = i + 1
+		}
+	}
+}
+
+func (n *Network) connected(a, b transport.Addr) bool {
+	if len(n.partition) == 0 {
+		return true
+	}
+	ga, gb := n.partition[a], n.partition[b]
+	// Nodes not mentioned in any group (0) are isolated once a
+	// partition exists, unless talking to themselves.
+	return ga == gb && ga != 0
+}
+
+// Schedule runs fn at the given virtual time (clamped to now).
+func (n *Network) Schedule(at time.Time, fn func()) transport.CancelFunc {
+	if at.Before(n.now) {
+		at = n.now
+	}
+	e := &event{at: at, seq: n.seq, fn: fn}
+	n.seq++
+	heap.Push(&n.queue, e)
+	return func() { e.fn = nil }
+}
+
+// After schedules fn to run d from now; it implements transport.Clock.
+func (n *Network) After(d time.Duration, fn func()) transport.CancelFunc {
+	return n.Schedule(n.now.Add(d), fn)
+}
+
+// Run executes events until the queue is empty or virtual time exceeds
+// until. It returns the number of events executed.
+func (n *Network) Run(until time.Time) int {
+	executed := 0
+	for n.queue.Len() > 0 {
+		next := n.queue[0]
+		if next.at.After(until) {
+			break
+		}
+		heap.Pop(&n.queue)
+		n.now = next.at
+		if next.fn != nil {
+			next.fn()
+			executed++
+		}
+	}
+	if n.now.Before(until) {
+		n.now = until
+	}
+	return executed
+}
+
+// RunFor advances virtual time by d.
+func (n *Network) RunFor(d time.Duration) int { return n.Run(n.now.Add(d)) }
+
+// LANs returns the attached LAN segment names, sorted.
+func (n *Network) LANs() []string {
+	seen := map[string]bool{}
+	for _, nd := range n.nodes {
+		seen[nd.lan] = true
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodesOn returns the addresses attached to a LAN segment, sorted.
+func (n *Network) NodesOn(lan string) []transport.Addr {
+	var out []transport.Addr
+	for a, nd := range n.nodes {
+		if nd.lan == lan {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (n *Network) account(data []byte) {
+	n.stats.MessagesSent++
+	n.stats.BytesSent += uint64(len(data))
+	if len(data) >= 4 {
+		cat := wire.CategoryOf(wire.MsgType(data[3]))
+		n.stats.ByCategory[cat].Messages++
+		n.stats.ByCategory[cat].Bytes += uint64(len(data))
+	}
+}
+
+func (n *Network) latency(sameLAN bool) time.Duration {
+	base := n.cfg.WANLatency
+	if sameLAN {
+		base = n.cfg.LANLatency
+	}
+	if n.cfg.Jitter > 0 {
+		base += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	return base
+}
+
+func (n *Network) deliver(from *node, to *node, data []byte) {
+	if !to.up || to.closed || !n.connected(from.addr, to.addr) {
+		n.stats.MessagesDropped++
+		return
+	}
+	if n.cfg.Loss > 0 && n.rng.Float64() < n.cfg.Loss {
+		n.stats.MessagesDropped++
+		return
+	}
+	payload := make([]byte, len(data))
+	copy(payload, data)
+	fromAddr := from.addr
+	lat := n.latency(from.lan == to.lan)
+	toAddr := to.addr
+	n.Schedule(n.now.Add(lat), func() {
+		// Re-check liveness at delivery time: the node may have crashed
+		// while the datagram was in flight.
+		cur, ok := n.nodes[toAddr]
+		if !ok || !cur.up || cur.closed || cur.handler == nil {
+			n.stats.MessagesDropped++
+			return
+		}
+		n.stats.MessagesDelivered++
+		n.stats.BytesDelivered += uint64(len(payload))
+		if len(payload) >= 4 {
+			cat := wire.CategoryOf(wire.MsgType(payload[3]))
+			n.stats.DeliveredByCategory[cat].Messages++
+			n.stats.DeliveredByCategory[cat].Bytes += uint64(len(payload))
+		}
+		cur.handler(fromAddr, payload)
+	})
+}
+
+type iface struct {
+	net  *Network
+	node *node
+}
+
+func (i *iface) Addr() transport.Addr { return i.node.addr }
+
+func (i *iface) Unicast(to transport.Addr, data []byte) error {
+	if i.node.closed {
+		return errClosed
+	}
+	if !i.node.up {
+		return fmt.Errorf("memnet: node %s is down", i.node.addr)
+	}
+	i.net.account(data)
+	dst, ok := i.net.nodes[to]
+	if !ok {
+		i.net.stats.MessagesDropped++
+		return nil // best-effort, like UDP to a dead host
+	}
+	i.net.deliver(i.node, dst, data)
+	return nil
+}
+
+func (i *iface) Multicast(data []byte) error {
+	if i.node.closed {
+		return errClosed
+	}
+	if !i.node.up {
+		return fmt.Errorf("memnet: node %s is down", i.node.addr)
+	}
+	i.net.account(data)
+	// Deterministic receiver order.
+	for _, addr := range i.net.NodesOn(i.node.lan) {
+		if addr == i.node.addr {
+			continue
+		}
+		i.net.deliver(i.node, i.net.nodes[addr], data)
+	}
+	return nil
+}
+
+func (i *iface) Close() error {
+	i.node.closed = true
+	i.node.up = false
+	return nil
+}

@@ -1,0 +1,320 @@
+package memnet
+
+import (
+	"testing"
+	"time"
+
+	"semdisco/internal/transport"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+type capture struct {
+	from []transport.Addr
+	data [][]byte
+}
+
+func (c *capture) handler() transport.Handler {
+	return func(from transport.Addr, data []byte) {
+		c.from = append(c.from, from)
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		c.data = append(c.data, cp)
+	}
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	n := New(Config{})
+	var got capture
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", got.handler())
+	if err := a.Unicast("lan0/b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.data) != 0 {
+		t.Fatal("delivered before Run")
+	}
+	n.RunFor(10 * time.Millisecond)
+	if len(got.data) != 1 || string(got.data[0]) != "hello" {
+		t.Fatalf("delivery = %q", got.data)
+	}
+	if got.from[0] != "lan0/a" {
+		t.Fatalf("from = %s", got.from[0])
+	}
+}
+
+func TestMulticastScopedToLAN(t *testing.T) {
+	n := New(Config{})
+	var b, c, d capture
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", b.handler())
+	n.Attach("lan0/c", "lan0", c.handler())
+	n.Attach("lan1/d", "lan1", d.handler())
+	if err := a.Multicast([]byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	n.RunFor(10 * time.Millisecond)
+	if len(b.data) != 1 || len(c.data) != 1 {
+		t.Fatal("LAN members did not receive multicast")
+	}
+	if len(d.data) != 0 {
+		t.Fatal("multicast leaked across LAN boundary")
+	}
+}
+
+func TestMulticastExcludesSender(t *testing.T) {
+	n := New(Config{})
+	var a capture
+	ia := n.Attach("lan0/a", "lan0", a.handler())
+	ia.Multicast([]byte("m"))
+	n.RunFor(10 * time.Millisecond)
+	if len(a.data) != 0 {
+		t.Fatal("sender received its own multicast")
+	}
+}
+
+func TestDownNodeDropsTraffic(t *testing.T) {
+	n := New(Config{})
+	var b capture
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", b.handler())
+	n.SetUp("lan0/b", false)
+	a.Unicast("lan0/b", []byte("x"))
+	n.RunFor(10 * time.Millisecond)
+	if len(b.data) != 0 {
+		t.Fatal("down node received traffic")
+	}
+	if n.Stats().MessagesDropped == 0 {
+		t.Fatal("drop not accounted")
+	}
+	// Sending from a down node errors locally.
+	n.SetUp("lan0/a", false)
+	if err := a.Unicast("lan0/b", []byte("x")); err == nil {
+		t.Fatal("send from down node succeeded")
+	}
+}
+
+func TestCrashWhileInFlight(t *testing.T) {
+	n := New(Config{LANLatency: 5 * time.Millisecond})
+	var b capture
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", b.handler())
+	a.Unicast("lan0/b", []byte("x"))
+	// Crash the receiver before the datagram lands.
+	n.Schedule(n.Now().Add(1*time.Millisecond), func() { n.SetUp("lan0/b", false) })
+	n.RunFor(20 * time.Millisecond)
+	if len(b.data) != 0 {
+		t.Fatal("crashed node received in-flight datagram")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := New(Config{})
+	var b capture
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan1/b", "lan1", b.handler())
+	n.Partition([]transport.Addr{"lan0/a"}, []transport.Addr{"lan1/b"})
+	a.Unicast("lan1/b", []byte("x"))
+	n.RunFor(time.Second)
+	if len(b.data) != 0 {
+		t.Fatal("message crossed partition")
+	}
+	n.Partition() // heal
+	a.Unicast("lan1/b", []byte("y"))
+	n.RunFor(time.Second)
+	if len(b.data) != 1 {
+		t.Fatal("message lost after partition healed")
+	}
+}
+
+func TestLossIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) uint64 {
+		n := New(Config{Seed: seed, Loss: 0.5})
+		var b capture
+		a := n.Attach("lan0/a", "lan0", nil)
+		n.Attach("lan0/b", "lan0", b.handler())
+		for i := 0; i < 200; i++ {
+			a.Unicast("lan0/b", []byte{byte(i)})
+		}
+		n.RunFor(time.Second)
+		return uint64(len(b.data))
+	}
+	if run(1) != run(1) {
+		t.Fatal("same seed produced different loss pattern")
+	}
+	got := run(42)
+	if got < 60 || got > 140 {
+		t.Fatalf("50%% loss delivered %d/200", got)
+	}
+}
+
+func TestLatencyOrderingAndClock(t *testing.T) {
+	n := New(Config{LANLatency: time.Millisecond, WANLatency: 50 * time.Millisecond})
+	var order []string
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", func(transport.Addr, []byte) { order = append(order, "lan") })
+	n.Attach("lan1/c", "lan1", func(transport.Addr, []byte) { order = append(order, "wan") })
+	a.Unicast("lan1/c", []byte("1")) // sent first, arrives later
+	a.Unicast("lan0/b", []byte("2"))
+	n.RunFor(time.Second)
+	if len(order) != 2 || order[0] != "lan" || order[1] != "wan" {
+		t.Fatalf("delivery order = %v, want [lan wan]", order)
+	}
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	n := New(Config{})
+	var order []int
+	n.Schedule(n.Now().Add(2*time.Millisecond), func() { order = append(order, 2) })
+	n.Schedule(n.Now().Add(1*time.Millisecond), func() { order = append(order, 1) })
+	n.Schedule(n.Now().Add(1*time.Millisecond), func() { order = append(order, 11) }) // same time: FIFO
+	n.RunFor(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 11 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestAfterAndCancel(t *testing.T) {
+	n := New(Config{})
+	fired := 0
+	cancel := n.After(5*time.Millisecond, func() { fired++ })
+	n.After(10*time.Millisecond, func() { fired += 10 })
+	cancel()
+	n.RunFor(time.Second)
+	if fired != 10 {
+		t.Fatalf("fired = %d, want 10 (first timer canceled)", fired)
+	}
+}
+
+func TestRunStopsAtDeadline(t *testing.T) {
+	n := New(Config{})
+	fired := false
+	n.After(time.Hour, func() { fired = true })
+	n.RunFor(time.Minute)
+	if fired {
+		t.Fatal("event beyond deadline executed")
+	}
+	if got := n.Now().Sub(time.Unix(0, 0)); got != time.Minute {
+		t.Fatalf("clock advanced to %v, want 1m", got)
+	}
+	n.RunFor(2 * time.Hour)
+	if !fired {
+		t.Fatal("event not executed after deadline passed")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	n := New(Config{})
+	gen := uuid.NewGenerator(1)
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", func(transport.Addr, []byte) {})
+	n.Attach("lan0/c", "lan0", func(transport.Addr, []byte) {})
+
+	ping, err := wire.Marshal(wire.NewEnvelope(gen.New(), "lan0/a", wire.Ping{}, gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	query, err := wire.Marshal(wire.NewEnvelope(gen.New(), "lan0/a", wire.Query{QueryID: gen.New()}, gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Unicast("lan0/b", ping)
+	a.Multicast(query)
+	n.RunFor(time.Second)
+
+	s := n.Stats()
+	if s.MessagesSent != 2 {
+		t.Fatalf("MessagesSent = %d, want 2 (multicast is one transmission)", s.MessagesSent)
+	}
+	if s.MessagesDelivered != 3 {
+		t.Fatalf("MessagesDelivered = %d, want 3", s.MessagesDelivered)
+	}
+	if s.BytesSent != uint64(len(ping)+len(query)) {
+		t.Fatalf("BytesSent = %d", s.BytesSent)
+	}
+	if s.BytesDelivered != uint64(len(ping)+2*len(query)) {
+		t.Fatalf("BytesDelivered = %d", s.BytesDelivered)
+	}
+	if s.ByCategory[wire.CatMaintenance].Messages != 1 {
+		t.Fatalf("maintenance messages = %d", s.ByCategory[wire.CatMaintenance].Messages)
+	}
+	if s.ByCategory[wire.CatQuerying].Messages != 1 {
+		t.Fatalf("querying messages = %d", s.ByCategory[wire.CatQuerying].Messages)
+	}
+	n.ResetStats()
+	if n.Stats().MessagesSent != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestClosedIface(t *testing.T) {
+	n := New(Config{})
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", func(transport.Addr, []byte) {})
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Unicast("lan0/b", []byte("x")); err == nil {
+		t.Fatal("unicast on closed iface succeeded")
+	}
+	if err := a.Multicast([]byte("x")); err == nil {
+		t.Fatal("multicast on closed iface succeeded")
+	}
+	if n.IsUp("lan0/a") {
+		t.Fatal("closed node still up")
+	}
+}
+
+func TestUnicastToUnknownIsBestEffort(t *testing.T) {
+	n := New(Config{})
+	a := n.Attach("lan0/a", "lan0", nil)
+	if err := a.Unicast("nowhere", []byte("x")); err != nil {
+		t.Fatalf("unicast to unknown host errored: %v", err)
+	}
+	if n.Stats().MessagesDropped != 1 {
+		t.Fatal("drop to unknown host not accounted")
+	}
+}
+
+func TestHandlerGetsOwnCopy(t *testing.T) {
+	n := New(Config{})
+	var got []byte
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", func(_ transport.Addr, data []byte) { got = data })
+	buf := []byte("original")
+	a.Unicast("lan0/b", buf)
+	buf[0] = 'X' // mutate the caller's buffer after sending
+	n.RunFor(time.Second)
+	if string(got) != "original" {
+		t.Fatalf("delivered data aliases sender buffer: %q", got)
+	}
+}
+
+func TestReattachReplacesHandler(t *testing.T) {
+	n := New(Config{})
+	var first, second capture
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", first.handler())
+	n.SetUp("lan0/b", false)
+	n.Attach("lan0/b", "lan0", second.handler()) // restart
+	a.Unicast("lan0/b", []byte("x"))
+	n.RunFor(time.Second)
+	if len(first.data) != 0 || len(second.data) != 1 {
+		t.Fatalf("restart semantics wrong: first=%d second=%d", len(first.data), len(second.data))
+	}
+}
+
+func TestTopologyEnumeration(t *testing.T) {
+	n := New(Config{})
+	n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", nil)
+	n.Attach("lan1/c", "lan1", nil)
+	lans := n.LANs()
+	if len(lans) != 2 || lans[0] != "lan0" || lans[1] != "lan1" {
+		t.Fatalf("LANs = %v", lans)
+	}
+	nodes := n.NodesOn("lan0")
+	if len(nodes) != 2 || nodes[0] != "lan0/a" {
+		t.Fatalf("NodesOn = %v", nodes)
+	}
+}

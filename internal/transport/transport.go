@@ -1,0 +1,49 @@
+// Package transport defines the bearer abstraction underneath the
+// generic discovery protocol (Fig. 5: "SOAP … would need both unicast
+// and multicast bindings"). Protocol logic is written against this
+// interface only, so the identical state machines run on the
+// deterministic in-memory simulator (memnet) for experiments and on
+// real UDP sockets (udpnet) for deployment.
+package transport
+
+import "time"
+
+// Addr is a transport address. The simulator uses "lan/name" strings;
+// the UDP transport uses "host:port".
+type Addr string
+
+// Handler consumes a received datagram. Implementations must not retain
+// the data slice after returning.
+type Handler func(from Addr, data []byte)
+
+// Iface is one node's attachment to a network: unicast to an address
+// and multicast to the local scope (the node's LAN segment).
+type Iface interface {
+	// Addr returns this attachment's address.
+	Addr() Addr
+	// Unicast sends a datagram to one address. Delivery is best-effort,
+	// like UDP: errors are reserved for local failures (closed iface),
+	// not remote ones.
+	Unicast(to Addr, data []byte) error
+	// Multicast sends a datagram to every node in the local scope.
+	// WANs deliberately have no multicast (§4.5: "for WANs, the use of
+	// multicast places a too heavy burden on the network").
+	Multicast(data []byte) error
+	// Close detaches from the network; subsequent sends fail.
+	Close() error
+}
+
+// Clock provides time and deferred execution to protocol logic.
+// The simulator implements it with virtual time; the UDP runtime with
+// the real clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After schedules fn to run once, d from now, on the network's
+	// event loop (simulator) or a timer goroutine (UDP).
+	After(d time.Duration, fn func()) CancelFunc
+}
+
+// CancelFunc cancels a pending After callback; calling it after the
+// callback ran is a no-op.
+type CancelFunc func()

@@ -1,0 +1,237 @@
+// Package udpnet runs the discovery protocol over real UDP sockets:
+// unicast on a bound port plus optional multicast for LAN registry
+// discovery (SOAP-over-UDP stands in as plain UDP datagrams; the wire
+// format already carries everything the envelope needs).
+//
+// The protocol state machines require that handlers and timer callbacks
+// never run concurrently. udpnet guarantees this by funnelling every
+// received datagram and every timer through one executor goroutine per
+// node — the live-network analogue of the simulator's event loop.
+package udpnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"semdisco/internal/transport"
+)
+
+// Config configures a UDP node.
+type Config struct {
+	// Bind is the unicast listen address, e.g. "127.0.0.1:0".
+	Bind string
+	// Multicast is the LAN discovery group, e.g. "239.77.77.77:7777".
+	// Empty disables multicast (probes and beacons become no-ops, so
+	// seeding is required — the WAN situation of §4.5).
+	Multicast string
+	// QueueLen bounds the executor queue; default 1024.
+	QueueLen int
+}
+
+// Node is one live protocol endpoint. It implements transport.Iface and
+// transport.Clock.
+type Node struct {
+	conn   *net.UDPConn
+	mconn  *net.UDPConn // multicast listener (nil when disabled)
+	group  *net.UDPAddr
+	addr   transport.Addr
+	tasks  chan func()
+	closed chan struct{}
+	once   sync.Once
+
+	mu      sync.Mutex
+	handler transport.Handler
+}
+
+// Listen binds the node's sockets and starts its executor and reader
+// goroutines. Call SetHandler before any traffic is expected.
+func Listen(cfg Config) (*Node, error) {
+	if cfg.Bind == "" {
+		cfg.Bind = "127.0.0.1:0"
+	}
+	if cfg.QueueLen == 0 {
+		cfg.QueueLen = 1024
+	}
+	uaddr, err := net.ResolveUDPAddr("udp", cfg.Bind)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: bind address: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: listen: %w", err)
+	}
+	n := &Node{
+		conn:   conn,
+		addr:   transport.Addr(conn.LocalAddr().String()),
+		tasks:  make(chan func(), cfg.QueueLen),
+		closed: make(chan struct{}),
+	}
+	if cfg.Multicast != "" {
+		group, err := net.ResolveUDPAddr("udp", cfg.Multicast)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("udpnet: multicast address: %w", err)
+		}
+		n.group = group
+		// Join on all interfaces; failure (no multicast route in the
+		// environment) degrades to unicast-only operation.
+		if mc, err := net.ListenMulticastUDP("udp", nil, group); err == nil {
+			n.mconn = mc
+			go n.readLoop(mc)
+		}
+	}
+	go n.run()
+	go n.readLoop(conn)
+	return n, nil
+}
+
+// MulticastReady reports whether the node joined its multicast group
+// (LAN discovery available).
+func (n *Node) MulticastReady() bool { return n.mconn != nil }
+
+// SetHandler installs the datagram handler.
+func (n *Node) SetHandler(h transport.Handler) {
+	n.mu.Lock()
+	n.handler = h
+	n.mu.Unlock()
+}
+
+// run is the executor: all handlers and timers run here, serialized.
+func (n *Node) run() {
+	for {
+		select {
+		case <-n.closed:
+			return
+		case fn := <-n.tasks:
+			fn()
+		}
+	}
+}
+
+func (n *Node) readLoop(conn *net.UDPConn) {
+	buf := make([]byte, 64*1024)
+	for {
+		sz, from, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		data := make([]byte, sz)
+		copy(data, buf[:sz])
+		fromAddr := transport.Addr(from.String())
+		if fromAddr == n.addr {
+			continue // our own multicast loopback
+		}
+		n.post(func() {
+			n.mu.Lock()
+			h := n.handler
+			n.mu.Unlock()
+			if h != nil {
+				h(fromAddr, data)
+			}
+		})
+	}
+}
+
+// post enqueues onto the executor, dropping when the node is closed or
+// the queue is saturated (UDP semantics: better to drop than to block
+// the reader).
+func (n *Node) post(fn func()) {
+	select {
+	case <-n.closed:
+	case n.tasks <- fn:
+	default:
+		// queue full: drop
+	}
+}
+
+// Addr implements transport.Iface.
+func (n *Node) Addr() transport.Addr { return n.addr }
+
+// errClosed is returned when sending through a closed node.
+var errClosed = errors.New("udpnet: node closed")
+
+// Unicast implements transport.Iface.
+func (n *Node) Unicast(to transport.Addr, data []byte) error {
+	select {
+	case <-n.closed:
+		return errClosed
+	default:
+	}
+	dst, err := net.ResolveUDPAddr("udp", string(to))
+	if err != nil {
+		return fmt.Errorf("udpnet: destination %q: %w", to, err)
+	}
+	_, err = n.conn.WriteToUDP(data, dst)
+	return err
+}
+
+// Multicast implements transport.Iface. Without a multicast group this
+// is a silent no-op: nodes then rely on seeding, like any WAN node.
+func (n *Node) Multicast(data []byte) error {
+	select {
+	case <-n.closed:
+		return errClosed
+	default:
+	}
+	if n.group == nil {
+		return nil
+	}
+	_, err := n.conn.WriteToUDP(data, n.group)
+	return err
+}
+
+// Close implements transport.Iface.
+func (n *Node) Close() error {
+	n.once.Do(func() {
+		close(n.closed)
+		n.conn.Close()
+		if n.mconn != nil {
+			n.mconn.Close()
+		}
+	})
+	return nil
+}
+
+// Now implements transport.Clock.
+func (n *Node) Now() time.Time { return time.Now() }
+
+// After implements transport.Clock: the callback is funnelled through
+// the executor so it never races a message handler.
+func (n *Node) After(d time.Duration, fn func()) transport.CancelFunc {
+	var mu sync.Mutex
+	canceled := false
+	t := time.AfterFunc(d, func() {
+		n.post(func() {
+			mu.Lock()
+			c := canceled
+			mu.Unlock()
+			if !c {
+				fn()
+			}
+		})
+	})
+	return func() {
+		mu.Lock()
+		canceled = true
+		mu.Unlock()
+		t.Stop()
+	}
+}
+
+// Do runs fn on the executor and waits for it — the bridge external
+// callers (CLI commands) use to interact with a node's state machine
+// safely.
+func (n *Node) Do(fn func()) {
+	done := make(chan struct{})
+	n.post(func() {
+		fn()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-n.closed:
+	}
+}

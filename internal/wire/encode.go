@@ -1,0 +1,549 @@
+package wire
+
+import (
+	"fmt"
+
+	"semdisco/internal/codec"
+	"semdisco/internal/describe"
+	"semdisco/internal/uuid"
+)
+
+// Wire format: two magic bytes, a version byte, the envelope header,
+// then the body. The magic bytes let nodes "quickly filter and silently
+// discard messages they cannot understand anyway" before any parsing.
+const (
+	magic0      = 0x53 // 'S'
+	magic1      = 0x44 // 'D'
+	wireVersion = 1
+)
+
+// Marshal encodes the envelope for transmission.
+func Marshal(e *Envelope) ([]byte, error) {
+	if e.Body == nil {
+		return nil, fmt.Errorf("wire: nil body")
+	}
+	if e.Body.msgType() != e.Type {
+		return nil, fmt.Errorf("wire: envelope type %v does not match body %T", e.Type, e.Body)
+	}
+	var w codec.Buffer
+	w.Byte(magic0)
+	w.Byte(magic1)
+	w.Byte(wireVersion)
+	w.Byte(byte(e.Type))
+	w.Bytes16(e.From)
+	w.Bytes16(e.MsgID)
+	w.String(e.FromAddr)
+	if err := marshalBody(&w, e.Body); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// Unmarshal decodes a received datagram. Messages with wrong magic,
+// unknown version or unknown type yield an error the caller treats as
+// "silently discard".
+func Unmarshal(b []byte) (*Envelope, error) {
+	r := codec.NewReader(b)
+	m0, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	m1, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if m0 != magic0 || m1 != magic1 {
+		return nil, fmt.Errorf("wire: bad magic %02x%02x", m0, m1)
+	}
+	v, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if v != wireVersion {
+		return nil, fmt.Errorf("wire: unsupported version %d", v)
+	}
+	t, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	e := &Envelope{Type: MsgType(t)}
+	from, err := r.Bytes16()
+	if err != nil {
+		return nil, err
+	}
+	e.From = uuid.UUID(from)
+	mid, err := r.Bytes16()
+	if err != nil {
+		return nil, err
+	}
+	e.MsgID = uuid.UUID(mid)
+	if e.FromAddr, err = r.String(); err != nil {
+		return nil, err
+	}
+	if e.Body, err = unmarshalBody(r, e.Type); err != nil {
+		return nil, err
+	}
+	if err := r.Expect(e.Type.String()); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func marshalBody(w *codec.Buffer, body Body) error {
+	switch b := body.(type) {
+	case Probe, Bye:
+		// empty bodies
+	case Ping:
+		w.Bool(b.FromRegistry)
+	case ProbeMatch:
+		putPeers(w, b.Peers)
+	case Beacon:
+		putPeers(w, b.Peers)
+	case Pong:
+		putPeers(w, b.Peers)
+	case PeerExchange:
+		putPeers(w, b.Peers)
+	case Summary:
+		w.Uvarint(uint64(len(b.Entries)))
+		for _, en := range b.Entries {
+			w.Byte(byte(en.Kind))
+			w.StringSlice(en.Tokens)
+		}
+	case GatewayClaim:
+		w.Bool(b.Yield)
+	case Publish:
+		putAdvert(w, b.Advert)
+	case PublishAck:
+		w.Bytes16(b.AdvertID)
+		w.Bool(b.OK)
+		w.String(b.Error)
+		w.Uvarint(b.LeaseMillis)
+	case Renew:
+		w.Bytes16(b.AdvertID)
+	case RenewAck:
+		w.Bytes16(b.AdvertID)
+		w.Bool(b.OK)
+		w.Uvarint(b.LeaseMillis)
+	case Remove:
+		w.Bytes16(b.AdvertID)
+	case AdvertForward:
+		putAdvert(w, b.Advert)
+		w.Byte(b.HopsLeft)
+	case Query:
+		w.Bytes16(b.QueryID)
+		w.Byte(byte(b.Kind))
+		w.BytesVar(b.Payload)
+		w.Uvarint(uint64(b.MaxResults))
+		w.Bool(b.BestOnly)
+		w.Byte(b.TTL)
+		w.Byte(byte(b.Strategy))
+		w.Byte(b.Walkers)
+		w.String(b.ReplyAddr)
+	case QueryResult:
+		w.Bytes16(b.QueryID)
+		w.Uvarint(uint64(len(b.Adverts)))
+		for _, a := range b.Adverts {
+			putAdvert(w, a)
+		}
+		w.Bool(b.Complete)
+	case PeerQuery:
+		w.Bytes16(b.QueryID)
+		w.Byte(byte(b.Kind))
+		w.BytesVar(b.Payload)
+		w.String(b.ReplyAddr)
+	case ArtifactGet:
+		w.String(b.IRI)
+	case ArtifactData:
+		w.String(b.IRI)
+		w.Bool(b.Found)
+		w.BytesVar(b.Data)
+	case Subscribe:
+		w.Bytes16(b.SubID)
+		w.Byte(byte(b.Kind))
+		w.BytesVar(b.Payload)
+		w.String(b.NotifyAddr)
+		w.Uvarint(b.LeaseMillis)
+	case SubscribeAck:
+		w.Bytes16(b.SubID)
+		w.Bool(b.OK)
+		w.String(b.Error)
+		w.Uvarint(b.LeaseMillis)
+	case Unsubscribe:
+		w.Bytes16(b.SubID)
+	case ArtifactPut:
+		w.String(b.IRI)
+		w.BytesVar(b.Data)
+	case ArtifactPutAck:
+		w.String(b.IRI)
+		w.Bool(b.OK)
+	default:
+		return fmt.Errorf("wire: cannot marshal body type %T", body)
+	}
+	return nil
+}
+
+func unmarshalBody(r *codec.Reader, t MsgType) (Body, error) {
+	switch t {
+	case TProbe:
+		return Probe{}, nil
+	case TBye:
+		return Bye{}, nil
+	case TPing:
+		fr, err := r.Bool()
+		return Ping{FromRegistry: fr}, err
+	case TProbeMatch:
+		ps, err := getPeers(r)
+		return ProbeMatch{Peers: ps}, err
+	case TBeacon:
+		ps, err := getPeers(r)
+		return Beacon{Peers: ps}, err
+	case TPong:
+		ps, err := getPeers(r)
+		return Pong{Peers: ps}, err
+	case TPeerExchange:
+		ps, err := getPeers(r)
+		return PeerExchange{Peers: ps}, err
+	case TSummary:
+		n, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("wire: summary entry count %d exceeds payload", n)
+		}
+		s := Summary{}
+		for i := uint64(0); i < n; i++ {
+			k, err := r.Byte()
+			if err != nil {
+				return nil, err
+			}
+			toks, err := r.StringSlice()
+			if err != nil {
+				return nil, err
+			}
+			s.Entries = append(s.Entries, SummaryEntry{Kind: describe.Kind(k), Tokens: toks})
+		}
+		return s, nil
+	case TGatewayClaim:
+		y, err := r.Bool()
+		return GatewayClaim{Yield: y}, err
+	case TPublish:
+		a, err := getAdvert(r)
+		return Publish{Advert: a}, err
+	case TPublishAck:
+		var b PublishAck
+		id, err := r.Bytes16()
+		if err != nil {
+			return nil, err
+		}
+		b.AdvertID = uuid.UUID(id)
+		if b.OK, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		if b.Error, err = r.String(); err != nil {
+			return nil, err
+		}
+		if b.LeaseMillis, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		return b, nil
+	case TRenew:
+		id, err := r.Bytes16()
+		return Renew{AdvertID: uuid.UUID(id)}, err
+	case TRenewAck:
+		var b RenewAck
+		id, err := r.Bytes16()
+		if err != nil {
+			return nil, err
+		}
+		b.AdvertID = uuid.UUID(id)
+		if b.OK, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		if b.LeaseMillis, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		return b, nil
+	case TRemove:
+		id, err := r.Bytes16()
+		return Remove{AdvertID: uuid.UUID(id)}, err
+	case TAdvertForward:
+		a, err := getAdvert(r)
+		if err != nil {
+			return nil, err
+		}
+		h, err := r.Byte()
+		return AdvertForward{Advert: a, HopsLeft: h}, err
+	case TQuery:
+		var b Query
+		id, err := r.Bytes16()
+		if err != nil {
+			return nil, err
+		}
+		b.QueryID = uuid.UUID(id)
+		k, err := r.Byte()
+		if err != nil {
+			return nil, err
+		}
+		b.Kind = describe.Kind(k)
+		pl, err := r.BytesVar()
+		if err != nil {
+			return nil, err
+		}
+		b.Payload = cloneBytes(pl)
+		mr, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b.MaxResults = uint16(mr)
+		if b.BestOnly, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		if b.TTL, err = r.Byte(); err != nil {
+			return nil, err
+		}
+		s, err := r.Byte()
+		if err != nil {
+			return nil, err
+		}
+		b.Strategy = Strategy(s)
+		if b.Walkers, err = r.Byte(); err != nil {
+			return nil, err
+		}
+		if b.ReplyAddr, err = r.String(); err != nil {
+			return nil, err
+		}
+		return b, nil
+	case TQueryResult:
+		var b QueryResult
+		id, err := r.Bytes16()
+		if err != nil {
+			return nil, err
+		}
+		b.QueryID = uuid.UUID(id)
+		n, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("wire: advert count %d exceeds payload", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			a, err := getAdvert(r)
+			if err != nil {
+				return nil, err
+			}
+			b.Adverts = append(b.Adverts, a)
+		}
+		if b.Complete, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		return b, nil
+	case TPeerQuery:
+		var b PeerQuery
+		id, err := r.Bytes16()
+		if err != nil {
+			return nil, err
+		}
+		b.QueryID = uuid.UUID(id)
+		k, err := r.Byte()
+		if err != nil {
+			return nil, err
+		}
+		b.Kind = describe.Kind(k)
+		pl, err := r.BytesVar()
+		if err != nil {
+			return nil, err
+		}
+		b.Payload = cloneBytes(pl)
+		if b.ReplyAddr, err = r.String(); err != nil {
+			return nil, err
+		}
+		return b, nil
+	case TArtifactGet:
+		iri, err := r.String()
+		return ArtifactGet{IRI: iri}, err
+	case TArtifactData:
+		var b ArtifactData
+		var err error
+		if b.IRI, err = r.String(); err != nil {
+			return nil, err
+		}
+		if b.Found, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		d, err := r.BytesVar()
+		if err != nil {
+			return nil, err
+		}
+		b.Data = cloneBytes(d)
+		return b, nil
+	case TSubscribe:
+		var b Subscribe
+		id, err := r.Bytes16()
+		if err != nil {
+			return nil, err
+		}
+		b.SubID = uuid.UUID(id)
+		k, err := r.Byte()
+		if err != nil {
+			return nil, err
+		}
+		b.Kind = describe.Kind(k)
+		pl, err := r.BytesVar()
+		if err != nil {
+			return nil, err
+		}
+		b.Payload = cloneBytes(pl)
+		if b.NotifyAddr, err = r.String(); err != nil {
+			return nil, err
+		}
+		if b.LeaseMillis, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		return b, nil
+	case TSubscribeAck:
+		var b SubscribeAck
+		id, err := r.Bytes16()
+		if err != nil {
+			return nil, err
+		}
+		b.SubID = uuid.UUID(id)
+		if b.OK, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		if b.Error, err = r.String(); err != nil {
+			return nil, err
+		}
+		if b.LeaseMillis, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		return b, nil
+	case TUnsubscribe:
+		id, err := r.Bytes16()
+		return Unsubscribe{SubID: uuid.UUID(id)}, err
+	case TArtifactPut:
+		var b ArtifactPut
+		var err error
+		if b.IRI, err = r.String(); err != nil {
+			return nil, err
+		}
+		d, err := r.BytesVar()
+		if err != nil {
+			return nil, err
+		}
+		b.Data = cloneBytes(d)
+		return b, nil
+	case TArtifactPutAck:
+		var b ArtifactPutAck
+		var err error
+		if b.IRI, err = r.String(); err != nil {
+			return nil, err
+		}
+		if b.OK, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", t)
+	}
+}
+
+func putPeers(w *codec.Buffer, ps []PeerInfo) {
+	w.Uvarint(uint64(len(ps)))
+	for _, p := range ps {
+		w.Bytes16(p.ID)
+		w.String(p.Addr)
+	}
+}
+
+func getPeers(r *codec.Reader) ([]PeerInfo, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("wire: peer count %d exceeds payload", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]PeerInfo, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id, err := r.Bytes16()
+		if err != nil {
+			return nil, err
+		}
+		addr, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PeerInfo{ID: uuid.UUID(id), Addr: addr})
+	}
+	return out, nil
+}
+
+func putAdvert(w *codec.Buffer, a Advertisement) {
+	w.Bytes16(a.ID)
+	w.Bytes16(a.Provider)
+	w.String(a.ProviderAddr)
+	w.Byte(byte(a.Kind))
+	w.BytesVar(a.Payload)
+	w.Uvarint(a.LeaseMillis)
+	w.Uvarint(a.Version)
+}
+
+func getAdvert(r *codec.Reader) (Advertisement, error) {
+	var a Advertisement
+	id, err := r.Bytes16()
+	if err != nil {
+		return a, err
+	}
+	a.ID = uuid.UUID(id)
+	prov, err := r.Bytes16()
+	if err != nil {
+		return a, err
+	}
+	a.Provider = uuid.UUID(prov)
+	if a.ProviderAddr, err = r.String(); err != nil {
+		return a, err
+	}
+	k, err := r.Byte()
+	if err != nil {
+		return a, err
+	}
+	a.Kind = describe.Kind(k)
+	pl, err := r.BytesVar()
+	if err != nil {
+		return a, err
+	}
+	a.Payload = cloneBytes(pl)
+	if a.LeaseMillis, err = r.Uvarint(); err != nil {
+		return a, err
+	}
+	if a.Version, err = r.Uvarint(); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+// cloneBytes detaches decoded payloads from the receive buffer so they
+// can be retained safely.
+func cloneBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// EncodedSize returns the marshaled size of the envelope; experiments
+// use it for byte-exact bandwidth accounting without double-encoding.
+func EncodedSize(e *Envelope) (int, error) {
+	b, err := Marshal(e)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}

@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"semdisco/internal/uuid"
+)
+
+// FuzzUnmarshal hammers the wire decoder with mutated real messages;
+// any panic or accepted-garbage-that-remarshal-differs is a bug.
+func FuzzUnmarshal(f *testing.F) {
+	gen := uuid.NewGenerator(1)
+	for _, body := range allBodies() {
+		b, err := Marshal(NewEnvelope(gen.New(), "lan0/n", body, gen))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{magic0, magic1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode and decode to the same
+		// envelope (canonical round trip).
+		re, err := Marshal(env)
+		if err != nil {
+			t.Fatalf("decoded envelope does not re-marshal: %v", err)
+		}
+		env2, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-marshaled bytes do not decode: %v", err)
+		}
+		if !reflect.DeepEqual(env, env2) {
+			t.Fatalf("round trip diverged:\n%#v\n%#v", env, env2)
+		}
+	})
+}

@@ -1,0 +1,470 @@
+// Package wire defines the generic service discovery protocol of the
+// conceptual architecture: a compact envelope plus typed message bodies
+// in the paper's three operation categories —
+//
+//	registry network maintenance: probe/probe-match, beacons, ping/pong,
+//	    peer exchange, advertisement summaries, gateway claims, bye
+//	publishing: publish, renew, update (publish with higher version),
+//	    remove, advertisement forwarding
+//	querying: query, query result, decentralized peer query,
+//	    artifact get/data (the registry-as-repository role of §4.6)
+//
+// Every message carries the sender's node ID and a message UUID;
+// queries additionally carry a query UUID used for response correlation
+// and loop avoidance ("giving queries their unique query ID is a good
+// approach to avoid query looping between registry nodes"). Payloads
+// carrying service descriptions are opaque to this layer and tagged
+// with a describe.Kind — the paper's IP-style "next header" field.
+package wire
+
+import (
+	"fmt"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/uuid"
+)
+
+// NodeID identifies a participant independently of transport address.
+type NodeID = uuid.UUID
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Message types, grouped by the paper's three operation categories.
+const (
+	// --- registry network maintenance ---
+
+	// TProbe is a client's or registry's multicast "any registries
+	// here?" (active registry discovery, §4.5).
+	TProbe MsgType = iota + 1
+	// TProbeMatch answers a probe with the responder's identity plus
+	// alternate registries (registry signaling).
+	TProbeMatch
+	// TBeacon is a registry's periodic multicast announcement enabling
+	// passive registry discovery.
+	TBeacon
+	// TBye announces graceful departure of a node.
+	TBye
+	// TPing checks a peer registry's aliveness.
+	TPing
+	// TPong answers a ping, carrying alternate registries.
+	TPong
+	// TPeerExchange gossips known registry nodes between registries.
+	TPeerExchange
+	// TSummary gossips per-kind advertisement summary tokens used for
+	// forwarding pruning (§4.9).
+	TSummary
+	// TGatewayClaim coordinates which LAN registry forwards to the WAN
+	// (§4.7: "only one node … acts as the gateway").
+	TGatewayClaim
+
+	// --- publishing ---
+
+	// TPublish publishes or updates (same ID, higher version) an
+	// advertisement with a lease.
+	TPublish
+	// TPublishAck confirms or rejects a publish and grants the lease.
+	TPublishAck
+	// TRenew renews an advertisement lease.
+	TRenew
+	// TRenewAck confirms or rejects a renewal.
+	TRenewAck
+	// TRemove withdraws an advertisement explicitly.
+	TRemove
+	// TAdvertForward pushes an advertisement to a peer registry
+	// (replication-style cooperation).
+	TAdvertForward
+
+	// --- querying ---
+
+	// TQuery submits or forwards a service query.
+	TQuery
+	// TQueryResult returns matching advertisements.
+	TQueryResult
+	// TPeerQuery is the decentralized LAN fallback: service nodes
+	// evaluate it against their own advertisements (Fig. 3 right).
+	TPeerQuery
+	// TArtifactGet requests an ontology/schema artifact by IRI (§4.6).
+	TArtifactGet
+	// TArtifactData returns a requested artifact.
+	TArtifactData
+	// TSubscribe registers a standing query; matching future publishes
+	// are pushed to the subscriber as QueryResult messages carrying the
+	// subscription ID ("registration for notifications about service
+	// advertisements of interest", MILCOM'07). Subscriptions are leased
+	// like advertisements: a crashed subscriber stops being notified.
+	TSubscribe
+	// TSubscribeAck confirms or rejects a subscription and grants its
+	// lease; it also renews (same SubID).
+	TSubscribeAck
+	// TUnsubscribe withdraws a standing query.
+	TUnsubscribe
+	// TArtifactPut uploads an ontology/schema into the registry's
+	// artifact repository ("uploading service taxonomies", MILCOM'07).
+	TArtifactPut
+	// TArtifactPutAck confirms an upload.
+	TArtifactPutAck
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		TProbe: "probe", TProbeMatch: "probe-match", TBeacon: "beacon",
+		TBye: "bye", TPing: "ping", TPong: "pong",
+		TPeerExchange: "peer-exchange", TSummary: "summary",
+		TGatewayClaim: "gateway-claim", TPublish: "publish",
+		TPublishAck: "publish-ack", TRenew: "renew", TRenewAck: "renew-ack",
+		TRemove: "remove", TAdvertForward: "advert-forward",
+		TQuery: "query", TQueryResult: "query-result",
+		TPeerQuery: "peer-query", TArtifactGet: "artifact-get",
+		TArtifactData: "artifact-data", TSubscribe: "subscribe",
+		TSubscribeAck: "subscribe-ack", TUnsubscribe: "unsubscribe",
+		TArtifactPut: "artifact-put", TArtifactPutAck: "artifact-put-ack",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("msgtype(%d)", uint8(t))
+}
+
+// Category groups message types for the bandwidth accounting the
+// experiments report per operation category.
+type Category uint8
+
+// The paper's three message categories.
+const (
+	CatMaintenance Category = iota
+	CatPublishing
+	CatQuerying
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case CatMaintenance:
+		return "maintenance"
+	case CatPublishing:
+		return "publishing"
+	case CatQuerying:
+		return "querying"
+	default:
+		return fmt.Sprintf("category(%d)", uint8(c))
+	}
+}
+
+// CategoryOf maps a message type to its operation category.
+func CategoryOf(t MsgType) Category {
+	switch {
+	case t >= TProbe && t <= TGatewayClaim:
+		return CatMaintenance
+	case t >= TPublish && t <= TAdvertForward:
+		return CatPublishing
+	default:
+		return CatQuerying
+	}
+}
+
+// Envelope is the common header of every protocol message.
+type Envelope struct {
+	// Type selects the body's concrete type.
+	Type MsgType
+	// From is the sending node's ID.
+	From NodeID
+	// FromAddr is the sender's transport address for direct replies.
+	FromAddr string
+	// MsgID is unique per message.
+	MsgID uuid.UUID
+	// Body is the typed message body; its dynamic type must correspond
+	// to Type.
+	Body Body
+}
+
+// Body is implemented by all message bodies.
+type Body interface {
+	msgType() MsgType
+}
+
+// PeerInfo advertises one registry node: its ID and transport address.
+// Lists of PeerInfo implement the paper's registry signaling —
+// "provide the client node with alternative registry nodes' addresses".
+type PeerInfo struct {
+	ID   NodeID
+	Addr string
+}
+
+// Probe body (maintenance).
+type Probe struct{}
+
+// ProbeMatch body: alternates for failover.
+type ProbeMatch struct {
+	Peers []PeerInfo
+}
+
+// Beacon body: periodic announcement, with alternates.
+type Beacon struct {
+	Peers []PeerInfo
+}
+
+// Bye body: graceful departure.
+type Bye struct{}
+
+// Ping body. FromRegistry distinguishes registry-to-registry aliveness
+// checks (the receiver should record the sender as a federation peer)
+// from client/service seed probes (it should not).
+type Ping struct {
+	FromRegistry bool
+}
+
+// Pong body: alternates for failover.
+type Pong struct {
+	Peers []PeerInfo
+}
+
+// PeerExchange body: registry list gossip.
+type PeerExchange struct {
+	Peers []PeerInfo
+}
+
+// SummaryEntry carries one model's summary tokens.
+type SummaryEntry struct {
+	Kind   describe.Kind
+	Tokens []string
+}
+
+// Summary body: the sending registry's advertisement summary.
+type Summary struct {
+	Entries []SummaryEntry
+}
+
+// GatewayClaim body: the sender claims (or yields) the LAN gateway
+// role; lowest node ID wins among concurrent claimants.
+type GatewayClaim struct {
+	// Yield is true when the sender relinquishes the role.
+	Yield bool
+}
+
+// Advertisement is a published service description plus its lease
+// metadata; the payload stays opaque at this layer.
+type Advertisement struct {
+	// ID identifies the advertisement for renew/update/remove (§4.10).
+	ID uuid.UUID
+	// Provider is the service node that published it.
+	Provider NodeID
+	// ProviderAddr lets registries and clients reach the provider.
+	ProviderAddr string
+	// Kind is the next-header value of the payload.
+	Kind describe.Kind
+	// Payload is the encoded service description.
+	Payload []byte
+	// LeaseMillis is the requested/granted lease duration.
+	LeaseMillis uint64
+	// Version increases on every republish of updated content.
+	Version uint64
+}
+
+// Publish body.
+type Publish struct {
+	Advert Advertisement
+}
+
+// PublishAck body.
+type PublishAck struct {
+	AdvertID uuid.UUID
+	OK       bool
+	// Error describes a rejection; empty on success.
+	Error string
+	// LeaseMillis is the granted lease (registries may shorten it).
+	LeaseMillis uint64
+}
+
+// Renew body.
+type Renew struct {
+	AdvertID uuid.UUID
+}
+
+// RenewAck body. OK=false means the registry no longer knows the
+// advertisement and the provider must republish.
+type RenewAck struct {
+	AdvertID    uuid.UUID
+	OK          bool
+	LeaseMillis uint64
+}
+
+// Remove body.
+type Remove struct {
+	AdvertID uuid.UUID
+}
+
+// AdvertForward body: push cooperation between registries.
+type AdvertForward struct {
+	Advert Advertisement
+	// HopsLeft bounds further forwarding.
+	HopsLeft uint8
+}
+
+// Strategy selects the federation's query forwarding scheme (§4.9).
+type Strategy uint8
+
+// Forwarding strategies.
+const (
+	// StrategyFlood forwards to every neighbor until TTL exhausts.
+	StrategyFlood Strategy = iota
+	// StrategyExpandingRing retries flooding with growing TTL.
+	StrategyExpandingRing
+	// StrategyRandomWalk forwards along K random walkers.
+	StrategyRandomWalk
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyFlood:
+		return "flood"
+	case StrategyExpandingRing:
+		return "expanding-ring"
+	case StrategyRandomWalk:
+		return "random-walk"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// Query body. The same body serves the client→registry submission and
+// registry→registry forwarding; ReplyAddr always names the previous
+// hop, so results aggregate along the reverse path and the entry
+// registry can exercise query response control before answering the
+// client (§3.1).
+type Query struct {
+	// QueryID correlates responses and suppresses forwarding loops.
+	QueryID uuid.UUID
+	// Kind is the next-header value of the query payload.
+	Kind describe.Kind
+	// Payload is the encoded model-specific query.
+	Payload []byte
+	// MaxResults caps the result set (0 = registry default). 1 with
+	// BestOnly is the paper's "return only the best advertisement".
+	MaxResults uint16
+	// BestOnly asks the registry to return a single ranked winner.
+	BestOnly bool
+	// TTL bounds forwarding hops in the registry network.
+	TTL uint8
+	// Strategy selects the forwarding scheme.
+	Strategy Strategy
+	// Walkers is the walker count for StrategyRandomWalk.
+	Walkers uint8
+	// ReplyAddr is where this hop's results are sent.
+	ReplyAddr string
+}
+
+// QueryResult body.
+type QueryResult struct {
+	QueryID uuid.UUID
+	// Adverts are the matching advertisements, ranked best-first.
+	Adverts []Advertisement
+	// Complete marks the terminal result message for the query from
+	// this responder (aggregation bookkeeping).
+	Complete bool
+}
+
+// PeerQuery body: the decentralized fallback query (multicast on the
+// LAN, answered by service nodes directly).
+type PeerQuery struct {
+	QueryID   uuid.UUID
+	Kind      describe.Kind
+	Payload   []byte
+	ReplyAddr string
+}
+
+// ArtifactGet body: fetch an ontology or schema by IRI from a
+// registry's artifact repository.
+type ArtifactGet struct {
+	IRI string
+}
+
+// ArtifactData body.
+type ArtifactData struct {
+	IRI   string
+	Found bool
+	Data  []byte
+}
+
+// Subscribe body: a leased standing query. Notifications arrive at
+// NotifyAddr as QueryResult messages whose QueryID equals SubID.
+// Re-sending with the same SubID renews the lease.
+type Subscribe struct {
+	SubID       uuid.UUID
+	Kind        describe.Kind
+	Payload     []byte
+	NotifyAddr  string
+	LeaseMillis uint64
+}
+
+// SubscribeAck body.
+type SubscribeAck struct {
+	SubID       uuid.UUID
+	OK          bool
+	Error       string
+	LeaseMillis uint64
+}
+
+// Unsubscribe body.
+type Unsubscribe struct {
+	SubID uuid.UUID
+}
+
+// ArtifactPut body: store a document under its IRI in the registry's
+// repository so disconnected nodes can resolve it later.
+type ArtifactPut struct {
+	IRI  string
+	Data []byte
+}
+
+// ArtifactPutAck body.
+type ArtifactPutAck struct {
+	IRI string
+	OK  bool
+}
+
+func (Probe) msgType() MsgType          { return TProbe }
+func (ProbeMatch) msgType() MsgType     { return TProbeMatch }
+func (Beacon) msgType() MsgType         { return TBeacon }
+func (Bye) msgType() MsgType            { return TBye }
+func (Ping) msgType() MsgType           { return TPing }
+func (Pong) msgType() MsgType           { return TPong }
+func (PeerExchange) msgType() MsgType   { return TPeerExchange }
+func (Summary) msgType() MsgType        { return TSummary }
+func (GatewayClaim) msgType() MsgType   { return TGatewayClaim }
+func (Publish) msgType() MsgType        { return TPublish }
+func (PublishAck) msgType() MsgType     { return TPublishAck }
+func (Renew) msgType() MsgType          { return TRenew }
+func (RenewAck) msgType() MsgType       { return TRenewAck }
+func (Remove) msgType() MsgType         { return TRemove }
+func (AdvertForward) msgType() MsgType  { return TAdvertForward }
+func (Query) msgType() MsgType          { return TQuery }
+func (QueryResult) msgType() MsgType    { return TQueryResult }
+func (PeerQuery) msgType() MsgType      { return TPeerQuery }
+func (ArtifactGet) msgType() MsgType    { return TArtifactGet }
+func (ArtifactData) msgType() MsgType   { return TArtifactData }
+func (Subscribe) msgType() MsgType      { return TSubscribe }
+func (SubscribeAck) msgType() MsgType   { return TSubscribeAck }
+func (Unsubscribe) msgType() MsgType    { return TUnsubscribe }
+func (ArtifactPut) msgType() MsgType    { return TArtifactPut }
+func (ArtifactPutAck) msgType() MsgType { return TArtifactPutAck }
+
+// NewEnvelope wraps a body with sender identity and a fresh message ID
+// drawn from gen.
+func NewEnvelope(from NodeID, fromAddr string, body Body, gen *uuid.Generator) *Envelope {
+	var id uuid.UUID
+	if gen != nil {
+		id = gen.New()
+	} else {
+		id = uuid.New()
+	}
+	return &Envelope{
+		Type:     body.msgType(),
+		From:     from,
+		FromAddr: fromAddr,
+		MsgID:    id,
+		Body:     body,
+	}
+}

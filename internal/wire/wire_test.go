@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/uuid"
+)
+
+var gen = uuid.NewGenerator(1)
+
+func sampleAdvert() Advertisement {
+	return Advertisement{
+		ID:           gen.New(),
+		Provider:     gen.New(),
+		ProviderAddr: "lan0:svc1",
+		Kind:         describe.KindSemantic,
+		Payload:      []byte{1, 2, 3, 4},
+		LeaseMillis:  30_000,
+		Version:      2,
+	}
+}
+
+func allBodies() []Body {
+	peers := []PeerInfo{{ID: gen.New(), Addr: "lan0:r1"}, {ID: gen.New(), Addr: "wan:r2"}}
+	return []Body{
+		Probe{},
+		ProbeMatch{Peers: peers},
+		Beacon{Peers: peers},
+		Bye{},
+		Ping{},
+		Pong{Peers: peers},
+		PeerExchange{Peers: peers},
+		Summary{Entries: []SummaryEntry{
+			{Kind: describe.KindURI, Tokens: []string{"urn:t1", "urn:t2"}},
+			{Kind: describe.KindSemantic, Tokens: []string{"http://x#Radar"}},
+		}},
+		GatewayClaim{Yield: true},
+		Publish{Advert: sampleAdvert()},
+		PublishAck{AdvertID: gen.New(), OK: true, LeaseMillis: 30_000},
+		PublishAck{AdvertID: gen.New(), OK: false, Error: "lease too long"},
+		Renew{AdvertID: gen.New()},
+		RenewAck{AdvertID: gen.New(), OK: true, LeaseMillis: 30_000},
+		Remove{AdvertID: gen.New()},
+		AdvertForward{Advert: sampleAdvert(), HopsLeft: 3},
+		Query{
+			QueryID: gen.New(), Kind: describe.KindSemantic, Payload: []byte{9, 9},
+			MaxResults: 10, BestOnly: true, TTL: 4, Strategy: StrategyRandomWalk,
+			Walkers: 2, ReplyAddr: "lan0:c1",
+		},
+		QueryResult{QueryID: gen.New(), Adverts: []Advertisement{sampleAdvert(), sampleAdvert()}, Complete: true},
+		QueryResult{QueryID: gen.New(), Complete: false},
+		PeerQuery{QueryID: gen.New(), Kind: describe.KindURI, Payload: []byte{7}, ReplyAddr: "lan0:c1"},
+		ArtifactGet{IRI: "http://semdisco.example/onto#"},
+		ArtifactData{IRI: "http://semdisco.example/onto#", Found: true, Data: []byte("ttl")},
+		ArtifactData{IRI: "urn:missing", Found: false},
+		Subscribe{SubID: gen.New(), Kind: describe.KindSemantic, Payload: []byte{5, 5}, NotifyAddr: "lan0/c1", LeaseMillis: 60_000},
+		SubscribeAck{SubID: gen.New(), OK: true, LeaseMillis: 60_000},
+		SubscribeAck{SubID: gen.New(), OK: false, Error: "unknown kind"},
+		Unsubscribe{SubID: gen.New()},
+		ArtifactPut{IRI: "urn:custom", Data: []byte("doc")},
+		ArtifactPutAck{IRI: "urn:custom", OK: true},
+	}
+}
+
+func TestMarshalRoundTripAllTypes(t *testing.T) {
+	for _, body := range allBodies() {
+		e := NewEnvelope(gen.New(), "lan0:n1", body, gen)
+		b, err := Marshal(e)
+		if err != nil {
+			t.Fatalf("%T: marshal: %v", body, err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("%T: unmarshal: %v", body, err)
+		}
+		if !reflect.DeepEqual(got, e) {
+			t.Fatalf("%T round trip mismatch:\n got %#v\nwant %#v", body, got, e)
+		}
+	}
+}
+
+func TestMarshalRejectsMismatchedType(t *testing.T) {
+	e := NewEnvelope(gen.New(), "a", Ping{}, gen)
+	e.Type = TPong
+	if _, err := Marshal(e); err == nil {
+		t.Fatal("mismatched envelope/body accepted")
+	}
+	if _, err := Marshal(&Envelope{Type: TPing}); err == nil {
+		t.Fatal("nil body accepted")
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	e := NewEnvelope(gen.New(), "a", Ping{}, gen)
+	good, err := Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bad magic
+	bad := append([]byte{}, good...)
+	bad[0] = 'X'
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// bad version
+	bad = append([]byte{}, good...)
+	bad[2] = 99
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// unknown type
+	bad = append([]byte{}, good...)
+	bad[3] = 0xEE
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	// truncation at every length
+	for i := 0; i < len(good); i++ {
+		if _, err := Unmarshal(good[:i]); err == nil {
+			t.Fatalf("truncated message of %d bytes accepted", i)
+		}
+	}
+	// trailing garbage
+	if _, err := Unmarshal(append(append([]byte{}, good...), 1)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestUnmarshalFuzzNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalDetachesPayloads(t *testing.T) {
+	e := NewEnvelope(gen.New(), "a", Publish{Advert: sampleAdvert()}, gen)
+	b, err := Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		b[i] = 0xFF // scribble over the receive buffer
+	}
+	pl := got.Body.(Publish).Advert.Payload
+	if !reflect.DeepEqual(pl, []byte{1, 2, 3, 4}) {
+		t.Fatalf("payload aliases receive buffer: %v", pl)
+	}
+}
+
+func TestCategoryOf(t *testing.T) {
+	cases := map[MsgType]Category{
+		TProbe: CatMaintenance, TBeacon: CatMaintenance, TSummary: CatMaintenance,
+		TGatewayClaim: CatMaintenance,
+		TPublish:      CatPublishing, TRenew: CatPublishing, TAdvertForward: CatPublishing,
+		TQuery: CatQuerying, TQueryResult: CatQuerying, TPeerQuery: CatQuerying,
+		TArtifactGet: CatQuerying, TSubscribe: CatQuerying, TUnsubscribe: CatQuerying,
+		TArtifactPut: CatQuerying, TArtifactPutAck: CatQuerying,
+	}
+	for mt, want := range cases {
+		if got := CategoryOf(mt); got != want {
+			t.Errorf("CategoryOf(%v) = %v, want %v", mt, got, want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if TQuery.String() != "query" || MsgType(200).String() == "" {
+		t.Fatal("MsgType.String broken")
+	}
+	if CatPublishing.String() != "publishing" || Category(9).String() == "" {
+		t.Fatal("Category.String broken")
+	}
+	if StrategyExpandingRing.String() != "expanding-ring" || Strategy(9).String() == "" {
+		t.Fatal("Strategy.String broken")
+	}
+}
+
+func TestNewEnvelopeGeneratesUniqueIDs(t *testing.T) {
+	g := uuid.NewGenerator(7)
+	a := NewEnvelope(uuid.Nil, "x", Ping{}, g)
+	b := NewEnvelope(uuid.Nil, "x", Ping{}, g)
+	if a.MsgID == b.MsgID {
+		t.Fatal("message IDs collide")
+	}
+	c := NewEnvelope(uuid.Nil, "x", Ping{}, nil) // falls back to crypto/rand
+	if c.MsgID.IsNil() {
+		t.Fatal("nil generator produced nil MsgID")
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	e := NewEnvelope(gen.New(), "lan0:n1", Publish{Advert: sampleAdvert()}, gen)
+	n, err := EncodedSize(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Marshal(e)
+	if n != len(b) {
+		t.Fatalf("EncodedSize = %d, marshal produced %d", n, len(b))
+	}
+	// Header overhead stays modest: an empty ping is small.
+	ping := NewEnvelope(gen.New(), "a", Ping{}, gen)
+	pn, _ := EncodedSize(ping)
+	if pn > 48 {
+		t.Fatalf("ping envelope is %d bytes; header too fat", pn)
+	}
+}
