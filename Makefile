@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/registry/... ./internal/federation/... ./internal/runtime/...
+
+vet:
+	$(GO) vet ./...
+
+# Registry benchmarks with allocation stats; emits BENCH_registry.json.
+bench:
+	sh scripts/bench.sh

@@ -403,6 +403,36 @@ func BenchmarkRegistryEvaluateBroad(b *testing.B) {
 	}
 }
 
+// BenchmarkRegistryEvaluateParallel measures read-path scaling: many
+// goroutines issue mixed narrow/broad queries against one store. With
+// the lock-striped shards throughput should grow with GOMAXPROCS
+// instead of serializing on one store lock.
+func BenchmarkRegistryEvaluateParallel(b *testing.B) {
+	for _, n := range []int{1000, 10_000} {
+		b.Run(fmt.Sprintf("adverts=%d", n), func(b *testing.B) {
+			s, leaves, tops := registryWithPopulation(b, n)
+			narrow := (&describe.SemanticQuery{Template: &profile.Template{Category: leaves[0]}}).Encode()
+			broad := (&describe.SemanticQuery{Template: &profile.Template{Category: tops[0]}}).Encode()
+			t0 := time.Unix(0, 0)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					payload := narrow
+					if i%4 == 0 {
+						payload = broad
+					}
+					if _, err := s.Evaluate(describe.KindSemantic, payload, registry.QueryOptions{}, t0); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
 func BenchmarkRegistryPublish(b *testing.B) {
 	onto, levels := workload.GenOntology(workload.OntologySpec{Depth: 4, Branching: 3})
 	models := describe.NewRegistry(describe.NewSemanticModel(onto))

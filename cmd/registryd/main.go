@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	stdruntime "runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -52,6 +53,7 @@ func main() {
 		leaseDef = flag.Duration("lease-default", 30*time.Second, "default granted lease")
 		beacon   = flag.Duration("beacon", 5*time.Second, "beacon interval")
 		httpAddr = flag.String("http", "", "serve /status and /ontology on this address ('' disables)")
+		readers  = flag.Int("read-workers", stdruntime.GOMAXPROCS(0), "query evaluation workers (0 = evaluate on the node goroutine)")
 		verbose  = flag.Bool("v", false, "trace protocol activity")
 	)
 	flag.Parse()
@@ -82,6 +84,7 @@ func main() {
 		PushReplication:     *push,
 		SummaryPruning:      *summary,
 		GatewayCoordination: *gateway,
+		ReadWorkers:         *readers,
 	}
 	if *seeds != "" {
 		cfg.SeedAddrs = strings.Split(*seeds, ",")

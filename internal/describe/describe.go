@@ -167,3 +167,24 @@ func (r *Registry) DecodeQuery(k Kind, b []byte) (Query, error) {
 	}
 	return m.DecodeQuery(b)
 }
+
+// PayloadHash hashes a payload under its kind (FNV-1a, 64-bit) for
+// cache keying. Payloads are opaque at this layer, so hashing the raw
+// bytes plus the next-header value is the only kind-independent
+// identity a registry can use to memoize decode work (query-plan
+// caching). Callers must still compare the payload on a hash hit —
+// the hash is a cache key, not an identity proof.
+func PayloadHash(k Kind, b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= uint64(k)
+	h *= prime64
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

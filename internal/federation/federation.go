@@ -81,6 +81,13 @@ type Config struct {
 	SeedAddrs []string
 	// Seed drives the walker-selection RNG.
 	Seed int64
+	// ReadWorkers, when positive, evaluates incoming queries on a
+	// worker pool of that size instead of the node goroutine, so slow
+	// semantic matchmaking does not stall protocol handling. All
+	// state-mutating envelopes stay serialized on the node goroutine.
+	// The default 0 keeps evaluation synchronous — required under the
+	// deterministic simulator; enable only over the real UDP runtime.
+	ReadWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +144,7 @@ type Registry struct {
 	store *registry.Store
 	cfg   Config
 	rng   *rand.Rand
+	pool  *runtime.WorkerPool // nil when ReadWorkers == 0
 
 	peers   map[wire.NodeID]*peer
 	seen    map[uuid.UUID]time.Time
@@ -158,6 +166,7 @@ func New(env *runtime.Env, store *registry.Store, cfg Config) *Registry {
 		store:   store,
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		pool:    runtime.NewWorkerPool(cfg.ReadWorkers, 4*cfg.ReadWorkers),
 		peers:   make(map[wire.NodeID]*peer),
 		seen:    make(map[uuid.UUID]time.Time),
 		pending: make(map[uuid.UUID]*pendingQuery),
@@ -220,6 +229,7 @@ func (r *Registry) Stop() {
 		c()
 	}
 	r.cancels = nil
+	r.pool.Close()
 }
 
 // Crash halts the registry abruptly — no Bye, no cleanup visible to
@@ -232,6 +242,7 @@ func (r *Registry) Crash() {
 		c()
 	}
 	r.cancels = nil
+	r.pool.Close()
 }
 
 // every arms a self-rearming timer.

@@ -19,8 +19,12 @@ type pendingQuery struct {
 	replyTo     transport.Addr
 	pools       [][]wire.Advertisement
 	outstanding map[wire.NodeID]bool
-	cancel      transport.CancelFunc
-	done        bool
+	// localPending marks a local evaluation still running on the read
+	// pool; aggregation must not finalize before it lands (or the hop
+	// deadline fires, whichever is first).
+	localPending bool
+	cancel       transport.CancelFunc
+	done         bool
 }
 
 func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, q wire.Query) {
@@ -35,28 +39,37 @@ func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, q wire.Q
 	}
 	r.seen[q.QueryID] = r.now()
 
-	// Local evaluation. A registry without the payload's model still
-	// forwards the query (it may be evaluable elsewhere).
-	var local []wire.Advertisement
 	opts := registry.QueryOptions{MaxResults: int(q.MaxResults), BestOnly: q.BestOnly}
-	if res, err := r.store.Evaluate(q.Kind, q.Payload, opts, r.now()); err == nil {
-		local = res
-	} else {
-		r.env.Tracef("local evaluation skipped: %v", err)
-	}
-
 	targets := r.forwardTargets(q, env.From)
-	if len(targets) == 0 {
-		// Leaf of the forwarding tree: answer immediately.
-		r.respond(q, transport.Addr(q.ReplyAddr), [][]wire.Advertisement{local})
-		return
-	}
-
 	p := &pendingQuery{
 		query:       q,
 		replyTo:     transport.Addr(q.ReplyAddr),
-		pools:       [][]wire.Advertisement{local},
 		outstanding: make(map[wire.NodeID]bool, len(targets)),
+	}
+
+	// Local evaluation. A registry without the payload's model still
+	// forwards the query (it may be evaluable elsewhere). With a read
+	// pool the store lookup runs off the node goroutine — the store is
+	// concurrency-safe — and its result re-enters through the timer
+	// queue, so all bookkeeping below stays single-writer.
+	now := r.now()
+	if r.pool != nil && r.pool.TrySubmit(func() {
+		local, err := r.store.Evaluate(q.Kind, q.Payload, opts, now)
+		r.env.Clock.After(0, func() { r.localDone(q.QueryID, local, err) })
+	}) {
+		p.localPending = true
+	} else {
+		if local, err := r.store.Evaluate(q.Kind, q.Payload, opts, now); err == nil {
+			p.pools = append(p.pools, local)
+		} else {
+			r.env.Tracef("local evaluation skipped: %v", err)
+		}
+	}
+
+	if len(targets) == 0 && !p.localPending {
+		// Leaf of the forwarding tree: answer immediately.
+		r.respond(q, p.replyTo, p.pools)
+		return
 	}
 	r.pending[q.QueryID] = p
 
@@ -69,9 +82,31 @@ func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, q wire.Q
 		r.stats.QueriesForwarded++
 	}
 	// Hop deadline: children get proportionally smaller budgets, so a
-	// parent never times out before its children can respond.
+	// parent never times out before its children can respond. It also
+	// bounds how long a leaf waits for its own pooled evaluation.
 	deadline := r.cfg.QueryTimeout * time.Duration(int(q.TTL)+1)
 	p.cancel = r.env.Clock.After(deadline, func() { r.finalize(q.QueryID) })
+}
+
+// localDone lands a pooled local evaluation back on the node goroutine
+// and finalizes the query if nothing else is outstanding.
+func (r *Registry) localDone(queryID uuid.UUID, local []wire.Advertisement, err error) {
+	if r.stopped {
+		return
+	}
+	p, ok := r.pending[queryID]
+	if !ok || p.done {
+		return // already answered on the hop deadline
+	}
+	p.localPending = false
+	if err == nil {
+		p.pools = append(p.pools, local)
+	} else {
+		r.env.Tracef("local evaluation skipped: %v", err)
+	}
+	if len(p.outstanding) == 0 {
+		r.finalize(queryID)
+	}
 }
 
 // forwardTargets selects the peers this hop forwards to, applying TTL,
@@ -124,16 +159,11 @@ func (r *Registry) pruneBySummary(q wire.Query, p *peer) bool {
 	if p.summary == nil {
 		return false
 	}
-	model, ok := r.store.Models().Model(q.Kind)
-	if !ok {
-		return false
-	}
-	dq, err := model.DecodeQuery(q.Payload)
-	if err != nil {
-		return false
-	}
-	tokens, prunable := model.QueryTokens(dq)
-	if !prunable {
+	// The cached query plan means a query forwarded to many peers — and
+	// later evaluated and merge-ranked here — decodes its payload once
+	// per node, not once per peer considered.
+	_, tokens, prunable, err := r.store.QueryPlan(q.Kind, q.Payload)
+	if err != nil || !prunable {
 		return false
 	}
 	have := p.summary[q.Kind]
@@ -162,7 +192,7 @@ func (r *Registry) handleQueryResult(env *wire.Envelope, res wire.QueryResult) {
 	}
 	if res.Complete {
 		delete(p.outstanding, env.From)
-		if len(p.outstanding) == 0 {
+		if len(p.outstanding) == 0 && !p.localPending {
 			r.finalize(res.QueryID)
 		}
 	}

@@ -1,0 +1,141 @@
+package federation
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/lease"
+	"semdisco/internal/profile"
+	"semdisco/internal/registry"
+	"semdisco/internal/runtime"
+	"semdisco/internal/transport"
+	"semdisco/internal/transport/udpnet"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// TestReadPoolOverUDP exercises the asynchronous query path end to end:
+// a registry with ReadWorkers evaluates queries on its worker pool
+// while publishes keep mutating the store through the node goroutine.
+// Run under -race this proves the pool hand-off (evaluate off-thread,
+// re-enter via the timer queue) is sound over the real UDP runtime.
+func TestReadPoolOverUDP(t *testing.T) {
+	regNode, err := udpnet.Listen(udpnet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer regNode.Close()
+
+	gen := uuid.NewGenerator(4242)
+	store := registry.New(registry.Options{
+		Models: describe.NewRegistry(describe.NewSemanticModel(testOntology(t))),
+		Leases: lease.Policy{Min: time.Second, Max: time.Hour, Default: time.Hour},
+	})
+	env := &runtime.Env{ID: gen.New(), Iface: regNode, Clock: regNode, Gen: gen}
+	// Long intervals: this test drives traffic itself, no timers needed.
+	reg := New(env, store, Config{
+		ReadWorkers:    4,
+		BeaconInterval: time.Hour, PingInterval: time.Hour,
+		PurgeInterval: time.Hour, SeenTTL: time.Hour,
+	})
+	regNode.SetHandler(func(from transport.Addr, data []byte) {
+		runtime.Dispatch(reg, env, from, data)
+	})
+	regNode.Do(reg.Start)
+	defer regNode.Do(reg.Stop)
+
+	cliNode, err := udpnet.Listen(udpnet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliNode.Close()
+
+	var mu sync.Mutex
+	done := make(map[uuid.UUID]int) // queryID -> result count
+	cliNode.SetHandler(func(_ transport.Addr, data []byte) {
+		e, err := wire.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if res, ok := e.Body.(wire.QueryResult); ok && res.Complete {
+			mu.Lock()
+			// A re-sent query is duplicate-suppressed with an empty
+			// Complete; keep the best answer seen for the ID.
+			if n, ok := done[res.QueryID]; !ok || len(res.Adverts) > n {
+				done[res.QueryID] = len(res.Adverts)
+			}
+			mu.Unlock()
+		}
+	})
+	cgen := uuid.NewGenerator(777)
+	cenv := &runtime.Env{ID: cgen.New(), Iface: cliNode, Clock: cliNode, Gen: cgen}
+
+	for i := 0; i < 40; i++ {
+		p := &profile.Profile{
+			ServiceIRI: fmt.Sprintf("urn:svc:udp-%d", i),
+			Category:   c("Radar"), Grounding: "urn:g",
+		}
+		adv := wire.Advertisement{
+			ID: cgen.New(), Provider: cgen.New(), ProviderAddr: "x",
+			Kind: describe.KindSemantic, Payload: p.Encode(),
+			LeaseMillis: uint64(time.Hour / time.Millisecond), Version: 1,
+		}
+		if err := cenv.Send(reg.Addr(), wire.Publish{Advert: adv}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const queries = 30
+	payload := (&describe.SemanticQuery{Template: &profile.Template{Category: c("Sensor")}}).Encode()
+	ids := make([]uuid.UUID, queries)
+	for i := range ids {
+		ids[i] = cgen.New()
+	}
+	send := func(id uuid.UUID) {
+		cenv.Send(reg.Addr(), wire.Query{
+			QueryID: id, Kind: describe.KindSemantic, Payload: payload,
+			MaxResults: 10, ReplyAddr: string(cliNode.Addr()),
+		})
+	}
+	// Re-send unanswered queries each round: UDP may drop under load,
+	// and clients reissue exactly like this.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		answered := len(done)
+		mu.Unlock()
+		if answered == queries {
+			break
+		}
+		for _, id := range ids {
+			mu.Lock()
+			_, ok := done[id]
+			mu.Unlock()
+			if !ok {
+				send(id)
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(done) != queries {
+		t.Fatalf("only %d of %d queries answered", len(done), queries)
+	}
+	// A query whose first (evaluated) answer was dropped stays empty
+	// forever — its resends are duplicate-suppressed. Loopback UDP loss
+	// is rare; tolerate a couple, not a pattern.
+	withResults := 0
+	for _, n := range done {
+		if n > 0 {
+			withResults++
+		}
+	}
+	if withResults < queries-3 {
+		t.Fatalf("only %d of %d queries returned results", withResults, queries)
+	}
+}

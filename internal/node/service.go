@@ -77,6 +77,15 @@ type Service struct {
 	models  *describe.Registry
 	adverts []*servAdvert
 	stopped bool
+
+	// lastQuery memoizes the most recent peer-query decode: expanding
+	// ring searches reissue the identical payload with growing TTLs, so
+	// every provider would otherwise re-decode it on each round.
+	lastQuery struct {
+		hash  uint64
+		kind  describe.Kind
+		query describe.Query
+	}
 }
 
 // NewService creates a service node hosting the given descriptions.
@@ -298,9 +307,15 @@ func (s *Service) onPeerQuery(b wire.PeerQuery) {
 	if !ok {
 		return // silently discard unknown kinds
 	}
-	q, err := model.DecodeQuery(b.Payload)
-	if err != nil {
-		return
+	h := describe.PayloadHash(b.Kind, b.Payload)
+	q := s.lastQuery.query
+	if q == nil || s.lastQuery.hash != h || s.lastQuery.kind != b.Kind {
+		var err error
+		q, err = model.DecodeQuery(b.Payload)
+		if err != nil {
+			return
+		}
+		s.lastQuery.hash, s.lastQuery.kind, s.lastQuery.query = h, b.Kind, q
 	}
 	var hits []wire.Advertisement
 	for _, a := range s.adverts {

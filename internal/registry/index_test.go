@@ -49,7 +49,7 @@ func TestIndexedEvaluateMatchesBruteForce(t *testing.T) {
 		}
 	}
 
-	// Reference: brute-force evaluation over byKind.
+	// Reference: brute-force evaluation over every shard's byKind.
 	brute := func(kind describe.Kind, payload []byte) map[string]bool {
 		model, _ := s.models.Model(kind)
 		q, err := model.DecodeQuery(payload)
@@ -57,12 +57,14 @@ func TestIndexedEvaluateMatchesBruteForce(t *testing.T) {
 			t.Fatal(err)
 		}
 		out := map[string]bool{}
-		for id, st := range s.byKind[kind] {
-			if !s.leases.Alive(id, t0) {
-				continue
-			}
-			if model.Evaluate(q, st.desc).Matched {
-				out[st.desc.ServiceKey()] = true
+		for _, sh := range s.shards {
+			for id, st := range sh.byKind[kind] {
+				if !sh.leases.Alive(id, t0) {
+					continue
+				}
+				if model.Evaluate(q, st.desc).Matched {
+					out[st.desc.ServiceKey()] = true
+				}
 			}
 		}
 		return out
@@ -135,8 +137,10 @@ func TestIndexMaintainedAcrossUpdateAndRemove(t *testing.T) {
 	if len(res) != 0 {
 		t.Fatal("removed advert still indexed")
 	}
-	if len(s.byToken[describe.KindSemantic]) != 0 {
-		t.Fatalf("token buckets leaked: %v", s.byToken[describe.KindSemantic])
+	for i, sh := range s.shards {
+		if len(sh.byToken[describe.KindSemantic]) != 0 {
+			t.Fatalf("token buckets leaked in shard %d: %v", i, sh.byToken[describe.KindSemantic])
+		}
 	}
 }
 

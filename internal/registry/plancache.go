@@ -1,0 +1,137 @@
+package registry
+
+import (
+	"bytes"
+	"container/list"
+	"fmt"
+	"sync"
+
+	"semdisco/internal/describe"
+)
+
+// queryPlan is everything the store derives from a query payload:
+// the owning model, the decoded query, and its pruning tokens. Plans
+// are immutable once built and safe to share across goroutines — the
+// description models are read-only after construction.
+type queryPlan struct {
+	model    describe.Model
+	query    describe.Query
+	tokens   []string
+	prunable bool
+}
+
+// planCache memoizes query plans keyed by (kind, payload hash) in an
+// LRU of bounded size. A federated query arrives at a registry up to
+// three times in different roles (summary-pruning decision, local
+// Evaluate, entry-registry MergeRank) and at every federation hop with
+// an identical payload; caching the decode keeps the §3.2 promise that
+// query evaluation work is paid once, not once per stage.
+//
+// Hash collisions are handled by verifying kind and payload on lookup:
+// a colliding entry is a miss, never a wrong plan.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[uint64]*list.Element
+	lru     *list.List // of *planEntry, most recent at front
+}
+
+type planEntry struct {
+	hash    uint64
+	kind    describe.Kind
+	payload []byte
+	plan    *queryPlan
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:     capacity,
+		entries: make(map[uint64]*list.Element, capacity),
+		lru:     list.New(),
+	}
+}
+
+// get returns the cached plan for the payload, or nil on miss.
+func (c *planCache) get(kind describe.Kind, payload []byte, hash uint64) *queryPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[hash]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*planEntry)
+	if e.kind != kind || !bytes.Equal(e.payload, payload) {
+		return nil // hash collision: treat as a miss
+	}
+	c.lru.MoveToFront(el)
+	return e.plan
+}
+
+// put stores a freshly decoded plan, evicting the least recently used
+// entry when the cache is full. The payload is copied: callers may
+// reuse their buffer.
+func (c *planCache) put(kind describe.Kind, payload []byte, hash uint64, plan *queryPlan) {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	e := &planEntry{hash: hash, kind: kind, payload: cp, plan: plan}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[hash]; ok {
+		// Same hash re-decoded (collision or racing fill): keep the newest.
+		el.Value = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[hash] = c.lru.PushFront(e)
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*planEntry).hash)
+	}
+}
+
+// len reports the number of cached plans (tests).
+func (c *planCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// plan resolves the query plan for a payload: model dispatch, plan
+// cache lookup, and on a miss DecodeQuery + QueryTokens with the result
+// memoized. Errors are never cached.
+func (s *Store) plan(kind describe.Kind, payload []byte) (*queryPlan, error) {
+	model, ok := s.models.Model(kind)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownKind, kind)
+	}
+	var h uint64
+	if s.plans != nil {
+		h = describe.PayloadHash(kind, payload)
+		if p := s.plans.get(kind, payload, h); p != nil {
+			return p, nil
+		}
+	}
+	q, err := model.DecodeQuery(payload)
+	if err != nil {
+		return nil, err
+	}
+	tokens, prunable := model.QueryTokens(q)
+	p := &queryPlan{model: model, query: q, tokens: tokens, prunable: prunable}
+	if s.plans != nil {
+		s.plans.put(kind, payload, h, p)
+	}
+	return p, nil
+}
+
+// QueryPlan exposes the cached decode of a query payload: the decoded
+// query plus its pruning tokens. Federation's summary pruning uses it
+// so a forwarded query is decoded once per node rather than once per
+// peer considered.
+func (s *Store) QueryPlan(kind describe.Kind, payload []byte) (describe.Query, []string, bool, error) {
+	p, err := s.plan(kind, payload)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return p.query, p.tokens, p.prunable, nil
+}

@@ -7,16 +7,33 @@
 // artifact repository for ontologies and schemas so discovery works
 // disconnected from the Internet (§4.6).
 //
-// The store is pure state with explicit time parameters — no goroutines
-// and no I/O — so the same code runs deterministically under the
-// experiment simulator and behind the real UDP runtime (which wraps it
-// in a lock).
+// The store is explicit-time state — no I/O and no internal timers — so
+// the same code runs deterministically under the experiment simulator
+// and behind the real UDP runtime. Unlike the original single-threaded
+// design, the store is safe for concurrent use: the advert and token
+// maps are split across lock-striped shards (one sync.RWMutex each), so
+// the read path (Evaluate, MergeRank, Summary, Adverts, Advert, Has)
+// runs in parallel with itself while writes (Publish, Renew, Remove,
+// ExpireThrough) take the write lock only on the shards they touch.
+// Each shard owns the lease sub-table for its adverts, keeping the
+// freshness check (never serve an expired advert) under the same lock
+// as the index lookup. Query decoding is memoized in an LRU plan cache
+// keyed by (kind, payload hash), so a federated query forwarded through
+// several hops — or evaluated and then merge-ranked at the entry
+// registry — decodes its payload once per node, preserving the paper's
+// §3.2 claim that "query evaluation may only have to be carried out
+// once".
 package registry
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
+	stdruntime "runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"semdisco/internal/describe"
@@ -27,28 +44,31 @@ import (
 
 // Store is the registry state: advertisements with leases, the model
 // registry for query evaluation, subscriptions, and artifacts.
+// All methods are safe for concurrent use.
 type Store struct {
 	models *describe.Registry
-	leases *lease.Table
 
-	adverts map[uuid.UUID]*stored
-	byKind  map[describe.Kind]map[uuid.UUID]*stored
+	// shards hold the advert maps, token indexes and lease sub-tables,
+	// striped by advertisement ID; count tracks the live advert total so
+	// Len never has to sweep the stripes.
+	shards []*shard
+	mask   uint32
+	count  atomic.Int64
+
 	// byService maps a description's service key to the advert that
 	// currently describes it, so republished services do not pile up as
-	// duplicates under fresh advertisement IDs.
+	// duplicates under fresh advertisement IDs. Service keys are opaque
+	// strings, so the map is global (not striped) under its own lock; it
+	// is touched only on the write path.
+	svcMu     sync.Mutex
 	byService map[string]uuid.UUID
-	// byToken indexes adverts by their summary tokens per kind, so
-	// prunable queries (the ones whose model exposes QueryTokens)
-	// evaluate only candidate buckets instead of scanning every advert
-	// of the kind — the same soundness argument as federation summary
-	// pruning, applied inside one registry.
-	byToken map[describe.Kind]map[string]map[uuid.UUID]*stored
-	// noToken holds adverts whose descriptions produced no summary
-	// tokens; they must be considered by every query conservatively.
-	noToken map[describe.Kind]map[uuid.UUID]*stored
 
+	plans *planCache
+
+	artMu     sync.RWMutex
 	artifacts map[string][]byte
 
+	subMu   sync.RWMutex
 	subs    map[uuid.UUID]*subscription
 	subsArr []*subscription // deterministic iteration order
 
@@ -57,6 +77,24 @@ type Store struct {
 	DefaultMaxResults int
 }
 
+// shard is one lock stripe of the store. byToken indexes adverts by
+// their summary tokens per kind, so prunable queries (the ones whose
+// model exposes QueryTokens) evaluate only candidate buckets instead of
+// scanning every advert of the kind — the same soundness argument as
+// federation summary pruning, applied inside one registry. noToken
+// holds adverts whose descriptions produced no summary tokens; they
+// must be considered by every query conservatively.
+type shard struct {
+	mu      sync.RWMutex
+	adverts map[uuid.UUID]*stored
+	byKind  map[describe.Kind]map[uuid.UUID]*stored
+	byToken map[describe.Kind]map[string]map[uuid.UUID]*stored
+	noToken map[describe.Kind]map[uuid.UUID]*stored
+	leases  *lease.Table
+}
+
+// stored is immutable once linked into a shard; updates replace the
+// whole value, so readers holding a *stored never see partial state.
 type stored struct {
 	advert wire.Advertisement
 	desc   describe.Description
@@ -87,6 +125,12 @@ type Options struct {
 	// DefaultMaxResults caps result sets when queries don't; zero
 	// means 25.
 	DefaultMaxResults int
+	// Shards is the number of lock stripes the advert maps are split
+	// across, rounded up to a power of two; zero means 16.
+	Shards int
+	// PlanCacheSize bounds the memoized query-plan LRU; zero means 128,
+	// negative disables plan caching.
+	PlanCacheSize int
 }
 
 // New returns an empty registry store.
@@ -97,22 +141,46 @@ func New(opts Options) *Store {
 	if opts.DefaultMaxResults == 0 {
 		opts.DefaultMaxResults = 25
 	}
+	if opts.Shards == 0 {
+		opts.Shards = 16
+	}
+	n := 1 << bits.Len(uint(opts.Shards-1)) // next power of two
+	shards := make([]*shard, n)
+	for i := range shards {
+		shards[i] = &shard{
+			adverts: make(map[uuid.UUID]*stored),
+			byKind:  make(map[describe.Kind]map[uuid.UUID]*stored),
+			byToken: make(map[describe.Kind]map[string]map[uuid.UUID]*stored),
+			noToken: make(map[describe.Kind]map[uuid.UUID]*stored),
+			leases:  lease.NewTable(opts.Leases),
+		}
+	}
+	var plans *planCache
+	if opts.PlanCacheSize >= 0 {
+		size := opts.PlanCacheSize
+		if size == 0 {
+			size = 128
+		}
+		plans = newPlanCache(size)
+	}
 	return &Store{
 		models:            opts.Models,
-		leases:            lease.NewTable(opts.Leases),
-		adverts:           make(map[uuid.UUID]*stored),
-		byKind:            make(map[describe.Kind]map[uuid.UUID]*stored),
+		shards:            shards,
+		mask:              uint32(n - 1),
 		byService:         make(map[string]uuid.UUID),
-		byToken:           make(map[describe.Kind]map[string]map[uuid.UUID]*stored),
-		noToken:           make(map[describe.Kind]map[uuid.UUID]*stored),
+		plans:             plans,
 		artifacts:         make(map[string][]byte),
 		subs:              make(map[uuid.UUID]*subscription),
 		DefaultMaxResults: opts.DefaultMaxResults,
 	}
 }
 
+func (s *Store) shardFor(id uuid.UUID) *shard {
+	return s.shards[binary.BigEndian.Uint32(id[:4])&s.mask]
+}
+
 // Len returns the number of stored advertisements.
-func (s *Store) Len() int { return len(s.adverts) }
+func (s *Store) Len() int { return int(s.count.Load()) }
 
 // Models exposes the model registry (federation needs it for summary
 // pruning decisions).
@@ -156,62 +224,48 @@ func (s *Store) Publish(adv wire.Advertisement, now time.Time) (time.Duration, [
 	if adv.ID.IsNil() {
 		return 0, nil, errors.New("registry: advertisement has nil ID")
 	}
-	if old, exists := s.adverts[adv.ID]; exists && adv.Version < old.advert.Version {
-		return 0, nil, fmt.Errorf("%w: have v%d, got v%d", ErrStaleVersion, old.advert.Version, adv.Version)
+	st := &stored{advert: adv, desc: desc, tokens: model.SummaryTokens(desc)}
+
+	sh := s.shardFor(adv.ID)
+	sh.mu.Lock()
+	if old, exists := sh.adverts[adv.ID]; exists {
+		if adv.Version < old.advert.Version {
+			have := old.advert.Version
+			sh.mu.Unlock()
+			return 0, nil, fmt.Errorf("%w: have v%d, got v%d", ErrStaleVersion, have, adv.Version)
+		}
+		// An update may change the description's tokens: unindex first.
+		sh.removeLocked(adv.ID)
+		s.count.Add(-1)
 	}
+	sh.insertLocked(st)
+	granted := sh.leases.Grant(adv.ID, time.Duration(adv.LeaseMillis)*time.Millisecond, now)
+	sh.mu.Unlock()
+	s.count.Add(1)
+
 	// A service republishing under a new advertisement ID (e.g. after
 	// its registry crashed) supersedes its previous advert.
-	key := desc.ServiceKey()
-	if key != "" {
-		if oldID, ok := s.byService[key]; ok && oldID != adv.ID {
-			if old, exists := s.adverts[oldID]; exists && adv.Version >= old.advert.Version {
-				s.remove(oldID)
-			}
-		}
-	}
-
-	// An update may change the description's tokens: unindex first.
-	if _, exists := s.adverts[adv.ID]; exists {
-		s.remove(adv.ID)
-	}
-	st := &stored{advert: adv, desc: desc, tokens: model.SummaryTokens(desc)}
-	s.adverts[adv.ID] = st
-	km := s.byKind[adv.Kind]
-	if km == nil {
-		km = make(map[uuid.UUID]*stored)
-		s.byKind[adv.Kind] = km
-	}
-	km[adv.ID] = st
-	if key != "" {
+	if key := desc.ServiceKey(); key != "" {
+		s.svcMu.Lock()
+		oldID, had := s.byService[key]
 		s.byService[key] = adv.ID
-	}
-	if len(st.tokens) == 0 {
-		nt := s.noToken[adv.Kind]
-		if nt == nil {
-			nt = make(map[uuid.UUID]*stored)
-			s.noToken[adv.Kind] = nt
-		}
-		nt[adv.ID] = st
-	} else {
-		tm := s.byToken[adv.Kind]
-		if tm == nil {
-			tm = make(map[string]map[uuid.UUID]*stored)
-			s.byToken[adv.Kind] = tm
-		}
-		for _, tok := range st.tokens {
-			bucket := tm[tok]
-			if bucket == nil {
-				bucket = make(map[uuid.UUID]*stored)
-				tm[tok] = bucket
+		s.svcMu.Unlock()
+		if had && oldID != adv.ID {
+			osh := s.shardFor(oldID)
+			osh.mu.Lock()
+			if old, ok := osh.adverts[oldID]; ok && adv.Version >= old.advert.Version {
+				osh.removeLocked(oldID)
+				osh.leases.Remove(oldID)
+				s.count.Add(-1)
 			}
-			bucket[adv.ID] = st
+			osh.mu.Unlock()
 		}
 	}
-	granted := s.leases.Grant(adv.ID, time.Duration(adv.LeaseMillis)*time.Millisecond, now)
 
 	// Subscription notifications (expired standing queries are skipped;
 	// PruneSubscriptions removes them for good).
 	var notes []Notification
+	s.subMu.RLock()
 	for _, sub := range s.subsArr {
 		if sub.kind != adv.Kind || !sub.alive(now) {
 			continue
@@ -220,42 +274,59 @@ func (s *Store) Publish(adv wire.Advertisement, now time.Time) (time.Duration, [
 			notes = append(notes, Notification{SubID: sub.id, NotifyAddr: sub.notify, Advert: adv})
 		}
 	}
+	s.subMu.RUnlock()
 	return granted, notes, nil
 }
 
-// Renew refreshes an advertisement lease; ok=false means the registry
-// no longer holds the advertisement and the provider must republish.
-func (s *Store) Renew(id uuid.UUID, now time.Time) (time.Duration, bool) {
-	st, ok := s.adverts[id]
-	if !ok {
-		return 0, false
+// insertLocked links st into every index of the shard; the caller holds
+// the shard write lock.
+func (sh *shard) insertLocked(st *stored) {
+	id := st.advert.ID
+	kind := st.advert.Kind
+	sh.adverts[id] = st
+	km := sh.byKind[kind]
+	if km == nil {
+		km = make(map[uuid.UUID]*stored)
+		sh.byKind[kind] = km
 	}
-	return s.leases.Renew(id, time.Duration(st.advert.LeaseMillis)*time.Millisecond, now)
-}
-
-// Remove withdraws an advertisement explicitly.
-func (s *Store) Remove(id uuid.UUID) bool {
-	if _, ok := s.adverts[id]; !ok {
-		return false
-	}
-	s.remove(id)
-	s.leases.Remove(id)
-	return true
-}
-
-func (s *Store) remove(id uuid.UUID) {
-	st, ok := s.adverts[id]
-	if !ok {
-		return
-	}
-	delete(s.adverts, id)
-	delete(s.byKind[st.advert.Kind], id)
-	if key := st.desc.ServiceKey(); key != "" && s.byService[key] == id {
-		delete(s.byService, key)
-	}
+	km[id] = st
 	if len(st.tokens) == 0 {
-		delete(s.noToken[st.advert.Kind], id)
-	} else if tm := s.byToken[st.advert.Kind]; tm != nil {
+		nt := sh.noToken[kind]
+		if nt == nil {
+			nt = make(map[uuid.UUID]*stored)
+			sh.noToken[kind] = nt
+		}
+		nt[id] = st
+	} else {
+		tm := sh.byToken[kind]
+		if tm == nil {
+			tm = make(map[string]map[uuid.UUID]*stored)
+			sh.byToken[kind] = tm
+		}
+		for _, tok := range st.tokens {
+			bucket := tm[tok]
+			if bucket == nil {
+				bucket = make(map[uuid.UUID]*stored)
+				tm[tok] = bucket
+			}
+			bucket[id] = st
+		}
+	}
+}
+
+// removeLocked unlinks id from the shard indexes (not the lease table
+// and not the service-key map) and returns the removed entry; the
+// caller holds the shard write lock.
+func (sh *shard) removeLocked(id uuid.UUID) *stored {
+	st, ok := sh.adverts[id]
+	if !ok {
+		return nil
+	}
+	delete(sh.adverts, id)
+	delete(sh.byKind[st.advert.Kind], id)
+	if len(st.tokens) == 0 {
+		delete(sh.noToken[st.advert.Kind], id)
+	} else if tm := sh.byToken[st.advert.Kind]; tm != nil {
 		for _, tok := range st.tokens {
 			if bucket := tm[tok]; bucket != nil {
 				delete(bucket, id)
@@ -265,6 +336,51 @@ func (s *Store) remove(id uuid.UUID) {
 			}
 		}
 	}
+	return st
+}
+
+// dropServiceKey clears the service-key mapping if it still points at
+// the removed advert.
+func (s *Store) dropServiceKey(st *stored) {
+	key := st.desc.ServiceKey()
+	if key == "" {
+		return
+	}
+	s.svcMu.Lock()
+	if s.byService[key] == st.advert.ID {
+		delete(s.byService, key)
+	}
+	s.svcMu.Unlock()
+}
+
+// Renew refreshes an advertisement lease; ok=false means the registry
+// no longer holds the advertisement and the provider must republish.
+func (s *Store) Renew(id uuid.UUID, now time.Time) (time.Duration, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.adverts[id]
+	if !ok {
+		return 0, false
+	}
+	return sh.leases.Renew(id, time.Duration(st.advert.LeaseMillis)*time.Millisecond, now)
+}
+
+// Remove withdraws an advertisement explicitly.
+func (s *Store) Remove(id uuid.UUID) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	st := sh.removeLocked(id)
+	if st != nil {
+		sh.leases.Remove(id)
+	}
+	sh.mu.Unlock()
+	if st == nil {
+		return false
+	}
+	s.count.Add(-1)
+	s.dropServiceKey(st)
+	return true
 }
 
 // ExpireThrough purges every advertisement whose lease deadline is at
@@ -272,17 +388,37 @@ func (s *Store) remove(id uuid.UUID) {
 // obsolete advertisements" (§4.8).
 func (s *Store) ExpireThrough(now time.Time) []wire.Advertisement {
 	var out []wire.Advertisement
-	for _, id := range s.leases.ExpireThrough(now) {
-		if st, ok := s.adverts[id]; ok {
-			out = append(out, st.advert)
-			s.remove(id)
+	var dropped []*stored
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, id := range sh.leases.ExpireThrough(now) {
+			if st := sh.removeLocked(id); st != nil {
+				out = append(out, st.advert)
+				dropped = append(dropped, st)
+				s.count.Add(-1)
+			}
 		}
+		sh.mu.Unlock()
+	}
+	for _, st := range dropped {
+		s.dropServiceKey(st)
 	}
 	return out
 }
 
 // NextExpiry returns the earliest lease deadline for purge scheduling.
-func (s *Store) NextExpiry() (time.Time, bool) { return s.leases.NextExpiry() }
+func (s *Store) NextExpiry() (time.Time, bool) {
+	var best time.Time
+	found := false
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if t, ok := sh.leases.NextExpiry(); ok && (!found || t.Before(best)) {
+			best, found = t, true
+		}
+		sh.mu.RUnlock()
+	}
+	return best, found
+}
 
 // QueryOptions is the response control the client delegates to the
 // registry (§3.1: "limited clients should be allowed to delegate
@@ -294,69 +430,7 @@ type QueryOptions struct {
 	BestOnly bool
 }
 
-// Evaluate runs a query payload against the stored advertisements of
-// its kind and returns matching advertisements ranked best-first and
-// capped per the options. Unknown kinds return ErrUnknownKind so the
-// caller can skip-and-forward (a registry may still forward queries it
-// cannot evaluate itself).
-func (s *Store) Evaluate(kind describe.Kind, payload []byte, opts QueryOptions, now time.Time) ([]wire.Advertisement, error) {
-	model, ok := s.models.Model(kind)
-	if !ok {
-		return nil, fmt.Errorf("%w: %v", ErrUnknownKind, kind)
-	}
-	q, err := model.DecodeQuery(payload)
-	if err != nil {
-		return nil, fmt.Errorf("registry: bad query payload: %w", err)
-	}
-	type hit struct {
-		st *stored
-		ev describe.Evaluation
-	}
-	var hits []hit
-	consider := func(id uuid.UUID, st *stored) {
-		if !s.leases.Alive(id, now) {
-			return // expired but not yet purged: never serve stale data
-		}
-		if ev := model.Evaluate(q, st.desc); ev.Matched {
-			hits = append(hits, hit{st: st, ev: ev})
-		}
-	}
-	if tokens, prunable := model.QueryTokens(q); prunable {
-		// Indexed path: only adverts sharing a token can match, plus
-		// token-less adverts which are always considered conservatively.
-		seen := make(map[uuid.UUID]bool)
-		tm := s.byToken[kind]
-		for _, tok := range tokens {
-			for id, st := range tm[tok] {
-				if !seen[id] {
-					seen[id] = true
-					consider(id, st)
-				}
-			}
-		}
-		for id, st := range s.noToken[kind] {
-			if !seen[id] {
-				consider(id, st)
-			}
-		}
-	} else {
-		for id, st := range s.byKind[kind] {
-			consider(id, st)
-		}
-	}
-	sort.Slice(hits, func(i, j int) bool {
-		a, b := hits[i], hits[j]
-		if a.ev.Degree != b.ev.Degree {
-			return a.ev.Degree > b.ev.Degree
-		}
-		if a.ev.Score != b.ev.Score {
-			return a.ev.Score > b.ev.Score
-		}
-		if ak, bk := a.st.desc.ServiceKey(), b.st.desc.ServiceKey(); ak != bk {
-			return ak < bk
-		}
-		return uuid.Compare(a.st.advert.ID, b.st.advert.ID) < 0
-	})
+func (s *Store) effectiveLimit(opts QueryOptions) int {
 	limit := opts.MaxResults
 	if limit <= 0 {
 		limit = s.DefaultMaxResults
@@ -364,26 +438,160 @@ func (s *Store) Evaluate(kind describe.Kind, payload []byte, opts QueryOptions, 
 	if opts.BestOnly {
 		limit = 1
 	}
+	return limit
+}
+
+// Intra-query fan-out pays off only when one query must evaluate many
+// candidates: a full-kind scan of a big store, or a prunable query
+// whose token neighbourhood is wide (a near-root semantic category).
+// Narrow queries stay on the caller goroutine — under concurrent load
+// the parallelism comes from the shard read locks instead.
+const (
+	fanOutMinAdverts = 4096
+	fanOutMinTokens  = 16
+)
+
+func (s *Store) fanOut(plan *queryPlan) bool {
+	if len(s.shards) == 1 || stdruntime.GOMAXPROCS(0) < 2 {
+		return false
+	}
+	if int(s.count.Load()) < fanOutMinAdverts {
+		return false
+	}
+	return !plan.prunable || len(plan.tokens) > fanOutMinTokens
+}
+
+// Evaluate runs a query payload against the stored advertisements of
+// its kind and returns matching advertisements ranked best-first and
+// capped per the options. Unknown kinds return ErrUnknownKind so the
+// caller can skip-and-forward (a registry may still forward queries it
+// cannot evaluate itself).
+//
+// Selection keeps a bounded top-K (K = the effective result cap) per
+// shard instead of sorting every hit, and large scans fan out across
+// shards on a bounded worker pool.
+func (s *Store) Evaluate(kind describe.Kind, payload []byte, opts QueryOptions, now time.Time) ([]wire.Advertisement, error) {
+	plan, err := s.plan(kind, payload)
+	if err != nil {
+		if errors.Is(err, ErrUnknownKind) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("registry: bad query payload: %w", err)
+	}
+	limit := s.effectiveLimit(opts)
+	var hits []hit
+	if s.fanOut(plan) {
+		hits = s.collectParallel(kind, plan, limit, now)
+	} else {
+		top := newTopK(limit)
+		for _, sh := range s.shards {
+			sh.collect(kind, plan, now, top)
+		}
+		hits = top.hits
+	}
+	sortHits(hits)
 	if len(hits) > limit {
 		hits = hits[:limit]
 	}
 	out := make([]wire.Advertisement, len(hits))
 	for i, h := range hits {
-		out[i] = h.st.advert
+		out[i] = *h.adv
 	}
 	return out, nil
+}
+
+// collect evaluates the shard's candidates for the plan into top.
+func (sh *shard) collect(kind describe.Kind, plan *queryPlan, now time.Time, top *topK) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	consider := func(id uuid.UUID, st *stored) {
+		if !sh.leases.Alive(id, now) {
+			return // expired but not yet purged: never serve stale data
+		}
+		if ev := plan.model.Evaluate(plan.query, st.desc); ev.Matched {
+			top.push(hit{adv: &st.advert, key: st.desc.ServiceKey(), ev: ev})
+		}
+	}
+	if plan.prunable {
+		// Indexed path: only adverts sharing a token can match, plus
+		// token-less adverts which are always considered conservatively.
+		// An advert appears in exactly one bucket per token it carries,
+		// and token-less adverts appear in no bucket, so dedup state is
+		// needed only for multi-token adverts — single-token populations
+		// (the common case) allocate no map at all.
+		tm := sh.byToken[kind]
+		var seen map[uuid.UUID]struct{}
+		for _, tok := range plan.tokens {
+			for id, st := range tm[tok] {
+				if len(st.tokens) > 1 {
+					if seen == nil {
+						seen = make(map[uuid.UUID]struct{})
+					}
+					if _, dup := seen[id]; dup {
+						continue
+					}
+					seen[id] = struct{}{}
+				}
+				consider(id, st)
+			}
+		}
+		for id, st := range sh.noToken[kind] {
+			consider(id, st)
+		}
+	} else {
+		for id, st := range sh.byKind[kind] {
+			consider(id, st)
+		}
+	}
+}
+
+// collectParallel fans the shard scans out across a bounded worker
+// pool (at most GOMAXPROCS workers) and merges the per-worker top-K
+// lists. The union of per-shard top-Ks is a superset of the global
+// top-K, so the merge loses nothing.
+func (s *Store) collectParallel(kind describe.Kind, plan *queryPlan, limit int, now time.Time) []hit {
+	workers := stdruntime.GOMAXPROCS(0)
+	if workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	results := make([][]hit, workers)
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			top := newTopK(limit)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.shards) {
+					break
+				}
+				s.shards[i].collect(kind, plan, now, top)
+			}
+			results[w] = top.hits
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	merged := make([]hit, 0, total)
+	for _, r := range results {
+		merged = append(merged, r...)
+	}
+	return merged
 }
 
 // MergeRank re-ranks advertisements pooled from several registries and
 // applies response control once more — the entry registry's aggregation
 // step for federated queries. Duplicate advertisement IDs keep the
-// highest version; duplicate service keys keep one advert.
+// highest version; duplicate service keys keep one advert. The query
+// payload goes through the same plan cache as Evaluate, so a federated
+// query decodes its payload once per node, not once per stage.
 func (s *Store) MergeRank(kind describe.Kind, payload []byte, pools [][]wire.Advertisement, opts QueryOptions) ([]wire.Advertisement, error) {
-	model, ok := s.models.Model(kind)
-	if !ok {
-		return nil, fmt.Errorf("%w: %v", ErrUnknownKind, kind)
-	}
-	q, err := model.DecodeQuery(payload)
+	plan, err := s.plan(kind, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -395,63 +603,44 @@ func (s *Store) MergeRank(kind describe.Kind, payload []byte, pools [][]wire.Adv
 			}
 		}
 	}
-	type hit struct {
-		adv  wire.Advertisement
-		desc describe.Description
-		ev   describe.Evaluation
-	}
-	var hits []hit
-	seenService := make(map[string]bool)
 	// Deterministic iteration for the dedup-by-service step.
 	ids := make([]uuid.UUID, 0, len(byID))
 	for id := range byID {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return uuid.Compare(ids[i], ids[j]) < 0 })
+
+	limit := s.effectiveLimit(opts)
+	top := newTopK(limit)
+	seenService := make(map[string]bool)
+	// cands is pre-sized so appended elements never move: the top-K
+	// holds pointers into it.
+	cands := make([]wire.Advertisement, 0, len(ids))
 	for _, id := range ids {
 		a := byID[id]
-		desc, err := model.DecodeDescription(a.Payload)
+		desc, err := plan.model.DecodeDescription(a.Payload)
 		if err != nil {
 			continue // corrupt result from a remote registry: skip
 		}
-		if key := desc.ServiceKey(); key != "" {
+		key := desc.ServiceKey()
+		if key != "" {
 			if seenService[key] {
 				continue
 			}
 			seenService[key] = true
 		}
-		ev := model.Evaluate(q, desc)
+		ev := plan.model.Evaluate(plan.query, desc)
 		if !ev.Matched {
 			continue // remote registry had a different opinion: re-check
 		}
-		hits = append(hits, hit{adv: a, desc: desc, ev: ev})
+		cands = append(cands, a)
+		top.push(hit{adv: &cands[len(cands)-1], key: key, ev: ev})
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		a, b := hits[i], hits[j]
-		if a.ev.Degree != b.ev.Degree {
-			return a.ev.Degree > b.ev.Degree
-		}
-		if a.ev.Score != b.ev.Score {
-			return a.ev.Score > b.ev.Score
-		}
-		if ak, bk := a.desc.ServiceKey(), b.desc.ServiceKey(); ak != bk {
-			return ak < bk
-		}
-		return uuid.Compare(a.adv.ID, b.adv.ID) < 0
-	})
-	limit := opts.MaxResults
-	if limit <= 0 {
-		limit = s.DefaultMaxResults
-	}
-	if opts.BestOnly {
-		limit = 1
-	}
-	if len(hits) > limit {
-		hits = hits[:limit]
-	}
+	hits := top.hits
+	sortHits(hits)
 	out := make([]wire.Advertisement, len(hits))
 	for i, h := range hits {
-		out[i] = h.adv
+		out[i] = *h.adv
 	}
 	return out, nil
 }
@@ -460,13 +649,16 @@ func (s *Store) MergeRank(kind describe.Kind, payload []byte, pools [][]wire.Adv
 // kind — the digest registries gossip to peers for forwarding pruning.
 func (s *Store) Summary() []wire.SummaryEntry {
 	var entries []wire.SummaryEntry
-	kinds := s.models.Kinds()
-	for _, k := range kinds {
+	for _, k := range s.models.Kinds() {
 		tokens := map[string]bool{}
-		for _, st := range s.byKind[k] {
-			for _, tok := range st.tokens {
-				tokens[tok] = true
+		for _, sh := range s.shards {
+			sh.mu.RLock()
+			for _, st := range sh.byKind[k] {
+				for _, tok := range st.tokens {
+					tokens[tok] = true
+				}
 			}
+			sh.mu.RUnlock()
 		}
 		if len(tokens) == 0 {
 			continue
@@ -484,21 +676,24 @@ func (s *Store) Summary() []wire.SummaryEntry {
 // Adverts returns all stored advertisements (deterministic order); the
 // federation's push-cooperation and tests use it.
 func (s *Store) Adverts() []wire.Advertisement {
-	ids := make([]uuid.UUID, 0, len(s.adverts))
-	for id := range s.adverts {
-		ids = append(ids, id)
+	out := make([]wire.Advertisement, 0, s.Len())
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, st := range sh.adverts {
+			out = append(out, st.advert)
+		}
+		sh.mu.RUnlock()
 	}
-	sort.Slice(ids, func(i, j int) bool { return uuid.Compare(ids[i], ids[j]) < 0 })
-	out := make([]wire.Advertisement, len(ids))
-	for i, id := range ids {
-		out[i] = s.adverts[id].advert
-	}
+	sort.Slice(out, func(i, j int) bool { return uuid.Compare(out[i].ID, out[j].ID) < 0 })
 	return out
 }
 
 // Advert returns a stored advertisement by ID.
 func (s *Store) Advert(id uuid.UUID) (wire.Advertisement, bool) {
-	st, ok := s.adverts[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, ok := sh.adverts[id]
 	if !ok {
 		return wire.Advertisement{}, false
 	}
@@ -507,7 +702,10 @@ func (s *Store) Advert(id uuid.UUID) (wire.Advertisement, bool) {
 
 // Has reports whether the advertisement is stored (and not yet purged).
 func (s *Store) Has(id uuid.UUID) bool {
-	_, ok := s.adverts[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.adverts[id]
 	return ok
 }
 
@@ -518,23 +716,21 @@ func (s *Store) Has(id uuid.UUID) bool {
 // (in-process subscriptions); wire subscriptions pass a lease deadline
 // and renew by re-subscribing under the same ID.
 func (s *Store) Subscribe(kind describe.Kind, payload []byte, notifyAddr string, id uuid.UUID, expires time.Time) (uuid.UUID, error) {
-	model, ok := s.models.Model(kind)
-	if !ok {
-		return uuid.Nil, fmt.Errorf("%w: %v", ErrUnknownKind, kind)
-	}
-	q, err := model.DecodeQuery(payload)
+	plan, err := s.plan(kind, payload)
 	if err != nil {
 		return uuid.Nil, err
 	}
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
 	if existing, ok := s.subs[id]; ok {
 		// Renewal: refresh query, address and lease in place.
 		existing.kind = kind
-		existing.query = q
+		existing.query = plan.query
 		existing.notify = notifyAddr
 		existing.expires = expires
 		return id, nil
 	}
-	sub := &subscription{id: id, kind: kind, query: q, notify: notifyAddr, expires: expires}
+	sub := &subscription{id: id, kind: kind, query: plan.query, notify: notifyAddr, expires: expires}
 	s.subs[id] = sub
 	s.subsArr = append(s.subsArr, sub)
 	return id, nil
@@ -543,8 +739,10 @@ func (s *Store) Subscribe(kind describe.Kind, payload []byte, notifyAddr string,
 // PruneSubscriptions drops standing queries whose lease lapsed and
 // returns how many were removed.
 func (s *Store) PruneSubscriptions(now time.Time) int {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
 	removed := 0
-	kept := s.subsArr[:0]
+	kept := make([]*subscription, 0, len(s.subsArr))
 	for _, sub := range s.subsArr {
 		if sub.alive(now) {
 			kept = append(kept, sub)
@@ -559,10 +757,16 @@ func (s *Store) PruneSubscriptions(now time.Time) int {
 
 // NumSubscriptions returns the number of standing queries (including
 // expired-but-unpruned ones).
-func (s *Store) NumSubscriptions() int { return len(s.subs) }
+func (s *Store) NumSubscriptions() int {
+	s.subMu.RLock()
+	defer s.subMu.RUnlock()
+	return len(s.subs)
+}
 
 // Unsubscribe removes a standing query.
 func (s *Store) Unsubscribe(id uuid.UUID) bool {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
 	if _, ok := s.subs[id]; !ok {
 		return false
 	}
@@ -580,11 +784,15 @@ func (s *Store) Unsubscribe(id uuid.UUID) bool {
 func (s *Store) PutArtifact(iri string, data []byte) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	s.artMu.Lock()
 	s.artifacts[iri] = cp
+	s.artMu.Unlock()
 }
 
 // Artifact fetches a stored artifact.
 func (s *Store) Artifact(iri string) ([]byte, bool) {
+	s.artMu.RLock()
+	defer s.artMu.RUnlock()
 	d, ok := s.artifacts[iri]
 	return d, ok
 }

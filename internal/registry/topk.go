@@ -1,0 +1,99 @@
+package registry
+
+import (
+	"sort"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// hit is one matched advertisement during selection. The advert pointer
+// refers to immutable storage (a *stored's advert, or a slot in a
+// pre-sized candidate slice), so keeping it beyond the shard lock is
+// safe.
+type hit struct {
+	adv *wire.Advertisement
+	key string // service key, the pre-ID ranking tiebreaker
+	ev  describe.Evaluation
+}
+
+// hitBefore is the ranking total order: higher degree first, then
+// higher score, then service key, then advertisement ID. IDs are
+// unique, so the order is strict — the top-K set is independent of
+// evaluation order.
+func hitBefore(a, b hit) bool {
+	if a.ev.Degree != b.ev.Degree {
+		return a.ev.Degree > b.ev.Degree
+	}
+	if a.ev.Score != b.ev.Score {
+		return a.ev.Score > b.ev.Score
+	}
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return uuid.Compare(a.adv.ID, b.adv.ID) < 0
+}
+
+func sortHits(hits []hit) {
+	sort.Slice(hits, func(i, j int) bool { return hitBefore(hits[i], hits[j]) })
+}
+
+// topK keeps the K best hits seen so far in a bounded heap with the
+// *worst* kept hit at the root, so replacing it when a better hit
+// arrives is O(log K). This caps selection memory at K instead of the
+// full hit count and removes the O(n log n) sort over every match.
+//
+// The heap is built lazily: while fewer than K hits arrived, push is a
+// plain append — queries whose hit count never reaches the cap (the
+// common narrow case) pay nothing for the bound.
+type topK struct {
+	k      int
+	hits   []hit
+	heaped bool
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+// worse reports whether hits[i] ranks after hits[j] — the heap is a
+// min-heap under ranking quality.
+func (t *topK) worse(i, j int) bool { return hitBefore(t.hits[j], t.hits[i]) }
+
+func (t *topK) push(h hit) {
+	if t.k <= 0 {
+		return
+	}
+	if len(t.hits) < t.k {
+		t.hits = append(t.hits, h)
+		return
+	}
+	if !t.heaped {
+		for i := len(t.hits)/2 - 1; i >= 0; i-- {
+			t.down(i)
+		}
+		t.heaped = true
+	}
+	if !hitBefore(h, t.hits[0]) {
+		return // not better than the current worst kept hit
+	}
+	t.hits[0] = h
+	t.down(0)
+}
+
+func (t *topK) down(i int) {
+	n := len(t.hits)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && t.worse(l, worst) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && t.worse(r, worst) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.hits[i], t.hits[worst] = t.hits[worst], t.hits[i]
+		i = worst
+	}
+}

@@ -1,0 +1,83 @@
+package runtime
+
+import "sync"
+
+// WorkerPool runs read-only work (query evaluation) off the node
+// goroutine. The protocol state machines stay single-writer: only
+// side-effect-free tasks belong here, and their results must re-enter
+// the node via the environment's timer queue (Clock.After) so all state
+// mutation still happens on the serialized path.
+//
+// Submission is non-blocking: when the queue is full or the pool is
+// closed, TrySubmit reports false and the caller runs the task inline.
+// Backpressure therefore degrades to the synchronous behaviour instead
+// of queueing unboundedly or deadlocking during shutdown.
+type WorkerPool struct {
+	tasks  chan func()
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// NewWorkerPool starts a pool with the given number of workers and
+// queue capacity. workers <= 0 returns nil — the no-pool configuration;
+// a nil pool's TrySubmit always reports false, so callers need no
+// special case.
+func NewWorkerPool(workers, queue int) *WorkerPool {
+	if workers <= 0 {
+		return nil
+	}
+	if queue < workers {
+		queue = workers
+	}
+	p := &WorkerPool{
+		tasks:  make(chan func(), queue),
+		closed: make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case <-p.closed:
+					return
+				case task := <-p.tasks:
+					task()
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues the task unless the pool is nil, closed, or its
+// queue is full; false means the caller should run the task itself.
+func (p *WorkerPool) TrySubmit(task func()) bool {
+	if p == nil {
+		return false
+	}
+	select {
+	case <-p.closed:
+		return false
+	default:
+	}
+	select {
+	case p.tasks <- task:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops the workers. Queued tasks that no worker picked up before
+// observing the close are dropped — acceptable for query evaluation,
+// where the client retries or times out. Close is idempotent and safe
+// on a nil pool.
+func (p *WorkerPool) Close() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() { close(p.closed) })
+	p.wg.Wait()
+}

@@ -1,0 +1,69 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkerPoolRunsTasks(t *testing.T) {
+	p := NewWorkerPool(4, 16)
+	defer p.Close()
+	var ran atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		task := func() { ran.Add(1); wg.Done() }
+		if !p.TrySubmit(task) {
+			task() // queue full: inline fallback, same as real callers
+		}
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 100 {
+		t.Fatalf("ran %d of 100 tasks", got)
+	}
+}
+
+func TestWorkerPoolNilAndClosed(t *testing.T) {
+	var nilPool *WorkerPool
+	if nilPool.TrySubmit(func() {}) {
+		t.Fatal("nil pool accepted a task")
+	}
+	nilPool.Close() // must not panic
+
+	p := NewWorkerPool(1, 1)
+	p.Close()
+	p.Close() // idempotent
+	if p.TrySubmit(func() { t.Error("task ran after close") }) {
+		t.Fatal("closed pool accepted a task")
+	}
+}
+
+func TestWorkerPoolZeroWorkersIsNil(t *testing.T) {
+	if p := NewWorkerPool(0, 8); p != nil {
+		t.Fatal("zero workers should mean no pool")
+	}
+}
+
+func TestWorkerPoolBackpressureReportsFalse(t *testing.T) {
+	p := NewWorkerPool(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	// Occupy the single worker, then fill the queue; the next submit
+	// must be refused rather than block.
+	if !p.TrySubmit(func() { <-block }) {
+		t.Fatal("first submit refused")
+	}
+	// The queue has capacity 1; keep submitting until it reports full.
+	refused := false
+	for i := 0; i < 10; i++ {
+		if !p.TrySubmit(func() { <-block }) {
+			refused = true
+			break
+		}
+	}
+	if !refused {
+		t.Fatal("pool never reported backpressure")
+	}
+	close(block)
+}

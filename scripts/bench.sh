@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Runs the registry benchmarks with -benchmem and distils the output
+# into BENCH_registry.json so the perf trajectory is diffable across
+# PRs. Usage: scripts/bench.sh [benchtime]
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-1s}"
+OUT="BENCH_registry.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkRegistry' -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+# Benchmark lines look like:
+#   BenchmarkRegistryEvaluateBroad-8   3680   382880 ns/op   5531 B/op   10 allocs/op
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op") ns = $(i - 1)
+        if ($(i) == "B/op") bytes = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_op\": %s", name, ns
+    if (bytes != "") printf ", \"bytes_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_op\": %s", allocs
+    printf "}"
+}
+END { print "\n}" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
