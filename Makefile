@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet bench docs-check
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/registry/... ./internal/federation/... ./internal/runtime/...
+	$(GO) test -race ./internal/obs/... ./internal/registry/... ./internal/federation/... ./internal/runtime/...
 
 vet:
 	$(GO) vet ./...
@@ -17,3 +17,7 @@ vet:
 # Registry benchmarks with allocation stats; emits BENCH_registry.json.
 bench:
 	sh scripts/bench.sh
+
+# Fails when OBSERVABILITY.md drifts from the metrics registered in code.
+docs-check:
+	sh scripts/check_obs_docs.sh

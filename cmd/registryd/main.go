@@ -30,6 +30,7 @@ import (
 	"semdisco/internal/describe"
 	"semdisco/internal/federation"
 	"semdisco/internal/lease"
+	"semdisco/internal/obs"
 	"semdisco/internal/ontology"
 	"semdisco/internal/rdf"
 	"semdisco/internal/registry"
@@ -53,6 +54,7 @@ func main() {
 		leaseDef = flag.Duration("lease-default", 30*time.Second, "default granted lease")
 		beacon   = flag.Duration("beacon", 5*time.Second, "beacon interval")
 		httpAddr = flag.String("http", "", "serve /status and /ontology on this address ('' disables)")
+		statAddr = flag.String("stats-addr", "", "serve runtime metrics on this address: /stats (text), /stats.json ('' disables)")
 		readers  = flag.Int("read-workers", stdruntime.GOMAXPROCS(0), "query evaluation workers (0 = evaluate on the node goroutine)")
 		verbose  = flag.Bool("v", false, "trace protocol activity")
 	)
@@ -100,6 +102,9 @@ func main() {
 
 	if *httpAddr != "" {
 		go serveStatus(*httpAddr, nodeio, reg, onto)
+	}
+	if *statAddr != "" {
+		go serveStats(*statAddr)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -167,6 +172,16 @@ func serveStatus(addr string, nodeio *udpnet.Node, reg *federation.Registry, ont
 	log.Printf("registryd: status endpoint on http://%s/status", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		log.Printf("registryd: http endpoint failed: %v", err)
+	}
+}
+
+// serveStats exposes the process-wide runtime metric registry (counters,
+// gauges, latency histograms — see OBSERVABILITY.md). Metrics are
+// atomics, so this endpoint never touches the node executor.
+func serveStats(addr string) {
+	log.Printf("registryd: stats endpoint on http://%s/stats", addr)
+	if err := http.ListenAndServe(addr, obs.Handler(obs.Default)); err != nil {
+		log.Printf("registryd: stats endpoint failed: %v", err)
 	}
 }
 

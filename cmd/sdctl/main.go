@@ -11,6 +11,7 @@
 //	sdctl -registry 127.0.0.1:7701 artifact -iri <ontologyIRI>
 //	sdctl -registry 127.0.0.1:7701 put-artifact -iri <iri> -file taxonomy.ttl
 //	sdctl -mcast 239.77.77.77:7777 probe
+//	sdctl stats -addr 127.0.0.1:7778
 //
 // With -hold, publish keeps running and renews its lease until
 // interrupted; without it the advertisement ages out after one lease —
@@ -29,6 +30,7 @@ import (
 	"semdisco/internal/describe"
 	"semdisco/internal/discovery"
 	"semdisco/internal/node"
+	"semdisco/internal/obs"
 	"semdisco/internal/ontology"
 	"semdisco/internal/profile"
 	"semdisco/internal/runtime"
@@ -47,10 +49,17 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: sdctl [flags] query|publish|watch|artifact|put-artifact|probe [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: sdctl [flags] query|publish|watch|artifact|put-artifact|probe|stats [subflags]")
 		os.Exit(2)
 	}
 	cmd, rest := flag.Arg(0), flag.Args()[1:]
+
+	// stats only talks HTTP to a registryd -stats-addr endpoint; no UDP
+	// node is needed, so handle it before binding sockets.
+	if cmd == "stats" {
+		runStats(rest, *timeout)
+		return
+	}
 
 	nodeio, err := udpnet.Listen(udpnet.Config{Multicast: *mcast})
 	if err != nil {
@@ -79,6 +88,30 @@ func main() {
 	default:
 		log.Fatalf("sdctl: unknown command %q", cmd)
 	}
+}
+
+// runStats fetches a registryd's runtime metric snapshot (the daemon
+// must run with -stats-addr) and prints it as aligned text; -json dumps
+// the raw snapshot instead. See OBSERVABILITY.md for the metric set.
+func runStats(args []string, timeout time.Duration) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7778", "registryd -stats-addr endpoint")
+	asJSON := fs.Bool("json", false, "print the raw JSON snapshot")
+	fs.Parse(args)
+	snap, err := obs.Fetch(*addr, timeout)
+	if err != nil {
+		log.Fatalf("sdctl stats: %v", err)
+	}
+	if *asJSON {
+		data, err := snap.MarshalJSONIndent()
+		if err != nil {
+			log.Fatalf("sdctl stats: %v", err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+	snap.WriteText(os.Stdout)
 }
 
 // runPutArtifact uploads a document (e.g. a taxonomy) into the

@@ -19,6 +19,7 @@ import (
 
 	"semdisco/internal/experiments"
 	"semdisco/internal/metrics"
+	"semdisco/internal/obs"
 )
 
 type experiment struct {
@@ -84,10 +85,11 @@ func catalog() []experiment {
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		seed   = flag.Int64("seed", 42, "experiment seed")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		format = flag.String("format", "table", "output format: table or csv")
+		run     = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		seed    = flag.Int64("seed", 42, "experiment seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		format  = flag.String("format", "table", "output format: table or csv")
+		showObs = flag.Bool("obs", false, "print the runtime metric delta after each experiment")
 	)
 	flag.Parse()
 	cat := catalog()
@@ -108,12 +110,24 @@ func main() {
 			continue
 		}
 		start := time.Now()
+		before := obs.Default.Snapshot()
 		tab := e.run(*seed)
 		if *format == "csv" {
 			fmt.Printf("# %s %s\n%s\n", e.id, e.title, tab.CSV())
 		} else {
 			fmt.Println(tab)
 			fmt.Printf("  [%s finished in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		}
+		if *showObs {
+			// Per-phase delta of the process-wide runtime metrics: what
+			// this experiment alone did (counters are cumulative across
+			// the whole run; the diff isolates one phase).
+			diff := obs.Default.Snapshot().Diff(before)
+			fmt.Printf("  runtime metrics for %s:\n", e.id)
+			for _, line := range strings.Split(strings.TrimRight(diff.String(), "\n"), "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+			fmt.Println()
 		}
 		ran++
 	}

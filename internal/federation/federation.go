@@ -21,6 +21,12 @@
 //
 // The Registry is a sans-I/O state machine: the runtime guarantees
 // handlers and timers never run concurrently.
+//
+// Protocol activity is instrumented: the federation.* runtime metrics
+// (query receipt/forwarding/pruning, beacon and summary traffic, read
+// pool usage) count every loop above; see OBSERVABILITY.md. The
+// per-registry Stats struct carries the same query counts scoped to one
+// registry instance.
 package federation
 
 import (
@@ -359,6 +365,7 @@ func (r *Registry) IsGateway() bool {
 
 func (r *Registry) sendBeacon() {
 	r.env.Multicast(wire.Beacon{Peers: r.sharePeers()})
+	fBeaconsSent.Inc()
 }
 
 func (r *Registry) pingPeers() {
@@ -368,6 +375,7 @@ func (r *Registry) pingPeers() {
 		if idle >= r.cfg.PeerTimeout {
 			delete(r.peers, id)
 			r.stats.PeersExpired++
+			fPeersExpired.Inc()
 			continue
 		}
 		if idle >= r.cfg.PingInterval && !p.lan {
@@ -458,6 +466,7 @@ func (r *Registry) sendSummaries() {
 	}
 	for _, p := range r.sortedPeers() {
 		r.env.Send(transport.Addr(p.info.Addr), wire.Summary{Entries: sum})
+		fSummariesSent.Inc()
 	}
 }
 
@@ -609,5 +618,6 @@ func (r *Registry) pushAdvert(adv wire.Advertisement, hops uint8, except wire.No
 		}
 		r.env.Send(transport.Addr(p.info.Addr), wire.AdvertForward{Advert: adv, HopsLeft: hops})
 		r.stats.AdvertsPushed++
+		fAdvertsPushed.Inc()
 	}
 }

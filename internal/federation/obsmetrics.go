@@ -1,0 +1,35 @@
+package federation
+
+import "semdisco/internal/obs"
+
+// Runtime observability counters for the federation protocol loops.
+// They mirror the per-registry Stats struct into the process-wide obs
+// registry (so live registryd exposes them over -stats-addr and
+// simdisco can diff them per phase) and add the beacon/summary/read-
+// pool activity Stats never carried. Documented in OBSERVABILITY.md.
+var (
+	fQueriesReceived = obs.NewCounter("federation.queries.received", "count",
+		"queries arriving at a registry (client or forwarded)")
+	fQueriesDuplicate = obs.NewCounter("federation.queries.duplicate", "count",
+		"queries suppressed by query-ID loop avoidance")
+	fQueriesForwarded = obs.NewCounter("federation.queries.forwarded", "count",
+		"query copies forwarded to peer registries")
+	fForwardsPruned = obs.NewCounter("federation.forwards.pruned", "count",
+		"peer forwards skipped because the peer summary cannot match")
+	fQueriesAnswered = obs.NewCounter("federation.queries.answered", "count",
+		"aggregated responses sent toward the query origin")
+	fResultsReturned = obs.NewCounter("federation.results.returned", "count",
+		"advertisements carried in responses toward the origin")
+	fAdvertsPushed = obs.NewCounter("federation.adverts.pushed", "count",
+		"advertisement replicas pushed to peers (push cooperation)")
+	fPeersExpired = obs.NewCounter("federation.peers.expired", "count",
+		"peers dropped after the ping timeout")
+	fBeaconsSent = obs.NewCounter("federation.beacons.sent", "count",
+		"LAN presence beacons multicast")
+	fSummariesSent = obs.NewCounter("federation.summaries.sent", "count",
+		"summary gossip messages sent to peers")
+	fReadPoolAsync = obs.NewCounter("federation.readpool.async", "count",
+		"local evaluations dispatched to the read worker pool")
+	fReadPoolInline = obs.NewCounter("federation.readpool.inline", "count",
+		"local evaluations run on the node goroutine (no pool or pool full)")
+)

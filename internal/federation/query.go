@@ -29,9 +29,11 @@ type pendingQuery struct {
 
 func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, q wire.Query) {
 	r.stats.QueriesReceived++
+	fQueriesReceived.Inc()
 	// Loop avoidance by unique query ID (§4.10).
 	if _, dup := r.seen[q.QueryID]; dup {
 		r.stats.DuplicatesSuppressed++
+		fQueriesDuplicate.Inc()
 		// Tell the forwarding registry this branch is exhausted so its
 		// aggregation completes without waiting for the hop deadline.
 		r.env.Send(from, wire.QueryResult{QueryID: q.QueryID, Complete: true})
@@ -58,7 +60,9 @@ func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, q wire.Q
 		r.env.Clock.After(0, func() { r.localDone(q.QueryID, local, err) })
 	}) {
 		p.localPending = true
+		fReadPoolAsync.Inc()
 	} else {
+		fReadPoolInline.Inc()
 		if local, err := r.store.Evaluate(q.Kind, q.Payload, opts, now); err == nil {
 			p.pools = append(p.pools, local)
 		} else {
@@ -80,6 +84,7 @@ func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, q wire.Q
 		p.outstanding[t.info.ID] = true
 		r.env.Send(transport.Addr(t.info.Addr), fwd)
 		r.stats.QueriesForwarded++
+		fQueriesForwarded.Inc()
 	}
 	// Hop deadline: children get proportionally smaller budgets, so a
 	// parent never times out before its children can respond. It also
@@ -128,6 +133,7 @@ func (r *Registry) forwardTargets(q wire.Query, sender wire.NodeID) []*peer {
 		}
 		if r.cfg.SummaryPruning && r.pruneBySummary(q, p) {
 			r.stats.ForwardsPruned++
+			fForwardsPruned.Inc()
 			continue
 		}
 		eligible = append(eligible, p)
@@ -234,6 +240,8 @@ func (r *Registry) respond(q wire.Query, to transport.Addr, pools [][]wire.Adver
 		}
 	}
 	r.stats.QueriesAnswered++
+	fQueriesAnswered.Inc()
 	r.stats.ResultsReturned += uint64(len(merged))
+	fResultsReturned.Add(uint64(len(merged)))
 	r.env.Send(to, wire.QueryResult{QueryID: q.QueryID, Adverts: merged, Complete: true})
 }

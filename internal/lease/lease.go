@@ -11,13 +11,31 @@
 // entries costs O(log n) per expiry regardless of table size. Time is
 // always passed in explicitly, keeping the table deterministic under
 // the experiment simulator and trivially testable.
+//
+// Grant, Renew and ExpireThrough tick the lease.* runtime metrics
+// (see OBSERVABILITY.md), making churn visible at a live registry.
 package lease
 
 import (
 	"container/heap"
 	"time"
 
+	"semdisco/internal/obs"
 	"semdisco/internal/uuid"
+)
+
+// Lease-lifecycle observability, aggregated over every table in the
+// process (each registry shard owns one). The grant/renew/expire rates
+// are the paper's §4.8 aliveness protocol made visible: a healthy
+// population renews, a churning one expires. Documented in
+// OBSERVABILITY.md.
+var (
+	mGranted = obs.NewCounter("lease.granted", "count",
+		"leases created or refreshed by publish")
+	mRenewed = obs.NewCounter("lease.renewed", "count",
+		"leases extended by explicit renewal")
+	mExpired = obs.NewCounter("lease.expired", "count",
+		"leases that lapsed and were swept")
 )
 
 // Policy clamps requested lease durations to what a registry accepts.
@@ -113,6 +131,7 @@ func (t *Table) Len() int { return len(t.entries) }
 // duration by policy, and returns the granted duration.
 func (t *Table) Grant(id uuid.UUID, requested time.Duration, now time.Time) time.Duration {
 	granted := t.policy.Clamp(requested)
+	mGranted.Inc()
 	if e, ok := t.entries[id]; ok {
 		e.expires = now.Add(granted)
 		heap.Fix(&t.pq, e.index)
@@ -134,6 +153,7 @@ func (t *Table) Renew(id uuid.UUID, requested time.Duration, now time.Time) (tim
 		return 0, false
 	}
 	granted := t.policy.Clamp(requested)
+	mRenewed.Inc()
 	e.expires = now.Add(granted)
 	heap.Fix(&t.pq, e.index)
 	return granted, true
@@ -174,6 +194,7 @@ func (t *Table) ExpireThrough(now time.Time) []uuid.UUID {
 		delete(t.entries, e.id)
 		out = append(out, e.id)
 	}
+	mExpired.Add(uint64(len(out)))
 	return out
 }
 

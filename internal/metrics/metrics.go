@@ -1,6 +1,12 @@
 // Package metrics renders experiment results as aligned text tables —
 // the rows and series EXPERIMENTS.md records, printed identically by
 // the benchmarks and the cmd/simdisco experiment runner.
+//
+// It is the end-of-run reporting layer, not runtime instrumentation:
+// live counters, gauges and latency histograms (what a running
+// registryd exposes over -stats-addr) live in internal/obs. A table
+// here summarizes an experiment after it finished; an obs metric ticks
+// while the process runs.
 package metrics
 
 import (

@@ -263,6 +263,7 @@ func (c *Client) Query(spec QuerySpec, cb func(QueryResult)) {
 	if spec.Walkers == 0 {
 		spec.Walkers = 2
 	}
+	nQueries.Inc()
 	p := &pendingClient{spec: spec, cb: cb, seenAdvert: make(map[uuid.UUID]bool)}
 	if spec.Strategy == wire.StrategyExpandingRing {
 		p.ringTTL = 1
@@ -311,6 +312,7 @@ func (c *Client) attempt(p *pendingClient) {
 	p.timer = c.env.Clock.After(c.attemptTimeout(p.spec, p.ringTTL), func() {
 		delete(c.pending, qid)
 		// No answer: declare the registry dead and fail over (§4.5).
+		nQueryFailovers.Inc()
 		c.boot.MarkDead(p.registry)
 		c.attempt(p)
 	})
@@ -322,6 +324,7 @@ func (c *Client) startFallback(p *pendingClient) {
 	if c.stopped {
 		return
 	}
+	nQueryFallbacks.Inc()
 	p.fallback = true
 	qid := c.env.NewUUID()
 	c.pending[qid] = p
@@ -457,6 +460,7 @@ func (c *Client) onQueryResult(b wire.QueryResult) {
 		}
 		p.ringTTL = next
 		p.collected = nil
+		nQueryReissues.Inc()
 		// Ring growth is a widening of the same logical query, not a
 		// failover; don't count it against MaxAttempts.
 		p.attempts--

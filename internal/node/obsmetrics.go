@@ -1,0 +1,27 @@
+package node
+
+import "semdisco/internal/obs"
+
+// Runtime observability for client and service nodes, aggregated over
+// every node in the process. The client counters expose the retry
+// machinery of §4.5 (failover, expanding ring, decentralized fallback);
+// the service counters expose the publish/renew lease loop of §4.8.
+// Documented in OBSERVABILITY.md.
+var (
+	nQueries = obs.NewCounter("node.queries", "count",
+		"discovery queries submitted by clients")
+	nQueryReissues = obs.NewCounter("node.query.reissues", "count",
+		"expanding-ring reissues with a widened TTL")
+	nQueryFailovers = obs.NewCounter("node.query.failovers", "count",
+		"query attempts abandoned after a registry timeout")
+	nQueryFallbacks = obs.NewCounter("node.query.fallbacks", "count",
+		"queries that fell back to decentralized LAN discovery")
+	nPublishSent = obs.NewCounter("node.publish.sent", "count",
+		"publish messages sent by service nodes")
+	nRenewSent = obs.NewCounter("node.renew.sent", "count",
+		"lease renewals sent by service nodes")
+	nRepublishes = obs.NewCounter("node.republish", "count",
+		"republishes after a registry was presumed dead")
+	nPeerAnswers = obs.NewCounter("node.peerquery.answered", "count",
+		"fallback peer queries a service answered directly")
+)

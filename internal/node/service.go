@@ -12,6 +12,11 @@
 // response control, fails over to signaled alternates when its registry
 // dies, and falls back to decentralized LAN discovery when no registry
 // remains.
+//
+// Both roles tick the node.* runtime metrics — query failovers,
+// expanding-ring reissues, fallback use, publish/renew/republish
+// traffic — so the retry machinery is observable without tracing; see
+// OBSERVABILITY.md.
 package node
 
 import (
@@ -197,6 +202,7 @@ func (s *Service) publish(a *servAdvert) {
 		Version:      a.version,
 	}
 	s.env.Send(transport.Addr(reg.Addr), wire.Publish{Advert: adv})
+	nPublishSent.Inc()
 	a.ackTimer = s.env.Clock.After(s.cfg.AckTimeout, func() { s.onAckTimeout(a) })
 }
 
@@ -211,6 +217,7 @@ func (s *Service) renew(a *servAdvert) {
 		return
 	}
 	s.env.Send(transport.Addr(reg.Addr), wire.Renew{AdvertID: a.id})
+	nRenewSent.Inc()
 	a.ackTimer = s.env.Clock.After(s.cfg.AckTimeout, func() { s.onAckTimeout(a) })
 }
 
@@ -225,6 +232,7 @@ func (s *Service) onAckTimeout(a *servAdvert) {
 		// try to find another connection point … and publish there").
 		s.boot.MarkDead(a.registry)
 		a.missed = 0
+		nRepublishes.Inc()
 		s.publish(a)
 		return
 	}
@@ -335,6 +343,7 @@ func (s *Service) onPeerQuery(b wire.PeerQuery) {
 		}
 	}
 	if len(hits) > 0 {
+		nPeerAnswers.Inc()
 		s.env.Send(transport.Addr(b.ReplyAddr), wire.QueryResult{
 			QueryID: b.QueryID, Adverts: hits, Complete: true,
 		})

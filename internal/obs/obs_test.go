@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentUpdates hammers every metric kind from many goroutines
+// while snapshots run concurrently; run with -race.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test.counter", "count", "events")
+	g := r.NewGauge("test.gauge", "count", "level")
+	h := r.NewHistogram("test.hist", "us", "latency", []int64{10, 100, 1000})
+
+	const workers, perWorker = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(int64(i % 2000))
+				// Concurrent re-registration must return the same metric.
+				if r.NewCounter("test.counter", "count", "events") != c {
+					t.Error("re-registration returned a different counter")
+					return
+				}
+			}
+		}(w)
+	}
+	// Snapshots race the writers; values must be internally usable.
+	for i := 0; i < 100; i++ {
+		_ = r.Snapshot()
+	}
+	wg.Wait()
+
+	if got := c.Load(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Load(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	snap := r.Snapshot()
+	mv, ok := snap.Get("test.hist")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	// Last bucket is cumulative: must equal the total count.
+	if last := mv.Buckets[len(mv.Buckets)-1]; last.N != mv.Count {
+		t.Errorf("cumulative overflow bucket = %d, want %d", last.N, mv.Count)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x", "count", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as gauge after counter did not panic")
+		}
+	}()
+	r.NewGauge("x", "count", "")
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("d.counter", "count", "")
+	idle := r.NewCounter("d.idle", "count", "")
+	g := r.NewGauge("d.gauge", "count", "")
+	h := r.NewHistogram("d.hist", "us", "", []int64{10, 100})
+
+	c.Add(5)
+	idle.Add(3)
+	g.Set(7)
+	h.Observe(5)
+	h.Observe(50)
+	before := r.Snapshot()
+
+	c.Add(2)
+	g.Set(4)
+	h.Observe(7)
+	h.Observe(500)
+	diff := r.Snapshot().Diff(before)
+
+	if mv, ok := diff.Get("d.counter"); !ok || mv.Value != 2 {
+		t.Errorf("counter delta = %+v, want 2", mv)
+	}
+	if _, ok := diff.Get("d.idle"); ok {
+		t.Error("zero-delta counter should be omitted from the diff")
+	}
+	if mv, ok := diff.Get("d.gauge"); !ok || mv.Value != 4 {
+		t.Errorf("gauge in diff = %+v, want current level 4", mv)
+	}
+	mv, ok := diff.Get("d.hist")
+	if !ok {
+		t.Fatal("histogram missing from diff")
+	}
+	if mv.Count != 2 || mv.Sum != 507 {
+		t.Errorf("histogram delta count=%d sum=%d, want 2/507", mv.Count, mv.Sum)
+	}
+	// Bucket deltas: one ≤10 observation (7), one overflow (500).
+	if mv.Buckets[0].N != 1 {
+		t.Errorf("bucket ≤10 delta = %d, want 1", mv.Buckets[0].N)
+	}
+	if last := mv.Buckets[len(mv.Buckets)-1]; last.N != 2 {
+		t.Errorf("cumulative overflow delta = %d, want 2", last.N)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q.hist", "us", "", []int64{10, 100, 1000})
+	for i := 0; i < 90; i++ {
+		h.Observe(5) // ≤10
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5000) // overflow
+	}
+	mv, _ := r.Snapshot().Get("q.hist")
+	if p50, ok := mv.Quantile(0.50); !ok || p50 != 10 {
+		t.Errorf("p50 = %d, want 10", p50)
+	}
+	if p99, ok := mv.Quantile(0.99); !ok || p99 != -1 {
+		t.Errorf("p99 = %d, want overflow (-1)", p99)
+	}
+}
+
+// TestJSONRoundTrip serves a snapshot through the real HTTP handler
+// and decodes it with the same client path sdctl stats uses (Fetch →
+// ParseJSON).
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("rt.queries", "count", "queries received").Add(42)
+	r.NewGauge("rt.depth", "count", "queue depth").Set(-3)
+	h := r.NewHistogram("rt.lat", "us", "latency", []int64{10, 100})
+	h.Observe(7)
+	h.Observe(70)
+	h.Observe(700)
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	snap, err := Fetch(srv.URL, 0)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	want := r.Snapshot()
+	if len(snap.Metrics) != len(want.Metrics) {
+		t.Fatalf("got %d metrics, want %d", len(snap.Metrics), len(want.Metrics))
+	}
+	for i, mv := range want.Metrics {
+		got := snap.Metrics[i]
+		if got.Name != mv.Name || got.Kind != mv.Kind || got.Unit != mv.Unit ||
+			got.Value != mv.Value || got.Count != mv.Count || got.Sum != mv.Sum ||
+			len(got.Buckets) != len(mv.Buckets) {
+			t.Errorf("metric %d round-trip mismatch:\n got %+v\nwant %+v", i, got, mv)
+		}
+	}
+	if mv, ok := snap.Get("rt.lat"); !ok || mv.Count != 3 || mv.Sum != 777 {
+		t.Errorf("histogram after round-trip = %+v, want count=3 sum=777", mv)
+	}
+
+	// The text endpoint renders every metric on its own line.
+	resp, err := srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading /stats: %v", err)
+	}
+	text := string(body)
+	for _, name := range []string{"rt.queries", "rt.depth", "rt.lat"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("text exposition missing %q:\n%s", name, text)
+		}
+	}
+}

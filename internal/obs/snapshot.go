@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Bucket is one cumulative histogram bucket in a snapshot: N
+// observations were ≤ LE. The overflow bucket uses LE = -1 (rendered
+// "+inf").
+type Bucket struct {
+	LE int64  `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// MetricValue is one metric's state at snapshot time. Counter and
+// gauge use Value; histograms use Count/Sum/Buckets.
+type MetricValue struct {
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+	Unit string `json:"unit,omitempty"`
+	Help string `json:"help,omitempty"`
+
+	Value int64 `json:"value,omitempty"`
+
+	Count   uint64   `json:"count,omitempty"`
+	Sum     int64    `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// sorted by name. Snapshots are plain values: they marshal to JSON
+// (the /stats.json exposition), render as text (the /stats
+// exposition), and diff against an earlier snapshot of the same
+// registry.
+type Snapshot struct {
+	Metrics []MetricValue `json:"metrics"`
+}
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	names := r.names()
+	out := Snapshot{Metrics: make([]MetricValue, 0, len(names))}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range names {
+		m := r.metrics[name]
+		mv := MetricValue{Name: m.name, Kind: m.kind, Unit: m.unit, Help: m.help}
+		switch m.kind {
+		case KindCounter:
+			mv.Value = int64(m.counter.Load())
+		case KindGauge:
+			mv.Value = m.gauge.Load()
+		case KindHistogram:
+			h := m.hist
+			mv.Count = h.total.Load()
+			mv.Sum = h.sum.Load()
+			mv.Buckets = make([]Bucket, len(h.counts))
+			var cum uint64
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				le := int64(-1)
+				if i < len(h.bounds) {
+					le = h.bounds[i]
+				}
+				mv.Buckets[i] = Bucket{LE: le, N: cum}
+			}
+		}
+		out.Metrics = append(out.Metrics, mv)
+	}
+	return out
+}
+
+// Diff returns this snapshot relative to an earlier one: counters and
+// histograms become deltas, gauges keep their current level (a level
+// has no meaningful delta). Metrics absent from prev diff against
+// zero; metrics present only in prev are dropped. Zero-delta counters
+// and empty histograms are omitted, so a diff reads as "what happened
+// in between".
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	before := make(map[string]MetricValue, len(prev.Metrics))
+	for _, mv := range prev.Metrics {
+		before[mv.Name] = mv
+	}
+	var out Snapshot
+	for _, mv := range s.Metrics {
+		p := before[mv.Name]
+		switch mv.Kind {
+		case KindCounter:
+			mv.Value -= p.Value
+			if mv.Value == 0 {
+				continue
+			}
+		case KindGauge:
+			// keep the current level
+		case KindHistogram:
+			mv.Count -= p.Count
+			mv.Sum -= p.Sum
+			if mv.Count == 0 {
+				continue
+			}
+			pb := make(map[int64]uint64, len(p.Buckets))
+			for _, b := range p.Buckets {
+				pb[b.LE] = b.N
+			}
+			bs := make([]Bucket, len(mv.Buckets))
+			for i, b := range mv.Buckets {
+				bs[i] = Bucket{LE: b.LE, N: b.N - pb[b.LE]}
+			}
+			mv.Buckets = bs
+		}
+		out.Metrics = append(out.Metrics, mv)
+	}
+	return out
+}
+
+// Get returns the named metric value, ok=false when absent.
+func (s Snapshot) Get(name string) (MetricValue, bool) {
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Name >= name })
+	if i < len(s.Metrics) && s.Metrics[i].Name == name {
+		return s.Metrics[i], true
+	}
+	// Diffs drop entries, breaking the sorted-index shortcut only if a
+	// caller sorted manually; fall back to a scan for robustness.
+	for _, mv := range s.Metrics {
+		if mv.Name == name {
+			return mv, true
+		}
+	}
+	return MetricValue{}, false
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of a histogram value
+// from its cumulative buckets, returning the upper bound of the bucket
+// the quantile falls in (-1 for the overflow bucket, ok=false for
+// non-histograms or empty histograms).
+func (mv MetricValue) Quantile(q float64) (int64, bool) {
+	if mv.Kind != KindHistogram || mv.Count == 0 {
+		return 0, false
+	}
+	rank := uint64(q * float64(mv.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	for _, b := range mv.Buckets {
+		if b.N >= rank {
+			return b.LE, true
+		}
+	}
+	return -1, true
+}
+
+// format renders a metric's value cell for the text exposition.
+func (mv MetricValue) format() string {
+	switch mv.Kind {
+	case KindHistogram:
+		mean := int64(0)
+		if mv.Count > 0 {
+			mean = mv.Sum / int64(mv.Count)
+		}
+		p50, _ := mv.Quantile(0.50)
+		p95, _ := mv.Quantile(0.95)
+		fmtLE := func(v int64) string {
+			if v < 0 {
+				return "+inf"
+			}
+			return fmt.Sprint(v)
+		}
+		return fmt.Sprintf("count=%d sum=%d mean=%d p50<=%s p95<=%s",
+			mv.Count, mv.Sum, mean, fmtLE(p50), fmtLE(p95))
+	default:
+		return fmt.Sprint(mv.Value)
+	}
+}
+
+// WriteText renders the snapshot as the aligned plain-text exposition
+// served at /stats: one metric per line, name / kind(unit) / value.
+func (s Snapshot) WriteText(w io.Writer) error {
+	nameW, kindW := 0, 0
+	kinds := make([]string, len(s.Metrics))
+	for i, mv := range s.Metrics {
+		if len(mv.Name) > nameW {
+			nameW = len(mv.Name)
+		}
+		k := string(mv.Kind)
+		if mv.Unit != "" {
+			k += "(" + mv.Unit + ")"
+		}
+		kinds[i] = k
+		if len(k) > kindW {
+			kindW = len(k)
+		}
+	}
+	var b strings.Builder
+	for i, mv := range s.Metrics {
+		fmt.Fprintf(&b, "%-*s  %-*s  %s\n", nameW, mv.Name, kindW, kinds[i], mv.format())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the text exposition.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	s.WriteText(&b)
+	return b.String()
+}
+
+// MarshalJSONIndent renders the /stats.json document.
+func (s Snapshot) MarshalJSONIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ParseJSON decodes a /stats.json document — the client half of the
+// exposition, used by `sdctl stats`.
+func ParseJSON(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: parsing stats JSON: %w", err)
+	}
+	return s, nil
+}

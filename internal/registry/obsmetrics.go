@@ -1,0 +1,61 @@
+package registry
+
+import "semdisco/internal/obs"
+
+// Runtime observability counters for the registry hot paths. All are
+// process-wide (obs.Default): a simulation running many stores observes
+// their sum. Names, units and the experiments they support are
+// documented in OBSERVABILITY.md; `make docs-check` keeps that file in
+// sync with this list.
+var (
+	mPublish = obs.NewCounter("registry.publish", "count",
+		"advertisements stored or updated")
+	mPublishErrors = obs.NewCounter("registry.publish.errors", "count",
+		"publishes rejected (unknown kind, bad payload, stale version)")
+	mEvaluate = obs.NewCounter("registry.evaluate", "count",
+		"local query evaluations")
+	mEvaluateLatency = obs.NewHistogram("registry.evaluate.latency_us", "us",
+		"local query evaluation latency", obs.LatencyBucketsUS)
+	mEvaluateFanout = obs.NewCounter("registry.evaluate.fanout", "count",
+		"evaluations that fanned out across shards on the worker pool")
+	mEvaluateTruncated = obs.NewCounter("registry.evaluate.truncated", "count",
+		"evaluations whose matches exceeded the result cap (top-K truncation)")
+	mMergeRank = obs.NewCounter("registry.mergerank", "count",
+		"federated result merge-rank passes")
+	mPlanCacheHits = obs.NewCounter("registry.plancache.hits", "count",
+		"query plans served from the LRU plan cache")
+	mPlanCacheMisses = obs.NewCounter("registry.plancache.misses", "count",
+		"query payload decodes (plan cache misses or caching disabled)")
+	mAdverts = obs.NewGauge("registry.adverts", "count",
+		"live advertisements across all stores")
+	mAdvertsExpired = obs.NewCounter("registry.adverts.expired", "count",
+		"advertisements purged by lease expiry")
+	mShardScans = obs.NewCounter("registry.shard.scans", "count",
+		"per-shard candidate scans, aggregated over all shards")
+)
+
+// ShardStat is one shard's occupancy and scan activity — the per-shard
+// view behind the aggregate registry.shard.scans counter. registryd's
+// /status endpoint exposes it for spotting stripe imbalance.
+type ShardStat struct {
+	Adverts int    `json:"adverts"`
+	Scans   uint64 `json:"scans"`
+	Matched uint64 `json:"matched"`
+}
+
+// ShardStats returns per-shard occupancy and cumulative scan counters
+// in stripe order.
+func (s *Store) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		n := len(sh.adverts)
+		sh.mu.RUnlock()
+		out[i] = ShardStat{
+			Adverts: n,
+			Scans:   sh.scans.Load(),
+			Matched: sh.matched.Load(),
+		}
+	}
+	return out
+}

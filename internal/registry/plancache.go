@@ -109,9 +109,11 @@ func (s *Store) plan(kind describe.Kind, payload []byte) (*queryPlan, error) {
 	if s.plans != nil {
 		h = describe.PayloadHash(kind, payload)
 		if p := s.plans.get(kind, payload, h); p != nil {
+			mPlanCacheHits.Inc()
 			return p, nil
 		}
 	}
+	mPlanCacheMisses.Inc()
 	q, err := model.DecodeQuery(payload)
 	if err != nil {
 		return nil, err

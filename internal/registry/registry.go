@@ -91,6 +91,11 @@ type shard struct {
 	byToken map[describe.Kind]map[string]map[uuid.UUID]*stored
 	noToken map[describe.Kind]map[uuid.UUID]*stored
 	leases  *lease.Table
+
+	// scans and matched accumulate this shard's candidate-scan activity
+	// (see ShardStats); updated with one atomic add per collect pass.
+	scans   atomic.Uint64
+	matched atomic.Uint64
 }
 
 // stored is immutable once linked into a shard; updates replace the
@@ -182,6 +187,13 @@ func (s *Store) shardFor(id uuid.UUID) *shard {
 // Len returns the number of stored advertisements.
 func (s *Store) Len() int { return int(s.count.Load()) }
 
+// countAdd moves the live-advert count, mirroring the change into the
+// process-wide registry.adverts gauge.
+func (s *Store) countAdd(d int64) {
+	s.count.Add(d)
+	mAdverts.Add(d)
+}
+
 // Models exposes the model registry (federation needs it for summary
 // pruning decisions).
 func (s *Store) Models() *describe.Registry { return s.models }
@@ -215,13 +227,16 @@ type Notification struct {
 func (s *Store) Publish(adv wire.Advertisement, now time.Time) (time.Duration, []Notification, error) {
 	model, ok := s.models.Model(adv.Kind)
 	if !ok {
+		mPublishErrors.Inc()
 		return 0, nil, fmt.Errorf("%w: %v", ErrUnknownKind, adv.Kind)
 	}
 	desc, err := model.DecodeDescription(adv.Payload)
 	if err != nil {
+		mPublishErrors.Inc()
 		return 0, nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
 	}
 	if adv.ID.IsNil() {
+		mPublishErrors.Inc()
 		return 0, nil, errors.New("registry: advertisement has nil ID")
 	}
 	st := &stored{advert: adv, desc: desc, tokens: model.SummaryTokens(desc)}
@@ -232,16 +247,18 @@ func (s *Store) Publish(adv wire.Advertisement, now time.Time) (time.Duration, [
 		if adv.Version < old.advert.Version {
 			have := old.advert.Version
 			sh.mu.Unlock()
+			mPublishErrors.Inc()
 			return 0, nil, fmt.Errorf("%w: have v%d, got v%d", ErrStaleVersion, have, adv.Version)
 		}
 		// An update may change the description's tokens: unindex first.
 		sh.removeLocked(adv.ID)
-		s.count.Add(-1)
+		s.countAdd(-1)
 	}
 	sh.insertLocked(st)
 	granted := sh.leases.Grant(adv.ID, time.Duration(adv.LeaseMillis)*time.Millisecond, now)
 	sh.mu.Unlock()
-	s.count.Add(1)
+	s.countAdd(1)
+	mPublish.Inc()
 
 	// A service republishing under a new advertisement ID (e.g. after
 	// its registry crashed) supersedes its previous advert.
@@ -256,7 +273,7 @@ func (s *Store) Publish(adv wire.Advertisement, now time.Time) (time.Duration, [
 			if old, ok := osh.adverts[oldID]; ok && adv.Version >= old.advert.Version {
 				osh.removeLocked(oldID)
 				osh.leases.Remove(oldID)
-				s.count.Add(-1)
+				s.countAdd(-1)
 			}
 			osh.mu.Unlock()
 		}
@@ -378,7 +395,7 @@ func (s *Store) Remove(id uuid.UUID) bool {
 	if st == nil {
 		return false
 	}
-	s.count.Add(-1)
+	s.countAdd(-1)
 	s.dropServiceKey(st)
 	return true
 }
@@ -395,7 +412,7 @@ func (s *Store) ExpireThrough(now time.Time) []wire.Advertisement {
 			if st := sh.removeLocked(id); st != nil {
 				out = append(out, st.advert)
 				dropped = append(dropped, st)
-				s.count.Add(-1)
+				s.countAdd(-1)
 			}
 		}
 		sh.mu.Unlock()
@@ -403,6 +420,7 @@ func (s *Store) ExpireThrough(now time.Time) []wire.Advertisement {
 	for _, st := range dropped {
 		s.dropServiceKey(st)
 	}
+	mAdvertsExpired.Add(uint64(len(out)))
 	return out
 }
 
@@ -471,6 +489,7 @@ func (s *Store) fanOut(plan *queryPlan) bool {
 // shard instead of sorting every hit, and large scans fan out across
 // shards on a bounded worker pool.
 func (s *Store) Evaluate(kind describe.Kind, payload []byte, opts QueryOptions, now time.Time) ([]wire.Advertisement, error) {
+	start := time.Now()
 	plan, err := s.plan(kind, payload)
 	if err != nil {
 		if errors.Is(err, ErrUnknownKind) {
@@ -480,14 +499,18 @@ func (s *Store) Evaluate(kind describe.Kind, payload []byte, opts QueryOptions, 
 	}
 	limit := s.effectiveLimit(opts)
 	var hits []hit
+	truncated := false
 	if s.fanOut(plan) {
+		mEvaluateFanout.Inc()
 		hits = s.collectParallel(kind, plan, limit, now)
+		truncated = len(hits) > limit
 	} else {
 		top := newTopK(limit)
 		for _, sh := range s.shards {
 			sh.collect(kind, plan, now, top)
 		}
 		hits = top.hits
+		truncated = top.dropped > 0
 	}
 	sortHits(hits)
 	if len(hits) > limit {
@@ -497,18 +520,36 @@ func (s *Store) Evaluate(kind describe.Kind, payload []byte, opts QueryOptions, 
 	for i, h := range hits {
 		out[i] = *h.adv
 	}
+	mEvaluate.Inc()
+	if truncated {
+		mEvaluateTruncated.Inc()
+	}
+	mEvaluateLatency.Observe(time.Since(start).Microseconds())
 	return out, nil
 }
 
 // collect evaluates the shard's candidates for the plan into top.
+// Scan activity accumulates in local counters and lands in the shard
+// (and aggregate) obs counters with one atomic add per pass, keeping
+// the per-candidate loop free of shared-cacheline traffic.
 func (sh *shard) collect(kind describe.Kind, plan *queryPlan, now time.Time, top *topK) {
+	var scanned, matched uint64
+	defer func() {
+		if scanned > 0 {
+			sh.scans.Add(scanned)
+			sh.matched.Add(matched)
+			mShardScans.Add(scanned)
+		}
+	}()
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	consider := func(id uuid.UUID, st *stored) {
+		scanned++
 		if !sh.leases.Alive(id, now) {
 			return // expired but not yet purged: never serve stale data
 		}
 		if ev := plan.model.Evaluate(plan.query, st.desc); ev.Matched {
+			matched++
 			top.push(hit{adv: &st.advert, key: st.desc.ServiceKey(), ev: ev})
 		}
 	}
@@ -595,6 +636,7 @@ func (s *Store) MergeRank(kind describe.Kind, payload []byte, pools [][]wire.Adv
 	if err != nil {
 		return nil, err
 	}
+	mMergeRank.Inc()
 	byID := make(map[uuid.UUID]wire.Advertisement)
 	for _, pool := range pools {
 		for _, a := range pool {

@@ -51,6 +51,10 @@ type topK struct {
 	k      int
 	hits   []hit
 	heaped bool
+	// dropped counts matches discarded because the bound was full —
+	// evidence the result cap truncated the match set (response
+	// control actually bit, §3.1).
+	dropped int
 }
 
 func newTopK(k int) *topK { return &topK{k: k} }
@@ -73,6 +77,7 @@ func (t *topK) push(h hit) {
 		}
 		t.heaped = true
 	}
+	t.dropped++
 	if !hitBefore(h, t.hits[0]) {
 		return // not better than the current worst kept hit
 	}

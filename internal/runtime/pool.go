@@ -1,6 +1,22 @@
 package runtime
 
-import "sync"
+import (
+	"sync"
+
+	"semdisco/internal/obs"
+)
+
+// Pool observability: accepted vs. rejected submissions and the depth
+// of the task queue at the last accepted submission. Process-wide; the
+// federation read pool is currently the only client.
+var (
+	mPoolAccepted = obs.NewCounter("runtime.pool.accepted", "count",
+		"tasks accepted onto a worker pool queue")
+	mPoolRejected = obs.NewCounter("runtime.pool.rejected", "count",
+		"submissions refused (pool nil, closed, or queue full)")
+	mPoolDepth = obs.NewGauge("runtime.pool.depth", "count",
+		"worker pool queue depth at the last accepted submission")
+)
 
 // WorkerPool runs read-only work (query evaluation) off the node
 // goroutine. The protocol state machines stay single-writer: only
@@ -55,17 +71,22 @@ func NewWorkerPool(workers, queue int) *WorkerPool {
 // queue is full; false means the caller should run the task itself.
 func (p *WorkerPool) TrySubmit(task func()) bool {
 	if p == nil {
+		mPoolRejected.Inc()
 		return false
 	}
 	select {
 	case <-p.closed:
+		mPoolRejected.Inc()
 		return false
 	default:
 	}
 	select {
 	case p.tasks <- task:
+		mPoolAccepted.Inc()
+		mPoolDepth.Set(int64(len(p.tasks)))
 		return true
 	default:
+		mPoolRejected.Inc()
 		return false
 	}
 }

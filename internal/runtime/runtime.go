@@ -6,6 +6,11 @@
 // callbacks never run concurrently — the simulator by construction
 // (single event loop), the UDP runtime by serializing onto one
 // goroutine per node.
+//
+// The one concurrency escape hatch is WorkerPool: read-only work may
+// leave the serialized path as long as its results re-enter through
+// Clock.After. Pool usage is observable via the runtime.pool.* metrics
+// (see OBSERVABILITY.md).
 package runtime
 
 import (

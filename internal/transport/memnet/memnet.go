@@ -17,8 +17,24 @@ import (
 	"sort"
 	"time"
 
+	"semdisco/internal/obs"
 	"semdisco/internal/transport"
 	"semdisco/internal/wire"
+)
+
+// Simulator-wide observability: the same send/deliver/drop accounting
+// Stats keeps per network, mirrored into the process-wide obs registry
+// so cmd/simdisco can print per-phase traffic diffs alongside the
+// protocol counters. Documented in OBSERVABILITY.md.
+var (
+	mSentMsgs = obs.NewCounter("transport.sim.sent.msgs", "count",
+		"simulated datagram transmissions")
+	mSentBytes = obs.NewCounter("transport.sim.sent.bytes", "bytes",
+		"simulated bytes at the sender, once per transmission")
+	mDelivered = obs.NewCounter("transport.sim.delivered.msgs", "count",
+		"simulated datagram deliveries (multicast counts per receiver)")
+	mDropped = obs.NewCounter("transport.sim.dropped.msgs", "count",
+		"simulated datagrams lost to loss draws, partitions or dead nodes")
 )
 
 // Config tunes the simulated network. The zero value is a lossless
@@ -279,6 +295,8 @@ func (n *Network) NodesOn(lan string) []transport.Addr {
 func (n *Network) account(data []byte) {
 	n.stats.MessagesSent++
 	n.stats.BytesSent += uint64(len(data))
+	mSentMsgs.Inc()
+	mSentBytes.Add(uint64(len(data)))
 	if len(data) >= 4 {
 		cat := wire.CategoryOf(wire.MsgType(data[3]))
 		n.stats.ByCategory[cat].Messages++
@@ -300,10 +318,12 @@ func (n *Network) latency(sameLAN bool) time.Duration {
 func (n *Network) deliver(from *node, to *node, data []byte) {
 	if !to.up || to.closed || !n.connected(from.addr, to.addr) {
 		n.stats.MessagesDropped++
+		mDropped.Inc()
 		return
 	}
 	if n.cfg.Loss > 0 && n.rng.Float64() < n.cfg.Loss {
 		n.stats.MessagesDropped++
+		mDropped.Inc()
 		return
 	}
 	payload := make([]byte, len(data))
@@ -317,9 +337,11 @@ func (n *Network) deliver(from *node, to *node, data []byte) {
 		cur, ok := n.nodes[toAddr]
 		if !ok || !cur.up || cur.closed || cur.handler == nil {
 			n.stats.MessagesDropped++
+			mDropped.Inc()
 			return
 		}
 		n.stats.MessagesDelivered++
+		mDelivered.Inc()
 		n.stats.BytesDelivered += uint64(len(payload))
 		if len(payload) >= 4 {
 			cat := wire.CategoryOf(wire.MsgType(payload[3]))

@@ -4,6 +4,11 @@
 // interface only, so the identical state machines run on the
 // deterministic in-memory simulator (memnet) for experiments and on
 // real UDP sockets (udpnet) for deployment.
+//
+// Both bearers report traffic to the runtime metrics layer: udpnet
+// emits transport.udp.* (packets, bytes, executor-queue drops) and
+// memnet emits transport.sim.* (messages, bytes, simulated drops). See
+// OBSERVABILITY.md for the full reference.
 package transport
 
 import "time"

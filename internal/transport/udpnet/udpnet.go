@@ -16,7 +16,24 @@ import (
 	"sync"
 	"time"
 
+	"semdisco/internal/obs"
 	"semdisco/internal/transport"
+)
+
+// Live-socket observability: datagram and byte counts in each
+// direction plus executor-queue drops (the UDP analogue of a NIC ring
+// overflow). Documented in OBSERVABILITY.md.
+var (
+	mSentPackets = obs.NewCounter("transport.udp.sent.packets", "count",
+		"datagrams written to the socket (unicast + multicast)")
+	mSentBytes = obs.NewCounter("transport.udp.sent.bytes", "bytes",
+		"payload bytes written to the socket")
+	mRecvPackets = obs.NewCounter("transport.udp.recv.packets", "count",
+		"datagrams read from the sockets")
+	mRecvBytes = obs.NewCounter("transport.udp.recv.bytes", "bytes",
+		"payload bytes read from the sockets")
+	mDrops = obs.NewCounter("transport.udp.drops", "count",
+		"received datagrams dropped because the executor queue was full")
 )
 
 // Config configures a UDP node.
@@ -124,26 +141,32 @@ func (n *Node) readLoop(conn *net.UDPConn) {
 		if fromAddr == n.addr {
 			continue // our own multicast loopback
 		}
-		n.post(func() {
+		mRecvPackets.Inc()
+		mRecvBytes.Add(uint64(sz))
+		if !n.post(func() {
 			n.mu.Lock()
 			h := n.handler
 			n.mu.Unlock()
 			if h != nil {
 				h(fromAddr, data)
 			}
-		})
+		}) {
+			mDrops.Inc()
+		}
 	}
 }
 
 // post enqueues onto the executor, dropping when the node is closed or
 // the queue is saturated (UDP semantics: better to drop than to block
-// the reader).
-func (n *Node) post(fn func()) {
+// the reader); it reports whether the task was accepted.
+func (n *Node) post(fn func()) bool {
 	select {
 	case <-n.closed:
+		return false
 	case n.tasks <- fn:
+		return true
 	default:
-		// queue full: drop
+		return false // queue full: drop
 	}
 }
 
@@ -165,6 +188,10 @@ func (n *Node) Unicast(to transport.Addr, data []byte) error {
 		return fmt.Errorf("udpnet: destination %q: %w", to, err)
 	}
 	_, err = n.conn.WriteToUDP(data, dst)
+	if err == nil {
+		mSentPackets.Inc()
+		mSentBytes.Add(uint64(len(data)))
+	}
 	return err
 }
 
@@ -180,6 +207,10 @@ func (n *Node) Multicast(data []byte) error {
 		return nil
 	}
 	_, err := n.conn.WriteToUDP(data, n.group)
+	if err == nil {
+		mSentPackets.Inc()
+		mSentBytes.Add(uint64(len(data)))
+	}
 	return err
 }
 

@@ -1,0 +1,25 @@
+package semdisco
+
+import (
+	"os"
+	"testing"
+
+	"semdisco/internal/obs"
+)
+
+// TestMain lets a benchmark run export its runtime metric snapshot:
+// with SEMDISCO_OBS_OUT set, the process-wide obs registry is written
+// there as JSON after all tests and benchmarks finish. scripts/bench.sh
+// uses this to record plan-cache hit rates and scan counts alongside
+// the ns/op numbers in BENCH_registry.json.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("SEMDISCO_OBS_OUT"); path != "" {
+		if data, err := obs.Default.Snapshot().MarshalJSONIndent(); err == nil {
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				os.Exit(1)
+			}
+		}
+	}
+	os.Exit(code)
+}

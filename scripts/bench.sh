@@ -1,16 +1,20 @@
 #!/usr/bin/env sh
 # Runs the registry benchmarks with -benchmem and distils the output
 # into BENCH_registry.json so the perf trajectory is diffable across
-# PRs. Usage: scripts/bench.sh [benchtime]
+# PRs. The run's runtime metric snapshot (plan-cache hit rates, scan
+# counts — see OBSERVABILITY.md) is stored under the "obs" key.
+# Usage: scripts/bench.sh [benchtime]
 set -eu
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-1s}"
 OUT="BENCH_registry.json"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+OBS="$(mktemp)"
+trap 'rm -f "$RAW" "$OBS"' EXIT
 
-go test -run '^$' -bench 'BenchmarkRegistry' -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+SEMDISCO_OBS_OUT="$OBS" \
+    go test -run '^$' -bench 'BenchmarkRegistry' -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 
 # Benchmark lines look like:
 #   BenchmarkRegistryEvaluateBroad-8   3680   382880 ns/op   5531 B/op   10 allocs/op
@@ -32,7 +36,15 @@ BEGIN { print "{"; first = 1 }
     if (allocs != "") printf ", \"allocs_op\": %s", allocs
     printf "}"
 }
-END { print "\n}" }
+END { printf ",\n  \"obs\": " }
 ' "$RAW" > "$OUT"
+
+if [ -s "$OBS" ]; then
+    # Re-indent the snapshot so it nests under the top-level object.
+    sed '2,$s/^/  /' "$OBS" >> "$OUT"
+else
+    printf 'null' >> "$OUT"
+fi
+printf '\n}\n' >> "$OUT"
 
 echo "wrote $OUT"

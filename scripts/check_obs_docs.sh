@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Fails when the metric names registered in code (obs.NewCounter /
+# NewGauge / NewHistogram call sites) drift from the names documented
+# in OBSERVABILITY.md's reference tables. Run via `make docs-check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CODE="$(mktemp)"
+DOCS="$(mktemp)"
+trap 'rm -f "$CODE" "$DOCS"' EXIT
+
+# Metric registrations in code. Constructor calls always put the name
+# literal on the call line, so a line-based grep is exact.
+grep -rhoE 'obs\.New(Counter|Gauge|Histogram)\("[^"]+"' \
+    --include='*.go' internal cmd examples 2>/dev/null |
+    sed 's/.*("//; s/"$//' | sort -u > "$CODE"
+
+# Backticked first-column names in OBSERVABILITY.md table rows.
+grep -hoE '^\| `[a-z0-9._]+` \|' OBSERVABILITY.md |
+    sed 's/^| `//; s/` |$//' | sort -u > "$DOCS"
+
+if [ ! -s "$CODE" ]; then
+    echo "check_obs_docs: found no metric registrations in code" >&2
+    exit 1
+fi
+
+if ! diff -u "$DOCS" "$CODE" > /dev/null; then
+    echo "check_obs_docs: OBSERVABILITY.md is out of sync with the code:" >&2
+    echo "  (<) documented but not registered   (>) registered but undocumented" >&2
+    diff "$DOCS" "$CODE" | grep '^[<>]' >&2
+    exit 1
+fi
+
+echo "check_obs_docs: $(wc -l < "$CODE" | tr -d ' ') metrics documented and in sync"
