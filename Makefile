@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench docs-check
+.PHONY: build test race vet bench bench-match docs-check
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/registry/... ./internal/federation/... ./internal/runtime/...
+	$(GO) test -race ./internal/obs/... ./internal/registry/... ./internal/federation/... ./internal/runtime/... ./internal/ontology/... ./internal/match/... ./internal/wire/...
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +17,11 @@ vet:
 # Registry benchmarks with allocation stats; emits BENCH_registry.json.
 bench:
 	sh scripts/bench.sh
+
+# Matchmaking/subsumption benchmarks (compiled vs map baselines) with
+# allocation stats; emits BENCH_match.json.
+bench-match:
+	sh scripts/bench.sh match
 
 # Fails when OBSERVABILITY.md drifts from the metrics registered in code.
 docs-check:

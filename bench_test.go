@@ -235,6 +235,123 @@ func BenchmarkMatcherSemantic(b *testing.B) {
 	}
 }
 
+// benchMatchWorkload builds the BENCH_match.json matchmaking fixture: a
+// deeper taxonomy than benchOntology and a template exercising every
+// match aspect (category, required outputs, provided inputs, QoS).
+// mapClosures holds the pre-compile implementation as the baseline;
+// intern pre-resolves the concept IDs the way registry decode does.
+func benchMatchWorkload(mapClosures, intern bool) (*match.Matcher, *profile.Template, []*profile.Profile) {
+	onto, levels := workload.GenOntology(workload.OntologySpec{
+		Depth: 6, Branching: 3, MapClosures: mapClosures,
+	})
+	pop := workload.GenProfiles(workload.PopulationSpec{
+		N: 256, Classes: levels[3], DataClasses: levels[5], Seed: benchSeed,
+	})
+	tpl := &profile.Template{
+		Category:        levels[1][0],
+		RequiredOutputs: []ontology.Class{levels[4][0], levels[4][9]},
+		ProvidedInputs:  []ontology.Class{levels[4][3], levels[3][2]},
+		MinQoS:          map[string]float64{"accuracy": 0.5},
+	}
+	if intern {
+		tpl.Intern(onto)
+		for _, p := range pop {
+			p.Intern(onto)
+		}
+	}
+	return match.New(onto), tpl, pop
+}
+
+// BenchmarkMatcherMatch is the tentpole headline: compiled (interned
+// IDs + bitsets + memo, the registry evaluate path) and compiled-raw
+// (same ontology, concepts resolved per call — the direct-API path)
+// against maps (the pre-change implementation).
+func BenchmarkMatcherMatch(b *testing.B) {
+	variants := []struct {
+		name                string
+		mapClosures, intern bool
+	}{
+		{"compiled", false, true},
+		{"compiled-raw", false, false},
+		{"maps", true, false},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			m, tpl, pop := benchMatchWorkload(v.mapClosures, v.intern)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Match(tpl, pop[i%len(pop)])
+			}
+		})
+	}
+}
+
+// BenchmarkSubsumes compares one subsumption test across the three
+// forms: pre-resolved interned IDs (one word test), compiled string
+// entry points (two map lookups + word test), and the map-based
+// closure baseline.
+func BenchmarkSubsumes(b *testing.B) {
+	spec := workload.OntologySpec{Depth: 6, Branching: 3}
+	b.Run("id", func(b *testing.B) {
+		onto, levels := workload.GenOntology(spec)
+		topID := onto.ClassID(levels[1][0])
+		leafIDs := make([]ontology.ClassID, len(levels[5]))
+		for i, cl := range levels[5] {
+			leafIDs[i] = onto.ClassID(cl)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			onto.SubsumesID(topID, leafIDs[i%len(leafIDs)])
+		}
+	})
+	for _, v := range []struct {
+		name        string
+		mapClosures bool
+	}{
+		{"compiled", false},
+		{"maps", true},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			vspec := spec
+			vspec.MapClosures = v.mapClosures
+			onto, levels := workload.GenOntology(vspec)
+			top := levels[1][0]
+			leaves := levels[5]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				onto.Subsumes(top, leaves[i%len(leaves)])
+			}
+		})
+	}
+}
+
+// BenchmarkSimilarity compares Wu–Palmer similarity on the compiled
+// depth arrays + bitset LCS against the map-based baseline.
+func BenchmarkSimilarity(b *testing.B) {
+	for _, v := range []struct {
+		name        string
+		mapClosures bool
+	}{
+		{"compiled", false},
+		{"maps", true},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			onto, levels := workload.GenOntology(workload.OntologySpec{
+				Depth: 6, Branching: 3, MapClosures: v.mapClosures,
+			})
+			leaves := levels[5]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				onto.Similarity(leaves[i%len(leaves)], leaves[(i+7)%len(leaves)])
+			}
+		})
+	}
+}
+
 func BenchmarkOntologySubsumes(b *testing.B) {
 	onto, levels := benchOntology()
 	leaves := levels[4]

@@ -36,6 +36,10 @@ type Buffer struct {
 // Bytes returns the encoded bytes (not a copy).
 func (w *Buffer) Bytes() []byte { return w.b }
 
+// Reset empties the buffer, keeping its capacity for reuse (pooled
+// encoders truncate rather than reallocate between messages).
+func (w *Buffer) Reset() { w.b = w.b[:0] }
+
 // Len returns the number of bytes written so far.
 func (w *Buffer) Len() int { return len(w.b) }
 

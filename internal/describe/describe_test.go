@@ -202,6 +202,7 @@ func TestSemanticRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	d.Profile.Intern(m.Ontology()) // DecodeDescription interns eagerly
 	if !reflect.DeepEqual(got, d) {
 		t.Fatalf("description round trip mismatch")
 	}
@@ -210,6 +211,7 @@ func TestSemanticRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	q.Template.Intern(m.Ontology()) // DecodeQuery interns eagerly
 	if !reflect.DeepEqual(gq, q) {
 		t.Fatalf("query round trip mismatch: %+v vs %+v", gq, q)
 	}

@@ -67,16 +67,22 @@ func (m *SemanticModel) Kind() Kind { return KindSemantic }
 // Name implements Model.
 func (m *SemanticModel) Name() string { return "semantic" }
 
-// DecodeDescription implements Model.
+// DecodeDescription implements Model. The decoded profile is interned
+// against the grounding ontology here — decode is the single-writer
+// point before the profile is shared — so the registry's evaluate loop
+// compares integer IDs with zero string-map lookups per candidate.
 func (m *SemanticModel) DecodeDescription(b []byte) (Description, error) {
 	p, err := profile.Decode(b)
 	if err != nil {
 		return nil, err
 	}
+	p.Intern(m.onto)
 	return &SemanticDescription{Profile: p}, nil
 }
 
-// DecodeQuery implements Model.
+// DecodeQuery implements Model. Like DecodeDescription, the template is
+// interned eagerly; with the registry's plan cache, a repeated query
+// pays the ID resolution once for its whole cached lifetime.
 func (m *SemanticModel) DecodeQuery(b []byte) (Query, error) {
 	if len(b) == 0 {
 		return nil, errEmptySemanticQuery
@@ -85,6 +91,7 @@ func (m *SemanticModel) DecodeQuery(b []byte) (Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.Intern(m.onto)
 	return &SemanticQuery{Template: t, MinDegree: match.Degree(b[0])}, nil
 }
 
@@ -133,19 +140,15 @@ func (m *SemanticModel) QueryTokens(q Query) ([]string, bool) {
 		return nil, false
 	}
 	cat := sq.Template.Category
-	seen := map[string]bool{string(cat): true}
-	tokens := []string{string(cat)}
-	for _, c := range m.onto.Ancestors(cat) {
-		if !seen[string(c)] {
-			seen[string(c)] = true
-			tokens = append(tokens, string(c))
-		}
+	rel := m.onto.Related(cat)
+	if len(rel) == 0 {
+		// Unknown category: only a description advertising the identical
+		// (equally unknown) concept can clear the category aspect.
+		return []string{string(cat)}, true
 	}
-	for _, c := range m.onto.Descendants(cat) {
-		if !seen[string(c)] {
-			seen[string(c)] = true
-			tokens = append(tokens, string(c))
-		}
+	tokens := make([]string, len(rel))
+	for i, c := range rel {
+		tokens[i] = string(c)
 	}
 	return tokens, true
 }

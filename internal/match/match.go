@@ -73,16 +73,27 @@ func (r Result) Matches(min Degree) bool {
 
 // Matcher evaluates templates against profiles over one shared
 // ontology. The zero value is unusable; construct with New.
+// Matchers are safe for concurrent use.
 type Matcher struct {
 	onto *ontology.Ontology
+	// memo caches concept comparisons by interned ID pair; non-nil iff
+	// the ontology carried a compiled index when the matcher was built.
+	memo *conceptMemo
 }
 
-// New returns a matcher grounded in the given frozen ontology.
+// New returns a matcher grounded in the given frozen ontology. When the
+// ontology is compiled (the default at Freeze), the matcher compares
+// concepts by interned ID over the bitset closures and memoizes each
+// comparison; otherwise it runs the original string/map path.
 func New(o *ontology.Ontology) *Matcher {
 	if o == nil {
 		panic("match: nil ontology")
 	}
-	return &Matcher{onto: o}
+	m := &Matcher{onto: o}
+	if o.Compiled() {
+		m.memo = newConceptMemo()
+	}
+	return m
 }
 
 // Match evaluates the template against the profile. The overall degree
@@ -91,6 +102,18 @@ func New(o *ontology.Ontology) *Matcher {
 func (m *Matcher) Match(t *profile.Template, p *profile.Profile) Result {
 	overall := Exact
 	simSum, simN := 0.0, 0
+
+	// Interned views let the hot loops below compare integer IDs with
+	// zero string-map lookups. Absent views (profiles never interned,
+	// or interned against another ontology) resolve IDs per concept;
+	// pairs with an undeclared side fall back to string semantics.
+	compiled := m.memo != nil
+	var ti *profile.InternedTemplate
+	var pi *profile.InternedProfile
+	if compiled {
+		ti = t.InternedFor(m.onto)
+		pi = p.InternedFor(m.onto)
+	}
 
 	consider := func(d Degree, sim float64) {
 		if d < overall {
@@ -102,19 +125,47 @@ func (m *Matcher) Match(t *profile.Template, p *profile.Profile) Result {
 
 	// Category: requested concept vs advertised concept.
 	if t.Category != "" {
-		d := m.conceptDegree(t.Category, p.Category)
-		consider(d, m.onto.Similarity(t.Category, p.Category))
+		reqID, advID := ontology.NoClass, ontology.NoClass
+		if compiled {
+			if ti != nil {
+				reqID = ti.Category
+			} else {
+				reqID = m.onto.ClassID(t.Category)
+			}
+			if pi != nil {
+				advID = pi.Category
+			} else {
+				advID = m.onto.ClassID(p.Category)
+			}
+		}
+		d, s := m.evalConcept(t.Category, p.Category, reqID, advID)
+		consider(d, s)
 		if d == Fail {
 			return Result{Degree: Fail}
 		}
 	}
 	// Outputs: every required output must be served by the best
 	// advertised output.
-	for _, want := range t.RequiredOutputs {
+	for i, want := range t.RequiredOutputs {
+		wantID := ontology.NoClass
+		if compiled {
+			if ti != nil {
+				wantID = ti.RequiredOutputs[i]
+			} else {
+				wantID = m.onto.ClassID(want)
+			}
+		}
 		best, sim := Fail, 0.0
-		for _, have := range p.Outputs {
-			d := m.conceptDegree(want, have)
-			s := m.onto.Similarity(want, have)
+		for j, have := range p.Outputs {
+			haveID := ontology.NoClass
+			if compiled {
+				if pi != nil {
+					haveID = pi.Outputs[j]
+				} else {
+					haveID = m.onto.ClassID(have)
+				}
+			}
+			d, s := m.evalConcept(want, have, wantID, haveID)
 			if d > best || (d == best && s > sim) {
 				best, sim = d, s
 			}
@@ -127,20 +178,35 @@ func (m *Matcher) Match(t *profile.Template, p *profile.Profile) Result {
 	// Inputs: every advertised input must be satisfiable from what the
 	// client provides. Direction is reversed: the client's concept must
 	// specialize (or equal) the service's expected input.
-	for _, need := range p.Inputs {
-		best, sim := Fail, 0.0
-		for _, have := range t.ProvidedInputs {
-			d := m.conceptDegree(need, have)
-			s := m.onto.Similarity(need, have)
-			if d > best || (d == best && s > sim) {
-				best, sim = d, s
-			}
-		}
+	for i, need := range p.Inputs {
 		if len(t.ProvidedInputs) == 0 {
 			// The template does not constrain inputs at all; treat the
 			// aspect as unconstrained rather than failing every service
 			// that needs input.
 			continue
+		}
+		needID := ontology.NoClass
+		if compiled {
+			if pi != nil {
+				needID = pi.Inputs[i]
+			} else {
+				needID = m.onto.ClassID(need)
+			}
+		}
+		best, sim := Fail, 0.0
+		for j, have := range t.ProvidedInputs {
+			haveID := ontology.NoClass
+			if compiled {
+				if ti != nil {
+					haveID = ti.ProvidedInputs[j]
+				} else {
+					haveID = m.onto.ClassID(have)
+				}
+			}
+			d, s := m.evalConcept(need, have, needID, haveID)
+			if d > best || (d == best && s > sim) {
+				best, sim = d, s
+			}
 		}
 		consider(best, sim)
 		if best == Fail {
@@ -201,10 +267,51 @@ func (m *Matcher) conceptDegree(requested, advertised ontology.Class) Degree {
 	}
 }
 
+// evalConcept compares one requested/advertised concept pair, routing
+// through the memoized interned-ID fast path when both sides resolved
+// to compiled IDs, and through the original string path otherwise
+// (uncompiled ontology, or an undeclared concept on either side —
+// string equality of two undeclared concepts must still rate Exact).
+func (m *Matcher) evalConcept(req, adv ontology.Class, reqID, advID ontology.ClassID) (Degree, float64) {
+	if m.memo != nil && reqID != ontology.NoClass && advID != ontology.NoClass {
+		return m.evalConceptID(reqID, advID)
+	}
+	return m.conceptDegree(req, adv), m.onto.Similarity(req, adv)
+}
+
 // Ranked pairs a profile with its match result for sorting.
 type Ranked struct {
 	Profile *profile.Profile
 	Result  Result
+}
+
+// CompareQuality is the single best-first ordering rule over
+// (degree, score) pairs: higher degree first, then higher score.
+// Returns <0 when a ranks before b, >0 when after, 0 when tied —
+// callers append their own deterministic tiebreakers. Both match.Rank
+// and the registry's top-K hit ranking derive their total orders from
+// this comparison, so the tiebreak rules cannot drift apart. Degrees
+// compare numerically, which also fits the non-semantic description
+// models' model-specific degree scales.
+func CompareQuality(aDegree uint8, aScore float64, bDegree uint8, bScore float64) int {
+	if aDegree != bDegree {
+		if aDegree > bDegree {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case aScore > bScore:
+		return -1
+	case aScore < bScore:
+		return 1
+	}
+	return 0
+}
+
+// Compare orders r against o with the shared CompareQuality rule.
+func (r Result) Compare(o Result) int {
+	return CompareQuality(uint8(r.Degree), r.Score, uint8(o.Degree), o.Score)
 }
 
 // Rank sorts candidates best-first: by degree, then score, then
@@ -213,11 +320,8 @@ type Ranked struct {
 func Rank(rs []Ranked) {
 	sort.Slice(rs, func(i, j int) bool {
 		a, b := rs[i], rs[j]
-		if a.Result.Degree != b.Result.Degree {
-			return a.Result.Degree > b.Result.Degree
-		}
-		if a.Result.Score != b.Result.Score {
-			return a.Result.Score > b.Result.Score
+		if c := a.Result.Compare(b.Result); c != 0 {
+			return c < 0
 		}
 		return a.Profile.ServiceIRI < b.Profile.ServiceIRI
 	})

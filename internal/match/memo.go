@@ -1,0 +1,104 @@
+package match
+
+import (
+	"sync"
+
+	"semdisco/internal/ontology"
+)
+
+const (
+	// memoShards is the number of independently locked memo segments;
+	// a power of two so shard selection is a mask.
+	memoShards = 64
+	// memoShardCap bounds each shard. A full shard is cleared rather
+	// than evicted entry-by-entry: taxonomies are small enough that the
+	// working set re-warms in one evaluate pass, and clearing keeps the
+	// insert path a single map write.
+	memoShardCap = 1 << 12
+)
+
+// conceptEval is one memoized concept comparison. Degree and similarity
+// are stored exactly as computed, so a memo hit is bit-identical to a
+// fresh evaluation — scores never drift with cache state.
+type conceptEval struct {
+	deg Degree
+	sim float64
+}
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[uint64]conceptEval
+}
+
+// conceptMemo is the matcher's bounded, sharded, concurrent-safe memo
+// of concept comparisons, keyed by the interned (requested, advertised)
+// ClassID pair. Registries evaluate the same template concepts against
+// every candidate profile, so the same pairs recur across the evaluate
+// loop and across queries; the memo collapses each recurrence to one
+// shard-local map read.
+type conceptMemo struct {
+	shards [memoShards]memoShard
+}
+
+func newConceptMemo() *conceptMemo {
+	cm := &conceptMemo{}
+	for i := range cm.shards {
+		cm.shards[i].m = make(map[uint64]conceptEval)
+	}
+	return cm
+}
+
+// memoKey packs an ordered ID pair; ClassIDs are dense and non-negative
+// so the two uint32 halves are collision-free.
+func memoKey(req, adv ontology.ClassID) uint64 {
+	return uint64(uint32(req))<<32 | uint64(uint32(adv))
+}
+
+// shard mixes both halves of the key so pairs sharing one concept still
+// spread across shards.
+func (cm *conceptMemo) shard(key uint64) *memoShard {
+	h := (key ^ key>>29) * 0x9e3779b97f4a7c15
+	return &cm.shards[h>>58&(memoShards-1)]
+}
+
+// evalConceptID returns the memoized degree and similarity for a pair
+// of valid interned IDs, computing and caching on miss. Safe for
+// concurrent use; callers must only pass IDs valid in m.onto.
+func (m *Matcher) evalConceptID(req, adv ontology.ClassID) (Degree, float64) {
+	key := memoKey(req, adv)
+	sh := m.memo.shard(key)
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		mCacheHits.Inc()
+		return e.deg, e.sim
+	}
+	mCacheMisses.Inc()
+
+	var deg Degree
+	switch {
+	case req == adv:
+		deg = Exact
+	case m.onto.SubsumesID(req, adv):
+		deg = PlugIn
+	case m.onto.SubsumesID(adv, req):
+		deg = Subsumed
+	default:
+		deg = Fail
+	}
+	sim := m.onto.SimilarityID(req, adv)
+
+	sh.mu.Lock()
+	if len(sh.m) >= memoShardCap {
+		mCacheSize.Add(-int64(len(sh.m)))
+		mCacheResets.Inc()
+		clear(sh.m)
+	}
+	if _, dup := sh.m[key]; !dup {
+		sh.m[key] = conceptEval{deg: deg, sim: sim}
+		mCacheSize.Add(1)
+	}
+	sh.mu.Unlock()
+	return deg, sim
+}

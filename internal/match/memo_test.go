@@ -1,0 +1,198 @@
+package match
+
+import (
+	"sync"
+	"testing"
+
+	"semdisco/internal/ontology"
+	"semdisco/internal/profile"
+)
+
+// mapsOntology rebuilds the test taxonomy on the map path so tests can
+// compare memoized interned matching against the original semantics.
+func mapsOntology(t testing.TB) *ontology.Ontology {
+	t.Helper()
+	o := ontology.New(ns)
+	if err := o.DisableCompiledIndex(); err != nil {
+		t.Fatal(err)
+	}
+	axioms := [][2]string{
+		{"Sensor", "Device"},
+		{"Radar", "Sensor"},
+		{"CoastalRadar", "Radar"},
+		{"Camera", "Sensor"},
+		{"Track", "Observation"},
+		{"RadarTrack", "Track"},
+		{"Image", "Observation"},
+		{"AreaOfInterest", "Region"},
+		{"CoastalArea", "AreaOfInterest"},
+	}
+	for _, a := range axioms {
+		if err := o.AddClass(c(a[0]), c(a[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Freeze()
+	return o
+}
+
+func memoTemplates() []*profile.Template {
+	return []*profile.Template{
+		{Category: c("Sensor")},
+		{Category: c("Sensor"), RequiredOutputs: []ontology.Class{c("Track")},
+			ProvidedInputs: []ontology.Class{c("CoastalArea")}},
+		{Category: c("Device"), RequiredOutputs: []ontology.Class{c("Observation")}},
+		{Category: c("CoastalRadar")},
+		{Category: c("Camera")},
+		{Category: c("Unknown")},
+		{Category: c("Sensor"), RequiredOutputs: []ontology.Class{c("Image")}},
+		{},
+	}
+}
+
+func memoProfiles() []*profile.Profile {
+	return []*profile.Profile{
+		radarService(),
+		{ServiceIRI: "urn:svc:cam", Category: c("Camera"),
+			Outputs: []ontology.Class{c("Image")}, Grounding: "urn:g"},
+		{ServiceIRI: "urn:svc:odd", Category: c("Unknown"), Grounding: "urn:g"},
+		{ServiceIRI: "urn:svc:dev", Category: c("Device"),
+			Inputs:  []ontology.Class{c("Region")},
+			Outputs: []ontology.Class{c("Observation"), c("RadarTrack")}, Grounding: "urn:g"},
+	}
+}
+
+// TestMatchCompiledAgreesWithMaps pins the tentpole's behavioural
+// contract: the memoized interned fast path returns bit-identical
+// results to the original map-based matcher, for interned and
+// non-interned inputs alike, and regardless of memo warmth.
+func TestMatchCompiledAgreesWithMaps(t *testing.T) {
+	co, mo := testOntology(t), mapsOntology(t)
+	if !co.Compiled() || mo.Compiled() {
+		t.Fatalf("Compiled() = %v/%v, want true/false", co.Compiled(), mo.Compiled())
+	}
+	cm, mm := New(co), New(mo)
+	for round := 0; round < 3; round++ { // round > 0 hits the memo
+		for ti, tpl := range memoTemplates() {
+			for pi, p := range memoProfiles() {
+				want := mm.Match(tpl, p)
+				if got := cm.Match(tpl, p); got != want {
+					t.Fatalf("round %d: Match(t%d, p%d) = %+v, want %+v", round, ti, pi, got, want)
+				}
+				// Interning must not change the outcome, only the cost.
+				it, ip := tpl, p
+				if round == 1 {
+					cl := *tpl
+					it = &cl
+					it.Intern(co)
+					ip = p.Clone()
+					ip.Intern(co)
+				}
+				if got := cm.Match(it, ip); got != want {
+					t.Fatalf("round %d: interned Match(t%d, p%d) = %+v, want %+v", round, ti, pi, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMemoBounded forces a shard past its capacity and checks the memo
+// keeps answering correctly after the clear.
+func TestMemoBounded(t *testing.T) {
+	o := ontology.New(ns)
+	var classes []ontology.Class
+	for i := 0; i < 600; i++ {
+		cl := c(string(rune('A'+i%26)) + "x" + string(rune('0'+i%10)) + "n" + itoa(i))
+		classes = append(classes, cl)
+		var parent ontology.Class
+		if i > 0 {
+			parent = classes[i/2]
+		}
+		if err := o.AddClass(cl, parent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Freeze()
+	m := New(o)
+	if m.memo == nil {
+		t.Fatal("compiled ontology produced no memo")
+	}
+	// 600² pairs ≫ 64 shards × 4096 cap, so clears must occur.
+	for _, a := range classes {
+		ida := o.ClassID(a)
+		for _, b := range classes {
+			m.evalConceptID(ida, o.ClassID(b))
+		}
+	}
+	for i, a := range classes[:40] {
+		for _, b := range classes[i:41] {
+			d, s := m.evalConceptID(o.ClassID(a), o.ClassID(b))
+			if wd, ws := m.conceptDegree(a, b), o.Similarity(a, b); d != wd || s != ws {
+				t.Fatalf("post-clear eval(%s, %s) = (%v, %v), want (%v, %v)", a, b, d, s, wd, ws)
+			}
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// TestMatcherConcurrent hammers one matcher (and its shared memo) from
+// many goroutines over a frozen ontology; -race in CI proves the memo's
+// sharded locking. Results are checked against a single-threaded pass.
+func TestMatcherConcurrent(t *testing.T) {
+	o := testOntology(t)
+	m := New(o)
+	tpls := memoTemplates()
+	profs := memoProfiles()
+	// Mix of interned and raw inputs, like a registry serving decoded
+	// (interned) adverts alongside caller-constructed ones.
+	for _, tpl := range tpls[:4] {
+		tpl.Intern(o)
+	}
+	for _, p := range profs[:2] {
+		p.Intern(o)
+	}
+	want := make([][]Result, len(tpls))
+	for i, tpl := range tpls {
+		want[i] = make([]Result, len(profs))
+		for j, p := range profs {
+			want[i][j] = m.Match(tpl, p)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				ti := (i + g) % len(tpls)
+				pi := (i*3 + g) % len(profs)
+				if got := m.Match(tpls[ti], profs[pi]); got != want[ti][pi] {
+					select {
+					case errs <- "concurrent Match diverged":
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

@@ -1,0 +1,18 @@
+package match
+
+import "semdisco/internal/obs"
+
+// Runtime observability counters for the matcher's concept-degree memo.
+// Process-wide (obs.Default): a node running several matchers observes
+// their sum. Documented in OBSERVABILITY.md; `make docs-check` keeps
+// that file in sync with this list.
+var (
+	mCacheHits = obs.NewCounter("match.cache.hits", "count",
+		"concept comparisons served from the matcher memo")
+	mCacheMisses = obs.NewCounter("match.cache.misses", "count",
+		"concept comparisons computed and inserted into the memo")
+	mCacheResets = obs.NewCounter("match.cache.resets", "count",
+		"memo shards cleared after reaching capacity")
+	mCacheSize = obs.NewGauge("match.cache.size", "count",
+		"concept pairs currently memoized across all matchers")
+)

@@ -39,6 +39,14 @@ type Ontology struct {
 	classes map[Class]*classInfo
 	props   map[Property]*propInfo
 	frozen  bool
+
+	// c is the dense interned index built at Freeze (see compiled.go);
+	// nil when compileDisabled or before Freeze. When present it answers
+	// every taxonomy query; the map-based implementations remain as the
+	// pre-Freeze/disabled fallback and as the reference the property
+	// tests check the bitsets against.
+	c               *compiledIndex
+	compileDisabled bool
 }
 
 type classInfo struct {
@@ -213,6 +221,9 @@ func (o *Ontology) Freeze() {
 	for p := range o.props {
 		o.propClosure(p, make(map[Property]bool))
 	}
+	if !o.compileDisabled {
+		o.compile()
+	}
 	o.frozen = true
 }
 
@@ -370,11 +381,24 @@ func (o *Ontology) HasProperty(p Property) bool {
 // Subsumes reports whether super subsumes sub, i.e. sub ⊑ super.
 // Reflexive: Subsumes(c, c) is true for declared c. Unknown classes
 // subsume nothing and are subsumed only by Thing (open-world lenience:
-// an unknown class is still a Thing).
+// an unknown class is still a Thing). With a compiled index the check
+// is two ID lookups and one word test; pre-resolved IDs (SubsumesID)
+// skip even those lookups.
 func (o *Ontology) Subsumes(super, sub Class) bool {
 	o.mustFrozen()
 	if super == Thing {
 		return true
+	}
+	if c := o.c; c != nil {
+		subID, ok := c.ids[sub]
+		if !ok {
+			return false
+		}
+		supID, ok := c.ids[super]
+		if !ok {
+			return false
+		}
+		return c.bit(c.anc, subID, supID)
 	}
 	ci, ok := o.classes[sub]
 	if !ok {
@@ -388,6 +412,13 @@ func (o *Ontology) Subsumes(super, sub Class) bool {
 // deterministic order. Unknown classes yield nil.
 func (o *Ontology) Ancestors(c Class) []Class {
 	o.mustFrozen()
+	if ix := o.c; ix != nil {
+		id, ok := ix.ids[c]
+		if !ok {
+			return nil
+		}
+		return ix.rowClasses(ix.anc, id)
+	}
 	ci, ok := o.classes[c]
 	if !ok {
 		return nil
@@ -422,6 +453,13 @@ func (o *Ontology) Children(c Class) []Class {
 // Descendants returns all classes subsumed by c (including c itself).
 func (o *Ontology) Descendants(c Class) []Class {
 	o.mustFrozen()
+	if ix := o.c; ix != nil {
+		id, ok := ix.ids[c]
+		if !ok {
+			return nil
+		}
+		return ix.rowClasses(ix.desc, id)
+	}
 	if !o.HasClass(c) {
 		return nil
 	}
@@ -447,6 +485,13 @@ func (o *Ontology) Descendants(c Class) []Class {
 // Thing has depth 0. Unknown classes return -1.
 func (o *Ontology) Depth(c Class) int {
 	o.mustFrozen()
+	if ix := o.c; ix != nil {
+		id, ok := ix.ids[c]
+		if !ok {
+			return -1
+		}
+		return int(ix.depths[id])
+	}
 	ci, ok := o.classes[c]
 	if !ok {
 		return -1
@@ -456,6 +501,12 @@ func (o *Ontology) Depth(c Class) int {
 
 // Label returns the class label, or the IRI local name when unset.
 func (o *Ontology) Label(c Class) string {
+	if ix := o.c; ix != nil {
+		if id, ok := ix.ids[c]; ok && ix.labels[id] != "" {
+			return ix.labels[id]
+		}
+		return localName(string(c))
+	}
 	if ci, ok := o.classes[c]; ok && ci.label != "" {
 		return ci.label
 	}
@@ -467,6 +518,14 @@ func (o *Ontology) Label(c Class) string {
 // Returns Thing when either class is unknown.
 func (o *Ontology) LCS(a, b Class) Class {
 	o.mustFrozen()
+	if ix := o.c; ix != nil {
+		ida, okA := ix.ids[a]
+		idb, okB := ix.ids[b]
+		if !okA || !okB {
+			return Thing
+		}
+		return ix.classes[o.LCSID(ida, idb)]
+	}
 	ca, okA := o.classes[a]
 	cb, okB := o.classes[b]
 	if !okA || !okB {
@@ -492,6 +551,14 @@ func (o *Ontology) LCS(a, b Class) Class {
 // Unknown classes have similarity 0 to everything, including themselves.
 func (o *Ontology) Similarity(a, b Class) float64 {
 	o.mustFrozen()
+	if ix := o.c; ix != nil {
+		ida, okA := ix.ids[a]
+		idb, okB := ix.ids[b]
+		if !okA || !okB {
+			return 0
+		}
+		return o.SimilarityID(ida, idb)
+	}
 	if a == b && o.HasClass(a) {
 		return 1
 	}
@@ -538,12 +605,21 @@ func (o *Ontology) PropertyRange(p Property) Class {
 
 // Classes returns all declared classes in deterministic order.
 func (o *Ontology) Classes() []Class {
+	if ix := o.c; ix != nil {
+		out := make([]Class, len(ix.classes))
+		copy(out, ix.classes)
+		return out
+	}
 	out := make([]Class, 0, len(o.classes))
 	for c := range o.classes {
 		out = append(out, c)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortClassSlice(out)
 	return out
+}
+
+func sortClassSlice(cs []Class) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
 }
 
 // Properties returns all declared properties in deterministic order.

@@ -50,6 +50,10 @@ type Profile struct {
 	// client missing it can fetch it from the registry's artifact
 	// repository (§4.6).
 	OntologyIRI string
+
+	// itn caches interned ClassIDs for one compiled ontology (see
+	// intern.go). Immutable once set; Clone shares it.
+	itn *InternedProfile
 }
 
 // Circle is a geographic coverage area: a center and radius. The flat
@@ -331,6 +335,10 @@ type Template struct {
 	// Near, when non-nil, requires the service coverage (if any) to
 	// contain the point.
 	Near *Point
+
+	// itn caches interned ClassIDs for one compiled ontology (see
+	// intern.go). Immutable once set.
+	itn *InternedTemplate
 }
 
 // Point is a geographic position.

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"semdisco/internal/describe"
+	"semdisco/internal/match"
 	"semdisco/internal/uuid"
 	"semdisco/internal/wire"
 )
@@ -18,16 +19,13 @@ type hit struct {
 	ev  describe.Evaluation
 }
 
-// hitBefore is the ranking total order: higher degree first, then
-// higher score, then service key, then advertisement ID. IDs are
-// unique, so the order is strict — the top-K set is independent of
-// evaluation order.
+// hitBefore is the ranking total order: the shared match.CompareQuality
+// rule (higher degree first, then higher score), then service key, then
+// advertisement ID. IDs are unique, so the order is strict — the top-K
+// set is independent of evaluation order.
 func hitBefore(a, b hit) bool {
-	if a.ev.Degree != b.ev.Degree {
-		return a.ev.Degree > b.ev.Degree
-	}
-	if a.ev.Score != b.ev.Score {
-		return a.ev.Score > b.ev.Score
+	if c := match.CompareQuality(a.ev.Degree, a.ev.Score, b.ev.Degree, b.ev.Score); c != 0 {
+		return c < 0
 	}
 	if a.key != b.key {
 		return a.key < b.key

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"sync"
 
 	"semdisco/internal/codec"
 	"semdisco/internal/describe"
@@ -17,15 +18,36 @@ const (
 	wireVersion = 1
 )
 
-// Marshal encodes the envelope for transmission.
+// encodePool recycles envelope encode buffers. Federation fan-out
+// marshals the same few message shapes at high rate; reusing the
+// buffer's backing array leaves one exact-size result allocation per
+// Marshal instead of the append-growth chain.
+var encodePool = sync.Pool{New: func() any { return new(codec.Buffer) }}
+
+// Marshal encodes the envelope for transmission. The returned slice is
+// freshly allocated and owned by the caller.
 func Marshal(e *Envelope) ([]byte, error) {
+	w := encodePool.Get().(*codec.Buffer)
+	defer func() {
+		w.Reset()
+		encodePool.Put(w)
+	}()
+	if err := marshalInto(w, e); err != nil {
+		return nil, err
+	}
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out, nil
+}
+
+// marshalInto encodes the envelope into the given (reset) buffer.
+func marshalInto(w *codec.Buffer, e *Envelope) error {
 	if e.Body == nil {
-		return nil, fmt.Errorf("wire: nil body")
+		return fmt.Errorf("wire: nil body")
 	}
 	if e.Body.msgType() != e.Type {
-		return nil, fmt.Errorf("wire: envelope type %v does not match body %T", e.Type, e.Body)
+		return fmt.Errorf("wire: envelope type %v does not match body %T", e.Type, e.Body)
 	}
-	var w codec.Buffer
 	w.Byte(magic0)
 	w.Byte(magic1)
 	w.Byte(wireVersion)
@@ -33,10 +55,7 @@ func Marshal(e *Envelope) ([]byte, error) {
 	w.Bytes16(e.From)
 	w.Bytes16(e.MsgID)
 	w.String(e.FromAddr)
-	if err := marshalBody(&w, e.Body); err != nil {
-		return nil, err
-	}
-	return w.Bytes(), nil
+	return marshalBody(w, e.Body)
 }
 
 // Unmarshal decodes a received datagram. Messages with wrong magic,
@@ -540,10 +559,16 @@ func cloneBytes(b []byte) []byte {
 
 // EncodedSize returns the marshaled size of the envelope; experiments
 // use it for byte-exact bandwidth accounting without double-encoding.
+// Encoding happens entirely inside a pooled buffer, so a warmed-up
+// size probe allocates nothing.
 func EncodedSize(e *Envelope) (int, error) {
-	b, err := Marshal(e)
-	if err != nil {
+	w := encodePool.Get().(*codec.Buffer)
+	defer func() {
+		w.Reset()
+		encodePool.Put(w)
+	}()
+	if err := marshalInto(w, e); err != nil {
 		return 0, err
 	}
-	return len(b), nil
+	return w.Len(), nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package wire
+
+// raceEnabled lets allocation-count assertions skip under -race, whose
+// instrumentation allocates on its own.
+const raceEnabled = true

@@ -1,20 +1,43 @@
 #!/usr/bin/env sh
-# Runs the registry benchmarks with -benchmem and distils the output
-# into BENCH_registry.json so the perf trajectory is diffable across
-# PRs. The run's runtime metric snapshot (plan-cache hit rates, scan
-# counts — see OBSERVABILITY.md) is stored under the "obs" key.
-# Usage: scripts/bench.sh [benchtime]
+# Runs a benchmark suite with -benchmem and distils the output into a
+# JSON file so the perf trajectory is diffable across PRs. The run's
+# runtime metric snapshot (plan-cache hit rates, match-cache hit rates,
+# scan counts — see OBSERVABILITY.md) is stored under the "obs" key.
+#
+# Usage: scripts/bench.sh [registry|match] [benchtime]
+#   registry (default) -> BENCH_registry.json (registry store/evaluate)
+#   match              -> BENCH_match.json (matchmaking + subsumption +
+#                         wire encode, incl. compiled-vs-maps baselines)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+MODE="registry"
+case "${1:-}" in
+registry | match)
+    MODE="$1"
+    shift
+    ;;
+esac
 BENCHTIME="${1:-1s}"
-OUT="BENCH_registry.json"
+
+case "$MODE" in
+registry)
+    OUT="BENCH_registry.json"
+    PATTERN='BenchmarkRegistry'
+    ;;
+match)
+    OUT="BENCH_match.json"
+    PATTERN='BenchmarkMatcherMatch|BenchmarkSubsumes|BenchmarkSimilarity|BenchmarkMatcherSemantic|BenchmarkOntologySubsumes|BenchmarkOntologySimilarity|BenchmarkWireMarshalQuery|BenchmarkE5Matchmaking|BenchmarkE14MatchCostSemantic'
+    ;;
+esac
+
 RAW="$(mktemp)"
 OBS="$(mktemp)"
 trap 'rm -f "$RAW" "$OBS"' EXIT
 
 SEMDISCO_OBS_OUT="$OBS" \
-    go test -run '^$' -bench 'BenchmarkRegistry' -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+    go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 
 # Benchmark lines look like:
 #   BenchmarkRegistryEvaluateBroad-8   3680   382880 ns/op   5531 B/op   10 allocs/op
