@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-match docs-check
+.PHONY: build test race vet bench bench-match bench-chaos chaos docs-check
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,17 @@ bench:
 # allocation stats; emits BENCH_match.json.
 bench-match:
 	sh scripts/bench.sh match
+
+# Chaos regression suite under the race detector: fault-injection unit
+# tests plus the partition-heal, dup-storm and soak scenarios.
+chaos:
+	$(GO) test -race -run 'TestFault|TestProbation|TestChaos|TestRetryBackoff|TestStopCancels|TestFallback' ./internal/transport/memnet/... ./internal/discovery/... ./internal/node/... ./internal/integration/...
+	$(GO) run ./cmd/simdisco -chaos
+
+# Fault-sweep benchmarks (availability/latency degradation curves);
+# emits BENCH_chaos.json.
+bench-chaos:
+	sh scripts/bench.sh chaos
 
 # Fails when OBSERVABILITY.md drifts from the metrics registered in code.
 docs-check:

@@ -590,3 +590,14 @@ func BenchmarkE16Loss(b *testing.B) {
 	reportTable(b, tab)
 	b.ReportMetric(cell(tab, 1, 1), "success-at-5pct-loss")
 }
+
+func BenchmarkE17Chaos(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E17Chaos([]float64{0, 0.5, 1}, benchSeed)
+	}
+	reportTable(b, tab)
+	// Availability at full chaos intensity: the fault-sweep headline —
+	// backoff, probation and fallback must keep this from collapsing.
+	b.ReportMetric(cell(tab, 2, 1), "availability-at-full-chaos")
+}

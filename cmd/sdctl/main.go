@@ -182,6 +182,10 @@ func runWatch(nodeio *udpnet.Node, env *runtime.Env, seeds []string, args []stri
 
 func newClient(nodeio *udpnet.Node, env *runtime.Env, seedAddrs []string) *node.Client {
 	cli := node.NewClient(env, node.ClientConfig{
+		// The default model set ranks decentralized-fallback results by
+		// match quality instead of arrival order.
+		Models: describe.NewRegistry(describe.URIModel{}, describe.KVModel{},
+			describe.NewSemanticModel(sim.DefaultOntology())),
 		Bootstrap: discovery.Config{SeedAddrs: seedAddrs, ProbeInterval: 500 * time.Millisecond},
 	})
 	nodeio.SetHandler(func(from transport.Addr, data []byte) {

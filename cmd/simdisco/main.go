@@ -80,6 +80,9 @@ func catalog() []experiment {
 		{"E16", "discovery under datagram loss", func(s int64) *metrics.Table {
 			return experiments.E16Loss([]float64{0, 0.02, 0.05, 0.10}, s)
 		}},
+		{"E17", "chaos sweep (fault injection)", func(s int64) *metrics.Table {
+			return experiments.E17Chaos([]float64{0, 0.25, 0.5, 0.75, 1}, s)
+		}},
 	}
 }
 
@@ -90,8 +93,23 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		format  = flag.String("format", "table", "output format: table or csv")
 		showObs = flag.Bool("obs", false, "print the runtime metric delta after each experiment")
+		chaos   = flag.Bool("chaos", false, "chaos mode: sweep fault intensity (shorthand for -run E17 with a fine-grained sweep)")
 	)
 	flag.Parse()
+	if *chaos {
+		// Chaos experiment mode: the scripted nemesis sweep, at a finer
+		// intensity grid than the catalog entry, with the traffic and
+		// fault counters printed per run. Deterministic per -seed.
+		start := time.Now()
+		tab := experiments.E17Chaos([]float64{0, 0.1, 0.25, 0.5, 0.75, 1}, *seed)
+		if *format == "csv" {
+			fmt.Printf("# E17 chaos sweep\n%s\n", tab.CSV())
+		} else {
+			fmt.Println(tab)
+			fmt.Printf("  [chaos sweep finished in %v]\n", time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
 	cat := catalog()
 	if *list {
 		for _, e := range cat {

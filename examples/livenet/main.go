@@ -59,6 +59,7 @@ func main() {
 	defer cliIO.Close()
 	cliEnv := &runtime.Env{ID: uuid.New(), Iface: cliIO, Clock: cliIO}
 	cli := node.NewClient(cliEnv, node.ClientConfig{
+		Models:    models,
 		Bootstrap: discovery.Config{SeedAddrs: []string{string(addr2)}, ProbeInterval: 300 * time.Millisecond},
 	})
 	cliIO.SetHandler(func(from transport.Addr, data []byte) { runtime.Dispatch(cli, cliEnv, from, data) })

@@ -30,9 +30,16 @@ type Config struct {
 	// RegistryTTL ages out registries we have not heard from; default
 	// 3× the federation's default beacon interval (15 s).
 	RegistryTTL time.Duration
+	// Probation spaces liveness re-probes of registries marked dead.
+	// A demoted registry is pinged every Probation interval until it
+	// answers (a Pong revives it — it is readopted) or it is forgotten;
+	// without this, one transient failure would blacklist a registry
+	// forever. Default = ProbeInterval.
+	Probation time.Duration
 	// Passive disables active probing entirely: registries are learned
 	// only from beacons, seeds and signaling. Probe-free operation
 	// suits radio-silent nodes and the pure decentralized baseline.
+	// Probation re-probes are also suppressed.
 	Passive bool
 }
 
@@ -42,6 +49,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RegistryTTL == 0 {
 		c.RegistryTTL = 15 * time.Second
+	}
+	if c.Probation == 0 {
+		c.Probation = c.ProbeInterval
 	}
 	return c
 }
@@ -65,6 +75,9 @@ type Bootstrapper struct {
 	regs    map[wire.NodeID]*known
 	stopped bool
 	cancels []transport.CancelFunc
+	// probation is the pending probation re-probe timer; armed while at
+	// least one registry is marked dead, nil otherwise.
+	probation transport.CancelFunc
 	// onFound, when set, fires once each time the node transitions from
 	// "no registry" to "registry available".
 	onFound func()
@@ -109,13 +122,17 @@ func (b *Bootstrapper) Start() {
 	b.cancels = append(b.cancels, b.env.Clock.After(b.cfg.ProbeInterval, arm))
 }
 
-// Stop cancels the probe timer.
+// Stop cancels the probe and probation timers.
 func (b *Bootstrapper) Stop() {
 	b.stopped = true
 	for _, c := range b.cancels {
 		c()
 	}
 	b.cancels = nil
+	if b.probation != nil {
+		b.probation()
+		b.probation = nil
+	}
 }
 
 func (b *Bootstrapper) probe() {
@@ -175,7 +192,12 @@ func (b *Bootstrapper) learnDirect(env *wire.Envelope, local bool) {
 	}
 	k.info.Addr = env.FromAddr
 	k.lastSeen = b.env.Clock.Now()
-	k.dead = false
+	if k.dead {
+		// Probation ends: the registry answered (probation ping, beacon
+		// or pong) and is readopted as a connection point.
+		k.dead = false
+		dRevived.Inc()
+	}
 	if local {
 		k.local = true
 	}
@@ -195,14 +217,44 @@ func (b *Bootstrapper) learn(peers []wire.PeerInfo) {
 }
 
 // MarkDead demotes a registry after a failed request, triggering
-// failover to an alternate and an immediate re-probe.
+// failover to an alternate and an immediate re-probe. The demotion is
+// probation, not a permanent blacklist: the registry is re-pinged every
+// Probation interval and readopted as soon as it answers, so a
+// transient partition does not force permanent decentralized fallback.
 func (b *Bootstrapper) MarkDead(id wire.NodeID) {
-	if k, ok := b.regs[id]; ok {
+	if k, ok := b.regs[id]; ok && !k.dead {
 		k.dead = true
+		dMarkedDead.Inc()
 	}
 	if !b.hasLive() && !b.cfg.Passive {
 		b.probe()
 	}
+	b.armProbation()
+}
+
+// armProbation schedules the next liveness re-probe of demoted
+// registries; it keeps re-arming itself while any remain dead.
+func (b *Bootstrapper) armProbation() {
+	if b.stopped || b.probation != nil || b.cfg.Passive {
+		return
+	}
+	b.probation = b.env.Clock.After(b.cfg.Probation, func() {
+		b.probation = nil
+		if b.stopped {
+			return
+		}
+		again := false
+		for _, k := range b.regs {
+			if k.dead {
+				b.env.Send(transport.Addr(k.info.Addr), wire.Ping{})
+				dProbationProbes.Inc()
+				again = true
+			}
+		}
+		if again {
+			b.armProbation()
+		}
+	})
 }
 
 func (b *Bootstrapper) hasLive() bool {

@@ -1,0 +1,16 @@
+package discovery
+
+import "semdisco/internal/obs"
+
+// Observability for the registry bootstrap tracker: how often nodes
+// demote registries, how hard probation works to get them back, and how
+// often a demoted registry actually returns. Documented in
+// OBSERVABILITY.md.
+var (
+	dMarkedDead = obs.NewCounter("discovery.registry.marked_dead", "count",
+		"registries demoted after a failed request")
+	dProbationProbes = obs.NewCounter("discovery.probation.probes", "count",
+		"liveness pings sent to registries on probation")
+	dRevived = obs.NewCounter("discovery.registry.revived", "count",
+		"demoted registries readopted after being heard from again")
+)

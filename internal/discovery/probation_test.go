@@ -1,0 +1,113 @@
+package discovery
+
+import (
+	"testing"
+	"time"
+
+	"semdisco/internal/transport"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// fakeRegistryNode attaches a node at addr that counts incoming Pings
+// and, once pings reaches answerAfter, replies to each with a Pong —
+// the behaviour of a registry that comes back from a transient outage.
+type fakeRegistryNode struct {
+	id    uuid.UUID
+	pings int
+}
+
+func (f *fixture) attachFakeRegistry(t *testing.T, id uuid.UUID, addr transport.Addr, answerAfter int) *fakeRegistryNode {
+	t.Helper()
+	fr := &fakeRegistryNode{id: id}
+	var iface transport.Iface
+	iface = f.net.Attach(addr, "lan0", func(from transport.Addr, data []byte) {
+		e, err := wire.Unmarshal(data)
+		if err != nil || e.Type != wire.TPing {
+			return
+		}
+		fr.pings++
+		if fr.pings < answerAfter {
+			return
+		}
+		pong := &wire.Envelope{
+			Type: wire.TPong, From: id, FromAddr: string(addr),
+			MsgID: f.gen.New(), Body: wire.Pong{},
+		}
+		out, err := wire.Marshal(pong)
+		if err != nil {
+			t.Fatalf("marshal pong: %v", err)
+		}
+		iface.Unicast(from, out)
+	})
+	return fr
+}
+
+func TestProbationRevivesDeadRegistry(t *testing.T) {
+	f := newFixture(t, Config{
+		ProbeInterval: 10 * time.Second, // keep multicast probing quiet
+		Probation:     200 * time.Millisecond,
+	})
+	f.boot.Start()
+	rid := f.gen.New()
+	// The registry ignores the first two probation pings (still "down"),
+	// then starts answering.
+	fr := f.attachFakeRegistry(t, rid, "lan0/r1", 3)
+	f.beacon(rid, "lan0/r1")
+	if _, ok := f.boot.Current(); !ok {
+		t.Fatal("setup: registry not learned")
+	}
+
+	f.boot.MarkDead(rid)
+	if _, ok := f.boot.Current(); ok {
+		t.Fatal("dead registry still current")
+	}
+	// Probation: the demoted registry is re-pinged every interval, not
+	// blacklisted. The third ping gets a Pong, which must readopt it.
+	f.net.RunFor(time.Second)
+	if fr.pings < 3 {
+		t.Fatalf("probation sent %d pings, want ≥3 (one per interval)", fr.pings)
+	}
+	cur, ok := f.boot.Current()
+	if !ok || cur.ID != rid {
+		t.Fatalf("registry not readopted after Pong: (%+v, %v)", cur, ok)
+	}
+	// Once everything is alive again the probation loop must disarm.
+	settled := fr.pings
+	f.net.RunFor(2 * time.Second)
+	if fr.pings != settled {
+		t.Fatalf("probation kept pinging a live registry (%d → %d)", settled, fr.pings)
+	}
+}
+
+func TestProbationStopsWithBootstrapper(t *testing.T) {
+	f := newFixture(t, Config{ProbeInterval: 10 * time.Second, Probation: 100 * time.Millisecond})
+	f.boot.Start()
+	rid := f.gen.New()
+	fr := f.attachFakeRegistry(t, rid, "lan0/r1", 1<<30) // never answers
+	f.beacon(rid, "lan0/r1")
+	f.boot.MarkDead(rid)
+	f.net.RunFor(time.Second)
+	if fr.pings == 0 {
+		t.Fatal("probation never pinged")
+	}
+	f.boot.Stop()
+	stopped := fr.pings
+	f.net.RunFor(2 * time.Second)
+	if fr.pings > stopped+1 { // one in-flight timer may still fire a send
+		t.Fatalf("probation survived Stop (%d → %d)", stopped, fr.pings)
+	}
+}
+
+func TestProbationSuppressedWhenPassive(t *testing.T) {
+	f := newFixture(t, Config{Passive: true, Probation: 50 * time.Millisecond})
+	f.boot.Start()
+	rid := f.gen.New()
+	fr := f.attachFakeRegistry(t, rid, "lan0/r1", 1)
+	f.beacon(rid, "lan0/r1")
+	f.boot.MarkDead(rid)
+	f.net.RunFor(2 * time.Second)
+	if fr.pings != 0 {
+		t.Fatalf("passive node sent %d probation pings, want 0", fr.pings)
+	}
+}

@@ -15,8 +15,12 @@ import (
 // response-controlled result goes back toward the origin (§3.1: the
 // registry, not the client, controls the number of responses).
 type pendingQuery struct {
-	query       wire.Query
-	replyTo     transport.Addr
+	query   wire.Query
+	replyTo transport.Addr
+	// parent is the node the query arrived from (client or forwarding
+	// registry); a duplicated datagram of the same forward is recognized
+	// by matching it and dropped rather than answered "exhausted".
+	parent      wire.NodeID
 	pools       [][]wire.Advertisement
 	outstanding map[wire.NodeID]bool
 	// localPending marks a local evaluation still running on the read
@@ -34,9 +38,19 @@ func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, q wire.Q
 	if _, dup := r.seen[q.QueryID]; dup {
 		r.stats.DuplicatesSuppressed++
 		fQueriesDuplicate.Inc()
-		// Tell the forwarding registry this branch is exhausted so its
-		// aggregation completes without waiting for the hop deadline.
-		r.env.Send(from, wire.QueryResult{QueryID: q.QueryID, Complete: true})
+		// A duplicated datagram of the forward we are already processing
+		// (same parent, query still pending) is dropped: that parent gets
+		// the real answer when aggregation completes. Otherwise tell a
+		// forwarding registry this branch is exhausted so its aggregation
+		// completes without waiting for the hop deadline — but only a
+		// registry: an empty Complete to the origin client would finalize
+		// its query before the real fan-out answers.
+		if p, pending := r.pending[q.QueryID]; pending && p.parent == env.From {
+			return
+		}
+		if _, isPeer := r.peers[env.From]; isPeer {
+			r.env.Send(from, wire.QueryResult{QueryID: q.QueryID, Complete: true})
+		}
 		return
 	}
 	r.seen[q.QueryID] = r.now()
@@ -46,6 +60,7 @@ func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, q wire.Q
 	p := &pendingQuery{
 		query:       q,
 		replyTo:     transport.Addr(q.ReplyAddr),
+		parent:      env.From,
 		outstanding: make(map[wire.NodeID]bool, len(targets)),
 	}
 

@@ -1,0 +1,353 @@
+package integration_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"semdisco/internal/discovery"
+	"semdisco/internal/federation"
+	"semdisco/internal/node"
+	"semdisco/internal/sim"
+	"semdisco/internal/transport"
+	"semdisco/internal/transport/memnet"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// assertNoDupAdverts fails if any advertisement UUID repeats within one
+// query result — the invariant the client's dedup layer guarantees even
+// under duplicating networks and retry overlap.
+func assertNoDupAdverts(t *testing.T, label string, adverts []wire.Advertisement) {
+	t.Helper()
+	seen := map[uuid.UUID]bool{}
+	for _, a := range adverts {
+		if seen[a.ID] {
+			t.Fatalf("%s: duplicate advert %s in one QueryResult", label, a.ID)
+		}
+		seen[a.ID] = true
+	}
+}
+
+// TestChaosPartitionHealReadoption is the seeded partition-heal
+// acceptance scenario: a WAN client loses its only registry to a
+// partition and marks it dead; after the heal, probation re-probing
+// must readopt the registry (no permanent blacklist), queries must
+// succeed via the registry again on the first attempt, no result may
+// carry duplicate adverts, a client stopped mid-partition must never
+// fire its callback, and two runs with the same seed must produce
+// identical traces.
+func TestChaosPartitionHealReadoption(t *testing.T) {
+	scenario := func() string {
+		w := sim.NewWorld(sim.Config{Seed: 33, Net: memnet.Config{Jitter: 2 * time.Millisecond}})
+		r0 := w.AddRegistry("lan0", "r0", federation.Config{
+			BeaconInterval: time.Second,
+			PurgeInterval:  250 * time.Millisecond,
+		})
+		w.AddService("lan0", "s1", node.ServiceConfig{
+			Lease:      3 * time.Second,
+			AckTimeout: 300 * time.Millisecond,
+			Bootstrap:  discovery.Config{ProbeInterval: 500 * time.Millisecond},
+		}, w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+		cliCfg := node.ClientConfig{
+			QueryTimeout:   500 * time.Millisecond,
+			MaxAttempts:    2,
+			RetryBackoff:   100 * time.Millisecond,
+			FallbackWindow: 300 * time.Millisecond,
+			Bootstrap: discovery.Config{
+				Seeds:         []wire.PeerInfo{r0.PeerInfo()},
+				ProbeInterval: 500 * time.Millisecond,
+			},
+		}
+		// The client sits alone on lan1: its only path to discovery is the
+		// WAN seed; fallback multicast finds nothing there.
+		cli := w.AddClient("lan1", "c1", cliCfg)
+		doomed := w.AddClient("lan1", "c2", cliCfg)
+		w.Run(2 * time.Second)
+
+		trace := ""
+		query := func(label string) {
+			out := cli.Query(w.SemanticSpec(sim.C("SensorFeed"), 0), 30*time.Second)
+			if !out.Completed {
+				t.Fatalf("%s: query hung", label)
+			}
+			assertNoDupAdverts(t, label, out.Adverts)
+			trace += fmt.Sprintf("%s: via=%s attempts=%d adverts=%d elapsed=%v\n",
+				label, out.Via, out.Attempts, len(out.Adverts), out.Elapsed)
+		}
+
+		query("healthy")
+
+		// --- partition: client LAN cut off from the registry LAN ---
+		w.Net.Partition(w.Net.NodesOn("lan0"), w.Net.NodesOn("lan1"))
+		w.Run(time.Second)
+		query("partitioned")
+		if _, ok := cli.Cli.Bootstrapper().Current(); ok {
+			t.Fatal("partitioned: registry should be marked dead after failed attempts")
+		}
+		// A query abandoned by Stop mid-partition must never call back,
+		// even though its retry/fallback timers were pending.
+		doomedFired := false
+		doomed.Cli.Query(w.SemanticSpec(sim.C("SensorFeed"), 0), func(node.QueryResult) { doomedFired = true })
+		w.Run(200 * time.Millisecond)
+		doomed.Cli.Stop()
+
+		// --- heal: probation pings get Pongs again and revive r0 ---
+		w.Net.Partition()
+		w.Run(3 * time.Second)
+		cur, ok := cli.Cli.Bootstrapper().Current()
+		if !ok || cur.ID != r0.Reg.ID() {
+			t.Fatalf("healed: registry not readopted (cur=%+v ok=%v)", cur, ok)
+		}
+		query("healed")
+		if doomedFired {
+			t.Fatal("stopped client's callback fired after the heal")
+		}
+		return trace
+	}
+
+	first := scenario()
+	if second := scenario(); second != first {
+		t.Fatalf("same seed, different traces:\n--- run1 ---\n%s--- run2 ---\n%s", first, second)
+	}
+	// Pin the shape of the trace: registry before, nothing during,
+	// registry again (first attempt) after.
+	want := []string{
+		"healthy: via=registry attempts=1 adverts=1",
+		"partitioned: via=none attempts=1 adverts=0",
+		"healed: via=registry attempts=1 adverts=1",
+	}
+	for _, wl := range want {
+		if !containsLine(first, wl) {
+			t.Fatalf("trace missing %q:\n%s", wl, first)
+		}
+	}
+}
+
+func containsLine(trace, prefix string) bool {
+	for _, line := range splitLines(trace) {
+		if len(line) >= len(prefix) && line[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// TestChaosLeaseRenewalUnderBurstLoss runs a registry/service pair
+// through ten seconds of heavy Gilbert-Elliott burst loss. Renewals
+// fail in bursts, the service may demote the registry, and probation
+// must bring it back: once the faults clear, the advert is re-leased
+// and discoverable again.
+func TestChaosLeaseRenewalUnderBurstLoss(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 31, Net: memnet.Config{Jitter: 2 * time.Millisecond}})
+	reg := w.AddRegistry("lan0", "r0", federation.Config{
+		BeaconInterval: time.Second,
+		PurgeInterval:  250 * time.Millisecond,
+	})
+	w.AddService("lan0", "s1", node.ServiceConfig{
+		Lease:      2 * time.Second,
+		AckTimeout: 300 * time.Millisecond,
+		Bootstrap:  discovery.Config{ProbeInterval: 500 * time.Millisecond},
+	}, w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	cli := w.AddClient("lan0", "c1", node.ClientConfig{
+		QueryTimeout: time.Second,
+		Bootstrap:    discovery.Config{ProbeInterval: 500 * time.Millisecond},
+	})
+	w.Run(2 * time.Second)
+	if reg.Reg.Store().Len() != 1 {
+		t.Fatal("setup: service did not publish")
+	}
+
+	burst := memnet.FaultProfile{LossGood: 0.1, LossBad: 0.9, PGoodBad: 0.1, PBadGood: 0.2}
+	w.Net.InstallFaults(memnet.FaultSchedule{
+		{At: 0, Scope: memnet.ScopeAll, Profile: &burst},
+		{At: 10 * time.Second, Scope: memnet.ScopeAll}, // clear
+	})
+	w.Run(20 * time.Second)
+
+	if got := reg.Reg.Store().Len(); got != 1 {
+		t.Fatalf("after the loss storm cleared, registry holds %d adverts, want 1 (renewal never recovered)", got)
+	}
+	out := cli.Query(w.SemanticSpec(sim.C("SensorFeed"), 0), 30*time.Second)
+	if !out.Completed || out.Via != node.ViaRegistry || len(out.Adverts) != 1 {
+		t.Fatalf("post-storm query = %+v, want 1 advert via registry", out)
+	}
+	assertNoDupAdverts(t, "post-storm", out.Adverts)
+}
+
+// TestChaosDuplicateStormExpandingRing reruns the expanding-ring
+// scenario with every datagram duplicated: federation fan-out, ring
+// reissues and duplicated answers must still yield each advert once.
+func TestChaosDuplicateStormExpandingRing(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 32, Net: memnet.Config{Jitter: 2 * time.Millisecond}})
+	w.Net.SetFault(memnet.ScopeAll, memnet.FaultProfile{DupProb: 1})
+	r0 := w.AddRegistry("lan0", "r0", federation.Config{})
+	r1 := w.AddRegistry("lan1", "r1", federation.Config{Seeds: []wire.PeerInfo{r0.PeerInfo()}})
+	w.AddRegistry("lan2", "r2", federation.Config{Seeds: []wire.PeerInfo{r1.PeerInfo()}})
+	w.AddService("lan2", "s1", node.ServiceConfig{
+		Lease:      5 * time.Second,
+		AckTimeout: 300 * time.Millisecond,
+		Bootstrap:  discovery.Config{ProbeInterval: 200 * time.Millisecond},
+	}, w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	cli := w.AddClient("lan0", "c1", node.ClientConfig{
+		QueryTimeout: 2 * time.Second,
+		Bootstrap:    discovery.Config{ProbeInterval: 200 * time.Millisecond},
+	})
+	w.Run(2 * time.Second)
+	spec := w.SemanticSpec(sim.C("SensorFeed"), 4)
+	spec.Strategy = wire.StrategyExpandingRing
+	out := cli.Query(spec, 60*time.Second)
+	if !out.Completed || len(out.Adverts) != 1 {
+		t.Fatalf("expanding ring under duplicate storm = %+v, want exactly 1 advert", out)
+	}
+	assertNoDupAdverts(t, "ring", out.Adverts)
+	if w.Net.Stats().Faults.Duplicated == 0 {
+		t.Fatal("degenerate test: no datagrams were actually duplicated")
+	}
+}
+
+// TestChaosPartitionDuringFederationFanout injects the partition while
+// a TTL-bounded federated query is mid-flight: the query must still
+// terminate (partial results or none — never a hang) and a later query
+// after the heal must see the full federation again.
+func TestChaosPartitionDuringFederationFanout(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 34, Net: memnet.Config{Jitter: 2 * time.Millisecond}})
+	regCfg := func(seeds ...wire.PeerInfo) federation.Config {
+		return federation.Config{
+			BeaconInterval: time.Second,
+			PingInterval:   2 * time.Second,
+			PeerTimeout:    6 * time.Second,
+			QueryTimeout:   200 * time.Millisecond,
+			PurgeInterval:  250 * time.Millisecond,
+			Seeds:          seeds,
+		}
+	}
+	r0 := w.AddRegistry("lan0", "r0", regCfg())
+	w.AddRegistry("lan1", "r1", regCfg(r0.PeerInfo()))
+	svcCfg := node.ServiceConfig{
+		Lease:      3 * time.Second,
+		AckTimeout: 300 * time.Millisecond,
+		Bootstrap:  discovery.Config{ProbeInterval: 500 * time.Millisecond},
+	}
+	w.AddService("lan0", "sA", svcCfg, w.SemanticProfile("urn:svc:A", sim.C("RadarFeed")))
+	w.AddService("lan1", "sB", svcCfg, w.SemanticProfile("urn:svc:B", sim.C("CameraFeed")))
+	cli := w.AddClient("lan0", "c1", node.ClientConfig{
+		QueryTimeout: 2 * time.Second,
+		Bootstrap:    discovery.Config{ProbeInterval: 500 * time.Millisecond},
+	})
+	w.Run(5 * time.Second)
+
+	// Partition lands 20ms after the query leaves — inside the fan-out.
+	w.Net.InstallFaults(memnet.FaultSchedule{
+		{At: 20 * time.Millisecond, Partition: [][]transport.Addr{
+			w.Net.NodesOn("lan0"), w.Net.NodesOn("lan1"),
+		}},
+		{At: 10 * time.Second, Heal: true},
+	})
+	spec := w.SemanticSpec(sim.C("Service"), 3)
+	spec.MaxResults = 50
+	out := cli.Query(spec, 30*time.Second)
+	if !out.Completed {
+		t.Fatal("query hung across a mid-fanout partition")
+	}
+	assertNoDupAdverts(t, "mid-fanout", out.Adverts)
+	if len(out.Adverts) == 0 {
+		t.Fatal("local branch invisible during partition (organizational autonomy broken)")
+	}
+
+	// After the heal, federation re-links and both branches answer.
+	w.Run(15 * time.Second)
+	out = cli.Query(spec, 30*time.Second)
+	if !out.Completed || len(out.Adverts) < 2 {
+		t.Fatalf("post-heal federated query = %+v, want both branches", out)
+	}
+	assertNoDupAdverts(t, "post-heal", out.Adverts)
+}
+
+// TestChaosSoak drives a two-LAN federation through a full chaos
+// profile (burst loss, duplication, reordering, delay spikes) plus a
+// partition/heal cycle, asserting liveness and the no-duplicate
+// invariant on every probe. Runs under -race in CI to exercise the
+// registry's concurrent query engine against the fault paths.
+func TestChaosSoak(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 35, Net: memnet.Config{Jitter: 2 * time.Millisecond}})
+	regCfg := func(seeds ...wire.PeerInfo) federation.Config {
+		return federation.Config{
+			BeaconInterval: 2 * time.Second,
+			PingInterval:   3 * time.Second,
+			PeerTimeout:    9 * time.Second,
+			QueryTimeout:   200 * time.Millisecond,
+			PurgeInterval:  250 * time.Millisecond,
+			Seeds:          seeds,
+		}
+	}
+	r0 := w.AddRegistry("lan0", "r0", regCfg())
+	w.AddRegistry("lan1", "r1", regCfg(r0.PeerInfo()))
+	svcCfg := node.ServiceConfig{
+		Lease:      4 * time.Second,
+		AckTimeout: 400 * time.Millisecond,
+		Bootstrap:  discovery.Config{ProbeInterval: 500 * time.Millisecond},
+	}
+	for i := 0; i < 6; i++ {
+		w.AddService(fmt.Sprintf("lan%d", i%2), fmt.Sprintf("s%d", i), svcCfg,
+			w.SemanticProfile(fmt.Sprintf("urn:svc:%d", i), sim.C("RadarFeed")))
+	}
+	cli := w.AddClient("lan0", "c0", node.ClientConfig{
+		QueryTimeout: 2 * time.Second,
+		Bootstrap:    discovery.Config{ProbeInterval: 500 * time.Millisecond},
+	})
+	w.Run(8 * time.Second)
+
+	chaos := memnet.FaultProfile{
+		LossGood: 0.02, LossBad: 0.5, PGoodBad: 0.05, PBadGood: 0.2,
+		DupProb: 0.1, ReorderProb: 0.1, ReorderDelay: 20 * time.Millisecond,
+		SpikeProb: 0.05, SpikeDelay: 200 * time.Millisecond,
+	}
+	w.Net.InstallFaults(memnet.FaultSchedule{
+		{At: 0, Scope: memnet.ScopeAll, Profile: &chaos},
+		{At: 20 * time.Second, Partition: [][]transport.Addr{
+			w.Net.NodesOn("lan0"), w.Net.NodesOn("lan1"),
+		}},
+		{At: 35 * time.Second, Heal: true},
+		{At: 55 * time.Second, Scope: memnet.ScopeAll}, // calm down
+	})
+	for i := 0; i < 20; i++ {
+		spec := w.SemanticSpec(sim.C("Service"), 3)
+		spec.MaxResults = 50
+		out := cli.Query(spec, 20*time.Second)
+		if !out.Completed {
+			t.Fatalf("probe %d hung under chaos", i)
+		}
+		assertNoDupAdverts(t, fmt.Sprintf("probe %d", i), out.Adverts)
+		w.Run(3 * time.Second)
+	}
+	// Faults cleared at 55s and ≥8s of calm have passed: full recovery.
+	spec := w.SemanticSpec(sim.C("Service"), 3)
+	spec.MaxResults = 50
+	out := cli.Query(spec, 30*time.Second)
+	if !out.Completed || out.Via != node.ViaRegistry {
+		t.Fatalf("post-chaos probe = %+v, want registry answer", out)
+	}
+	if len(out.Adverts) < 6 {
+		t.Fatalf("post-chaos recall = %d/6 services", len(out.Adverts))
+	}
+	s := w.Net.Stats()
+	if s.Faults.Dropped == 0 || s.Faults.Duplicated == 0 || s.Faults.Reordered == 0 || s.Faults.Delayed == 0 {
+		t.Fatalf("degenerate soak: some fault class never fired: %+v", s.Faults)
+	}
+}

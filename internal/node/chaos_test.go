@@ -1,0 +1,167 @@
+package node_test
+
+import (
+	"testing"
+	"time"
+
+	"semdisco/internal/discovery"
+	"semdisco/internal/node"
+	"semdisco/internal/sim"
+	"semdisco/internal/transport/memnet"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// TestRetryBackoffSpacing pins the jittered exponential backoff between
+// registry attempts: with two unreachable seeds and QueryTimeout=200ms,
+// RetryBackoff=200ms, the query's trajectory is
+//
+//	attempt1 (200ms) → backoff₁∈[100,200]ms → attempt2 (200ms)
+//	→ backoff₂∈[200,400]ms → fallback window (300ms)
+//
+// so the total elapsed virtual time must land in [1000,1300]ms. The old
+// zero-delay behaviour would finish in exactly 700ms.
+func TestRetryBackoffSpacing(t *testing.T) {
+	gen := uuid.NewGenerator(77)
+	ghosts := []wire.PeerInfo{
+		{ID: gen.New(), Addr: "lan0/ghost1"},
+		{ID: gen.New(), Addr: "lan0/ghost2"},
+	}
+	run := func() sim.QueryOutcome {
+		w := sim.NewWorld(sim.Config{Seed: 21})
+		cli := w.AddClient("lan0", "c1", node.ClientConfig{
+			QueryTimeout:    200 * time.Millisecond,
+			RetryBackoff:    200 * time.Millisecond,
+			FallbackWindow:  300 * time.Millisecond,
+			RetryBackoffMax: 2 * time.Second,
+			Bootstrap: discovery.Config{
+				Seeds:         ghosts,
+				ProbeInterval: 30 * time.Second,
+			},
+		})
+		w.Run(50 * time.Millisecond)
+		return cli.Query(w.SemanticSpec(sim.C("SensorFeed"), 0), 30*time.Second)
+	}
+	out := run()
+	if !out.Completed || out.Via != node.ViaNone {
+		t.Fatalf("outcome = %+v, want completed ViaNone", out)
+	}
+	if out.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one per ghost seed)", out.Attempts)
+	}
+	if out.Elapsed < 1000*time.Millisecond || out.Elapsed > 1300*time.Millisecond {
+		t.Fatalf("elapsed = %v, want [1s,1.3s] (timeouts + jittered backoffs + window)", out.Elapsed)
+	}
+	// Backoff jitter comes from a per-node seeded stream: same world seed
+	// → bit-identical trajectory.
+	if again := run(); again.Elapsed != out.Elapsed {
+		t.Fatalf("same seed, different elapsed: %v vs %v", out.Elapsed, again.Elapsed)
+	}
+}
+
+// TestStopCancelsRetryAndFallback asserts the Stop() guarantee: a
+// stopped client never fires the query callback, whether Stop lands
+// during the first attempt, during the backoff wait, or during the
+// fallback window.
+func TestStopCancelsRetryAndFallback(t *testing.T) {
+	gen := uuid.NewGenerator(78)
+	ghost := wire.PeerInfo{ID: gen.New(), Addr: "lan0/ghost"}
+	cfg := node.ClientConfig{
+		QueryTimeout:    200 * time.Millisecond,
+		RetryBackoff:    time.Second, // backoff wait spans [500,1000]ms
+		RetryBackoffMax: time.Second,
+		FallbackWindow:  400 * time.Millisecond,
+		Bootstrap:       discovery.Config{Seeds: []wire.PeerInfo{ghost}, ProbeInterval: 30 * time.Second},
+	}
+	for _, tc := range []struct {
+		name   string
+		stopAt time.Duration
+	}{
+		{"during-attempt", 50 * time.Millisecond},
+		{"during-backoff", 300 * time.Millisecond},
+		{"during-fallback", 1300 * time.Millisecond},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := sim.NewWorld(sim.Config{Seed: 22})
+			cli := w.AddClient("lan0", "c1", cfg)
+			w.Run(50 * time.Millisecond)
+			fired := false
+			cli.Cli.Query(w.SemanticSpec(sim.C("SensorFeed"), 0), func(node.QueryResult) { fired = true })
+			w.Run(tc.stopAt)
+			if fired {
+				t.Fatalf("callback fired before Stop at %v — bad test phasing", tc.stopAt)
+			}
+			cli.Cli.Stop()
+			w.Run(30 * time.Second)
+			if fired {
+				t.Fatal("stopped client invoked the query callback")
+			}
+		})
+	}
+}
+
+// TestFallbackRanksBeforeTruncation: decentralized fallback must order
+// collected adverts by match quality before BestOnly/MaxResults cut the
+// tail. A delay-spike fault on the best match's link makes its answer
+// arrive last, so arrival order alone would return the wrong winner.
+func TestFallbackRanksBeforeTruncation(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 23})
+	w.AddService("lan0", "exact", fastService(), w.SemanticProfile("urn:svc:exact", sim.C("SensorFeed")))
+	w.AddService("lan0", "sub", fastService(), w.SemanticProfile("urn:svc:sub", sim.C("RadarFeed")))
+	w.AddService("lan0", "deep", fastService(), w.SemanticProfile("urn:svc:deep", sim.C("CoastalRadarFeed")))
+	cfg := fastClient()
+	cfg.MaxAttempts = 1
+	cli := w.AddClient("lan0", "c1", cfg)
+	// Hold back the exact match's answers by 100ms — inside the 300ms
+	// fallback window but after the two subclass answers.
+	w.Net.SetFault(memnet.ScopeLink("lan0/exact", "lan0/c1"),
+		memnet.FaultProfile{SpikeProb: 1, SpikeDelay: 100 * time.Millisecond})
+	w.Run(time.Second)
+
+	key := func(a wire.Advertisement) string {
+		d, err := w.Models().DecodeDescription(a.Kind, a.Payload)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return d.ServiceKey()
+	}
+	spec := w.SemanticSpec(sim.C("SensorFeed"), 0)
+	spec.BestOnly = true
+	out := cli.Query(spec, 5*time.Second)
+	if !out.Completed || out.Via != node.ViaFallback || len(out.Adverts) != 1 {
+		t.Fatalf("BestOnly fallback outcome = %+v", out)
+	}
+	if got := key(out.Adverts[0]); got != "urn:svc:exact" {
+		t.Fatalf("BestOnly kept %q, want the exact match (truncated by arrival order?)", got)
+	}
+
+	spec = w.SemanticSpec(sim.C("SensorFeed"), 0)
+	spec.MaxResults = 2
+	out = cli.Query(spec, 5*time.Second)
+	if !out.Completed || len(out.Adverts) != 2 {
+		t.Fatalf("MaxResults fallback outcome = %+v", out)
+	}
+	if got := key(out.Adverts[0]); got != "urn:svc:exact" {
+		t.Fatalf("MaxResults ranked %q first, want the exact match", got)
+	}
+}
+
+// TestFallbackDedupUnderDuplication: with every datagram duplicated the
+// query reaches the service twice and each answer arrives twice, yet the
+// result must contain each advert exactly once.
+func TestFallbackDedupUnderDuplication(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 24})
+	w.Net.SetFault(memnet.ScopeAll, memnet.FaultProfile{DupProb: 1})
+	w.AddService("lan0", "s1", fastService(), w.SemanticProfile("urn:svc:radar", sim.C("RadarFeed")))
+	cfg := fastClient()
+	cfg.MaxAttempts = 1
+	cli := w.AddClient("lan0", "c1", cfg)
+	w.Run(time.Second)
+	out := cli.Query(w.SemanticSpec(sim.C("SensorFeed"), 0), 5*time.Second)
+	if !out.Completed || out.Via != node.ViaFallback {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if len(out.Adverts) != 1 {
+		t.Fatalf("duplicate storm produced %d adverts, want 1 (dedup by UUID)", len(out.Adverts))
+	}
+}

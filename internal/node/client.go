@@ -1,10 +1,14 @@
 package node
 
 import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
 	"time"
 
 	"semdisco/internal/describe"
 	"semdisco/internal/discovery"
+	"semdisco/internal/match"
 	"semdisco/internal/runtime"
 	"semdisco/internal/transport"
 	"semdisco/internal/uuid"
@@ -18,9 +22,22 @@ type ClientConfig struct {
 	QueryTimeout time.Duration
 	// MaxAttempts bounds registry failovers per query; default 3.
 	MaxAttempts int
+	// RetryBackoff is the base delay between a query timeout and the
+	// next attempt; successive retries back off exponentially with
+	// per-client jitter, so the clients of a dead registry do not form
+	// a synchronized retry storm. Default 100 ms.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff. Default 2 s.
+	RetryBackoffMax time.Duration
 	// FallbackWindow is how long decentralized fallback collects
 	// responses; default 1 s.
 	FallbackWindow time.Duration
+	// Models, when set, lets the client rank decentralized-fallback
+	// results with the shared match.CompareQuality ordering before
+	// BestOnly/MaxResults truncation — the same best-first rule
+	// registries apply. Without models, fallback results keep
+	// (deduplicated) arrival order.
+	Models *describe.Registry
 	// Bootstrap configures registry discovery.
 	Bootstrap discovery.Config
 }
@@ -28,6 +45,12 @@ type ClientConfig struct {
 func (c ClientConfig) withDefaults() ClientConfig {
 	if c.MaxAttempts == 0 {
 		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = 2 * time.Second
 	}
 	if c.FallbackWindow == 0 {
 		c.FallbackWindow = time.Second
@@ -87,15 +110,33 @@ type QueryResult struct {
 }
 
 type pendingClient struct {
-	spec       QuerySpec
-	cb         func(QueryResult)
-	registry   wire.NodeID
-	attempts   int
-	ringTTL    uint8
-	timer      transport.CancelFunc
-	fallback   bool
+	spec     QuerySpec
+	cb       func(QueryResult)
+	registry wire.NodeID
+	attempts int
+	ringTTL  uint8
+	// qid is the query ID of the in-flight attempt (or fallback); the
+	// pending map holds exactly one entry per query, keyed by it. The
+	// entry stays alive through backoff waits so Stop can cancel the
+	// retry timer and a slow registry's late answer is still accepted.
+	qid      uuid.UUID
+	timer    transport.CancelFunc
+	fallback bool
+	// collected accumulates advertisements across attempts and phases,
+	// deduplicated by advertisement UUID (retries, duplicated
+	// datagrams, and unicast+multicast overlap all produce repeats).
 	collected  []wire.Advertisement
 	seenAdvert map[uuid.UUID]bool
+}
+
+// add appends an advertisement unless its UUID was already collected.
+func (p *pendingClient) add(a wire.Advertisement) {
+	if p.seenAdvert[a.ID] {
+		nDupAdverts.Inc()
+		return
+	}
+	p.seenAdvert[a.ID] = true
+	p.collected = append(p.collected, a)
 }
 
 // Client is a service-consumer node.
@@ -106,6 +147,9 @@ type Client struct {
 	pending map[uuid.UUID]*pendingClient
 	artPend map[uuid.UUID]*artifactWait
 	subs    map[uuid.UUID]*Subscription
+	// rng drives backoff jitter; seeded from the node ID so delays are
+	// deterministic per node yet desynchronized across nodes.
+	rng     *rand.Rand
 	stopped bool
 }
 
@@ -159,6 +203,7 @@ func NewClient(env *runtime.Env, cfg ClientConfig) *Client {
 		pending: make(map[uuid.UUID]*pendingClient),
 		artPend: make(map[uuid.UUID]*artifactWait),
 		subs:    make(map[uuid.UUID]*Subscription),
+		rng:     rand.New(rand.NewSource(int64(binary.BigEndian.Uint64(env.ID[:8])))),
 	}
 }
 
@@ -295,7 +340,9 @@ func (c *Client) attempt(p *pendingClient) {
 	}
 	p.attempts++
 	p.registry = reg.ID
+	delete(c.pending, p.qid) // retire the previous attempt's ID
 	qid := c.env.NewUUID()
+	p.qid = qid
 	c.pending[qid] = p
 	q := wire.Query{
 		QueryID:    qid,
@@ -310,12 +357,38 @@ func (c *Client) attempt(p *pendingClient) {
 	}
 	c.env.Send(transport.Addr(reg.Addr), q)
 	p.timer = c.env.Clock.After(c.attemptTimeout(p.spec, p.ringTTL), func() {
-		delete(c.pending, qid)
-		// No answer: declare the registry dead and fail over (§4.5).
+		if c.stopped {
+			return
+		}
+		// No answer: declare the registry dead (§4.5) and fail over —
+		// after a jittered exponential backoff, so the clients of a dead
+		// registry spread their retries instead of re-issuing instantly
+		// in lockstep. The pending entry stays registered: a slow
+		// registry's late answer during the wait still completes the
+		// query and cancels the retry.
 		nQueryFailovers.Inc()
 		c.boot.MarkDead(p.registry)
-		c.attempt(p)
+		delay := c.retryDelay(p.attempts)
+		nBackoffScheduled.Inc()
+		nBackoffDelay.Observe(int64(delay / time.Microsecond))
+		p.timer = c.env.Clock.After(delay, func() { c.attempt(p) })
 	})
+}
+
+// retryDelay computes the jittered exponential backoff after the given
+// number of attempts: base×2^(attempts-1) capped at the maximum, then
+// drawn uniformly from [d/2, d] so concurrent clients desynchronize but
+// a retry never fires immediately.
+func (c *Client) retryDelay(attempts int) time.Duration {
+	d := c.cfg.RetryBackoff
+	for i := 1; i < attempts && d < c.cfg.RetryBackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.RetryBackoffMax {
+		d = c.cfg.RetryBackoffMax
+	}
+	half := d / 2
+	return half + time.Duration(c.rng.Int63n(int64(half)+1))
 }
 
 // startFallback switches to decentralized LAN discovery: multicast the
@@ -326,7 +399,9 @@ func (c *Client) startFallback(p *pendingClient) {
 	}
 	nQueryFallbacks.Inc()
 	p.fallback = true
+	delete(c.pending, p.qid) // retire the registry-phase ID
 	qid := c.env.NewUUID()
+	p.qid = qid
 	c.pending[qid] = p
 	c.env.Multicast(wire.PeerQuery{
 		QueryID:   qid,
@@ -335,12 +410,18 @@ func (c *Client) startFallback(p *pendingClient) {
 		ReplyAddr: string(c.env.Addr()),
 	})
 	p.timer = c.env.Clock.After(c.cfg.FallbackWindow, func() {
+		if c.stopped {
+			return
+		}
 		delete(c.pending, qid)
 		via := ViaFallback
 		if len(p.collected) == 0 {
 			via = ViaNone
 		}
-		adverts := p.collected
+		// Rank before truncating: arrival order reflects network timing,
+		// not match quality, so BestOnly/MaxResults must cut the
+		// quality-sorted tail (same rule the registries apply).
+		adverts := c.rankAdverts(p.spec, p.collected)
 		if p.spec.BestOnly && len(adverts) > 1 {
 			adverts = adverts[:1]
 		} else if p.spec.MaxResults > 0 && len(adverts) > p.spec.MaxResults {
@@ -348,6 +429,64 @@ func (c *Client) startFallback(p *pendingClient) {
 		}
 		p.cb(QueryResult{Adverts: adverts, Via: via, Attempts: p.attempts})
 	})
+}
+
+// rankAdverts sorts advertisements best-first with the shared
+// match.CompareQuality comparator, evaluating each advert against the
+// query under the configured description models. Adverts that cannot be
+// decoded or evaluated rank last; ties break on service key then
+// advertisement ID for a deterministic total order. Without models the
+// input order is preserved.
+func (c *Client) rankAdverts(spec QuerySpec, adverts []wire.Advertisement) []wire.Advertisement {
+	if c.cfg.Models == nil || len(adverts) < 2 {
+		return adverts
+	}
+	model, ok := c.cfg.Models.Model(spec.Kind)
+	if !ok {
+		return adverts
+	}
+	q, err := model.DecodeQuery(spec.Payload)
+	if err != nil {
+		return adverts
+	}
+	type ranked struct {
+		adv wire.Advertisement
+		ev  describe.Evaluation
+		ok  bool
+		key string
+	}
+	rs := make([]ranked, len(adverts))
+	for i, a := range adverts {
+		rs[i] = ranked{adv: a}
+		if a.Kind != spec.Kind {
+			continue
+		}
+		d, err := model.DecodeDescription(a.Payload)
+		if err != nil {
+			continue
+		}
+		rs[i].ev = model.Evaluate(q, d)
+		rs[i].ok = true
+		rs[i].key = d.ServiceKey()
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.ok != b.ok {
+			return a.ok
+		}
+		if cq := match.CompareQuality(a.ev.Degree, a.ev.Score, b.ev.Degree, b.ev.Score); cq != 0 {
+			return cq < 0
+		}
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return uuid.Compare(a.adv.ID, b.adv.ID) < 0
+	})
+	out := make([]wire.Advertisement, len(rs))
+	for i, r := range rs {
+		out[i] = r.adv
+	}
+	return out
 }
 
 // FetchArtifact retrieves an ontology/schema document from the registry
@@ -434,24 +573,28 @@ func (c *Client) onQueryResult(b wire.QueryResult) {
 	}
 	if p.fallback {
 		// Collect from many service nodes until the window closes;
-		// deduplicate by advertisement ID.
+		// deduplicate by advertisement ID (the same service may have
+		// answered the registry phase, or a duplicated datagram may
+		// deliver one answer twice).
 		for _, a := range b.Adverts {
-			if !p.seenAdvert[a.ID] {
-				p.seenAdvert[a.ID] = true
-				p.collected = append(p.collected, a)
-			}
+			p.add(a)
 		}
 		return
 	}
 	if !b.Complete {
-		p.collected = append(p.collected, b.Adverts...)
+		for _, a := range b.Adverts {
+			p.add(a)
+		}
 		return
 	}
 	if p.timer != nil {
 		p.timer()
 	}
 	delete(c.pending, b.QueryID)
-	adverts := append(p.collected, b.Adverts...)
+	for _, a := range b.Adverts {
+		p.add(a)
+	}
+	adverts := p.collected
 	// Expanding ring: empty result and room to grow → reissue wider.
 	if len(adverts) == 0 && p.spec.Strategy == wire.StrategyExpandingRing && p.ringTTL < p.spec.TTL {
 		next := p.ringTTL * 2
@@ -460,6 +603,7 @@ func (c *Client) onQueryResult(b wire.QueryResult) {
 		}
 		p.ringTTL = next
 		p.collected = nil
+		p.seenAdvert = make(map[uuid.UUID]bool)
 		nQueryReissues.Inc()
 		// Ring growth is a widening of the same logical query, not a
 		// failover; don't count it against MaxAttempts.

@@ -24,4 +24,10 @@ var (
 		"republishes after a registry was presumed dead")
 	nPeerAnswers = obs.NewCounter("node.peerquery.answered", "count",
 		"fallback peer queries a service answered directly")
+	nBackoffScheduled = obs.NewCounter("node.retry.backoff.scheduled", "count",
+		"query retries delayed by jittered exponential backoff")
+	nBackoffDelay = obs.NewHistogram("node.retry.backoff.delay_us", "us",
+		"jittered backoff delay before a query retry", obs.LatencyBucketsUS)
+	nDupAdverts = obs.NewCounter("node.query.dup_adverts", "count",
+		"duplicate advertisements suppressed across retries and fallback")
 )

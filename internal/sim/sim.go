@@ -36,6 +36,10 @@ type Config struct {
 	// Leases is the registry-side lease policy; zero uses defaults with
 	// Min=100ms (so experiments can use short leases).
 	Leases lease.Policy
+	// Faults is an optional chaos script installed at world creation:
+	// fault-profile injections, timed partitions and heals, executed at
+	// their virtual times (see memnet.FaultSchedule).
+	Faults memnet.FaultSchedule
 }
 
 // World is one assembled deployment.
@@ -103,6 +107,9 @@ func NewWorld(cfg Config) *World {
 		describe.KVModel{},
 		describe.NewSemanticModel(onto),
 	)
+	if len(cfg.Faults) > 0 {
+		w.Net.InstallFaults(cfg.Faults)
+	}
 	return w
 }
 
@@ -203,8 +210,13 @@ func (w *World) AddService(lan, name string, cfg node.ServiceConfig, descs ...de
 	return h
 }
 
-// AddClient deploys and starts a client node.
+// AddClient deploys and starts a client node. The world's shared
+// description models are injected so fallback results rank by match
+// quality, unless the config brings its own.
 func (w *World) AddClient(lan, name string, cfg node.ClientConfig) *ClientHandle {
+	if cfg.Models == nil {
+		cfg.Models = w.models
+	}
 	addr := transport.Addr(lan + "/" + name)
 	var cli *node.Client
 	env := w.env(addr, lan, func(e *runtime.Env) transport.Handler {

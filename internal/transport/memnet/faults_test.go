@@ -1,0 +1,258 @@
+package memnet
+
+import (
+	"testing"
+	"time"
+
+	"semdisco/internal/transport"
+)
+
+// blast sends count unicasts a→b and runs the network dry.
+func blast(n *Network, a transport.Iface, to transport.Addr, count int) {
+	for i := 0; i < count; i++ {
+		a.Unicast(to, []byte{byte(i), byte(i >> 8), 0, 0})
+	}
+	n.RunFor(time.Minute)
+}
+
+func TestFaultUniformLoss(t *testing.T) {
+	n := New(Config{Seed: 7})
+	var b capture
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", b.handler())
+	n.SetFault(ScopeAll, FaultProfile{LossGood: 0.5, LossBad: 0.5})
+	blast(n, a, "lan0/b", 400)
+	got := len(b.data)
+	if got < 140 || got > 260 {
+		t.Fatalf("50%% fault loss delivered %d/400", got)
+	}
+	s := n.Stats()
+	if s.Faults.Dropped != uint64(400-got) {
+		t.Fatalf("Faults.Dropped = %d, want %d", s.Faults.Dropped, 400-got)
+	}
+	if s.MessagesDropped != s.Faults.Dropped {
+		t.Fatalf("fault drops not counted in MessagesDropped (%d vs %d)",
+			s.MessagesDropped, s.Faults.Dropped)
+	}
+}
+
+func TestFaultBurstLossIsBursty(t *testing.T) {
+	// Gilbert-Elliott with a lossless good state and a lossy bad state
+	// must produce runs of consecutive drops, not independent ones:
+	// with mean burst length 1/PBadGood = 10, drops cluster.
+	n := New(Config{Seed: 3})
+	delivered := make([]bool, 0, 2000)
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", func(_ transport.Addr, data []byte) {
+		delivered[int(data[0])|int(data[1])<<8] = true
+	})
+	n.SetFault(ScopeAll, FaultProfile{
+		LossGood: 0, LossBad: 1, PGoodBad: 0.02, PBadGood: 0.1,
+	})
+	const total = 2000
+	delivered = delivered[:total]
+	// One message per event-loop turn keeps arrival order == index order.
+	for i := 0; i < total; i++ {
+		a.Unicast("lan0/b", []byte{byte(i), byte(i >> 8), 0, 0})
+		n.RunFor(10 * time.Millisecond)
+	}
+	dropped, runs, inRun := 0, 0, false
+	for _, ok := range delivered {
+		if !ok {
+			dropped++
+			if !inRun {
+				runs++
+				inRun = true
+			}
+		} else {
+			inRun = false
+		}
+	}
+	if dropped == 0 || runs == 0 {
+		t.Fatalf("burst profile dropped nothing (dropped=%d)", dropped)
+	}
+	meanRun := float64(dropped) / float64(runs)
+	// Independent 1-in-6 loss would give mean run ≈ 1.2; GE with
+	// PBadGood=0.1 gives ≈ 10. Anything ≥ 3 proves burstiness.
+	if meanRun < 3 {
+		t.Fatalf("mean drop-run length = %.1f, want bursty (≥3); dropped=%d runs=%d",
+			meanRun, dropped, runs)
+	}
+}
+
+func TestFaultDuplication(t *testing.T) {
+	n := New(Config{Seed: 5})
+	var b capture
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", b.handler())
+	n.SetFault(ScopeAll, FaultProfile{DupProb: 1})
+	blast(n, a, "lan0/b", 50)
+	if len(b.data) != 100 {
+		t.Fatalf("DupProb=1 delivered %d, want 100", len(b.data))
+	}
+	s := n.Stats()
+	if s.Faults.Duplicated != 50 {
+		t.Fatalf("Faults.Duplicated = %d, want 50", s.Faults.Duplicated)
+	}
+	if s.MessagesDelivered != 100 {
+		t.Fatalf("MessagesDelivered = %d, want 100 (copies count)", s.MessagesDelivered)
+	}
+}
+
+func TestFaultReorderHoldsBack(t *testing.T) {
+	n := New(Config{Seed: 1, LANLatency: time.Millisecond})
+	var order []byte
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", func(_ transport.Addr, data []byte) {
+		order = append(order, data[0])
+	})
+	// Deterministic: reorder every datagram by 10 ms. Two sends in the
+	// same turn would then both shift; instead fault only the first via
+	// a link-scoped profile toggled off between sends.
+	n.SetFault(ScopeLink("lan0/a", "lan0/b"), FaultProfile{
+		ReorderProb: 1, ReorderDelay: 10 * time.Millisecond,
+	})
+	a.Unicast("lan0/b", []byte{1, 0, 0, 0})
+	n.ClearFault(ScopeLink("lan0/a", "lan0/b"))
+	a.Unicast("lan0/b", []byte{2, 0, 0, 0})
+	n.RunFor(time.Second)
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("order = %v, want [2 1] (first held back)", order)
+	}
+	if n.Stats().Faults.Reordered != 1 {
+		t.Fatalf("Faults.Reordered = %d, want 1", n.Stats().Faults.Reordered)
+	}
+}
+
+func TestFaultDelaySpike(t *testing.T) {
+	n := New(Config{Seed: 1, LANLatency: time.Millisecond})
+	var arrival time.Time
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", func(transport.Addr, []byte) { arrival = n.Now() })
+	n.SetFault(ScopeAll, FaultProfile{SpikeProb: 1, SpikeDelay: 100 * time.Millisecond})
+	start := n.Now()
+	a.Unicast("lan0/b", []byte{0, 0, 0, 0})
+	n.RunFor(time.Second)
+	if got := arrival.Sub(start); got != 101*time.Millisecond {
+		t.Fatalf("spiked latency = %v, want 101ms", got)
+	}
+}
+
+func TestFaultScopeResolution(t *testing.T) {
+	// Link beats LAN beats all; WAN scope only hits cross-LAN traffic.
+	n := New(Config{Seed: 9})
+	var b, c capture
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", b.handler())
+	n.Attach("lan1/c", "lan1", c.handler())
+	// Drop everything on lan0, but exempt the a→b link specifically.
+	n.SetFault(ScopeLAN("lan0"), FaultProfile{LossGood: 1, LossBad: 1})
+	n.SetFault(ScopeLink("lan0/a", "lan0/b"), FaultProfile{LossGood: 0.0000001})
+	// WAN traffic untouched by either scope.
+	blast(n, a, "lan0/b", 20)
+	if len(b.data) != 20 {
+		t.Fatalf("link-scope exemption failed: %d/20 delivered", len(b.data))
+	}
+	blast(n, a, "lan1/c", 20)
+	if len(c.data) != 20 {
+		t.Fatalf("LAN scope leaked onto WAN traffic: %d/20", len(c.data))
+	}
+	n.SetFault(ScopeWAN, FaultProfile{LossGood: 1, LossBad: 1})
+	blast(n, a, "lan1/c", 20)
+	if len(c.data) != 20 {
+		t.Fatalf("WAN profile applied retroactively?")
+	}
+	c.data = nil
+	blast(n, a, "lan1/c", 20)
+	if len(c.data) != 0 {
+		t.Fatalf("WAN blackhole leaked %d datagrams", len(c.data))
+	}
+}
+
+func TestFaultAsymmetry(t *testing.T) {
+	// A directed link profile must not affect the reverse direction.
+	n := New(Config{Seed: 2})
+	var a2b, b2a capture
+	a := n.Attach("lan0/a", "lan0", a2b.handler())
+	b := n.Attach("lan0/b", "lan0", b2a.handler())
+	n.SetFault(ScopeLink("lan0/a", "lan0/b"), FaultProfile{LossGood: 1, LossBad: 1})
+	for i := 0; i < 10; i++ {
+		a.Unicast("lan0/b", []byte{1, 0, 0, 0})
+		b.Unicast("lan0/a", []byte{2, 0, 0, 0})
+	}
+	n.RunFor(time.Second)
+	if len(b2a.data) != 0 {
+		t.Fatalf("a→b blackhole leaked %d", len(b2a.data))
+	}
+	if len(a2b.data) != 10 {
+		t.Fatalf("b→a direction affected: %d/10", len(a2b.data))
+	}
+}
+
+func TestFaultScheduleTimedPartitionAndHeal(t *testing.T) {
+	n := New(Config{Seed: 4, LANLatency: time.Millisecond})
+	var b capture
+	a := n.Attach("lan0/a", "lan0", nil)
+	n.Attach("lan0/b", "lan0", b.handler())
+	prof := FaultProfile{LossGood: 1, LossBad: 1}
+	n.InstallFaults(FaultSchedule{
+		{At: 10 * time.Millisecond, Partition: [][]transport.Addr{{"lan0/a"}, {"lan0/b"}}},
+		{At: 30 * time.Millisecond, Heal: true},
+		{At: 50 * time.Millisecond, Scope: ScopeAll, Profile: &prof},
+		{At: 70 * time.Millisecond, Scope: ScopeAll}, // nil profile clears
+	})
+	sendAt := func(at time.Duration, tag byte) {
+		n.Schedule(n.Now().Add(at), func() { a.Unicast("lan0/b", []byte{tag, 0, 0, 0}) })
+	}
+	sendAt(5*time.Millisecond, 1)  // before partition: delivered
+	sendAt(20*time.Millisecond, 2) // during partition: dropped
+	sendAt(40*time.Millisecond, 3) // after heal: delivered
+	sendAt(60*time.Millisecond, 4) // during blackhole profile: dropped
+	sendAt(80*time.Millisecond, 5) // after clear: delivered
+	n.RunFor(time.Second)
+	var tags []byte
+	for _, d := range b.data {
+		tags = append(tags, d[0])
+	}
+	if len(tags) != 3 || tags[0] != 1 || tags[1] != 3 || tags[2] != 5 {
+		t.Fatalf("delivered tags = %v, want [1 3 5]", tags)
+	}
+	if n.Stats().Faults.Events != 4 {
+		t.Fatalf("Faults.Events = %d, want 4", n.Stats().Faults.Events)
+	}
+}
+
+func TestFaultDeterminismPerSeed(t *testing.T) {
+	run := func(seed int64) Stats {
+		n := New(Config{Seed: seed, Jitter: 2 * time.Millisecond})
+		var b capture
+		a := n.Attach("lan0/a", "lan0", nil)
+		n.Attach("lan0/b", "lan0", b.handler())
+		prof := FaultProfile{
+			LossGood: 0.05, LossBad: 0.6, PGoodBad: 0.05, PBadGood: 0.2,
+			DupProb: 0.1, ReorderProb: 0.1, ReorderDelay: 5 * time.Millisecond,
+			SpikeProb: 0.05, SpikeDelay: 50 * time.Millisecond,
+		}
+		n.InstallFaults(FaultSchedule{
+			{At: 0, Scope: ScopeAll, Profile: &prof},
+			{At: 100 * time.Millisecond, Partition: [][]transport.Addr{{"lan0/a"}, {"lan0/b"}}},
+			{At: 200 * time.Millisecond, Heal: true},
+		})
+		for i := 0; i < 500; i++ {
+			at := time.Duration(i) * time.Millisecond
+			n.Schedule(n.Now().Add(at), func() { a.Unicast("lan0/b", []byte{byte(i), 0, 0, 0}) })
+		}
+		n.RunFor(time.Minute)
+		return n.Stats()
+	}
+	s1, s2 := run(11), run(11)
+	if s1 != s2 {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Faults.Dropped == 0 || s1.Faults.Duplicated == 0 || s1.Faults.Reordered == 0 {
+		t.Fatalf("chaos profile inactive: %+v", s1.Faults)
+	}
+	if run(12) == s1 {
+		t.Fatal("different seeds produced identical fault pattern")
+	}
+}

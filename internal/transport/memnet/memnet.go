@@ -83,6 +83,12 @@ type Network struct {
 	// partition (everyone connected).
 	partition map[transport.Addr]int
 
+	// faults holds the installed fault profiles by scope (see
+	// faults.go); faultRng is a dedicated deterministic stream so
+	// installing a profile does not perturb the base jitter/loss draws.
+	faults   map[string]*faultState
+	faultRng *rand.Rand
+
 	stats Stats
 }
 
@@ -145,6 +151,23 @@ type Stats struct {
 	// category; a multicast counts once per receiver, measuring the
 	// actual load on the (possibly broadcast) medium.
 	DeliveredByCategory [3]CategoryStats
+	// Faults accounts injected-fault activity (fault drops also count
+	// in MessagesDropped).
+	Faults FaultStats
+}
+
+// FaultStats is the cumulative fault-injection accounting.
+type FaultStats struct {
+	// Dropped counts datagrams lost to burst-loss draws.
+	Dropped uint64
+	// Duplicated counts extra datagram copies injected.
+	Duplicated uint64
+	// Reordered counts datagrams held back past later traffic.
+	Reordered uint64
+	// Delayed counts datagrams hit by delay spikes.
+	Delayed uint64
+	// Events counts executed fault-schedule events.
+	Events uint64
 }
 
 // CategoryStats is traffic for one protocol message category.
@@ -159,6 +182,7 @@ func New(cfg Config) *Network {
 	return &Network{
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		faultRng:  rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
 		now:       cfg.Start,
 		nodes:     make(map[transport.Addr]*node),
 		partition: make(map[transport.Addr]int),
@@ -326,10 +350,29 @@ func (n *Network) deliver(from *node, to *node, data []byte) {
 		mDropped.Inc()
 		return
 	}
+	var extra time.Duration
+	dup := false
+	if f := n.faultFor(from, to); f != nil {
+		v := n.applyFault(f)
+		if v.drop {
+			n.stats.MessagesDropped++
+			mDropped.Inc()
+			return
+		}
+		extra, dup = v.extra, v.dup
+	}
 	payload := make([]byte, len(data))
 	copy(payload, data)
+	n.scheduleDelivery(from, to, payload, n.latency(from.lan == to.lan)+extra)
+	if dup {
+		// The duplicate takes an independent latency draw and skips the
+		// injected extra delay, so the copies may arrive in either order.
+		n.scheduleDelivery(from, to, payload, n.latency(from.lan == to.lan))
+	}
+}
+
+func (n *Network) scheduleDelivery(from, to *node, payload []byte, lat time.Duration) {
 	fromAddr := from.addr
-	lat := n.latency(from.lan == to.lan)
 	toAddr := to.addr
 	n.Schedule(n.now.Add(lat), func() {
 		// Re-check liveness at delivery time: the node may have crashed

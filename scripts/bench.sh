@@ -4,17 +4,19 @@
 # runtime metric snapshot (plan-cache hit rates, match-cache hit rates,
 # scan counts — see OBSERVABILITY.md) is stored under the "obs" key.
 #
-# Usage: scripts/bench.sh [registry|match] [benchtime]
+# Usage: scripts/bench.sh [registry|match|chaos] [benchtime]
 #   registry (default) -> BENCH_registry.json (registry store/evaluate)
 #   match              -> BENCH_match.json (matchmaking + subsumption +
 #                         wire encode, incl. compiled-vs-maps baselines)
+#   chaos              -> BENCH_chaos.json (fault-sweep availability and
+#                         latency degradation; see simdisco -chaos)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 MODE="registry"
 case "${1:-}" in
-registry | match)
+registry | match | chaos)
     MODE="$1"
     shift
     ;;
@@ -29,6 +31,10 @@ registry)
 match)
     OUT="BENCH_match.json"
     PATTERN='BenchmarkMatcherMatch|BenchmarkSubsumes|BenchmarkSimilarity|BenchmarkMatcherSemantic|BenchmarkOntologySubsumes|BenchmarkOntologySimilarity|BenchmarkWireMarshalQuery|BenchmarkE5Matchmaking|BenchmarkE14MatchCostSemantic'
+    ;;
+chaos)
+    OUT="BENCH_chaos.json"
+    PATTERN='BenchmarkE17Chaos|BenchmarkE16Loss|BenchmarkE3Robustness'
     ;;
 esac
 
