@@ -1,6 +1,9 @@
 GO ?= go
+# Pinned staticcheck release for reproducible lint runs; CI installs it,
+# local runs use whatever `staticcheck` is on PATH (skipped if absent).
+STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: build test race vet bench bench-match bench-chaos chaos docs-check
+.PHONY: build test race vet lint bench bench-match bench-chaos bench-qcache chaos docs-check
 
 build:
 	$(GO) build ./...
@@ -13,6 +16,15 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: vet always; staticcheck when installed (CI pins
+# $(STATICCHECK_VERSION); offline dev boxes may not have it).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
 
 # Registry benchmarks with allocation stats; emits BENCH_registry.json.
 bench:
@@ -33,6 +45,11 @@ chaos:
 # emits BENCH_chaos.json.
 bench-chaos:
 	sh scripts/bench.sh chaos
+
+# Query result cache benchmarks (cached vs cache-off evaluate, purge
+# deadline probes, E18 gateway WAN reduction); emits BENCH_qcache.json.
+bench-qcache:
+	sh scripts/bench.sh qcache
 
 # Fails when OBSERVABILITY.md drifts from the metrics registered in code.
 docs-check:

@@ -476,11 +476,17 @@ func BenchmarkTableRender(b *testing.B) {
 // only its candidate buckets while a broad (root) query still has to
 // evaluate most of the store. Compare ns/op across the two.
 func registryWithPopulation(b *testing.B, n int) (*registry.Store, []ontology.Class, []ontology.Class) {
+	return registryWithPopulationQC(b, n, 0)
+}
+
+// registryWithPopulationQC lets qcache benchmarks pick the query-cache
+// size (0 default-on, negative off).
+func registryWithPopulationQC(b *testing.B, n, qcacheSize int) (*registry.Store, []ontology.Class, []ontology.Class) {
 	b.Helper()
 	onto, levels := workload.GenOntology(workload.OntologySpec{Depth: 5, Branching: 3})
 	leaves := levels[4]
 	models := describe.NewRegistry(describe.NewSemanticModel(onto))
-	s := registry.New(registry.Options{Models: models, Leases: lease.Policy{Max: time.Hour}})
+	s := registry.New(registry.Options{Models: models, Leases: lease.Policy{Max: time.Hour}, QueryCacheSize: qcacheSize})
 	pop := workload.GenProfiles(workload.PopulationSpec{N: n, Classes: leaves, Seed: benchSeed})
 	gen := uuid.NewGenerator(benchSeed)
 	t0 := time.Unix(0, 0)
@@ -496,13 +502,18 @@ func registryWithPopulation(b *testing.B, n int) (*registry.Store, []ontology.Cl
 	return s, leaves, levels[1]
 }
 
+// The Narrow/Broad/Parallel evaluate benchmarks measure *live*
+// matchmaking cost (NoCache), so their numbers stay comparable across
+// the introduction of the query result cache; BenchmarkQCache* below
+// measures the cached path explicitly.
+
 func BenchmarkRegistryEvaluateNarrow(b *testing.B) {
 	s, leaves, _ := registryWithPopulation(b, 2000)
 	payload := (&describe.SemanticQuery{Template: &profile.Template{Category: leaves[0]}}).Encode()
 	t0 := time.Unix(0, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Evaluate(describe.KindSemantic, payload, registry.QueryOptions{}, t0); err != nil {
+		if _, err := s.Evaluate(describe.KindSemantic, payload, registry.QueryOptions{NoCache: true}, t0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -514,8 +525,126 @@ func BenchmarkRegistryEvaluateBroad(b *testing.B) {
 	t0 := time.Unix(0, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Evaluate(describe.KindSemantic, payload, registry.QueryOptions{}, t0); err != nil {
+		if _, err := s.Evaluate(describe.KindSemantic, payload, registry.QueryOptions{NoCache: true}, t0); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQCacheRepeatedQuery is the tentpole headline: the same broad
+// query issued repeatedly against a stable store, cached vs cache-off.
+// The acceptance target is ≥10× throughput for the cached variant.
+func BenchmarkQCacheRepeatedQuery(b *testing.B) {
+	for _, v := range []struct {
+		name   string
+		qcache int
+	}{
+		{"cached", 0},
+		{"cache-off", -1},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			s, _, tops := registryWithPopulationQC(b, 2000, v.qcache)
+			payload := (&describe.SemanticQuery{Template: &profile.Template{Category: tops[0]}}).Encode()
+			t0 := time.Unix(0, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Evaluate(describe.KindSemantic, payload, registry.QueryOptions{}, t0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQCacheRepeatedQueryParallel is the federation fan-in shape:
+// many goroutines issuing the same query concurrently. Cached, they
+// share one resident entry (and any concurrent fill through the
+// singleflight group) instead of each paying a full scan.
+func BenchmarkQCacheRepeatedQueryParallel(b *testing.B) {
+	for _, v := range []struct {
+		name   string
+		qcache int
+	}{
+		{"cached", 0},
+		{"cache-off", -1},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			s, _, tops := registryWithPopulationQC(b, 2000, v.qcache)
+			payload := (&describe.SemanticQuery{Template: &profile.Template{Category: tops[0]}}).Encode()
+			t0 := time.Unix(0, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := s.Evaluate(describe.KindSemantic, payload, registry.QueryOptions{}, t0); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkQCacheChurn interleaves each query with a publish, so every
+// lookup finds a freshly invalidated entry — the worst case for the
+// cache. The gap to cache-off is the validation + refill overhead.
+func BenchmarkQCacheChurn(b *testing.B) {
+	for _, v := range []struct {
+		name   string
+		qcache int
+	}{
+		{"cached", 0},
+		{"cache-off", -1},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			s, leaves, tops := registryWithPopulationQC(b, 2000, v.qcache)
+			payload := (&describe.SemanticQuery{Template: &profile.Template{Category: tops[0]}}).Encode()
+			pop := workload.GenProfiles(workload.PopulationSpec{N: 64, Classes: leaves, Seed: benchSeed + 1})
+			gen := uuid.NewGenerator(benchSeed + 1)
+			t0 := time.Unix(0, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				adv := wire.Advertisement{
+					ID: gen.New(), Provider: gen.New(), Kind: describe.KindSemantic,
+					Payload: pop[i%len(pop)].Encode(), LeaseMillis: uint64(time.Hour / time.Millisecond), Version: 1,
+				}
+				if _, _, err := s.Publish(adv, t0); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Evaluate(describe.KindSemantic, payload, registry.QueryOptions{}, t0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRegistryNextExpiry measures the purge scheduler's deadline
+// probe over a populated store: with the per-shard cached deadlines it
+// is one atomic load per shard, no locks.
+func BenchmarkRegistryNextExpiry(b *testing.B) {
+	s, _, _ := registryWithPopulation(b, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.NextExpiry(); !ok {
+			b.Fatal("expected a deadline")
+		}
+	}
+}
+
+// BenchmarkRegistryExpireIdleTick measures a purge sweep that purges
+// nothing — the common steady-state tick. Cached deadlines let it skip
+// every shard without locking.
+func BenchmarkRegistryExpireIdleTick(b *testing.B) {
+	s, _, _ := registryWithPopulation(b, 10_000)
+	t0 := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.ExpireThrough(t0); len(out) != 0 {
+			b.Fatal("unexpected purge")
 		}
 	}
 }
@@ -600,4 +729,16 @@ func BenchmarkE17Chaos(b *testing.B) {
 	// Availability at full chaos intensity: the fault-sweep headline —
 	// backoff, probation and fallback must keep this from collapsing.
 	b.ReportMetric(cell(tab, 2, 1), "availability-at-full-chaos")
+}
+
+func BenchmarkE18ResultCache(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E18ResultCache(10, benchSeed)
+	}
+	reportTable(b, tab)
+	// WAN fan-outs with the gateway cache on vs off (10 repeats): the
+	// §4.8 lease-bounded reuse headline.
+	b.ReportMetric(cell(tab, 0, 2), "wan-forwards-rcache-off")
+	b.ReportMetric(cell(tab, 1, 2), "wan-forwards-rcache-on")
 }

@@ -55,8 +55,12 @@ func main() {
 		beacon   = flag.Duration("beacon", 5*time.Second, "beacon interval")
 		httpAddr = flag.String("http", "", "serve /status and /ontology on this address ('' disables)")
 		statAddr = flag.String("stats-addr", "", "serve runtime metrics on this address: /stats (text), /stats.json ('' disables)")
-		readers  = flag.Int("read-workers", stdruntime.GOMAXPROCS(0), "query evaluation workers (0 = evaluate on the node goroutine)")
-		verbose  = flag.Bool("v", false, "trace protocol activity")
+		readers   = flag.Int("read-workers", stdruntime.GOMAXPROCS(0), "query evaluation workers (0 = evaluate on the node goroutine)")
+		qcacheLen = flag.Int("qcache-size", 256, "query result cache entries (generation-validated, always exact)")
+		qcacheOff = flag.Bool("qcache-off", false, "disable the query result cache")
+		rcacheLen = flag.Int("rcache-size", 0, "gateway remote result cache entries (0 disables; reuse bounded by shortest advert lease)")
+		rcacheTTL = flag.Duration("rcache-ttl", 5*time.Second, "maximum reuse of a cached remote result set")
+		verbose   = flag.Bool("v", false, "trace protocol activity")
 	)
 	flag.Parse()
 
@@ -65,9 +69,14 @@ func main() {
 		log.Fatalf("registryd: %v", err)
 	}
 	models := describe.NewRegistry(describe.URIModel{}, describe.KVModel{}, describe.NewSemanticModel(onto))
+	qsize := *qcacheLen
+	if *qcacheOff {
+		qsize = -1
+	}
 	store := registry.New(registry.Options{
-		Models: models,
-		Leases: lease.Policy{Max: *leaseMax, Default: *leaseDef},
+		Models:         models,
+		Leases:         lease.Policy{Max: *leaseMax, Default: *leaseDef},
+		QueryCacheSize: qsize,
 	})
 	store.PutArtifact(onto.IRI, ontologyDoc(onto))
 
@@ -87,6 +96,8 @@ func main() {
 		SummaryPruning:      *summary,
 		GatewayCoordination: *gateway,
 		ReadWorkers:         *readers,
+		ResultCacheSize:     *rcacheLen,
+		ResultCacheMaxTTL:   *rcacheTTL,
 	}
 	if *seeds != "" {
 		cfg.SeedAddrs = strings.Split(*seeds, ",")

@@ -83,6 +83,9 @@ func catalog() []experiment {
 		{"E17", "chaos sweep (fault injection)", func(s int64) *metrics.Table {
 			return experiments.E17Chaos([]float64{0, 0.25, 0.5, 0.75, 1}, s)
 		}},
+		{"E18", "gateway result cache WAN reduction", func(s int64) *metrics.Table {
+			return experiments.E18ResultCache(20, s)
+		}},
 	}
 }
 

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"semdisco/internal/metrics"
+	"semdisco/internal/sim"
+	"semdisco/internal/wire"
+)
+
+// E18ResultCache measures what the gateway remote result cache saves on
+// the WAN when the same discovery query recurs within the adverts'
+// lease window (§4.8: a result set may be reused for at most the
+// shortest remaining lease among its adverts). A two-LAN federation
+// hosts all services behind the remote registry; a client on the entry
+// LAN repeats one query. With the cache off every repeat fans out over
+// the WAN; with it on, only the first does.
+func E18ResultCache(repeats int, seed int64) *metrics.Table {
+	t := metrics.NewTable("E18 gateway result cache WAN reduction (§4.8)",
+		"rcache", "queries", "wanForwards", "queryMsgs", "queryKB", "recallMean", "latencyMean")
+	var baseFwd uint64
+	for _, size := range []int{0, 64} {
+		fwd, msgs, bytes, recall, lat := runE18(size, repeats, seed)
+		label := "off"
+		if size > 0 {
+			label = fmt.Sprintf("on(%d)", size)
+			if baseFwd > 0 && fwd > 0 {
+				label += fmt.Sprintf(" %.0fx fewer fwd", float64(baseFwd)/float64(fwd))
+			}
+		} else {
+			baseFwd = fwd
+		}
+		t.AddRow(label, repeats, fwd, msgs, metrics.KB(bytes), recall, fmtDur(lat))
+	}
+	t.AddNote("2 LANs, 6 remote services (1 min leases), identical query repeated %d times; "+
+		"wanForwards counts entry-registry WAN fan-outs, queryMsgs all querying-category "+
+		"datagrams incl. client round-trips", repeats)
+	return t
+}
+
+func runE18(cacheSize, repeats int, seed int64) (uint64, uint64, uint64, float64, time.Duration) {
+	w := sim.NewWorld(sim.Config{Seed: seed})
+	entryCfg := fastRegistry()
+	entryCfg.ResultCacheSize = cacheSize
+	entryCfg.ResultCacheMaxTTL = 30 * time.Second
+	entry := w.AddRegistry("lan0", "r0", entryCfg)
+	remoteCfg := fastRegistry()
+	remoteCfg.Seeds = []wire.PeerInfo{entry.PeerInfo()}
+	w.AddRegistry("lan1", "r1", remoteCfg)
+	const services = 6
+	for i := 0; i < services; i++ {
+		w.AddService("lan1", fmt.Sprintf("s%d", i), fastService(time.Minute),
+			w.SemanticProfile(fmt.Sprintf("urn:svc:%d", i), categoryFor(i)))
+	}
+	cli := w.AddClient("lan0", "c0", fastClient())
+	w.Run(8 * time.Second)
+	w.Net.ResetStats()
+	fwd0 := entry.Reg.Stats().QueriesForwarded
+
+	spec := w.SemanticSpec(sim.C("Service"), 3)
+	spec.MaxResults = 50
+	recallSum, latSum := 0.0, time.Duration(0)
+	for i := 0; i < repeats; i++ {
+		out := cli.Query(spec, 10*time.Second)
+		recallSum += float64(distinctServices(w, out.Adverts)) / services
+		latSum += out.Elapsed
+	}
+	q := w.Net.Stats().ByCategory[wire.CatQuerying]
+	fwd := entry.Reg.Stats().QueriesForwarded - fwd0
+	return fwd, q.Messages, q.Bytes, recallSum / float64(repeats), latSum / time.Duration(repeats)
+}

@@ -329,6 +329,28 @@ func TestE15Shape(t *testing.T) {
 	t.Logf("\n%s", tab)
 }
 
+func TestE18Shape(t *testing.T) {
+	tab := E18ResultCache(10, 42)
+	offFwd := parseF(t, tab.Row(0)[2])
+	onFwd := parseF(t, tab.Row(1)[2])
+	offMsgs := parseF(t, tab.Row(0)[3])
+	onMsgs := parseF(t, tab.Row(1)[3])
+	offRec := parseF(t, tab.Row(0)[5])
+	onRec := parseF(t, tab.Row(1)[5])
+	if offRec < 0.99 || onRec < 0.99 {
+		t.Errorf("recall dropped: off=%v on=%v\n%s", offRec, onRec, tab)
+	}
+	// Cache-off fans out once per repeat; with the cache only the first
+	// query crosses the WAN — a ≥5x reduction at 10 repeats.
+	if onFwd*5 > offFwd {
+		t.Errorf("rcache saved too little fan-out: %v forwards vs %v off\n%s", onFwd, offFwd, tab)
+	}
+	if onMsgs >= offMsgs {
+		t.Errorf("total querying datagrams did not drop: %v vs %v\n%s", onMsgs, offMsgs, tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
 func TestE16Shape(t *testing.T) {
 	tab := E16Loss([]float64{0, 0.05}, 42)
 	s0 := parseF(t, tab.Row(0)[1])

@@ -94,6 +94,20 @@ type Config struct {
 	// The default 0 keeps evaluation synchronous — required under the
 	// deterministic simulator; enable only over the real UDP runtime.
 	ReadWorkers int
+	// ResultCacheSize, when positive, enables the gateway's remote
+	// result cache of that many entries: completed fan-out results are
+	// reused for repeated identical queries, bounded by the minimum
+	// lease duration among the cached adverts (§4.8: a result is only
+	// as fresh as its shortest lease). 0 disables it — remote caching
+	// trades WAN bandwidth for bounded staleness, so it is opt-in.
+	ResultCacheSize int
+	// ResultCacheMaxTTL caps how long any remote result is reused even
+	// when its leases run longer; default 5 s.
+	ResultCacheMaxTTL time.Duration
+	// ResultCacheEmptyTTL bounds reuse of empty remote results, so a
+	// service published moments after a miss becomes discoverable
+	// quickly; default 1 s.
+	ResultCacheEmptyTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +134,8 @@ func (c Config) withDefaults() Config {
 	if c.MaxPeers == 0 {
 		c.MaxPeers = 32
 	}
+	def(&c.ResultCacheMaxTTL, 5*time.Second)
+	def(&c.ResultCacheEmptyTTL, time.Second)
 	return c
 }
 
@@ -155,6 +171,7 @@ type Registry struct {
 	peers   map[wire.NodeID]*peer
 	seen    map[uuid.UUID]time.Time
 	pending map[uuid.UUID]*pendingQuery
+	rcache  *resultCache // nil when ResultCacheSize == 0
 
 	gatewayOverride *bool // test hook; nil = derive from LAN peers
 
@@ -167,6 +184,10 @@ type Registry struct {
 // environment. Call Start to arm its timers.
 func New(env *runtime.Env, store *registry.Store, cfg Config) *Registry {
 	cfg = cfg.withDefaults()
+	var rcache *resultCache
+	if cfg.ResultCacheSize > 0 {
+		rcache = newResultCache(cfg.ResultCacheSize, cfg.ResultCacheMaxTTL, cfg.ResultCacheEmptyTTL)
+	}
 	return &Registry{
 		env:     env,
 		store:   store,
@@ -176,6 +197,7 @@ func New(env *runtime.Env, store *registry.Store, cfg Config) *Registry {
 		peers:   make(map[wire.NodeID]*peer),
 		seen:    make(map[uuid.UUID]time.Time),
 		pending: make(map[uuid.UUID]*pendingQuery),
+		rcache:  rcache,
 	}
 }
 

@@ -32,4 +32,12 @@ var (
 		"local evaluations dispatched to the read worker pool")
 	fReadPoolInline = obs.NewCounter("federation.readpool.inline", "count",
 		"local evaluations run on the node goroutine (no pool or pool full)")
+	fRCacheHits = obs.NewCounter("federation.rcache.hits", "count",
+		"queries whose remote pools were served from the gateway result cache (no fan-out)")
+	fRCacheMisses = obs.NewCounter("federation.rcache.misses", "count",
+		"gateway result cache lookups with no usable entry")
+	fRCacheExpired = obs.NewCounter("federation.rcache.expired", "count",
+		"gateway result cache entries dropped past their lease-bounded TTL")
+	fRCacheSize = obs.NewGauge("federation.rcache.size", "count",
+		"resident gateway result cache entries")
 )

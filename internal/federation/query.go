@@ -20,15 +20,34 @@ type pendingQuery struct {
 	// parent is the node the query arrived from (client or forwarding
 	// registry); a duplicated datagram of the same forward is recognized
 	// by matching it and dropped rather than answered "exhausted".
-	parent      wire.NodeID
+	parent wire.NodeID
+	// pools holds locally evaluated results; remote holds pools that
+	// arrived from forwarded copies (or were pre-seeded from the
+	// gateway result cache). They are kept apart so only genuinely
+	// remote results are cached for reuse.
 	pools       [][]wire.Advertisement
+	remote      [][]wire.Advertisement
 	outstanding map[wire.NodeID]bool
 	// localPending marks a local evaluation still running on the read
 	// pool; aggregation must not finalize before it lands (or the hop
 	// deadline fires, whichever is first).
 	localPending bool
-	cancel       transport.CancelFunc
-	done         bool
+	// fill marks this query as a candidate to fill the gateway result
+	// cache under fillKey once every forwarded child has answered.
+	fill    bool
+	fillKey rkey
+	cancel  transport.CancelFunc
+	done    bool
+}
+
+// allPools returns local and remote pools together for merge-ranking.
+func (p *pendingQuery) allPools() [][]wire.Advertisement {
+	if len(p.remote) == 0 {
+		return p.pools
+	}
+	out := make([][]wire.Advertisement, 0, len(p.pools)+len(p.remote))
+	out = append(out, p.pools...)
+	return append(out, p.remote...)
 }
 
 func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, q wire.Query) {
@@ -55,13 +74,35 @@ func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, q wire.Q
 	}
 	r.seen[q.QueryID] = r.now()
 
-	opts := registry.QueryOptions{MaxResults: int(q.MaxResults), BestOnly: q.BestOnly}
-	targets := r.forwardTargets(q, env.From)
+	opts := registry.QueryOptions{MaxResults: int(q.MaxResults), BestOnly: q.BestOnly, NoCache: q.NoCache}
+
+	// Gateway result cache: a fresh cached remote pool substitutes for
+	// the whole fan-out — only the local evaluation runs. NoCache
+	// queries skip the lookup but still fill the cache (their result is
+	// fresh by construction).
+	var key rkey
+	var cachedRemote [][]wire.Advertisement
+	cacheHit := false
+	if r.rcache != nil {
+		key = rkeyFor(q)
+		if !q.NoCache {
+			cachedRemote, cacheHit = r.rcache.get(key, q.Payload, r.now())
+		}
+	}
+
+	var targets []*peer
+	if !cacheHit {
+		targets = r.forwardTargets(q, env.From)
+	}
 	p := &pendingQuery{
 		query:       q,
 		replyTo:     transport.Addr(q.ReplyAddr),
 		parent:      env.From,
+		remote:      cachedRemote,
 		outstanding: make(map[wire.NodeID]bool, len(targets)),
+	}
+	if r.rcache != nil && !cacheHit && len(targets) > 0 {
+		p.fill, p.fillKey = true, key
 	}
 
 	// Local evaluation. A registry without the payload's model still
@@ -86,8 +127,9 @@ func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, q wire.Q
 	}
 
 	if len(targets) == 0 && !p.localPending {
-		// Leaf of the forwarding tree: answer immediately.
-		r.respond(q, p.replyTo, p.pools)
+		// Leaf of the forwarding tree (or a cache hit): answer
+		// immediately.
+		r.respond(q, p.replyTo, p.allPools())
 		return
 	}
 	r.pending[q.QueryID] = p
@@ -209,7 +251,7 @@ func (r *Registry) handleQueryResult(env *wire.Envelope, res wire.QueryResult) {
 		return
 	}
 	if len(res.Adverts) > 0 {
-		p.pools = append(p.pools, res.Adverts)
+		p.remote = append(p.remote, res.Adverts)
 	}
 	if res.Complete {
 		delete(p.outstanding, env.From)
@@ -231,7 +273,13 @@ func (r *Registry) finalize(queryID uuid.UUID) {
 	if p.cancel != nil {
 		p.cancel()
 	}
-	r.respond(p.query, p.replyTo, p.pools)
+	// Fill the gateway result cache only from a complete aggregation:
+	// every forwarded child answered. A hop-deadline finalize with
+	// branches still outstanding would pin a truncated result set.
+	if p.fill && len(p.outstanding) == 0 && r.rcache != nil {
+		r.rcache.put(p.fillKey, p.query.Payload, p.remote, r.now())
+	}
+	r.respond(p.query, p.replyTo, p.allPools())
 }
 
 func (r *Registry) respond(q wire.Query, to transport.Addr, pools [][]wire.Advertisement) {

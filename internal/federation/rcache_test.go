@@ -1,0 +1,161 @@
+package federation
+
+import (
+	"testing"
+	"time"
+
+	"semdisco/internal/wire"
+)
+
+// wanPair builds two registries on separate LANs, seeded to each other,
+// with the entry registry's gateway result cache enabled.
+func wanPair(t *testing.T, entryCfg Config) (*harness, *Registry, *Registry) {
+	h := newHarness(t)
+	remote := h.addRegistry("lan1", "r2", Config{})
+	entryCfg.Seeds = []wire.PeerInfo{peerInfo(remote)}
+	entry := h.addRegistry("lan0", "r1", entryCfg)
+	h.net.RunFor(time.Second)
+	return h, entry, remote
+}
+
+func TestResultCacheDisabledByDefault(t *testing.T) {
+	h := newHarness(t)
+	r := h.addRegistry("lan0", "r1", Config{})
+	if r.rcache != nil {
+		t.Fatal("result cache should be opt-in")
+	}
+}
+
+func TestResultCacheAnswersRepeatWithoutFanout(t *testing.T) {
+	h, entry, remote := wanPair(t, Config{ResultCacheSize: 32})
+	tc := h.addClient("lan0", "c1")
+	rc := h.addClient("lan1", "c2")
+	adv := h.semAdvert("urn:svc:radar", "Radar", time.Minute)
+	h.publish(rc, remote, adv)
+
+	q1 := h.query(tc, entry, "Sensor", 2)
+	h.net.RunFor(2 * time.Second)
+	if !tc.done[q1] || len(tc.results[q1]) != 1 {
+		t.Fatalf("first query: results=%v done=%v", tc.results[q1], tc.done[q1])
+	}
+	forwarded := entry.Stats().QueriesForwarded
+	if forwarded == 0 {
+		t.Fatal("first query should have fanned out")
+	}
+
+	q2 := h.query(tc, entry, "Sensor", 2)
+	h.net.RunFor(2 * time.Second)
+	if !tc.done[q2] || len(tc.results[q2]) != 1 || tc.results[q2][0].ID != adv.ID {
+		t.Fatalf("second query: results=%v done=%v", tc.results[q2], tc.done[q2])
+	}
+	if got := entry.Stats().QueriesForwarded; got != forwarded {
+		t.Fatalf("repeat query forwarded (%d -> %d); want cache to absorb the fan-out", forwarded, got)
+	}
+	if entry.rcache.size() != 1 {
+		t.Fatalf("rcache size = %d, want 1", entry.rcache.size())
+	}
+}
+
+func TestResultCacheLeaseBoundsTTL(t *testing.T) {
+	h, entry, remote := wanPair(t, Config{ResultCacheSize: 32, ResultCacheMaxTTL: time.Hour})
+	tc := h.addClient("lan0", "c1")
+	rc := h.addClient("lan1", "c2")
+	// 2 s lease: the cached result must not outlive it even though
+	// MaxTTL is an hour.
+	adv := h.semAdvert("urn:svc:radar", "Radar", 2*time.Second)
+	h.publish(rc, remote, adv)
+
+	q1 := h.query(tc, entry, "Sensor", 2)
+	h.net.RunFor(time.Second)
+	if !tc.done[q1] || len(tc.results[q1]) != 1 {
+		t.Fatalf("first query: %v", tc.results[q1])
+	}
+	forwarded := entry.Stats().QueriesForwarded
+
+	// Past the advert's lease the entry is expired: the next query
+	// fans out again and, the advert having lapsed remotely too,
+	// returns nothing.
+	h.net.RunFor(3 * time.Second)
+	q2 := h.query(tc, entry, "Sensor", 2)
+	h.net.RunFor(2 * time.Second)
+	if entry.Stats().QueriesForwarded == forwarded {
+		t.Fatal("query after lease expiry should have fanned out again")
+	}
+	if len(tc.results[q2]) != 0 {
+		t.Fatalf("stale advert served past its lease: %v", tc.results[q2])
+	}
+}
+
+func TestResultCacheEmptyResultsUseShortTTL(t *testing.T) {
+	h, entry, remote := wanPair(t, Config{ResultCacheSize: 32})
+	tc := h.addClient("lan0", "c1")
+	rc := h.addClient("lan1", "c2")
+
+	// Miss everywhere: the empty remote result is cached briefly.
+	q1 := h.query(tc, entry, "Camera", 2)
+	h.net.RunFor(time.Second)
+	if len(tc.results[q1]) != 0 {
+		t.Fatalf("expected no results, got %v", tc.results[q1])
+	}
+
+	// A service appears remotely right after.
+	adv := h.semAdvert("urn:svc:cam", "Camera", time.Minute)
+	h.publish(rc, remote, adv)
+
+	// Past the empty-entry TTL (default 1 s) the query rediscovers it.
+	h.net.RunFor(1200 * time.Millisecond)
+	q2 := h.query(tc, entry, "Camera", 2)
+	h.net.RunFor(2 * time.Second)
+	if len(tc.results[q2]) != 1 || tc.results[q2][0].ID != adv.ID {
+		t.Fatalf("newly published service not rediscovered after empty-TTL: %v", tc.results[q2])
+	}
+}
+
+func TestResultCacheNoCacheBypasses(t *testing.T) {
+	h, entry, remote := wanPair(t, Config{ResultCacheSize: 32})
+	tc := h.addClient("lan0", "c1")
+	rc := h.addClient("lan1", "c2")
+	adv := h.semAdvert("urn:svc:radar", "Radar", time.Minute)
+	h.publish(rc, remote, adv)
+
+	q1 := h.query(tc, entry, "Sensor", 2)
+	h.net.RunFor(2 * time.Second)
+	if !tc.done[q1] {
+		t.Fatal("first query incomplete")
+	}
+	forwarded := entry.Stats().QueriesForwarded
+
+	q2 := h.query(tc, entry, "Sensor", 2, func(q *wire.Query) { q.NoCache = true })
+	h.net.RunFor(2 * time.Second)
+	if !tc.done[q2] || len(tc.results[q2]) != 1 {
+		t.Fatalf("NoCache query: %v", tc.results[q2])
+	}
+	if entry.Stats().QueriesForwarded == forwarded {
+		t.Fatal("NoCache query should bypass the cache and fan out")
+	}
+}
+
+// TestResultCacheKeySeparation: queries differing only in response
+// control or fan-out shape must not share entries.
+func TestResultCacheKeySeparation(t *testing.T) {
+	h, entry, remote := wanPair(t, Config{ResultCacheSize: 32})
+	tc := h.addClient("lan0", "c1")
+	rc := h.addClient("lan1", "c2")
+	for _, name := range []string{"a", "b", "c"} {
+		h.publish(rc, remote, h.semAdvert("urn:svc:"+name, "Radar", time.Minute))
+	}
+
+	q1 := h.query(tc, entry, "Sensor", 2)
+	h.net.RunFor(2 * time.Second)
+	q2 := h.query(tc, entry, "Sensor", 2, func(q *wire.Query) { q.BestOnly = true })
+	h.net.RunFor(2 * time.Second)
+	q3 := h.query(tc, entry, "Sensor", 2, func(q *wire.Query) { q.MaxResults = 2 })
+	h.net.RunFor(2 * time.Second)
+	if len(tc.results[q1]) != 3 || len(tc.results[q2]) != 1 || len(tc.results[q3]) != 2 {
+		t.Fatalf("results: %d/%d/%d, want 3/1/2",
+			len(tc.results[q1]), len(tc.results[q2]), len(tc.results[q3]))
+	}
+	if entry.rcache.size() != 3 {
+		t.Fatalf("rcache size = %d, want 3 distinct entries", entry.rcache.size())
+	}
+}

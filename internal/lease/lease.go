@@ -185,6 +185,18 @@ func (t *Table) Alive(id uuid.UUID, now time.Time) bool {
 	return ok && !e.expires.Before(now)
 }
 
+// AliveUntil combines Alive and Expires in one lookup: it returns the
+// lease deadline when id holds a lease that has not expired at now.
+// The query path uses it to stamp cached results with the earliest
+// deadline of the advertisements they contain.
+func (t *Table) AliveUntil(id uuid.UUID, now time.Time) (time.Time, bool) {
+	e, ok := t.entries[id]
+	if !ok || e.expires.Before(now) {
+		return time.Time{}, false
+	}
+	return e.expires, true
+}
+
 // ExpireThrough removes every lease whose deadline is at or before now
 // and returns their IDs (the advertisements the registry must purge).
 func (t *Table) ExpireThrough(now time.Time) []uuid.UUID {

@@ -38,6 +38,11 @@ type ClientConfig struct {
 	// registries apply. Without models, fallback results keep
 	// (deduplicated) arrival order.
 	Models *describe.Registry
+	// FreshResults marks every query from this client NoCache: registry
+	// result caches and gateway remote caches are bypassed, trading
+	// latency and WAN bandwidth for guaranteed freshness. Per-query
+	// override: QuerySpec.NoCache.
+	FreshResults bool
 	// Bootstrap configures registry discovery.
 	Bootstrap discovery.Config
 }
@@ -74,6 +79,9 @@ type QuerySpec struct {
 	Strategy wire.Strategy
 	// Walkers sets the walker count for random walks; default 2.
 	Walkers uint8
+	// NoCache demands a fresh evaluation for this query, bypassing
+	// registry and gateway result caches along the path.
+	NoCache bool
 }
 
 // Via reports which mechanism produced a query's results.
@@ -354,6 +362,7 @@ func (c *Client) attempt(p *pendingClient) {
 		Strategy:   p.spec.Strategy,
 		Walkers:    p.spec.Walkers,
 		ReplyAddr:  string(c.env.Addr()),
+		NoCache:    p.spec.NoCache || c.cfg.FreshResults,
 	}
 	c.env.Send(transport.Addr(reg.Addr), q)
 	p.timer = c.env.Clock.After(c.attemptTimeout(p.spec, p.ringTTL), func() {

@@ -32,6 +32,16 @@ var (
 		"advertisements purged by lease expiry")
 	mShardScans = obs.NewCounter("registry.shard.scans", "count",
 		"per-shard candidate scans, aggregated over all shards")
+	mQCacheHits = obs.NewCounter("registry.qcache.hits", "count",
+		"queries answered from the generation-validated result cache")
+	mQCacheMisses = obs.NewCounter("registry.qcache.misses", "count",
+		"queries evaluated live (no resident entry or hash collision)")
+	mQCacheInvalidations = obs.NewCounter("registry.qcache.invalidations", "count",
+		"cached result sets dropped because a shard generation moved or a lease deadline passed")
+	mQCacheSize = obs.NewGauge("registry.qcache.size", "count",
+		"resident query result cache entries")
+	mQCacheShared = obs.NewCounter("registry.qcache.singleflight.shared", "count",
+		"queries that waited on an identical in-flight evaluation instead of recomputing")
 )
 
 // ShardStat is one shard's occupancy and scan activity — the per-shard

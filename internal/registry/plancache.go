@@ -18,6 +18,9 @@ type queryPlan struct {
 	query    describe.Query
 	tokens   []string
 	prunable bool
+	// hash is describe.PayloadHash(kind, payload) for the payload this
+	// plan was decoded from — the query result cache keys on it.
+	hash uint64
 }
 
 // planCache memoizes query plans keyed by (kind, payload hash) in an
@@ -105,9 +108,8 @@ func (s *Store) plan(kind describe.Kind, payload []byte) (*queryPlan, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownKind, kind)
 	}
-	var h uint64
+	h := describe.PayloadHash(kind, payload)
 	if s.plans != nil {
-		h = describe.PayloadHash(kind, payload)
 		if p := s.plans.get(kind, payload, h); p != nil {
 			mPlanCacheHits.Inc()
 			return p, nil
@@ -119,7 +121,7 @@ func (s *Store) plan(kind describe.Kind, payload []byte) (*queryPlan, error) {
 		return nil, err
 	}
 	tokens, prunable := model.QueryTokens(q)
-	p := &queryPlan{model: model, query: q, tokens: tokens, prunable: prunable}
+	p := &queryPlan{model: model, query: q, tokens: tokens, prunable: prunable, hash: h}
 	if s.plans != nil {
 		s.plans.put(kind, payload, h, p)
 	}

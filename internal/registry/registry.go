@@ -59,11 +59,18 @@ type Store struct {
 	// currently describes it, so republished services do not pile up as
 	// duplicates under fresh advertisement IDs. Service keys are opaque
 	// strings, so the map is global (not striped) under its own lock; it
-	// is touched only on the write path.
+	// is touched only on the write path. Each mapping carries the
+	// publish sequence number that wrote it (svcSeq), so a deferred
+	// cleanup (Remove/ExpireThrough run dropServiceKey after the shard
+	// lock is released) can compare-and-delete against the exact
+	// mapping its advert established — a racing re-publish of the same
+	// advert ID writes a newer sequence and is never clobbered.
 	svcMu     sync.Mutex
-	byService map[string]uuid.UUID
+	svcSeq    uint64
+	byService map[string]svcEntry
 
-	plans *planCache
+	plans  *planCache
+	qcache *queryCache
 
 	artMu     sync.RWMutex
 	artifacts map[string][]byte
@@ -92,18 +99,66 @@ type shard struct {
 	noToken map[describe.Kind]map[uuid.UUID]*stored
 	leases  *lease.Table
 
+	// gen counts mutations that can change query results in this shard
+	// (publish, remove, expiry purge, lease resurrection). The query
+	// result cache stamps each entry with the generation vector it was
+	// computed against; validation is then an O(shards) integer compare.
+	// Bumps happen while the shard write lock is held, so any reader
+	// that can observe mutated shard state also observes the new
+	// generation — a cached entry validated against an old generation is
+	// linearizable before the in-flight write.
+	gen atomic.Uint64
+
+	// nextDeadline caches leases.NextExpiry so the purge scheduler
+	// (NextExpiry/ExpireThrough across all shards) reads one atomic
+	// pointer per shard instead of taking every shard lock per tick.
+	// nil means the shard holds no leases. Refreshed under the write
+	// lock after every lease mutation. A *time.Time (not UnixNano) so
+	// the simulator's zero-epoch virtual clocks round-trip exactly.
+	nextDeadline atomic.Pointer[time.Time]
+
 	// scans and matched accumulate this shard's candidate-scan activity
 	// (see ShardStats); updated with one atomic add per collect pass.
 	scans   atomic.Uint64
 	matched atomic.Uint64
 }
 
+// bumpLocked advances the shard generation; the caller holds the shard
+// write lock and has made (or is about to make) a result-affecting
+// mutation.
+func (sh *shard) bumpLocked() { sh.gen.Add(1) }
+
+// refreshDeadlineLocked re-derives the cached next lease deadline; the
+// caller holds the shard write lock and has just mutated the lease
+// table.
+func (sh *shard) refreshDeadlineLocked() {
+	if t, ok := sh.leases.NextExpiry(); ok {
+		sh.nextDeadline.Store(&t)
+	} else {
+		sh.nextDeadline.Store(nil)
+	}
+}
+
 // stored is immutable once linked into a shard; updates replace the
 // whole value, so readers holding a *stored never see partial state.
+// svcSeq is the exception: it records which byService write this advert
+// made (set after the entry is linked, read by dropServiceKey), so it
+// is atomic.
 type stored struct {
 	advert wire.Advertisement
 	desc   describe.Description
 	tokens []string
+	svcSeq atomic.Uint64
+}
+
+// svcEntry is one byService mapping: the advert currently describing a
+// service key, tagged with the monotonically increasing sequence number
+// of the publish that wrote it. Deferred cleanups compare-and-delete on
+// (id, seq) so they can never clobber a newer mapping written by a
+// racing re-publish of the same advert ID.
+type svcEntry struct {
+	id  uuid.UUID
+	seq uint64
 }
 
 type subscription struct {
@@ -136,6 +191,12 @@ type Options struct {
 	// PlanCacheSize bounds the memoized query-plan LRU; zero means 128,
 	// negative disables plan caching.
 	PlanCacheSize int
+	// QueryCacheSize bounds the generation-validated query result LRU;
+	// zero means 256, negative disables result caching. Cached results
+	// are exact: entries are validated against per-shard generation
+	// counters and the earliest lease deadline of the results they
+	// hold, so a stale entry can never be served.
+	QueryCacheSize int
 }
 
 // New returns an empty registry store.
@@ -168,12 +229,21 @@ func New(opts Options) *Store {
 		}
 		plans = newPlanCache(size)
 	}
+	var qcache *queryCache
+	if opts.QueryCacheSize >= 0 {
+		size := opts.QueryCacheSize
+		if size == 0 {
+			size = 256
+		}
+		qcache = newQueryCache(size)
+	}
 	return &Store{
 		models:            opts.Models,
 		shards:            shards,
 		mask:              uint32(n - 1),
-		byService:         make(map[string]uuid.UUID),
+		byService:         make(map[string]svcEntry),
 		plans:             plans,
+		qcache:            qcache,
 		artifacts:         make(map[string][]byte),
 		subs:              make(map[uuid.UUID]*subscription),
 		DefaultMaxResults: opts.DefaultMaxResults,
@@ -256,6 +326,8 @@ func (s *Store) Publish(adv wire.Advertisement, now time.Time) (time.Duration, [
 	}
 	sh.insertLocked(st)
 	granted := sh.leases.Grant(adv.ID, time.Duration(adv.LeaseMillis)*time.Millisecond, now)
+	sh.bumpLocked()
+	sh.refreshDeadlineLocked()
 	sh.mu.Unlock()
 	s.countAdd(1)
 	mPublish.Inc()
@@ -264,15 +336,19 @@ func (s *Store) Publish(adv wire.Advertisement, now time.Time) (time.Duration, [
 	// its registry crashed) supersedes its previous advert.
 	if key := desc.ServiceKey(); key != "" {
 		s.svcMu.Lock()
-		oldID, had := s.byService[key]
-		s.byService[key] = adv.ID
+		old, had := s.byService[key]
+		s.svcSeq++
+		s.byService[key] = svcEntry{id: adv.ID, seq: s.svcSeq}
+		st.svcSeq.Store(s.svcSeq)
 		s.svcMu.Unlock()
-		if had && oldID != adv.ID {
-			osh := s.shardFor(oldID)
+		if had && old.id != adv.ID {
+			osh := s.shardFor(old.id)
 			osh.mu.Lock()
-			if old, ok := osh.adverts[oldID]; ok && adv.Version >= old.advert.Version {
-				osh.removeLocked(oldID)
-				osh.leases.Remove(oldID)
+			if prev, ok := osh.adverts[old.id]; ok && adv.Version >= prev.advert.Version {
+				osh.removeLocked(old.id)
+				osh.leases.Remove(old.id)
+				osh.bumpLocked()
+				osh.refreshDeadlineLocked()
 				s.countAdd(-1)
 			}
 			osh.mu.Unlock()
@@ -356,15 +432,19 @@ func (sh *shard) removeLocked(id uuid.UUID) *stored {
 	return st
 }
 
-// dropServiceKey clears the service-key mapping if it still points at
-// the removed advert.
+// dropServiceKey clears the service-key mapping if it still holds the
+// exact entry the removed advert wrote. It runs after the shard lock is
+// released, so it must compare both the advert ID and the publish
+// sequence: a re-publish of the same advert ID racing the removal has
+// written a newer sequence, and that fresh mapping must survive.
 func (s *Store) dropServiceKey(st *stored) {
 	key := st.desc.ServiceKey()
 	if key == "" {
 		return
 	}
+	seq := st.svcSeq.Load()
 	s.svcMu.Lock()
-	if s.byService[key] == st.advert.ID {
+	if e, ok := s.byService[key]; ok && e.id == st.advert.ID && e.seq == seq {
 		delete(s.byService, key)
 	}
 	s.svcMu.Unlock()
@@ -380,7 +460,21 @@ func (s *Store) Renew(id uuid.UUID, now time.Time) (time.Duration, bool) {
 	if !ok {
 		return 0, false
 	}
-	return sh.leases.Renew(id, time.Duration(st.advert.LeaseMillis)*time.Millisecond, now)
+	// A renew that lands after the lease lapsed but before the purge
+	// sweep resurrects the advert into the result set, so it must
+	// invalidate cached results like a publish would. An ordinary renew
+	// only pushes the deadline out and leaves results unchanged — but a
+	// skewed caller clock can pull a deadline in, which would outlive a
+	// cached entry's expiry stamp, so that case invalidates too.
+	oldExp, wasAlive := sh.leases.AliveUntil(id, now)
+	granted, ok := sh.leases.Renew(id, time.Duration(st.advert.LeaseMillis)*time.Millisecond, now)
+	if ok {
+		if !wasAlive || now.Add(granted).Before(oldExp) {
+			sh.bumpLocked()
+		}
+		sh.refreshDeadlineLocked()
+	}
+	return granted, ok
 }
 
 // Remove withdraws an advertisement explicitly.
@@ -390,6 +484,8 @@ func (s *Store) Remove(id uuid.UUID) bool {
 	st := sh.removeLocked(id)
 	if st != nil {
 		sh.leases.Remove(id)
+		sh.bumpLocked()
+		sh.refreshDeadlineLocked()
 	}
 	sh.mu.Unlock()
 	if st == nil {
@@ -402,19 +498,29 @@ func (s *Store) Remove(id uuid.UUID) bool {
 
 // ExpireThrough purges every advertisement whose lease deadline is at
 // or before now and returns the purged advertisements — "removal of
-// obsolete advertisements" (§4.8).
+// obsolete advertisements" (§4.8). Shards whose cached next deadline is
+// in the future are skipped without taking their lock, so an idle tick
+// over a large store costs one atomic load per shard.
 func (s *Store) ExpireThrough(now time.Time) []wire.Advertisement {
 	var out []wire.Advertisement
 	var dropped []*stored
 	for _, sh := range s.shards {
+		if next := sh.nextDeadline.Load(); next == nil || next.After(now) {
+			continue
+		}
 		sh.mu.Lock()
-		for _, id := range sh.leases.ExpireThrough(now) {
+		expired := sh.leases.ExpireThrough(now)
+		for _, id := range expired {
 			if st := sh.removeLocked(id); st != nil {
 				out = append(out, st.advert)
 				dropped = append(dropped, st)
 				s.countAdd(-1)
 			}
 		}
+		if len(expired) > 0 {
+			sh.bumpLocked()
+		}
+		sh.refreshDeadlineLocked()
 		sh.mu.Unlock()
 	}
 	for _, st := range dropped {
@@ -425,15 +531,14 @@ func (s *Store) ExpireThrough(now time.Time) []wire.Advertisement {
 }
 
 // NextExpiry returns the earliest lease deadline for purge scheduling.
+// It reads the per-shard cached deadlines, so it is lock-free.
 func (s *Store) NextExpiry() (time.Time, bool) {
 	var best time.Time
 	found := false
 	for _, sh := range s.shards {
-		sh.mu.RLock()
-		if t, ok := sh.leases.NextExpiry(); ok && (!found || t.Before(best)) {
-			best, found = t, true
+		if t := sh.nextDeadline.Load(); t != nil && (!found || t.Before(best)) {
+			best, found = *t, true
 		}
-		sh.mu.RUnlock()
 	}
 	return best, found
 }
@@ -446,6 +551,9 @@ type QueryOptions struct {
 	MaxResults int
 	// BestOnly returns only the single best-ranked advertisement.
 	BestOnly bool
+	// NoCache forces a live evaluation, bypassing the query result
+	// cache for this call (the wire protocol's fresh-results flag).
+	NoCache bool
 }
 
 func (s *Store) effectiveLimit(opts QueryOptions) int {
@@ -488,6 +596,13 @@ func (s *Store) fanOut(plan *queryPlan) bool {
 // Selection keeps a bounded top-K (K = the effective result cap) per
 // shard instead of sorting every hit, and large scans fan out across
 // shards on a bounded worker pool.
+//
+// When the query result cache is enabled (Options.QueryCacheSize) the
+// ranked result set is memoized keyed by (payload hash, kind, effective
+// limit, best-only) and validated against the per-shard generation
+// vector plus the earliest lease deadline it contains — cached answers
+// are always exactly what a live evaluation would return. Concurrent
+// identical queries share one computation through a singleflight group.
 func (s *Store) Evaluate(kind describe.Kind, payload []byte, opts QueryOptions, now time.Time) ([]wire.Advertisement, error) {
 	start := time.Now()
 	plan, err := s.plan(kind, payload)
@@ -498,6 +613,46 @@ func (s *Store) Evaluate(kind describe.Kind, payload []byte, opts QueryOptions, 
 		return nil, fmt.Errorf("registry: bad query payload: %w", err)
 	}
 	limit := s.effectiveLimit(opts)
+	var out []wire.Advertisement
+	if s.qcache != nil && !opts.NoCache {
+		key := qkey{hash: plan.hash, kind: kind, limit: limit, best: opts.BestOnly}
+		out = s.qcache.evaluate(s, key, payload, kind, plan, limit, now)
+	} else {
+		out, _ = s.evaluateLive(kind, plan, limit, now)
+	}
+	mEvaluate.Inc()
+	mEvaluateLatency.Observe(time.Since(start).Microseconds())
+	return out, nil
+}
+
+// genVector snapshots every shard generation. The query cache snapshots
+// it *before* reading shard data, so a mutation racing the collection
+// makes the filled entry conservatively stale rather than wrongly
+// fresh.
+func (s *Store) genVector() []uint64 {
+	gens := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		gens[i] = sh.gen.Load()
+	}
+	return gens
+}
+
+// gensCurrent reports whether no result-affecting mutation has happened
+// since gens was snapshotted.
+func (s *Store) gensCurrent(gens []uint64) bool {
+	for i, sh := range s.shards {
+		if sh.gen.Load() != gens[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// evaluateLive runs the uncached evaluation and returns the ranked,
+// capped result set plus the earliest lease deadline among the returned
+// advertisements (zero when the set is empty) — the freshness horizon a
+// cached copy of this result is valid until.
+func (s *Store) evaluateLive(kind describe.Kind, plan *queryPlan, limit int, now time.Time) ([]wire.Advertisement, time.Time) {
 	var hits []hit
 	truncated := false
 	if s.fanOut(plan) {
@@ -517,15 +672,17 @@ func (s *Store) Evaluate(kind describe.Kind, payload []byte, opts QueryOptions, 
 		hits = hits[:limit]
 	}
 	out := make([]wire.Advertisement, len(hits))
+	var minExpiry time.Time
 	for i, h := range hits {
 		out[i] = *h.adv
+		if minExpiry.IsZero() || h.expires.Before(minExpiry) {
+			minExpiry = h.expires
+		}
 	}
-	mEvaluate.Inc()
 	if truncated {
 		mEvaluateTruncated.Inc()
 	}
-	mEvaluateLatency.Observe(time.Since(start).Microseconds())
-	return out, nil
+	return out, minExpiry
 }
 
 // collect evaluates the shard's candidates for the plan into top.
@@ -545,12 +702,13 @@ func (sh *shard) collect(kind describe.Kind, plan *queryPlan, now time.Time, top
 	defer sh.mu.RUnlock()
 	consider := func(id uuid.UUID, st *stored) {
 		scanned++
-		if !sh.leases.Alive(id, now) {
+		expires, alive := sh.leases.AliveUntil(id, now)
+		if !alive {
 			return // expired but not yet purged: never serve stale data
 		}
 		if ev := plan.model.Evaluate(plan.query, st.desc); ev.Matched {
 			matched++
-			top.push(hit{adv: &st.advert, key: st.desc.ServiceKey(), ev: ev})
+			top.push(hit{adv: &st.advert, key: st.desc.ServiceKey(), ev: ev, expires: expires})
 		}
 	}
 	if plan.prunable {

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"sort"
+	"time"
 
 	"semdisco/internal/describe"
 	"semdisco/internal/match"
@@ -17,6 +18,11 @@ type hit struct {
 	adv *wire.Advertisement
 	key string // service key, the pre-ID ranking tiebreaker
 	ev  describe.Evaluation
+	// expires is the lease deadline the advert was alive until when
+	// collected; the query result cache takes the minimum over a result
+	// set as the entry's freshness horizon. Zero when untracked
+	// (MergeRank candidates).
+	expires time.Time
 }
 
 // hitBefore is the ranking total order: the shared match.CompareQuality

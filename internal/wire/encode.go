@@ -158,6 +158,7 @@ func marshalBody(w *codec.Buffer, body Body) error {
 		w.Byte(byte(b.Strategy))
 		w.Byte(b.Walkers)
 		w.String(b.ReplyAddr)
+		w.Bool(b.NoCache)
 	case QueryResult:
 		w.Bytes16(b.QueryID)
 		w.Uvarint(uint64(len(b.Adverts)))
@@ -330,6 +331,9 @@ func unmarshalBody(r *codec.Reader, t MsgType) (Body, error) {
 			return nil, err
 		}
 		if b.ReplyAddr, err = r.String(); err != nil {
+			return nil, err
+		}
+		if b.NoCache, err = r.Bool(); err != nil {
 			return nil, err
 		}
 		return b, nil

@@ -354,6 +354,10 @@ type Query struct {
 	Walkers uint8
 	// ReplyAddr is where this hop's results are sent.
 	ReplyAddr string
+	// NoCache demands a fresh evaluation: registries bypass their query
+	// result caches and gateways bypass their remote result caches for
+	// this query (results are still eligible to fill the caches).
+	NoCache bool
 }
 
 // QueryResult body.

@@ -4,19 +4,22 @@
 # runtime metric snapshot (plan-cache hit rates, match-cache hit rates,
 # scan counts — see OBSERVABILITY.md) is stored under the "obs" key.
 #
-# Usage: scripts/bench.sh [registry|match|chaos] [benchtime]
+# Usage: scripts/bench.sh [registry|match|chaos|qcache] [benchtime]
 #   registry (default) -> BENCH_registry.json (registry store/evaluate)
 #   match              -> BENCH_match.json (matchmaking + subsumption +
 #                         wire encode, incl. compiled-vs-maps baselines)
 #   chaos              -> BENCH_chaos.json (fault-sweep availability and
 #                         latency degradation; see simdisco -chaos)
+#   qcache             -> BENCH_qcache.json (query result cache: cached
+#                         vs cache-off throughput, deadline-cache probes,
+#                         E18 gateway WAN-reduction sim)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 MODE="registry"
 case "${1:-}" in
-registry | match | chaos)
+registry | match | chaos | qcache)
     MODE="$1"
     shift
     ;;
@@ -35,6 +38,10 @@ match)
 chaos)
     OUT="BENCH_chaos.json"
     PATTERN='BenchmarkE17Chaos|BenchmarkE16Loss|BenchmarkE3Robustness'
+    ;;
+qcache)
+    OUT="BENCH_qcache.json"
+    PATTERN='BenchmarkQCache|BenchmarkRegistryNextExpiry|BenchmarkRegistryExpireIdleTick|BenchmarkE18ResultCache'
     ;;
 esac
 
