@@ -3,7 +3,7 @@ GO ?= go
 # local runs use whatever `staticcheck` is on PATH (skipped if absent).
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: build test race vet lint bench bench-match bench-chaos bench-qcache chaos docs-check
+.PHONY: build test race vet lint bench bench-match bench-chaos bench-qcache bench-scale chaos docs-check
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,12 @@ bench-chaos:
 # deadline probes, E18 gateway WAN reduction); emits BENCH_qcache.json.
 bench-qcache:
 	sh scripts/bench.sh qcache
+
+# Million-advert scale benchmarks (bytes/advert, publish/renew
+# throughput, inverted subscription index vs linear notification scan);
+# emits BENCH_scale.json. SEMDISCO_SCALE_HUGE=1 extends to 10^7 adverts.
+bench-scale:
+	sh scripts/bench.sh scale
 
 # Fails when OBSERVABILITY.md drifts from the metrics registered in code.
 docs-check:

@@ -13,6 +13,8 @@ package semdisco
 
 import (
 	"fmt"
+	"os"
+	stdruntime "runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -700,6 +702,171 @@ func BenchmarkRegistryPublish(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- scale suite (scripts/bench.sh scale → BENCH_scale.json) -----------
+
+// scaleStore builds a URI-model store, optionally on the linear-scan
+// notification baseline.
+func scaleStore(scanBaseline bool) *registry.Store {
+	models := describe.NewRegistry(describe.URIModel{})
+	return registry.New(registry.Options{
+		Models:          models,
+		Leases:          lease.Policy{Max: time.Hour, Default: time.Hour},
+		DisableSubIndex: scanBaseline,
+	})
+}
+
+const scaleTypes = 256
+
+func scaleAdvert(i int, gen *uuid.Generator) wire.Advertisement {
+	d := &describe.URIDescription{
+		TypeURI:    fmt.Sprintf("urn:scale:type:%d", i%scaleTypes),
+		ServiceURI: fmt.Sprintf("urn:scale:svc:%d", i),
+		Name:       "svc", Addr: "lan0/p",
+	}
+	return wire.Advertisement{
+		ID: gen.New(), Provider: gen.New(), ProviderAddr: "lan0/p",
+		Kind: describe.KindURI, Payload: d.Encode(),
+		LeaseMillis: uint64(time.Hour / time.Millisecond), Version: 1,
+	}
+}
+
+// BenchmarkPublishWithSubs is the tentpole headline: publish against
+// 10^4 standing queries spread over 256 service types, so ~0.4% match
+// any one advert. The indexed store probes one posting bucket per
+// publish; the scan baseline evaluates every subscription. Acceptance
+// is ≥10x between the two variants.
+func BenchmarkPublishWithSubs(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		scan bool
+	}{
+		{"indexed", false},
+		{"scan", true},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			s := scaleStore(v.scan)
+			gen := uuid.NewGenerator(benchSeed)
+			t0 := time.Unix(0, 0)
+			const subs = 10_000
+			for i := 0; i < subs; i++ {
+				payload := (&describe.URIQuery{TypeURI: fmt.Sprintf("urn:scale:type:%d", i%scaleTypes)}).Encode()
+				if _, err := s.Subscribe(describe.KindURI, payload, "lan0/sub", gen.New(), time.Time{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			notes := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, n, err := s.Publish(scaleAdvert(i, gen), t0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				notes += len(n)
+			}
+			b.ReportMetric(float64(notes)/float64(b.N), "notifications/op")
+		})
+	}
+}
+
+// scaleSizes returns the advert-count sweep: 10^5 and 10^6 always, 10^7
+// only when SEMDISCO_SCALE_HUGE is set (it needs several GB and
+// minutes).
+func scaleSizes() []int {
+	sizes := []int{100_000, 1_000_000}
+	if os.Getenv("SEMDISCO_SCALE_HUGE") != "" {
+		sizes = append(sizes, 10_000_000)
+	}
+	return sizes
+}
+
+// populateScaleStore publishes n adverts and returns the GC-settled
+// heap bytes the store retains per advert. The caller reports it via
+// ReportMetric *after* ResetTimer — ResetTimer clears custom metrics.
+func populateScaleStore(b *testing.B, s *registry.Store, n int, gen *uuid.Generator) float64 {
+	b.Helper()
+	t0 := time.Unix(0, 0)
+	var before, after stdruntime.MemStats
+	stdruntime.GC()
+	stdruntime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		if _, _, err := s.Publish(scaleAdvert(i, gen), t0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stdruntime.GC()
+	stdruntime.ReadMemStats(&after)
+	if after.HeapAlloc <= before.HeapAlloc {
+		return 0
+	}
+	return float64(after.HeapAlloc-before.HeapAlloc) / float64(n)
+}
+
+// BenchmarkScalePublish measures steady-state publish cost (and the
+// compact representation's bytes/advert) at 10^5..10^7 resident
+// adverts. Publishes update existing service keys, so the store size
+// stays fixed while the arena recycles slots.
+func BenchmarkScalePublish(b *testing.B) {
+	for _, n := range scaleSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := scaleStore(false)
+			gen := uuid.NewGenerator(benchSeed)
+			bytesPerAdv := populateScaleStore(b, s, n, gen)
+			t0 := time.Unix(0, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Publish(scaleAdvert(i%n, gen), t0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if bytesPerAdv > 0 {
+				b.ReportMetric(bytesPerAdv, "bytes/advert")
+			}
+		})
+	}
+}
+
+// BenchmarkScaleRenew measures lease renewal over a large resident
+// population — the dominant steady-state write at scale (every live
+// service renews every lease period).
+func BenchmarkScaleRenew(b *testing.B) {
+	for _, n := range scaleSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := scaleStore(false)
+			gen := uuid.NewGenerator(benchSeed)
+			ids := make([]uuid.UUID, n)
+			t0 := time.Unix(0, 0)
+			for i := 0; i < n; i++ {
+				adv := scaleAdvert(i, gen)
+				ids[i] = adv.ID
+				if _, _, err := s.Publish(adv, t0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := s.Renew(ids[i%n], t0); !ok {
+					b.Fatal("renew lost an advert")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE19Scale regenerates the E19 table at a bench-sized sweep;
+// the headline is the notify-path speedup at 10^4 standing queries.
+func BenchmarkE19Scale(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E19Scale([]int{100_000}, []int{10_000}, benchSeed)
+	}
+	reportTable(b, tab)
+	b.ReportMetric(cell(tab, 0, 1), "bytes/advert")
+	b.ReportMetric(cell(tab, 0, 7), "notify-speedup")
 }
 
 func BenchmarkE15Scale(b *testing.B) {

@@ -43,23 +43,25 @@ import (
 
 func main() {
 	var (
-		bind     = flag.String("bind", "127.0.0.1:0", "unicast listen address")
-		mcast    = flag.String("mcast", "239.77.77.77:7777", "LAN multicast group ('' disables)")
-		seeds    = flag.String("seed", "", "comma-separated peer registry addresses (WAN seeding)")
-		ontoPath = flag.String("ontology", "", "Turtle taxonomy file (default: built-in sensor taxonomy)")
-		push     = flag.Bool("push", false, "replicate advertisements to peer registries")
-		summary  = flag.Bool("summaries", false, "gossip advertisement summaries and prune forwarding")
-		gateway  = flag.Bool("gateway", false, "coordinate one WAN gateway per LAN")
-		leaseMax = flag.Duration("lease-max", 10*time.Minute, "maximum granted lease")
-		leaseDef = flag.Duration("lease-default", 30*time.Second, "default granted lease")
-		beacon   = flag.Duration("beacon", 5*time.Second, "beacon interval")
-		httpAddr = flag.String("http", "", "serve /status and /ontology on this address ('' disables)")
-		statAddr = flag.String("stats-addr", "", "serve runtime metrics on this address: /stats (text), /stats.json ('' disables)")
+		bind      = flag.String("bind", "127.0.0.1:0", "unicast listen address")
+		mcast     = flag.String("mcast", "239.77.77.77:7777", "LAN multicast group ('' disables)")
+		seeds     = flag.String("seed", "", "comma-separated peer registry addresses (WAN seeding)")
+		ontoPath  = flag.String("ontology", "", "Turtle taxonomy file (default: built-in sensor taxonomy)")
+		push      = flag.Bool("push", false, "replicate advertisements to peer registries")
+		summary   = flag.Bool("summaries", false, "gossip advertisement summaries and prune forwarding")
+		gateway   = flag.Bool("gateway", false, "coordinate one WAN gateway per LAN")
+		leaseMax  = flag.Duration("lease-max", 10*time.Minute, "maximum granted lease")
+		leaseDef  = flag.Duration("lease-default", 30*time.Second, "default granted lease")
+		beacon    = flag.Duration("beacon", 5*time.Second, "beacon interval")
+		httpAddr  = flag.String("http", "", "serve /status and /ontology on this address ('' disables)")
+		statAddr  = flag.String("stats-addr", "", "serve runtime metrics on this address: /stats (text), /stats.json ('' disables)")
 		readers   = flag.Int("read-workers", stdruntime.GOMAXPROCS(0), "query evaluation workers (0 = evaluate on the node goroutine)")
 		qcacheLen = flag.Int("qcache-size", 256, "query result cache entries (generation-validated, always exact)")
 		qcacheOff = flag.Bool("qcache-off", false, "disable the query result cache")
 		rcacheLen = flag.Int("rcache-size", 0, "gateway remote result cache entries (0 disables; reuse bounded by shortest advert lease)")
 		rcacheTTL = flag.Duration("rcache-ttl", 5*time.Second, "maximum reuse of a cached remote result set")
+		subidxOff = flag.Bool("subindex-off", false, "disable the inverted subscription index (linear-scan notification baseline)")
+		arenaSlab = flag.Int("arena-slab", 0, "advert arena slab size in records per shard (0 = 1024; raise for million-advert stores)")
 		verbose   = flag.Bool("v", false, "trace protocol activity")
 	)
 	flag.Parse()
@@ -74,9 +76,11 @@ func main() {
 		qsize = -1
 	}
 	store := registry.New(registry.Options{
-		Models:         models,
-		Leases:         lease.Policy{Max: *leaseMax, Default: *leaseDef},
-		QueryCacheSize: qsize,
+		Models:          models,
+		Leases:          lease.Policy{Max: *leaseMax, Default: *leaseDef},
+		QueryCacheSize:  qsize,
+		DisableSubIndex: *subidxOff,
+		ArenaSlab:       *arenaSlab,
 	})
 	store.PutArtifact(onto.IRI, ontologyDoc(onto))
 

@@ -86,6 +86,9 @@ func catalog() []experiment {
 		{"E18", "gateway result cache WAN reduction", func(s int64) *metrics.Table {
 			return experiments.E18ResultCache(20, s)
 		}},
+		{"E19", "compact storage & inverted subscription index", func(s int64) *metrics.Table {
+			return experiments.E19Scale([]int{100_000}, []int{100, 1_000, 10_000}, s)
+		}},
 	}
 }
 

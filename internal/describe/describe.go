@@ -108,6 +108,25 @@ type Model interface {
 	QueryTokens(q Query) (tokens []string, prunable bool)
 }
 
+// ConceptIndexer is an optional Model extension for models grounded in
+// a compiled ontology. It exposes the interned concept-ID view of the
+// summary-token contract: a description whose concept ID is declared
+// can match a query only if that ID lies in the query's subsumption
+// closure. The registry's subscription index uses it to post standing
+// queries under integer concept IDs instead of expanded token strings —
+// one O(1) bucket probe per publish instead of a closure-sized token
+// walk. Both methods report ok=false when the value is undeclared or
+// the ontology carries no compiled index; callers must then fall back
+// to the string-token domain (QueryTokens/SummaryTokens), which
+// degrades both sides of the match symmetrically.
+type ConceptIndexer interface {
+	// DescriptionConceptID returns the description's declared concept.
+	DescriptionConceptID(d Description) (int32, bool)
+	// QueryConceptIDs returns every concept ID a matching description
+	// may declare (the query category's subsumption closure).
+	QueryConceptIDs(q Query) ([]int32, bool)
+}
+
 // Registry holds the models a node understands, keyed by Kind.
 // It is populated at startup and read-only afterwards, so it is safe
 // for concurrent readers.

@@ -152,3 +152,42 @@ func (m *SemanticModel) QueryTokens(q Query) ([]string, bool) {
 	}
 	return tokens, true
 }
+
+// DescriptionConceptID implements ConceptIndexer: the interned ID of
+// the advertised category. ok=false for undeclared categories or an
+// uncompiled ontology — the caller falls back to string tokens, the
+// same degradation Intern itself applies.
+func (m *SemanticModel) DescriptionConceptID(d Description) (int32, bool) {
+	sd, ok := d.(*SemanticDescription)
+	if !ok {
+		return 0, false
+	}
+	ip := sd.Profile.InternedFor(m.onto)
+	if ip == nil || ip.Category == ontology.NoClass {
+		return 0, false
+	}
+	return int32(ip.Category), true
+}
+
+// QueryConceptIDs implements ConceptIndexer: the subsumption closure of
+// the requested category as interned IDs — the ID-domain counterpart of
+// QueryTokens' Related expansion.
+func (m *SemanticModel) QueryConceptIDs(q Query) ([]int32, bool) {
+	sq, ok := q.(*SemanticQuery)
+	if !ok || sq.Template.Category == "" {
+		return nil, false
+	}
+	it := sq.Template.InternedFor(m.onto)
+	if it == nil || it.Category == ontology.NoClass {
+		return nil, false
+	}
+	rel := m.onto.RelatedIDs(it.Category)
+	if rel == nil {
+		return nil, false
+	}
+	out := make([]int32, len(rel))
+	for i, id := range rel {
+		out[i] = int32(id)
+	}
+	return out, true
+}

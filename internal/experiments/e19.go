@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/lease"
+	"semdisco/internal/metrics"
+	"semdisco/internal/registry"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// e19Types is the spread of service type URIs in the E19 population;
+// with subscriptions distributed uniformly across the types, each
+// publish matches subs/e19Types standing queries (≈0.4% at the default
+// spread) — the "many subscribers, few interested in any one service"
+// regime the WS-Notification substrate must scale to.
+const e19Types = 256
+
+// E19Scale measures the two tentpole claims of the scale PR at the
+// store level: bytes per advert under the slab-arena/interned-token
+// representation, and publish-with-notification cost on the inverted
+// subscription index versus the linear-scan baseline, swept over advert
+// and standing-query counts. Both stores run the identical workload;
+// speedup is scan/indexed publish time.
+func E19Scale(advertCounts, subCounts []int, seed int64) *metrics.Table {
+	t := metrics.NewTable("E19 compact storage & inverted subscription index",
+		"adverts", "bytes/adv", "renew µs", "subs", "match %", "notify idx µs", "notify scan µs", "speedup")
+	for _, nAdv := range advertCounts {
+		gen := uuid.NewGenerator(uint64(seed))
+		advs := e19Adverts(nAdv, gen)
+
+		indexed := e19Store(false)
+		bytesPerAdv := e19Populate(indexed, advs)
+		scan := e19Store(true)
+		e19Populate(scan, advs)
+
+		renewUS := e19Renew(indexed, advs)
+
+		for _, nSub := range subCounts {
+			idxSubs := e19Subscribe(indexed, nSub, gen)
+			scanSubs := e19Subscribe(scan, nSub, gen)
+			const probes = 2000
+			idxUS, idxNotes := e19PublishRound(indexed, gen, probes)
+			scanUS, scanNotes := e19PublishRound(scan, gen, probes)
+			if idxNotes != scanNotes {
+				panic(fmt.Sprintf("e19: notification divergence: indexed %d, scan %d", idxNotes, scanNotes))
+			}
+			matchPct := 100 * float64(idxNotes) / float64(probes) / float64(nSub)
+			t.AddRow(nAdv, bytesPerAdv, renewUS, nSub, matchPct, idxUS, scanUS, scanUS/idxUS)
+			e19Unsubscribe(indexed, idxSubs)
+			e19Unsubscribe(scan, scanSubs)
+		}
+	}
+	t.AddNote("URI model, %d service types; subscriptions spread uniformly over the types so each "+
+		"publish matches subs/%d standing queries; bytes/adv is the GC-settled heap delta of "+
+		"populating the indexed store; notify columns time Publish incl. candidate probe + match", e19Types, e19Types)
+	return t
+}
+
+func e19Store(disableSubIndex bool) *registry.Store {
+	models := describe.NewRegistry(describe.URIModel{})
+	return registry.New(registry.Options{
+		Models:          models,
+		Leases:          lease.Policy{Max: time.Hour, Default: time.Hour},
+		DisableSubIndex: disableSubIndex,
+	})
+}
+
+func e19Adverts(n int, gen *uuid.Generator) []wire.Advertisement {
+	advs := make([]wire.Advertisement, n)
+	for i := range advs {
+		d := &describe.URIDescription{
+			TypeURI:    fmt.Sprintf("urn:e19:type:%d", i%e19Types),
+			ServiceURI: fmt.Sprintf("urn:e19:svc:%d", i),
+			Name:       "svc",
+			Addr:       "lan0/p",
+		}
+		advs[i] = wire.Advertisement{
+			ID: gen.New(), Provider: gen.New(), ProviderAddr: "lan0/p",
+			Kind: describe.KindURI, Payload: d.Encode(),
+			LeaseMillis: uint64(time.Hour / time.Millisecond), Version: 1,
+		}
+	}
+	return advs
+}
+
+// e19Populate publishes the population and returns the GC-settled heap
+// bytes the store retains per advert (including the decoded description
+// and the payload bytes it pins).
+func e19Populate(s *registry.Store, advs []wire.Advertisement) float64 {
+	t0 := time.Unix(0, 0)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := range advs {
+		if _, _, err := s.Publish(advs[i], t0); err != nil {
+			panic(err)
+		}
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc <= before.HeapAlloc {
+		return 0
+	}
+	return float64(after.HeapAlloc-before.HeapAlloc) / float64(len(advs))
+}
+
+// e19Renew times lease renewal over a sample of the population, in µs
+// per renew.
+func e19Renew(s *registry.Store, advs []wire.Advertisement) float64 {
+	t0 := time.Unix(0, 0)
+	n := len(advs)
+	if n > 10_000 {
+		n = 10_000
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, ok := s.Renew(advs[i].ID, t0); !ok {
+			panic("e19: renew lost an advert")
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / float64(n)
+}
+
+// e19Subscribe registers n standing queries spread over the type space
+// and returns their IDs so the round can drop them afterwards.
+func e19Subscribe(s *registry.Store, n int, gen *uuid.Generator) []uuid.UUID {
+	ids := make([]uuid.UUID, n)
+	for i := 0; i < n; i++ {
+		payload := (&describe.URIQuery{TypeURI: fmt.Sprintf("urn:e19:type:%d", i%e19Types)}).Encode()
+		ids[i] = gen.New()
+		if _, err := s.Subscribe(describe.KindURI, payload, "lan0/sub", ids[i], time.Time{}); err != nil {
+			panic(err)
+		}
+	}
+	return ids
+}
+
+func e19Unsubscribe(s *registry.Store, ids []uuid.UUID) {
+	for _, id := range ids {
+		s.Unsubscribe(id)
+	}
+}
+
+// e19PublishRound publishes fresh adverts against the standing queries
+// and returns µs per publish and the total notifications produced.
+func e19PublishRound(s *registry.Store, gen *uuid.Generator, probes int) (float64, int) {
+	t0 := time.Unix(0, 0)
+	advs := e19Adverts(probes, gen)
+	notes := 0
+	start := time.Now()
+	for i := range advs {
+		_, n, err := s.Publish(advs[i], t0)
+		if err != nil {
+			panic(err)
+		}
+		notes += len(n)
+	}
+	return float64(time.Since(start).Microseconds()) / float64(probes), notes
+}

@@ -351,6 +351,31 @@ func TestE18Shape(t *testing.T) {
 	t.Logf("\n%s", tab)
 }
 
+func TestE19Shape(t *testing.T) {
+	// Tiny counts: the shape (identical notifications, positive speedup
+	// figure, non-zero bytes/adv) matters here, not the magnitudes —
+	// scripts/bench.sh scale runs the real sweep.
+	tab := E19Scale([]int{2_000}, []int{64, 512}, 42)
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2\n%s", tab.NumRows(), tab)
+	}
+	for i := 0; i < tab.NumRows(); i++ {
+		bytesAdv := parseF(t, tab.Row(i)[1])
+		if bytesAdv <= 0 {
+			t.Errorf("row %d: bytes/adv = %v, want > 0\n%s", i, bytesAdv, tab)
+		}
+		speedup := parseF(t, tab.Row(i)[7])
+		if speedup <= 0 {
+			t.Errorf("row %d: speedup = %v, want > 0\n%s", i, speedup, tab)
+		}
+		matchPct := parseF(t, tab.Row(i)[4])
+		if matchPct <= 0 || matchPct > 2 {
+			t.Errorf("row %d: match%% = %v, want in (0, 2]\n%s", i, matchPct, tab)
+		}
+	}
+	t.Logf("\n%s", tab)
+}
+
 func TestE16Shape(t *testing.T) {
 	tab := E16Loss([]float64{0, 0.05}, 42)
 	s0 := parseF(t, tab.Row(0)[1])

@@ -286,3 +286,33 @@ func (o *Ontology) Related(cl Class) []Class {
 	sortClassSlice(out)
 	return out
 }
+
+// RelatedIDs is Related in the interned-ID domain: every ClassID
+// standing in a subsumption relation with id (reflexive-transitive
+// ancestors and descendants), ascending. The registry's subscription
+// index posts a standing semantic query under this closure so a publish
+// probes exactly one bucket. Nil when the ontology carries no compiled
+// index or id is invalid — callers then fall back to the string-token
+// domain, matching how every other interned path degrades.
+func (o *Ontology) RelatedIDs(id ClassID) []ClassID {
+	o.mustFrozen()
+	c := o.c
+	if c == nil || !c.valid(id) {
+		return nil
+	}
+	ra := c.anc[int(id)*c.words : (int(id)+1)*c.words]
+	rd := c.desc[int(id)*c.words : (int(id)+1)*c.words]
+	count := 0
+	for w := range ra {
+		count += bits.OnesCount64(ra[w] | rd[w])
+	}
+	out := make([]ClassID, 0, count)
+	for w := range ra {
+		word := ra[w] | rd[w]
+		for word != 0 {
+			out = append(out, ClassID(w<<6+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return out
+}

@@ -49,7 +49,8 @@ func TestIndexedEvaluateMatchesBruteForce(t *testing.T) {
 		}
 	}
 
-	// Reference: brute-force evaluation over every shard's byKind.
+	// Reference: brute-force evaluation over every shard's all-of-kind
+	// slice.
 	brute := func(kind describe.Kind, payload []byte) map[string]bool {
 		model, _ := s.models.Model(kind)
 		q, err := model.DecodeQuery(payload)
@@ -58,8 +59,12 @@ func TestIndexedEvaluateMatchesBruteForce(t *testing.T) {
 		}
 		out := map[string]bool{}
 		for _, sh := range s.shards {
-			for id, st := range sh.byKind[kind] {
-				if !sh.leases.Alive(id, t0) {
+			ki := sh.kinds[kind]
+			if ki == nil {
+				continue
+			}
+			for _, st := range ki.all {
+				if !sh.leases.Alive(st.advert.ID, t0) {
 					continue
 				}
 				if model.Evaluate(q, st.desc).Matched {
@@ -138,8 +143,8 @@ func TestIndexMaintainedAcrossUpdateAndRemove(t *testing.T) {
 		t.Fatal("removed advert still indexed")
 	}
 	for i, sh := range s.shards {
-		if len(sh.byToken[describe.KindSemantic]) != 0 {
-			t.Fatalf("token buckets leaked in shard %d: %v", i, sh.byToken[describe.KindSemantic])
+		if ki := sh.kinds[describe.KindSemantic]; ki != nil && len(ki.byTok) != 0 {
+			t.Fatalf("token buckets leaked in shard %d: %v", i, ki.byTok)
 		}
 	}
 }

@@ -42,6 +42,22 @@ var (
 		"resident query result cache entries")
 	mQCacheShared = obs.NewCounter("registry.qcache.singleflight.shared", "count",
 		"queries that waited on an identical in-flight evaluation instead of recomputing")
+	mSubCandidates = obs.NewCounter("registry.subindex.candidates", "count",
+		"standing-query candidates probed per publish, aggregated")
+	mSubMatched = obs.NewCounter("registry.subindex.matched", "count",
+		"standing queries that matched a publish (notifications produced)")
+	mSubIndexSize = obs.NewGauge("registry.subindex.size", "count",
+		"standing queries resident in the inverted notification index")
+	mSubFallbackScans = obs.NewCounter("registry.subindex.fallback.scans", "count",
+		"publishes that scanned every standing query (index disabled or token-less advert)")
+	mSubIndexRebuilds = obs.NewCounter("registry.subindex.rebuilds", "count",
+		"posting-list rebuilds compacting lazily removed subscriptions")
+	mArenaSlabs = obs.NewGauge("registry.arena.slabs", "count",
+		"advert arena slabs allocated across all shards")
+	mArenaFree = obs.NewGauge("registry.arena.free", "count",
+		"recycled advert arena slots awaiting reuse")
+	mTokensInterned = obs.NewGauge("registry.tokens.interned", "count",
+		"distinct summary tokens interned across all stores")
 )
 
 // ShardStat is one shard's occupancy and scan activity — the per-shard

@@ -23,6 +23,13 @@
 // registry — decodes its payload once per node, preserving the paper's
 // §3.2 claim that "query evaluation may only have to be carried out
 // once".
+//
+// Storage is compact: stored records live in per-shard slab arenas with
+// interned token IDs and dense swap-remove index slices (arena.go), and
+// standing-query notification runs on an inverted posting-list index
+// (subindex.go), so one store holds millions of adverts and the notify
+// cost of a publish is proportional to the subscriptions that can
+// match it, not to all of them.
 package registry
 
 import (
@@ -48,12 +55,15 @@ import (
 type Store struct {
 	models *describe.Registry
 
-	// shards hold the advert maps, token indexes and lease sub-tables,
-	// striped by advertisement ID; count tracks the live advert total so
-	// Len never has to sweep the stripes.
+	// shards hold the advert arenas, per-kind indexes and lease
+	// sub-tables, striped by advertisement ID; count tracks the live
+	// advert total so Len never has to sweep the stripes. toks is the
+	// store-wide summary-token interner shared by every shard and by
+	// the subscription index.
 	shards []*shard
 	mask   uint32
 	count  atomic.Int64
+	toks   *tokenInterner
 
 	// byService maps a description's service key to the advert that
 	// currently describes it, so republished services do not pile up as
@@ -75,29 +85,44 @@ type Store struct {
 	artMu     sync.RWMutex
 	artifacts map[string][]byte
 
-	subMu   sync.RWMutex
-	subs    map[uuid.UUID]*subscription
-	subsArr []*subscription // deterministic iteration order
+	// Standing queries. subsArr holds subscriptions in insertion order
+	// (the deterministic notification order) with nil tombstones where
+	// Unsubscribe/PruneSubscriptions removed entries; compaction is
+	// amortized so removal is O(1). subidx is the inverted posting-list
+	// index (nil when Options.DisableSubIndex keeps the linear-scan
+	// baseline). subSeq stamps each subscription with its insertion
+	// rank; index candidates are sorted by it so the indexed path
+	// notifies in exactly the baseline's order.
+	subMu    sync.RWMutex
+	subs     map[uuid.UUID]*subscription
+	subsArr  []*subscription
+	subsDead int
+	subSeq   uint64
+	subidx   *subIndex
 
 	// DefaultMaxResults caps result sets when the query does not; the
 	// response-implosion guard of §3.1.
 	DefaultMaxResults int
 }
 
-// shard is one lock stripe of the store. byToken indexes adverts by
-// their summary tokens per kind, so prunable queries (the ones whose
-// model exposes QueryTokens) evaluate only candidate buckets instead of
-// scanning every advert of the kind — the same soundness argument as
-// federation summary pruning, applied inside one registry. noToken
-// holds adverts whose descriptions produced no summary tokens; they
-// must be considered by every query conservatively.
+// shard is one lock stripe of the store. Each kind's index (kindIndex)
+// holds dense slices of arena records: all adverts of the kind, the
+// per-token posting buckets for prunable queries, and the token-less
+// adverts every query must consider conservatively. Records carry
+// their positions in these slices, so removal is a swap-remove — no
+// per-advert maps beyond the ID lookup.
 type shard struct {
 	mu      sync.RWMutex
 	adverts map[uuid.UUID]*stored
-	byKind  map[describe.Kind]map[uuid.UUID]*stored
-	byToken map[describe.Kind]map[string]map[uuid.UUID]*stored
-	noToken map[describe.Kind]map[uuid.UUID]*stored
+	kinds   map[describe.Kind]*kindIndex
 	leases  *lease.Table
+
+	// Arena state (arena.go): fixed-size slabs of stored records, a
+	// bump pointer and a free list of recycled slots.
+	slabSize int
+	slabs    [][]stored
+	next     int32
+	free     []int32
 
 	// gen counts mutations that can change query results in this shard
 	// (publish, remove, expiry purge, lease resurrection). The query
@@ -123,6 +148,13 @@ type shard struct {
 	matched atomic.Uint64
 }
 
+// kindIndex is one kind's dense advert indexes inside a shard.
+type kindIndex struct {
+	all   []*stored         // every advert of the kind; position = stored.kindPos
+	byTok map[tok][]*stored // posting bucket per token; position = stored.tokPos[i]
+	noTok []*stored         // token-less adverts; position = stored.ntPos
+}
+
 // bumpLocked advances the shard generation; the caller holds the shard
 // write lock and has made (or is about to make) a result-affecting
 // mutation.
@@ -139,16 +171,23 @@ func (sh *shard) refreshDeadlineLocked() {
 	}
 }
 
-// stored is immutable once linked into a shard; updates replace the
-// whole value, so readers holding a *stored never see partial state.
-// svcSeq is the exception: it records which byService write this advert
-// made (set after the entry is linked, read by dropServiceKey), so it
-// is atomic.
+// stored is one arena-resident advert record. It is immutable while
+// linked into the shard indexes — updates unlink, release and relink —
+// but its slot is recycled after release, so nothing derived from a
+// *stored may be used once the shard lock is dropped; escaping data is
+// snapshotted by value (hit, removedAdvert) under the lock. svcSeq
+// records which byService write this advert made; it is written inside
+// Publish's shard critical section and read by removeLocked, also under
+// the lock.
 type stored struct {
-	advert wire.Advertisement
-	desc   describe.Description
-	tokens []string
-	svcSeq atomic.Uint64
+	advert  wire.Advertisement
+	desc    describe.Description
+	toks    []tok   // interned, deduplicated summary tokens
+	tokPos  []int32 // position in each token's posting bucket
+	kindPos int32   // position in kindIndex.all
+	ntPos   int32   // position in kindIndex.noTok, -1 when tokenized
+	slot    int32   // arena slot, for release
+	svcSeq  atomic.Uint64
 }
 
 // svcEntry is one byService mapping: the advert currently describing a
@@ -162,7 +201,10 @@ type svcEntry struct {
 }
 
 type subscription struct {
-	id     uuid.UUID
+	id  uuid.UUID
+	seq uint64 // insertion rank; stable across renewals, the notify order
+	pos int    // index in subsArr (tombstoned on removal)
+
 	kind   describe.Kind
 	query  describe.Query
 	notify string // opaque subscriber address, returned in events
@@ -170,6 +212,17 @@ type subscription struct {
 	// too: crashed subscribers must stop consuming notifications).
 	// The zero time means no expiry (local in-process subscriptions).
 	expires time.Time
+
+	// removed marks a tombstoned record: posting lists drop entries
+	// lazily, so probes must skip records that were unsubscribed or
+	// replaced by a renewal. Guarded by subMu.
+	removed bool
+
+	// Compiled index keys (subindex.go): exactly one of idxConcepts /
+	// idxToks / catchAll describes how the subscription is posted.
+	idxToks     []tok
+	idxConcepts []int32
+	catchAll    bool
 }
 
 func (sub *subscription) alive(now time.Time) bool {
@@ -197,6 +250,17 @@ type Options struct {
 	// counters and the earliest lease deadline of the results they
 	// hold, so a stale entry can never be served.
 	QueryCacheSize int
+	// DisableSubIndex keeps Publish's subscription notification on the
+	// linear scan over every standing query instead of the inverted
+	// posting-list index. It exists as the property-tested baseline
+	// (mirroring ontology.DisableCompiledIndex); production stores
+	// leave it false.
+	DisableSubIndex bool
+	// ArenaSlab is the per-shard advert arena slab size in stored
+	// records; zero means 1024. Smaller slabs waste less memory on
+	// tiny stores, larger ones mean fewer allocations at million-advert
+	// scale.
+	ArenaSlab int
 }
 
 // New returns an empty registry store.
@@ -210,15 +274,17 @@ func New(opts Options) *Store {
 	if opts.Shards == 0 {
 		opts.Shards = 16
 	}
+	if opts.ArenaSlab <= 0 {
+		opts.ArenaSlab = defaultArenaSlab
+	}
 	n := 1 << bits.Len(uint(opts.Shards-1)) // next power of two
 	shards := make([]*shard, n)
 	for i := range shards {
 		shards[i] = &shard{
-			adverts: make(map[uuid.UUID]*stored),
-			byKind:  make(map[describe.Kind]map[uuid.UUID]*stored),
-			byToken: make(map[describe.Kind]map[string]map[uuid.UUID]*stored),
-			noToken: make(map[describe.Kind]map[uuid.UUID]*stored),
-			leases:  lease.NewTable(opts.Leases),
+			adverts:  make(map[uuid.UUID]*stored),
+			kinds:    make(map[describe.Kind]*kindIndex),
+			leases:   lease.NewTable(opts.Leases),
+			slabSize: opts.ArenaSlab,
 		}
 	}
 	var plans *planCache
@@ -237,10 +303,11 @@ func New(opts Options) *Store {
 		}
 		qcache = newQueryCache(size)
 	}
-	return &Store{
+	s := &Store{
 		models:            opts.Models,
 		shards:            shards,
 		mask:              uint32(n - 1),
+		toks:              newTokenInterner(),
 		byService:         make(map[string]svcEntry),
 		plans:             plans,
 		qcache:            qcache,
@@ -248,6 +315,10 @@ func New(opts Options) *Store {
 		subs:              make(map[uuid.UUID]*subscription),
 		DefaultMaxResults: opts.DefaultMaxResults,
 	}
+	if !opts.DisableSubIndex {
+		s.subidx = newSubIndex()
+	}
+	return s
 }
 
 func (s *Store) shardFor(id uuid.UUID) *shard {
@@ -309,7 +380,8 @@ func (s *Store) Publish(adv wire.Advertisement, now time.Time) (time.Duration, [
 		mPublishErrors.Inc()
 		return 0, nil, errors.New("registry: advertisement has nil ID")
 	}
-	st := &stored{advert: adv, desc: desc, tokens: model.SummaryTokens(desc)}
+	tokens := model.SummaryTokens(desc)
+	svcKey := desc.ServiceKey()
 
 	sh := s.shardFor(adv.ID)
 	sh.mu.Lock()
@@ -324,128 +396,159 @@ func (s *Store) Publish(adv wire.Advertisement, now time.Time) (time.Duration, [
 		sh.removeLocked(adv.ID)
 		s.countAdd(-1)
 	}
+	st := sh.alloc()
+	st.advert = adv
+	st.desc = desc
+	st.toks = s.toks.internAll(tokens)
+	toks := st.toks // slice header survives a concurrent release after unlock
 	sh.insertLocked(st)
 	granted := sh.leases.Grant(adv.ID, time.Duration(adv.LeaseMillis)*time.Millisecond, now)
 	sh.bumpLocked()
 	sh.refreshDeadlineLocked()
+	// The byService mapping (and st.svcSeq) is written while the shard
+	// lock still pins st's arena slot: a racing Remove could otherwise
+	// recycle the slot and the svcSeq store would corrupt an unrelated
+	// record. Lock order is always shard → svcMu, never the reverse.
+	var oldSvc svcEntry
+	hadSvc := false
+	if svcKey != "" {
+		s.svcMu.Lock()
+		oldSvc, hadSvc = s.byService[svcKey]
+		s.svcSeq++
+		s.byService[svcKey] = svcEntry{id: adv.ID, seq: s.svcSeq}
+		st.svcSeq.Store(s.svcSeq)
+		s.svcMu.Unlock()
+	}
 	sh.mu.Unlock()
 	s.countAdd(1)
 	mPublish.Inc()
 
 	// A service republishing under a new advertisement ID (e.g. after
 	// its registry crashed) supersedes its previous advert.
-	if key := desc.ServiceKey(); key != "" {
-		s.svcMu.Lock()
-		old, had := s.byService[key]
-		s.svcSeq++
-		s.byService[key] = svcEntry{id: adv.ID, seq: s.svcSeq}
-		st.svcSeq.Store(s.svcSeq)
-		s.svcMu.Unlock()
-		if had && old.id != adv.ID {
-			osh := s.shardFor(old.id)
-			osh.mu.Lock()
-			if prev, ok := osh.adverts[old.id]; ok && adv.Version >= prev.advert.Version {
-				osh.removeLocked(old.id)
-				osh.leases.Remove(old.id)
-				osh.bumpLocked()
-				osh.refreshDeadlineLocked()
-				s.countAdd(-1)
-			}
-			osh.mu.Unlock()
+	if hadSvc && oldSvc.id != adv.ID {
+		osh := s.shardFor(oldSvc.id)
+		osh.mu.Lock()
+		if prev, ok := osh.adverts[oldSvc.id]; ok && adv.Version >= prev.advert.Version {
+			osh.removeLocked(oldSvc.id)
+			osh.leases.Remove(oldSvc.id)
+			osh.bumpLocked()
+			osh.refreshDeadlineLocked()
+			s.countAdd(-1)
 		}
+		osh.mu.Unlock()
 	}
 
-	// Subscription notifications (expired standing queries are skipped;
-	// PruneSubscriptions removes them for good).
-	var notes []Notification
-	s.subMu.RLock()
-	for _, sub := range s.subsArr {
-		if sub.kind != adv.Kind || !sub.alive(now) {
-			continue
-		}
-		if ev := model.Evaluate(sub.query, desc); ev.Matched {
-			notes = append(notes, Notification{SubID: sub.id, NotifyAddr: sub.notify, Advert: adv})
-		}
-	}
-	s.subMu.RUnlock()
+	notes := s.notifySubs(model, adv, desc, toks, now)
 	return granted, notes, nil
 }
 
-// insertLocked links st into every index of the shard; the caller holds
-// the shard write lock.
+// insertLocked links st into the shard's kind index; the caller holds
+// the shard write lock and has fully initialized the record.
 func (sh *shard) insertLocked(st *stored) {
-	id := st.advert.ID
 	kind := st.advert.Kind
-	sh.adverts[id] = st
-	km := sh.byKind[kind]
-	if km == nil {
-		km = make(map[uuid.UUID]*stored)
-		sh.byKind[kind] = km
+	sh.adverts[st.advert.ID] = st
+	ki := sh.kinds[kind]
+	if ki == nil {
+		ki = &kindIndex{}
+		sh.kinds[kind] = ki
 	}
-	km[id] = st
-	if len(st.tokens) == 0 {
-		nt := sh.noToken[kind]
-		if nt == nil {
-			nt = make(map[uuid.UUID]*stored)
-			sh.noToken[kind] = nt
-		}
-		nt[id] = st
-	} else {
-		tm := sh.byToken[kind]
-		if tm == nil {
-			tm = make(map[string]map[uuid.UUID]*stored)
-			sh.byToken[kind] = tm
-		}
-		for _, tok := range st.tokens {
-			bucket := tm[tok]
-			if bucket == nil {
-				bucket = make(map[uuid.UUID]*stored)
-				tm[tok] = bucket
-			}
-			bucket[id] = st
-		}
+	st.kindPos = int32(len(ki.all))
+	ki.all = append(ki.all, st)
+	if len(st.toks) == 0 {
+		st.ntPos = int32(len(ki.noTok))
+		ki.noTok = append(ki.noTok, st)
+		return
+	}
+	st.ntPos = -1
+	if ki.byTok == nil {
+		ki.byTok = make(map[tok][]*stored)
+	}
+	st.tokPos = make([]int32, len(st.toks))
+	for i, t := range st.toks {
+		b := ki.byTok[t]
+		st.tokPos[i] = int32(len(b))
+		ki.byTok[t] = append(b, st)
 	}
 }
 
+// removedAdvert is the by-value snapshot removeLocked takes before the
+// record's arena slot is released: everything a caller may need after
+// the shard lock is dropped (ExpireThrough returns the advert,
+// dropServiceKey compare-and-deletes on key/id/seq). The Payload slice
+// header aliases the immutable publish-time backing array, so copying
+// the struct is safe and cheap.
+type removedAdvert struct {
+	advert wire.Advertisement
+	svcKey string
+	svcSeq uint64
+}
+
 // removeLocked unlinks id from the shard indexes (not the lease table
-// and not the service-key map) and returns the removed entry; the
-// caller holds the shard write lock.
-func (sh *shard) removeLocked(id uuid.UUID) *stored {
+// and not the service-key map), releases its arena slot, and returns a
+// snapshot of the removed entry; the caller holds the shard write lock.
+func (sh *shard) removeLocked(id uuid.UUID) (removedAdvert, bool) {
 	st, ok := sh.adverts[id]
 	if !ok {
-		return nil
+		return removedAdvert{}, false
 	}
 	delete(sh.adverts, id)
-	delete(sh.byKind[st.advert.Kind], id)
-	if len(st.tokens) == 0 {
-		delete(sh.noToken[st.advert.Kind], id)
-	} else if tm := sh.byToken[st.advert.Kind]; tm != nil {
-		for _, tok := range st.tokens {
-			if bucket := tm[tok]; bucket != nil {
-				delete(bucket, id)
-				if len(bucket) == 0 {
-					delete(tm, tok)
+	ki := sh.kinds[st.advert.Kind]
+	// Swap-remove from the all-of-kind slice.
+	last := len(ki.all) - 1
+	moved := ki.all[last]
+	ki.all[st.kindPos] = moved
+	moved.kindPos = st.kindPos
+	ki.all[last] = nil
+	ki.all = ki.all[:last]
+	if st.ntPos >= 0 {
+		last := len(ki.noTok) - 1
+		moved := ki.noTok[last]
+		ki.noTok[st.ntPos] = moved
+		moved.ntPos = st.ntPos
+		ki.noTok[last] = nil
+		ki.noTok = ki.noTok[:last]
+	} else {
+		for i, t := range st.toks {
+			b := ki.byTok[t]
+			last := len(b) - 1
+			moved := b[last]
+			pos := st.tokPos[i]
+			b[pos] = moved
+			if moved != st {
+				// Fix the moved record's position entry for this token.
+				for j, mt := range moved.toks {
+					if mt == t && moved.tokPos[j] == int32(last) {
+						moved.tokPos[j] = pos
+						break
+					}
 				}
+			}
+			b[last] = nil
+			if last == 0 {
+				delete(ki.byTok, t)
+			} else {
+				ki.byTok[t] = b[:last]
 			}
 		}
 	}
-	return st
+	snap := removedAdvert{advert: st.advert, svcKey: st.desc.ServiceKey(), svcSeq: st.svcSeq.Load()}
+	sh.release(st)
+	return snap, true
 }
 
 // dropServiceKey clears the service-key mapping if it still holds the
 // exact entry the removed advert wrote. It runs after the shard lock is
-// released, so it must compare both the advert ID and the publish
-// sequence: a re-publish of the same advert ID racing the removal has
-// written a newer sequence, and that fresh mapping must survive.
-func (s *Store) dropServiceKey(st *stored) {
-	key := st.desc.ServiceKey()
-	if key == "" {
+// released, so it works on the removal snapshot and must compare both
+// the advert ID and the publish sequence: a re-publish of the same
+// advert ID racing the removal has written a newer sequence, and that
+// fresh mapping must survive.
+func (s *Store) dropServiceKey(r removedAdvert) {
+	if r.svcKey == "" {
 		return
 	}
-	seq := st.svcSeq.Load()
 	s.svcMu.Lock()
-	if e, ok := s.byService[key]; ok && e.id == st.advert.ID && e.seq == seq {
-		delete(s.byService, key)
+	if e, ok := s.byService[r.svcKey]; ok && e.id == r.advert.ID && e.seq == r.svcSeq {
+		delete(s.byService, r.svcKey)
 	}
 	s.svcMu.Unlock()
 }
@@ -481,18 +584,18 @@ func (s *Store) Renew(id uuid.UUID, now time.Time) (time.Duration, bool) {
 func (s *Store) Remove(id uuid.UUID) bool {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	st := sh.removeLocked(id)
-	if st != nil {
+	snap, ok := sh.removeLocked(id)
+	if ok {
 		sh.leases.Remove(id)
 		sh.bumpLocked()
 		sh.refreshDeadlineLocked()
 	}
 	sh.mu.Unlock()
-	if st == nil {
+	if !ok {
 		return false
 	}
 	s.countAdd(-1)
-	s.dropServiceKey(st)
+	s.dropServiceKey(snap)
 	return true
 }
 
@@ -503,7 +606,7 @@ func (s *Store) Remove(id uuid.UUID) bool {
 // over a large store costs one atomic load per shard.
 func (s *Store) ExpireThrough(now time.Time) []wire.Advertisement {
 	var out []wire.Advertisement
-	var dropped []*stored
+	var dropped []removedAdvert
 	for _, sh := range s.shards {
 		if next := sh.nextDeadline.Load(); next == nil || next.After(now) {
 			continue
@@ -511,9 +614,9 @@ func (s *Store) ExpireThrough(now time.Time) []wire.Advertisement {
 		sh.mu.Lock()
 		expired := sh.leases.ExpireThrough(now)
 		for _, id := range expired {
-			if st := sh.removeLocked(id); st != nil {
-				out = append(out, st.advert)
-				dropped = append(dropped, st)
+			if snap, ok := sh.removeLocked(id); ok {
+				out = append(out, snap.advert)
+				dropped = append(dropped, snap)
 				s.countAdd(-1)
 			}
 		}
@@ -523,8 +626,8 @@ func (s *Store) ExpireThrough(now time.Time) []wire.Advertisement {
 		sh.refreshDeadlineLocked()
 		sh.mu.Unlock()
 	}
-	for _, st := range dropped {
-		s.dropServiceKey(st)
+	for _, snap := range dropped {
+		s.dropServiceKey(snap)
 	}
 	mAdvertsExpired.Add(uint64(len(out)))
 	return out
@@ -653,16 +756,23 @@ func (s *Store) gensCurrent(gens []uint64) bool {
 // advertisements (zero when the set is empty) — the freshness horizon a
 // cached copy of this result is valid until.
 func (s *Store) evaluateLive(kind describe.Kind, plan *queryPlan, limit int, now time.Time) ([]wire.Advertisement, time.Time) {
+	// Query tokens resolve to interned IDs once per evaluation, never
+	// in the cached plan: a token unknown to the interner has no
+	// posting bucket today but may be interned by a later publish.
+	var qtoks []tok
+	if plan.prunable {
+		qtoks = s.toks.lookupAll(plan.tokens)
+	}
 	var hits []hit
 	truncated := false
 	if s.fanOut(plan) {
 		mEvaluateFanout.Inc()
-		hits = s.collectParallel(kind, plan, limit, now)
+		hits = s.collectParallel(kind, plan, qtoks, limit, now)
 		truncated = len(hits) > limit
 	} else {
 		top := newTopK(limit)
 		for _, sh := range s.shards {
-			sh.collect(kind, plan, now, top)
+			sh.collect(kind, plan, qtoks, now, top)
 		}
 		hits = top.hits
 		truncated = top.dropped > 0
@@ -674,7 +784,7 @@ func (s *Store) evaluateLive(kind describe.Kind, plan *queryPlan, limit int, now
 	out := make([]wire.Advertisement, len(hits))
 	var minExpiry time.Time
 	for i, h := range hits {
-		out[i] = *h.adv
+		out[i] = h.adv
 		if minExpiry.IsZero() || h.expires.Before(minExpiry) {
 			minExpiry = h.expires
 		}
@@ -689,7 +799,7 @@ func (s *Store) evaluateLive(kind describe.Kind, plan *queryPlan, limit int, now
 // Scan activity accumulates in local counters and lands in the shard
 // (and aggregate) obs counters with one atomic add per pass, keeping
 // the per-candidate loop free of shared-cacheline traffic.
-func (sh *shard) collect(kind describe.Kind, plan *queryPlan, now time.Time, top *topK) {
+func (sh *shard) collect(kind describe.Kind, plan *queryPlan, qtoks []tok, now time.Time, top *topK) {
 	var scanned, matched uint64
 	defer func() {
 		if scanned > 0 {
@@ -700,46 +810,51 @@ func (sh *shard) collect(kind describe.Kind, plan *queryPlan, now time.Time, top
 	}()
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	consider := func(id uuid.UUID, st *stored) {
+	ki := sh.kinds[kind]
+	if ki == nil {
+		return
+	}
+	consider := func(st *stored) {
 		scanned++
-		expires, alive := sh.leases.AliveUntil(id, now)
+		expires, alive := sh.leases.AliveUntil(st.advert.ID, now)
 		if !alive {
 			return // expired but not yet purged: never serve stale data
 		}
 		if ev := plan.model.Evaluate(plan.query, st.desc); ev.Matched {
 			matched++
-			top.push(hit{adv: &st.advert, key: st.desc.ServiceKey(), ev: ev, expires: expires})
+			// The hit snapshots the advert by value: the record's arena
+			// slot may be recycled the moment the read lock drops.
+			top.push(hit{adv: st.advert, key: st.desc.ServiceKey(), ev: ev, expires: expires})
 		}
 	}
 	if plan.prunable {
 		// Indexed path: only adverts sharing a token can match, plus
 		// token-less adverts which are always considered conservatively.
-		// An advert appears in exactly one bucket per token it carries,
-		// and token-less adverts appear in no bucket, so dedup state is
-		// needed only for multi-token adverts — single-token populations
-		// (the common case) allocate no map at all.
-		tm := sh.byToken[kind]
+		// An advert appears in exactly one bucket per distinct token it
+		// carries, and token-less adverts appear in no bucket, so dedup
+		// state is needed only for multi-token adverts — single-token
+		// populations (the common case) allocate no map at all.
 		var seen map[uuid.UUID]struct{}
-		for _, tok := range plan.tokens {
-			for id, st := range tm[tok] {
-				if len(st.tokens) > 1 {
+		for _, t := range qtoks {
+			for _, st := range ki.byTok[t] {
+				if len(st.toks) > 1 {
 					if seen == nil {
 						seen = make(map[uuid.UUID]struct{})
 					}
-					if _, dup := seen[id]; dup {
+					if _, dup := seen[st.advert.ID]; dup {
 						continue
 					}
-					seen[id] = struct{}{}
+					seen[st.advert.ID] = struct{}{}
 				}
-				consider(id, st)
+				consider(st)
 			}
 		}
-		for id, st := range sh.noToken[kind] {
-			consider(id, st)
+		for _, st := range ki.noTok {
+			consider(st)
 		}
 	} else {
-		for id, st := range sh.byKind[kind] {
-			consider(id, st)
+		for _, st := range ki.all {
+			consider(st)
 		}
 	}
 }
@@ -748,7 +863,7 @@ func (sh *shard) collect(kind describe.Kind, plan *queryPlan, now time.Time, top
 // pool (at most GOMAXPROCS workers) and merges the per-worker top-K
 // lists. The union of per-shard top-Ks is a superset of the global
 // top-K, so the merge loses nothing.
-func (s *Store) collectParallel(kind describe.Kind, plan *queryPlan, limit int, now time.Time) []hit {
+func (s *Store) collectParallel(kind describe.Kind, plan *queryPlan, qtoks []tok, limit int, now time.Time) []hit {
 	workers := stdruntime.GOMAXPROCS(0)
 	if workers > len(s.shards) {
 		workers = len(s.shards)
@@ -766,7 +881,7 @@ func (s *Store) collectParallel(kind describe.Kind, plan *queryPlan, limit int, 
 				if i >= len(s.shards) {
 					break
 				}
-				s.shards[i].collect(kind, plan, now, top)
+				s.shards[i].collect(kind, plan, qtoks, now, top)
 			}
 			results[w] = top.hits
 		}(w)
@@ -813,9 +928,6 @@ func (s *Store) MergeRank(kind describe.Kind, payload []byte, pools [][]wire.Adv
 	limit := s.effectiveLimit(opts)
 	top := newTopK(limit)
 	seenService := make(map[string]bool)
-	// cands is pre-sized so appended elements never move: the top-K
-	// holds pointers into it.
-	cands := make([]wire.Advertisement, 0, len(ids))
 	for _, id := range ids {
 		a := byID[id]
 		desc, err := plan.model.DecodeDescription(a.Payload)
@@ -833,14 +945,13 @@ func (s *Store) MergeRank(kind describe.Kind, payload []byte, pools [][]wire.Adv
 		if !ev.Matched {
 			continue // remote registry had a different opinion: re-check
 		}
-		cands = append(cands, a)
-		top.push(hit{adv: &cands[len(cands)-1], key: key, ev: ev})
+		top.push(hit{adv: a, key: key, ev: ev})
 	}
 	hits := top.hits
 	sortHits(hits)
 	out := make([]wire.Advertisement, len(hits))
 	for i, h := range hits {
-		out[i] = *h.adv
+		out[i] = h.adv
 	}
 	return out, nil
 }
@@ -850,12 +961,14 @@ func (s *Store) MergeRank(kind describe.Kind, payload []byte, pools [][]wire.Adv
 func (s *Store) Summary() []wire.SummaryEntry {
 	var entries []wire.SummaryEntry
 	for _, k := range s.models.Kinds() {
-		tokens := map[string]bool{}
+		tokens := map[tok]bool{}
 		for _, sh := range s.shards {
 			sh.mu.RLock()
-			for _, st := range sh.byKind[k] {
-				for _, tok := range st.tokens {
-					tokens[tok] = true
+			if ki := sh.kinds[k]; ki != nil {
+				for _, st := range ki.all {
+					for _, t := range st.toks {
+						tokens[t] = true
+					}
 				}
 			}
 			sh.mu.RUnlock()
@@ -865,7 +978,7 @@ func (s *Store) Summary() []wire.SummaryEntry {
 		}
 		list := make([]string, 0, len(tokens))
 		for t := range tokens {
-			list = append(list, t)
+			list = append(list, s.toks.str(t))
 		}
 		sort.Strings(list)
 		entries = append(entries, wire.SummaryEntry{Kind: k, Tokens: list})
@@ -915,6 +1028,10 @@ func (s *Store) Has(id uuid.UUID) bool {
 // advertisements of interest"). The zero expires time means no expiry
 // (in-process subscriptions); wire subscriptions pass a lease deadline
 // and renew by re-subscribing under the same ID.
+//
+// The subscription is compiled into the inverted notification index
+// here, once — Publish then probes posting lists instead of evaluating
+// every standing query (subindex.go).
 func (s *Store) Subscribe(kind describe.Kind, payload []byte, notifyAddr string, id uuid.UUID, expires time.Time) (uuid.UUID, error) {
 	plan, err := s.plan(kind, payload)
 	if err != nil {
@@ -923,16 +1040,39 @@ func (s *Store) Subscribe(kind describe.Kind, payload []byte, notifyAddr string,
 	s.subMu.Lock()
 	defer s.subMu.Unlock()
 	if existing, ok := s.subs[id]; ok {
-		// Renewal: refresh query, address and lease in place.
-		existing.kind = kind
-		existing.query = plan.query
-		existing.notify = notifyAddr
-		existing.expires = expires
+		// Renewal. A renewal may change the query or kind, which changes
+		// the posting lists the subscription belongs to, so the old
+		// record is tombstoned and replaced by a fresh one that keeps
+		// the original seq and slot — the notification order is stable
+		// across renewals, exactly like the in-place update it replaces.
+		sub := &subscription{
+			id: id, seq: existing.seq, pos: existing.pos,
+			kind: kind, query: plan.query, notify: notifyAddr, expires: expires,
+		}
+		if s.subidx != nil {
+			s.subidx.remove(existing)
+		}
+		existing.removed = true
+		s.subsArr[existing.pos] = sub
+		s.subs[id] = sub
+		if s.subidx != nil {
+			s.compileSub(sub, plan)
+			s.subidx.insert(sub)
+			s.maybeRebuildSubsLocked()
+		}
 		return id, nil
 	}
-	sub := &subscription{id: id, kind: kind, query: plan.query, notify: notifyAddr, expires: expires}
+	s.subSeq++
+	sub := &subscription{
+		id: id, seq: s.subSeq, pos: len(s.subsArr),
+		kind: kind, query: plan.query, notify: notifyAddr, expires: expires,
+	}
 	s.subs[id] = sub
 	s.subsArr = append(s.subsArr, sub)
+	if s.subidx != nil {
+		s.compileSub(sub, plan)
+		s.subidx.insert(sub)
+	}
 	return id, nil
 }
 
@@ -942,16 +1082,23 @@ func (s *Store) PruneSubscriptions(now time.Time) int {
 	s.subMu.Lock()
 	defer s.subMu.Unlock()
 	removed := 0
-	kept := make([]*subscription, 0, len(s.subsArr))
-	for _, sub := range s.subsArr {
-		if sub.alive(now) {
-			kept = append(kept, sub)
+	for i, sub := range s.subsArr {
+		if sub == nil || sub.alive(now) {
 			continue
 		}
 		delete(s.subs, sub.id)
+		sub.removed = true
+		s.subsArr[i] = nil
+		s.subsDead++
+		if s.subidx != nil {
+			s.subidx.remove(sub)
+		}
 		removed++
 	}
-	s.subsArr = kept
+	if removed > 0 {
+		s.compactSubsLocked()
+		s.maybeRebuildSubsLocked()
+	}
 	return removed
 }
 
@@ -963,21 +1110,50 @@ func (s *Store) NumSubscriptions() int {
 	return len(s.subs)
 }
 
-// Unsubscribe removes a standing query.
+// Unsubscribe removes a standing query in O(1): the array slot is
+// tombstoned (compacted amortized) and the index postings are dropped
+// lazily, so removal cost does not grow with the subscription count.
 func (s *Store) Unsubscribe(id uuid.UUID) bool {
 	s.subMu.Lock()
 	defer s.subMu.Unlock()
-	if _, ok := s.subs[id]; !ok {
+	sub, ok := s.subs[id]
+	if !ok {
 		return false
 	}
 	delete(s.subs, id)
-	for i, sub := range s.subsArr {
-		if sub.id == id {
-			s.subsArr = append(s.subsArr[:i], s.subsArr[i+1:]...)
-			break
+	sub.removed = true
+	s.subsArr[sub.pos] = nil
+	s.subsDead++
+	if s.subidx != nil {
+		s.subidx.remove(sub)
+	}
+	s.compactSubsLocked()
+	s.maybeRebuildSubsLocked()
+	return true
+}
+
+// compactSubsLocked rewrites subsArr without tombstones once they
+// outnumber live entries — amortized O(1) per removal, and insertion
+// order (the notification order) is preserved. The caller holds the
+// subMu write lock.
+func (s *Store) compactSubsLocked() {
+	if s.subsDead <= 32 || s.subsDead*2 <= len(s.subsArr) {
+		return
+	}
+	kept := s.subsArr[:0]
+	for _, sub := range s.subsArr {
+		if sub != nil {
+			sub.pos = len(kept)
+			kept = append(kept, sub)
 		}
 	}
-	return true
+	// Clear the tail so dropped subscriptions don't linger reachable.
+	tail := s.subsArr[len(kept):]
+	for i := range tail {
+		tail[i] = nil
+	}
+	s.subsArr = kept
+	s.subsDead = 0
 }
 
 // PutArtifact stores an ontology/schema document under its IRI (§4.6).

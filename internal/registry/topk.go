@@ -10,12 +10,13 @@ import (
 	"semdisco/internal/wire"
 )
 
-// hit is one matched advertisement during selection. The advert pointer
-// refers to immutable storage (a *stored's advert, or a slot in a
-// pre-sized candidate slice), so keeping it beyond the shard lock is
-// safe.
+// hit is one matched advertisement during selection. The advert is
+// snapshotted by value: stored records live in recyclable arena slots,
+// so nothing derived from a *stored may outlive the shard lock. The
+// copy is cheap — the Payload field is a slice header aliasing the
+// immutable publish-time backing array.
 type hit struct {
-	adv *wire.Advertisement
+	adv wire.Advertisement
 	key string // service key, the pre-ID ranking tiebreaker
 	ev  describe.Evaluation
 	// expires is the lease deadline the advert was alive until when

@@ -4,7 +4,7 @@
 # runtime metric snapshot (plan-cache hit rates, match-cache hit rates,
 # scan counts — see OBSERVABILITY.md) is stored under the "obs" key.
 #
-# Usage: scripts/bench.sh [registry|match|chaos|qcache] [benchtime]
+# Usage: scripts/bench.sh [registry|match|chaos|qcache|scale] [benchtime]
 #   registry (default) -> BENCH_registry.json (registry store/evaluate)
 #   match              -> BENCH_match.json (matchmaking + subsumption +
 #                         wire encode, incl. compiled-vs-maps baselines)
@@ -13,13 +13,18 @@
 #   qcache             -> BENCH_qcache.json (query result cache: cached
 #                         vs cache-off throughput, deadline-cache probes,
 #                         E18 gateway WAN-reduction sim)
+#   scale              -> BENCH_scale.json (10^5..10^6-advert stores:
+#                         bytes/advert, publish/renew throughput, and
+#                         the inverted subscription index vs the linear
+#                         notification scan; set SEMDISCO_SCALE_HUGE=1
+#                         to extend the sweep to 10^7 adverts)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 MODE="registry"
 case "${1:-}" in
-registry | match | chaos | qcache)
+registry | match | chaos | qcache | scale)
     MODE="$1"
     shift
     ;;
@@ -43,6 +48,10 @@ qcache)
     OUT="BENCH_qcache.json"
     PATTERN='BenchmarkQCache|BenchmarkRegistryNextExpiry|BenchmarkRegistryExpireIdleTick|BenchmarkE18ResultCache'
     ;;
+scale)
+    OUT="BENCH_scale.json"
+    PATTERN='BenchmarkPublishWithSubs|BenchmarkScalePublish|BenchmarkScaleRenew|BenchmarkE19Scale'
+    ;;
 esac
 
 RAW="$(mktemp)"
@@ -58,11 +67,17 @@ awk '
 BEGIN { print "{"; first = 1 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""
-    for (i = 2; i <= NF; i++) {
+    ns = ""; bytes = ""; allocs = ""; extras = ""
+    for (i = 3; i <= NF; i++) {
         if ($(i) == "ns/op") ns = $(i - 1)
-        if ($(i) == "B/op") bytes = $(i - 1)
-        if ($(i) == "allocs/op") allocs = $(i - 1)
+        else if ($(i) == "B/op") bytes = $(i - 1)
+        else if ($(i) == "allocs/op") allocs = $(i - 1)
+        else if ($(i) !~ /^[0-9.eE+-]+$/ && $(i - 1) ~ /^[0-9.eE+-]+$/) {
+            # Custom b.ReportMetric units (bytes/advert, notify-speedup,
+            # notifications/op, ...) keyed by a JSON-safe slug.
+            key = $(i); gsub(/[^A-Za-z0-9]/, "_", key)
+            extras = extras sprintf(", \"%s\": %s", key, $(i - 1))
+        }
     }
     if (ns == "") next
     if (!first) printf ",\n"
@@ -70,7 +85,7 @@ BEGIN { print "{"; first = 1 }
     printf "  \"%s\": {\"ns_op\": %s", name, ns
     if (bytes != "") printf ", \"bytes_op\": %s", bytes
     if (allocs != "") printf ", \"allocs_op\": %s", allocs
-    printf "}"
+    printf "%s}", extras
 }
 END { printf ",\n  \"obs\": " }
 ' "$RAW" > "$OUT"
