@@ -3,7 +3,7 @@ GO ?= go
 # local runs use whatever `staticcheck` is on PATH (skipped if absent).
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: build test race vet lint bench bench-match bench-chaos bench-qcache bench-scale chaos docs-check
+.PHONY: build test race vet lint bench bench-match bench-chaos bench-qcache bench-scale bench-wal chaos docs-check
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,12 @@ bench-qcache:
 # emits BENCH_scale.json. SEMDISCO_SCALE_HUGE=1 extends to 10^7 adverts.
 bench-scale:
 	sh scripts/bench.sh scale
+
+# Crash-safe persistence benchmarks (WAL publish overhead incl. fsync
+# group commit, cold-boot recovery from log vs compacted snapshot at
+# 10^4..10^6 adverts); emits BENCH_wal.json.
+bench-wal:
+	sh scripts/bench.sh wal
 
 # Fails when OBSERVABILITY.md drifts from the metrics registered in code.
 docs-check:

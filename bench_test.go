@@ -16,6 +16,7 @@ import (
 	"os"
 	stdruntime "runtime"
 	"strconv"
+	"sync/atomic"
 	"strings"
 	"testing"
 	"time"
@@ -867,6 +868,157 @@ func BenchmarkE19Scale(b *testing.B) {
 	reportTable(b, tab)
 	b.ReportMetric(cell(tab, 0, 1), "bytes/advert")
 	b.ReportMetric(cell(tab, 0, 7), "notify-speedup")
+}
+
+// --- durability suite (scripts/bench.sh wal → BENCH_wal.json) -----------
+
+// walBenchConfig builds a WALConfig over a per-benchmark temp dir with
+// the scale-suite store factory. Snapshots are triggered explicitly so
+// background compaction never races the timed section.
+func walBenchConfig(b *testing.B, fsync bool) registry.WALConfig {
+	b.Helper()
+	return registry.WALConfig{
+		Dir:           b.TempDir(),
+		Fsync:         fsync,
+		SnapshotEvery: -1,
+		NewStore:      func() *registry.Store { return scaleStore(false) },
+		Now:           func() time.Time { return time.Unix(0, 0) },
+	}
+}
+
+// BenchmarkWALPublish measures the durability tax on the publish path:
+// the memory store, the WAL with flush-to-OS barriers, the WAL with a
+// real fsync per sequential publish (the worst case — every caller pays
+// a full disk barrier), and fsync under parallel publishers, where
+// group commit lets one fsync acknowledge a whole batch.
+func BenchmarkWALPublish(b *testing.B) {
+	t0 := time.Unix(0, 0)
+	b.Run("mem", func(b *testing.B) {
+		s := scaleStore(false)
+		gen := uuid.NewGenerator(benchSeed)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := s.Publish(scaleAdvert(i, gen), t0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, v := range []struct {
+		name  string
+		fsync bool
+	}{
+		{"wal-flush", false},
+		{"wal-fsync", true},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			s, w, _, err := registry.Recover(walBenchConfig(b, v.fsync))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			gen := uuid.NewGenerator(benchSeed)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Publish(scaleAdvert(i, gen), t0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("wal-fsync-parallel", func(b *testing.B) {
+		s, w, _, err := registry.Recover(walBenchConfig(b, true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		var workers atomic.Uint64
+		// 8×GOMAXPROCS publishers: while the commit leader blocks in
+		// fsync, the others append and queue behind the barrier, so the
+		// batching shows even on a single-core runner.
+		b.SetParallelism(8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			// uuid.Generator is not goroutine-safe: one per publisher.
+			gen := uuid.NewGenerator(benchSeed + workers.Add(1))
+			for i := 0; pb.Next(); i++ {
+				if _, _, err := s.Publish(scaleAdvert(i, gen), t0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkWALRecover measures cold-boot recovery at 10^4..10^6 resident
+// adverts: replaying the raw log versus loading a compacted snapshot.
+// Each timed iteration is one full boot — open the directory, rebuild
+// the store, leases, indexes and interned tokens.
+func BenchmarkWALRecover(b *testing.B) {
+	t0 := time.Unix(0, 0)
+	for _, v := range []struct {
+		name string
+		snap bool
+	}{
+		{"log", false},
+		{"snapshot", true},
+	} {
+		for _, n := range []int{10_000, 100_000, 1_000_000} {
+			b.Run(fmt.Sprintf("%s/n=%d", v.name, n), func(b *testing.B) {
+				cfg := walBenchConfig(b, false)
+				s, w, _, err := registry.Recover(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen := uuid.NewGenerator(benchSeed)
+				for i := 0; i < n; i++ {
+					if _, _, err := s.Publish(scaleAdvert(i, gen), t0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if v.snap {
+					if err := w.Snapshot(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rec, w2, _, err := registry.Recover(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rec.Len() != n {
+						b.Fatalf("recovered %d adverts, want %d", rec.Len(), n)
+					}
+					b.StopTimer()
+					if err := w2.Close(); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE20Durability regenerates the E20 table at a bench-sized
+// sweep; the headlines are the WAL publish overhead and both cold-boot
+// paths at 10^5 adverts.
+func BenchmarkE20Durability(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E20Durability([]int{100_000}, benchSeed)
+	}
+	reportTable(b, tab)
+	b.ReportMetric(cell(tab, 0, 3), "wal-overhead")
+	b.ReportMetric(cell(tab, 0, 5), "replay-ms")
+	b.ReportMetric(cell(tab, 0, 7), "snap-load-ms")
 }
 
 func BenchmarkE15Scale(b *testing.B) {

@@ -62,6 +62,9 @@ func main() {
 		rcacheTTL = flag.Duration("rcache-ttl", 5*time.Second, "maximum reuse of a cached remote result set")
 		subidxOff = flag.Bool("subindex-off", false, "disable the inverted subscription index (linear-scan notification baseline)")
 		arenaSlab = flag.Int("arena-slab", 0, "advert arena slab size in records per shard (0 = 1024; raise for million-advert stores)")
+		walDir    = flag.String("wal-dir", "", "durable state directory: write-ahead log + snapshots ('' = memory-only, state lost on restart)")
+		walFsync  = flag.Bool("wal-fsync", true, "fsync the log before acknowledging mutations (group-commit batched); false flushes to the OS only")
+		snapEvery = flag.Int("snapshot-every", 0, "log records between compacted snapshots (0 = 100000, negative disables)")
 		verbose   = flag.Bool("v", false, "trace protocol activity")
 	)
 	flag.Parse()
@@ -75,13 +78,34 @@ func main() {
 	if *qcacheOff {
 		qsize = -1
 	}
-	store := registry.New(registry.Options{
-		Models:          models,
-		Leases:          lease.Policy{Max: *leaseMax, Default: *leaseDef},
-		QueryCacheSize:  qsize,
-		DisableSubIndex: *subidxOff,
-		ArenaSlab:       *arenaSlab,
-	})
+	mkStore := func() *registry.Store {
+		return registry.New(registry.Options{
+			Models:          models,
+			Leases:          lease.Policy{Max: *leaseMax, Default: *leaseDef},
+			QueryCacheSize:  qsize,
+			DisableSubIndex: *subidxOff,
+			ArenaSlab:       *arenaSlab,
+		})
+	}
+	var store *registry.Store
+	var wal *registry.WAL
+	if *walDir != "" {
+		var stats registry.RecoveryStats
+		store, wal, stats, err = registry.Recover(registry.WALConfig{
+			Dir:           *walDir,
+			Fsync:         *walFsync,
+			SnapshotEvery: *snapEvery,
+			NewStore:      mkStore,
+		})
+		if err != nil {
+			log.Fatalf("registryd: %v", err)
+		}
+		log.Printf("registryd: recovered %d adverts, %d subscriptions from %s in %v (snapshot lsn %d: %d adverts; %d records replayed, %d torn frames dropped)",
+			stats.Adverts, stats.Subs, *walDir, stats.Elapsed.Round(time.Millisecond),
+			stats.SnapshotLSN, stats.SnapshotAdverts, stats.Replayed, stats.TornFrames)
+	} else {
+		store = mkStore()
+	}
 	store.PutArtifact(onto.IRI, ontologyDoc(onto))
 
 	nodeio, err := udpnet.Listen(udpnet.Config{Bind: *bind, Multicast: *mcast})
@@ -131,6 +155,16 @@ func main() {
 		case <-sig:
 			log.Printf("registryd: shutting down")
 			nodeio.Do(reg.Stop)
+			if wal != nil {
+				// A clean shutdown leaves a fresh snapshot behind, so the
+				// next boot replays (almost) nothing.
+				if err := wal.Snapshot(); err != nil {
+					log.Printf("registryd: shutdown snapshot: %v", err)
+				}
+				if err := wal.Close(); err != nil {
+					log.Printf("registryd: wal close: %v", err)
+				}
+			}
 			return
 		case <-ticker.C:
 			nodeio.Do(func() {

@@ -1,4 +1,4 @@
-// Command simdisco runs the paper-claim experiments (DESIGN.md E1–E14)
+// Command simdisco runs the paper-claim experiments (DESIGN.md E1–E20)
 // on the deterministic simulator and prints their result tables — the
 // same tables `go test -bench` produces and EXPERIMENTS.md records.
 //
@@ -88,6 +88,9 @@ func catalog() []experiment {
 		}},
 		{"E19", "compact storage & inverted subscription index", func(s int64) *metrics.Table {
 			return experiments.E19Scale([]int{100_000}, []int{100, 1_000, 10_000}, s)
+		}},
+		{"E20", "crash-safe persistence (WAL + snapshots)", func(s int64) *metrics.Table {
+			return experiments.E20Durability([]int{10_000, 100_000}, s)
 		}},
 	}
 }

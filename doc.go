@@ -7,6 +7,10 @@
 // over a built-from-scratch RDF/RDFS substrate, LAN registry discovery
 // (active probe / passive beacon) with a decentralized fallback, and a
 // WAN federation layer with selectable query forwarding strategies.
+// Registry state is soft by default (leases lapse, providers
+// re-announce); an optional write-ahead-log backend with compacted
+// snapshots (registryd -wal-dir) makes it crash-safe, recovering every
+// durably-acknowledged advert with its absolute lease deadline intact.
 //
 // See DESIGN.md for the system inventory and experiment index,
 // EXPERIMENTS.md for measured results against the paper's claims, and

@@ -376,6 +376,29 @@ func TestE19Shape(t *testing.T) {
 	t.Logf("\n%s", tab)
 }
 
+func TestE20Shape(t *testing.T) {
+	// Tiny count: the shape (WAL publishes cost something but stay the
+	// same order of magnitude, both boot paths recover every advert —
+	// the row panics on a count mismatch) matters here, not the
+	// magnitudes — scripts/bench.sh wal runs the real sweep.
+	tab := E20Durability([]int{2_000}, 42)
+	if tab.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1\n%s", tab.NumRows(), tab)
+	}
+	row := tab.Row(0)
+	memUS, walUS := parseF(t, row[1]), parseF(t, row[2])
+	if memUS <= 0 || walUS <= 0 {
+		t.Errorf("publish timings not positive: mem=%v wal=%v\n%s", memUS, walUS, tab)
+	}
+	if logMB := parseF(t, row[4]); logMB <= 0 {
+		t.Errorf("log size = %v MB, want > 0\n%s", logMB, tab)
+	}
+	if snapMB := parseF(t, row[6]); snapMB <= 0 {
+		t.Errorf("snapshot size = %v MB, want > 0\n%s", snapMB, tab)
+	}
+	t.Logf("\n%s", tab)
+}
+
 func TestE16Shape(t *testing.T) {
 	tab := E16Loss([]float64{0, 0.05}, 42)
 	s0 := parseF(t, tab.Row(0)[1])

@@ -148,6 +148,7 @@ func (sh *shard) alloc() *stored {
 	return st
 }
 
+// slotAt maps a slot number to its record in the slab matrix.
 func (sh *shard) slotAt(slot int32) *stored {
 	return &sh.slabs[int(slot)/sh.slabSize][int(slot)%sh.slabSize]
 }

@@ -58,6 +58,30 @@ var (
 		"recycled advert arena slots awaiting reuse")
 	mTokensInterned = obs.NewGauge("registry.tokens.interned", "count",
 		"distinct summary tokens interned across all stores")
+	mWALAppends = obs.NewCounter("registry.wal.appends", "count",
+		"mutation records appended to the write-ahead log")
+	mWALBytes = obs.NewCounter("registry.wal.bytes", "bytes",
+		"bytes appended to the write-ahead log, frame headers included")
+	mWALFsyncs = obs.NewCounter("registry.wal.fsyncs", "count",
+		"group-commit durability barriers issued (flush, plus fsync when -wal-fsync)")
+	mWALSyncShared = obs.NewCounter("registry.wal.sync.shared", "count",
+		"durability waits satisfied by another caller's barrier (group-commit batching)")
+	mWALFsyncLatency = obs.NewHistogram("registry.wal.fsync.latency_us", "us",
+		"write-ahead log fsync barrier latency", obs.LatencyBucketsUS)
+	mWALSegments = obs.NewGauge("registry.wal.segments", "count",
+		"live write-ahead log segment files (sealed plus open)")
+	mWALReplayed = obs.NewCounter("registry.wal.replay.records", "count",
+		"log records replayed at recovery")
+	mWALTorn = obs.NewCounter("registry.wal.replay.torn", "count",
+		"torn or corrupt log frames discarded at recovery (crash tails)")
+	mSnapshotWrites = obs.NewCounter("registry.snapshot.writes", "count",
+		"compacted snapshots written")
+	mSnapshotErrors = obs.NewCounter("registry.snapshot.errors", "count",
+		"snapshot compactions that failed (input segments retained for retry)")
+	mSnapshotAdverts = obs.NewGauge("registry.snapshot.adverts", "count",
+		"adverts captured in the latest compacted snapshot")
+	mSnapshotBytes = obs.NewGauge("registry.snapshot.bytes", "bytes",
+		"size of the latest compacted snapshot file")
 )
 
 // ShardStat is one shard's occupancy and scan activity — the per-shard

@@ -78,6 +78,7 @@ type qflight struct {
 	entry   *qentry // set before wg.Done; read only after wg.Wait
 }
 
+// newQueryCache returns an empty cache bounded to capacity entries.
 func newQueryCache(capacity int) *queryCache {
 	return &queryCache{
 		cap:     capacity,

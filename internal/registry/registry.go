@@ -82,6 +82,13 @@ type Store struct {
 	plans  *planCache
 	qcache *queryCache
 
+	// backend is the durability boundary (store.go): nil is the memory
+	// store, a *WAL makes every acknowledged mutation crash-safe.
+	// leasePolicy mirrors the policy the shard lease tables were built
+	// with; snapshot dumps need it to reconstruct grant instants.
+	backend     Backend
+	leasePolicy lease.Policy
+
 	artMu     sync.RWMutex
 	artifacts map[string][]byte
 
@@ -205,9 +212,10 @@ type subscription struct {
 	seq uint64 // insertion rank; stable across renewals, the notify order
 	pos int    // index in subsArr (tombstoned on removal)
 
-	kind   describe.Kind
-	query  describe.Query
-	notify string // opaque subscriber address, returned in events
+	kind    describe.Kind
+	query   describe.Query
+	payload []byte // the encoded query, retained for snapshot dumps
+	notify  string // opaque subscriber address, returned in events
 	// expires leases the subscription (§4.8 applies to standing queries
 	// too: crashed subscribers must stop consuming notifications).
 	// The zero time means no expiry (local in-process subscriptions).
@@ -261,6 +269,11 @@ type Options struct {
 	// tiny stores, larger ones mean fewer allocations at million-advert
 	// scale.
 	ArenaSlab int
+	// Backend is the durability boundary (store.go). Nil keeps the
+	// memory store. Stores recovered from a WAL are built through
+	// Recover, which replays first and attaches the backend itself —
+	// set this directly only for custom Backend implementations.
+	Backend Backend
 }
 
 // New returns an empty registry store.
@@ -311,6 +324,8 @@ func New(opts Options) *Store {
 		byService:         make(map[string]svcEntry),
 		plans:             plans,
 		qcache:            qcache,
+		backend:           opts.Backend,
+		leasePolicy:       opts.Leases,
 		artifacts:         make(map[string][]byte),
 		subs:              make(map[uuid.UUID]*subscription),
 		DefaultMaxResults: opts.DefaultMaxResults,
@@ -419,6 +434,13 @@ func (s *Store) Publish(adv wire.Advertisement, now time.Time) (time.Duration, [
 		st.svcSeq.Store(s.svcSeq)
 		s.svcMu.Unlock()
 	}
+	// The log record is appended while the shard lock still orders this
+	// mutation (a buffered write, no I/O); the durability barrier waits
+	// until after notification matching, outside every lock.
+	var lsn uint64
+	if s.backend != nil {
+		lsn = s.backend.AppendPublish(adv, granted, now)
+	}
 	sh.mu.Unlock()
 	s.countAdd(1)
 	mPublish.Inc()
@@ -434,11 +456,19 @@ func (s *Store) Publish(adv wire.Advertisement, now time.Time) (time.Duration, [
 			osh.bumpLocked()
 			osh.refreshDeadlineLocked()
 			s.countAdd(-1)
+			if s.backend != nil {
+				if l := s.backend.AppendRemove(oldSvc.id); l > lsn {
+					lsn = l
+				}
+			}
 		}
 		osh.mu.Unlock()
 	}
 
 	notes := s.notifySubs(model, adv, desc, toks, now)
+	if err := s.sync(lsn); err != nil {
+		return granted, notes, fmt.Errorf("%w: %v", ErrDurability, err)
+	}
 	return granted, notes, nil
 }
 
@@ -554,13 +584,14 @@ func (s *Store) dropServiceKey(r removedAdvert) {
 }
 
 // Renew refreshes an advertisement lease; ok=false means the registry
-// no longer holds the advertisement and the provider must republish.
+// no longer holds the advertisement (or can no longer record the
+// renewal durably) and the provider must republish.
 func (s *Store) Renew(id uuid.UUID, now time.Time) (time.Duration, bool) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	st, ok := sh.adverts[id]
 	if !ok {
+		sh.mu.Unlock()
 		return 0, false
 	}
 	// A renew that lands after the lease lapsed but before the purge
@@ -571,24 +602,38 @@ func (s *Store) Renew(id uuid.UUID, now time.Time) (time.Duration, bool) {
 	// cached entry's expiry stamp, so that case invalidates too.
 	oldExp, wasAlive := sh.leases.AliveUntil(id, now)
 	granted, ok := sh.leases.Renew(id, time.Duration(st.advert.LeaseMillis)*time.Millisecond, now)
+	var lsn uint64
 	if ok {
 		if !wasAlive || now.Add(granted).Before(oldExp) {
 			sh.bumpLocked()
 		}
 		sh.refreshDeadlineLocked()
+		if s.backend != nil {
+			lsn = s.backend.AppendRenew(id, now)
+		}
+	}
+	sh.mu.Unlock()
+	if err := s.sync(lsn); err != nil {
+		return 0, false
 	}
 	return granted, ok
 }
 
-// Remove withdraws an advertisement explicitly.
+// Remove withdraws an advertisement explicitly. The removal is applied
+// even if the durability barrier fails — the sticky backend error then
+// surfaces on the next Publish/Renew/Subscribe instead.
 func (s *Store) Remove(id uuid.UUID) bool {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	snap, ok := sh.removeLocked(id)
+	var lsn uint64
 	if ok {
 		sh.leases.Remove(id)
 		sh.bumpLocked()
 		sh.refreshDeadlineLocked()
+		if s.backend != nil {
+			lsn = s.backend.AppendRemove(id)
+		}
 	}
 	sh.mu.Unlock()
 	if !ok {
@@ -596,6 +641,7 @@ func (s *Store) Remove(id uuid.UUID) bool {
 	}
 	s.countAdd(-1)
 	s.dropServiceKey(snap)
+	_ = s.sync(lsn)
 	return true
 }
 
@@ -607,6 +653,7 @@ func (s *Store) Remove(id uuid.UUID) bool {
 func (s *Store) ExpireThrough(now time.Time) []wire.Advertisement {
 	var out []wire.Advertisement
 	var dropped []removedAdvert
+	var lsn uint64
 	for _, sh := range s.shards {
 		if next := sh.nextDeadline.Load(); next == nil || next.After(now) {
 			continue
@@ -622,6 +669,16 @@ func (s *Store) ExpireThrough(now time.Time) []wire.Advertisement {
 		}
 		if len(expired) > 0 {
 			sh.bumpLocked()
+			// The sweep is logged per purged shard, under the shard lock:
+			// purge timing decides whether a later publish of the same ID
+			// replays as a fresh insert or a stale-version reject, so a
+			// record appended after the lock dropped could be misordered
+			// against a racing publish.
+			if s.backend != nil {
+				if l := s.backend.AppendExpire(now); l > lsn {
+					lsn = l
+				}
+			}
 		}
 		sh.refreshDeadlineLocked()
 		sh.mu.Unlock()
@@ -630,6 +687,7 @@ func (s *Store) ExpireThrough(now time.Time) []wire.Advertisement {
 		s.dropServiceKey(snap)
 	}
 	mAdvertsExpired.Add(uint64(len(out)))
+	_ = s.sync(lsn)
 	return out
 }
 
@@ -1013,6 +1071,20 @@ func (s *Store) Advert(id uuid.UUID) (wire.Advertisement, bool) {
 	return st.advert, true
 }
 
+// LeaseDeadline returns the advertisement's current absolute lease
+// deadline; ok=false when the registry does not hold the advertisement.
+// Crash-recovery tests and the /status endpoint use it to check that a
+// recovered advert kept exactly the remaining lease it had.
+func (s *Store) LeaseDeadline(id uuid.UUID) (time.Time, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if _, ok := sh.adverts[id]; !ok {
+		return time.Time{}, false
+	}
+	return sh.leases.Expires(id)
+}
+
 // Has reports whether the advertisement is stored (and not yet purged).
 func (s *Store) Has(id uuid.UUID) bool {
 	sh := s.shardFor(id)
@@ -1037,8 +1109,11 @@ func (s *Store) Subscribe(kind describe.Kind, payload []byte, notifyAddr string,
 	if err != nil {
 		return uuid.Nil, err
 	}
+	// The payload is retained on the record (cloned: the wire buffer it
+	// arrived in is reused) so snapshot dumps can re-encode the
+	// subscription exactly as it was registered.
+	pl := append([]byte(nil), payload...)
 	s.subMu.Lock()
-	defer s.subMu.Unlock()
 	if existing, ok := s.subs[id]; ok {
 		// Renewal. A renewal may change the query or kind, which changes
 		// the posting lists the subscription belongs to, so the old
@@ -1047,7 +1122,7 @@ func (s *Store) Subscribe(kind describe.Kind, payload []byte, notifyAddr string,
 		// across renewals, exactly like the in-place update it replaces.
 		sub := &subscription{
 			id: id, seq: existing.seq, pos: existing.pos,
-			kind: kind, query: plan.query, notify: notifyAddr, expires: expires,
+			kind: kind, query: plan.query, payload: pl, notify: notifyAddr, expires: expires,
 		}
 		if s.subidx != nil {
 			s.subidx.remove(existing)
@@ -1060,18 +1135,26 @@ func (s *Store) Subscribe(kind describe.Kind, payload []byte, notifyAddr string,
 			s.subidx.insert(sub)
 			s.maybeRebuildSubsLocked()
 		}
-		return id, nil
+	} else {
+		s.subSeq++
+		sub := &subscription{
+			id: id, seq: s.subSeq, pos: len(s.subsArr),
+			kind: kind, query: plan.query, payload: pl, notify: notifyAddr, expires: expires,
+		}
+		s.subs[id] = sub
+		s.subsArr = append(s.subsArr, sub)
+		if s.subidx != nil {
+			s.compileSub(sub, plan)
+			s.subidx.insert(sub)
+		}
 	}
-	s.subSeq++
-	sub := &subscription{
-		id: id, seq: s.subSeq, pos: len(s.subsArr),
-		kind: kind, query: plan.query, notify: notifyAddr, expires: expires,
+	var lsn uint64
+	if s.backend != nil {
+		lsn = s.backend.AppendSubscribe(id, kind, pl, notifyAddr, expires)
 	}
-	s.subs[id] = sub
-	s.subsArr = append(s.subsArr, sub)
-	if s.subidx != nil {
-		s.compileSub(sub, plan)
-		s.subidx.insert(sub)
+	s.subMu.Unlock()
+	if err := s.sync(lsn); err != nil {
+		return uuid.Nil, fmt.Errorf("%w: %v", ErrDurability, err)
 	}
 	return id, nil
 }
@@ -1080,7 +1163,6 @@ func (s *Store) Subscribe(kind describe.Kind, payload []byte, notifyAddr string,
 // returns how many were removed.
 func (s *Store) PruneSubscriptions(now time.Time) int {
 	s.subMu.Lock()
-	defer s.subMu.Unlock()
 	removed := 0
 	for i, sub := range s.subsArr {
 		if sub == nil || sub.alive(now) {
@@ -1095,10 +1177,18 @@ func (s *Store) PruneSubscriptions(now time.Time) int {
 		}
 		removed++
 	}
+	var lsn uint64
 	if removed > 0 {
 		s.compactSubsLocked()
 		s.maybeRebuildSubsLocked()
+		// Logged under subMu for the same misordering reason as
+		// AppendExpire: prune timing is result-affecting for renewals.
+		if s.backend != nil {
+			lsn = s.backend.AppendPruneSubs(now)
+		}
 	}
+	s.subMu.Unlock()
+	_ = s.sync(lsn)
 	return removed
 }
 
@@ -1115,9 +1205,9 @@ func (s *Store) NumSubscriptions() int {
 // lazily, so removal cost does not grow with the subscription count.
 func (s *Store) Unsubscribe(id uuid.UUID) bool {
 	s.subMu.Lock()
-	defer s.subMu.Unlock()
 	sub, ok := s.subs[id]
 	if !ok {
+		s.subMu.Unlock()
 		return false
 	}
 	delete(s.subs, id)
@@ -1129,6 +1219,12 @@ func (s *Store) Unsubscribe(id uuid.UUID) bool {
 	}
 	s.compactSubsLocked()
 	s.maybeRebuildSubsLocked()
+	var lsn uint64
+	if s.backend != nil {
+		lsn = s.backend.AppendUnsubscribe(id)
+	}
+	s.subMu.Unlock()
+	_ = s.sync(lsn)
 	return true
 }
 

@@ -53,6 +53,7 @@ type subKind struct {
 	catchAll  []*subscription
 }
 
+// newSubIndex returns an empty index ready for the first insert.
 func newSubIndex() *subIndex {
 	return &subIndex{kinds: make(map[describe.Kind]*subKind)}
 }
@@ -81,6 +82,9 @@ func (ix *subIndex) insert(sub *subscription) {
 	mSubIndexSize.Add(1)
 }
 
+// post appends a compiled subscription to the posting lists its keys
+// select — concept buckets, token buckets, or the catch-all — creating
+// the kind's bucket maps on first use.
 func (ix *subIndex) post(sub *subscription) {
 	sk := ix.kinds[sub.kind]
 	if sk == nil {

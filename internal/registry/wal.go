@@ -1,0 +1,1149 @@
+package registry
+
+// The WAL backend: an append-only, CRC32-framed log of registry
+// mutations with periodic compacted snapshots, implementing the Backend
+// boundary declared in store.go.
+//
+// On-disk layout (all files live in one directory):
+//
+//	wal-%016x.log    log segment; the hex is the LSN of its first record
+//	snap-%016x.snap  compacted snapshot covering every LSN ≤ the hex
+//
+// Every frame — log record or snapshot entry — is
+//
+//	[4B LE payload length][4B LE CRC32(payload)][payload]
+//
+// and every payload starts with a record-type byte followed by the
+// record's LSN as a uvarint (0 for snapshot entries). Advertisements
+// inside records use wire.AppendAdvert, the exact encoding of the
+// protocol messages, so the durable format can never drift from the
+// wire format. A torn tail — a frame cut short or failing its CRC —
+// marks the end of replayable history: recovery stops there, counts
+// the frame in RecoveryStats.TornFrames, and opens a fresh segment
+// rather than appending after garbage.
+//
+// Recovery is exact state-machine replay: records are re-applied
+// through the real Store methods (Publish, Renew, Remove, Subscribe,
+// ExpireThrough, ...) with the wall-clock instants recorded at append
+// time, so lease deadlines, the byService map, the token interner and
+// the subscription posting lists are all rebuilt by the same code that
+// built them live. Because expiry sweeps are themselves logged
+// (AppendExpire/AppendPruneSubs), purge timing — which decides whether
+// a re-publish is a fresh insert or a stale-version reject, and whether
+// a late renewal resurrects an advert — replays exactly too. For a
+// sequential history the recovered store is bit-identical to the
+// pre-crash store; under concurrency the log records one valid
+// linearization of the racing operations (per-key order always matches,
+// because records are appended under the same lock that ordered the
+// mutation).
+//
+// Snapshots are offline compactions: the writer rotates to a fresh
+// segment, then a background goroutine replays the previous snapshot
+// plus the sealed segments into a throwaway store built by
+// WALConfig.NewStore and dumps its durable state — never touching the
+// live store, so publishes proceed at full speed during compaction.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"semdisco/internal/codec"
+	"semdisco/internal/describe"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// Record types. recPublish/recSubscribe double as snapshot entry types
+// (recSnapAdvert/recSnapSub share their payload layout), so replay and
+// snapshot load run through one decoder.
+const (
+	recPublish byte = iota + 1
+	recRenew
+	recRemove
+	recSubscribe
+	recUnsubscribe
+	recExpire
+	recPruneSubs
+	recSnapHeader
+	recSnapAdvert
+	recSnapSub
+	recSnapTrailer
+)
+
+const (
+	walFrameHeader = 8       // 4B length + 4B CRC32
+	walMaxFrame    = 1 << 26 // frames beyond 64 MB are corruption
+	snapFormatV1   = 1
+	walPrefix      = "wal-"
+	walSuffix      = ".log"
+	snapPrefix     = "snap-"
+	snapSuffix     = ".snap"
+
+	// defaultSnapshotEvery is the record count between compactions when
+	// WALConfig.SnapshotEvery is zero: large enough that compaction I/O
+	// is rare, small enough that replay after a crash stays in the
+	// hundreds of milliseconds.
+	defaultSnapshotEvery = 100_000
+)
+
+// ErrWALClosed is returned by appends and syncs after Close (or after a
+// simulated crash in tests).
+var ErrWALClosed = errors.New("registry: wal closed")
+
+// WALConfig configures Recover.
+type WALConfig struct {
+	// Dir is the log directory; created if missing. Required.
+	Dir string
+	// Fsync makes the durability barrier a real fsync; false flushes to
+	// the OS only (data survives a process crash but not a machine
+	// crash). Group commit batches concurrent barriers either way.
+	Fsync bool
+	// SnapshotEvery is the appended-record count between compacted
+	// snapshots; zero means 100k, negative disables snapshots (the log
+	// grows without bound — tests only).
+	SnapshotEvery int
+	// NewStore builds an empty store with the production options
+	// (models, lease policy, shard count, ...). Recovery replays into
+	// one, and every snapshot compaction replays into a fresh one; the
+	// factory must return a store with no backend attached. Required.
+	NewStore func() *Store
+	// Now supplies the boot wall clock for the post-replay expiry sweep;
+	// nil means time.Now. Simulated-clock tests must set it, or the real
+	// clock would purge every zero-epoch lease at boot.
+	Now func() time.Time
+}
+
+// RecoveryStats reports what Recover found and rebuilt.
+type RecoveryStats struct {
+	SnapshotLSN     uint64        // highest LSN covered by the loaded snapshot (0 = none)
+	SnapshotAdverts int           // adverts restored from the snapshot
+	SnapshotSubs    int           // standing queries restored from the snapshot
+	Replayed        int           // log records applied after the snapshot
+	TornFrames      int           // torn/corrupt frames discarded at segment tails
+	Adverts         int           // adverts live after replay and the boot expiry sweep
+	Subs            int           // standing queries live after replay
+	Elapsed         time.Duration // total recovery wall time
+}
+
+// WAL is the durable Backend: one instance owns a log directory.
+// Construct via Recover; attach to a store only through it.
+type WAL struct {
+	dir       string
+	fsyncOn   bool
+	snapEvery int
+	newStore  func() *Store
+
+	// mu guards the file state. Append* calls hold it only long enough
+	// for a buffered write (the callers hold store locks), so nothing
+	// under mu may block on the disk except the group-commit flush and
+	// the rare segment rotation.
+	mu         sync.Mutex
+	f          *os.File
+	bw         *bufio.Writer
+	lsn        uint64   // last assigned LSN
+	segStart   uint64   // first LSN of the open segment
+	sealed     []string // closed segments awaiting compaction, oldest first
+	snapPath   string   // current snapshot file ("" = none)
+	snapLSN    uint64   // LSN covered by snapPath
+	sinceSnap  int      // records appended since the last rotation
+	compacting bool
+	compactCh  chan struct{} // closed when the in-flight compaction finishes
+	appendErr  error         // sticky: once a write fails, durability is gone
+	closed     bool
+
+	// Group commit. A caller needing LSN n durable becomes the leader if
+	// no flush is in flight, flushes+fsyncs everything appended so far,
+	// and wakes the waiters; late arrivals find durable already past
+	// their LSN and pay nothing — that is the fsync batching.
+	cmu     sync.Mutex
+	cond    *sync.Cond
+	durable uint64
+	syncing bool
+	syncErr error // sticky: a failed barrier poisons all later ones
+
+	wg sync.WaitGroup
+}
+
+// Recover opens (or initializes) a WAL directory, rebuilds a store from
+// the newest loadable snapshot plus the log tail, attaches the WAL as
+// the store's backend, and runs the boot expiry sweep for everything
+// that lapsed while the process was down. The returned store is ready
+// to serve; the caller owns Close.
+func Recover(cfg WALConfig) (*Store, *WAL, RecoveryStats, error) {
+	start := time.Now()
+	var stats RecoveryStats
+	if cfg.Dir == "" {
+		return nil, nil, stats, errors.New("registry: WALConfig.Dir is required")
+	}
+	if cfg.NewStore == nil {
+		return nil, nil, stats, errors.New("registry: WALConfig.NewStore is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, stats, fmt.Errorf("registry: wal dir: %w", err)
+	}
+	snaps, segs, err := scanWALDir(cfg.Dir)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+
+	// Newest snapshot that loads cleanly wins; a corrupt one falls back
+	// to its predecessor (the extra log replay reproduces the gap).
+	st := cfg.NewStore()
+	if st == nil || st.backend != nil {
+		return nil, nil, stats, errors.New("registry: NewStore must build a backend-less store")
+	}
+	var snapPath string
+	var snapLSN uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		trial := cfg.NewStore()
+		lsn, nAdv, nSub, err := loadSnapshot(trial, snaps[i].path)
+		if err != nil {
+			trial.discardOffline()
+			continue
+		}
+		st.discardOffline()
+		st, snapPath, snapLSN = trial, snaps[i].path, lsn
+		stats.SnapshotLSN = lsn
+		stats.SnapshotAdverts = nAdv
+		stats.SnapshotSubs = nSub
+		break
+	}
+
+	// Replay the log tail in LSN order: segments are named by their
+	// first LSN, so directory order is log order. A torn frame ends one
+	// segment's replayable records (nothing valid ever follows a torn
+	// frame within a segment — writes are sequential), but later
+	// segments still replay: a restart after a crash leaves the torn
+	// segment behind and appends to a fresh one after it.
+	last := snapLSN
+	for _, seg := range segs {
+		segLast, applied, torn, err := replaySegment(st, seg.path, snapLSN)
+		if err != nil {
+			st.discardOffline()
+			return nil, nil, stats, fmt.Errorf("registry: replay %s: %w", filepath.Base(seg.path), err)
+		}
+		stats.Replayed += applied
+		stats.TornFrames += torn
+		if segLast > last {
+			last = segLast
+		}
+	}
+	mWALReplayed.Add(uint64(stats.Replayed))
+	mWALTorn.Add(uint64(stats.TornFrames))
+
+	w := &WAL{
+		dir:       cfg.Dir,
+		fsyncOn:   cfg.Fsync,
+		snapEvery: cfg.SnapshotEvery,
+		newStore:  cfg.NewStore,
+		snapPath:  snapPath,
+		snapLSN:   snapLSN,
+		lsn:       last,
+		durable:   last,
+	}
+	if w.snapEvery == 0 {
+		w.snapEvery = defaultSnapshotEvery
+	}
+	w.cond = sync.NewCond(&w.cmu)
+	for _, seg := range segs {
+		w.sealed = append(w.sealed, seg.path)
+	}
+	// Replayed-but-uncompacted records count against the snapshot
+	// budget, so a crash loop can't grow the log without bound.
+	w.sinceSnap = stats.Replayed
+	if err := w.openSegmentLocked(last + 1); err != nil {
+		st.discardOffline()
+		return nil, nil, stats, err
+	}
+
+	// The store is current as of the crash; everything that lapsed while
+	// the process was down is purged now — through the log, so a later
+	// re-publish replays as the fresh insert it was.
+	st.backend = w
+	now := time.Now()
+	if cfg.Now != nil {
+		now = cfg.Now()
+	}
+	st.ExpireThrough(now)
+	st.PruneSubscriptions(now)
+
+	stats.Adverts = st.Len()
+	stats.Subs = st.NumSubscriptions()
+	stats.Elapsed = time.Since(start)
+	return st, w, stats, nil
+}
+
+// namedLSN is one directory entry parsed from its hex-LSN file name.
+type namedLSN struct {
+	path string
+	lsn  uint64
+}
+
+// scanWALDir lists snapshots and segments sorted by LSN, ignoring
+// temp files and anything it did not name itself.
+func scanWALDir(dir string) (snaps, segs []namedLSN, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("registry: wal dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if hex, ok := cutAffixes(name, walPrefix, walSuffix); ok {
+			if lsn, err := strconv.ParseUint(hex, 16, 64); err == nil {
+				segs = append(segs, namedLSN{path: filepath.Join(dir, name), lsn: lsn})
+			}
+		} else if hex, ok := cutAffixes(name, snapPrefix, snapSuffix); ok {
+			if lsn, err := strconv.ParseUint(hex, 16, 64); err == nil {
+				snaps = append(snaps, namedLSN{path: filepath.Join(dir, name), lsn: lsn})
+			}
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].lsn < snaps[j].lsn })
+	sort.Slice(segs, func(i, j int) bool { return segs[i].lsn < segs[j].lsn })
+	return snaps, segs, nil
+}
+
+func cutAffixes(s, prefix, suffix string) (string, bool) {
+	rest, ok := strings.CutPrefix(s, prefix)
+	if !ok {
+		return "", false
+	}
+	return strings.CutSuffix(rest, suffix)
+}
+
+func segName(firstLSN uint64) string { return fmt.Sprintf("%s%016x%s", walPrefix, firstLSN, walSuffix) }
+func snapName(upTo uint64) string    { return fmt.Sprintf("%s%016x%s", snapPrefix, upTo, snapSuffix) }
+
+// openSegmentLocked starts a fresh segment whose first record will be
+// firstLSN. O_TRUNC handles the one legal collision: a segment created
+// by a previous run that crashed before writing any complete frame.
+func (w *WAL) openSegmentLocked(firstLSN uint64) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(firstLSN)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("registry: wal segment: %w", err)
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	w.segStart = firstLSN
+	mWALSegments.Set(int64(len(w.sealed) + 1))
+	return nil
+}
+
+// append assigns the next LSN and buffers one framed record; build
+// writes the payload (type byte, LSN, fields). The caller holds the
+// store lock that ordered the mutation, so log order equals apply
+// order per key; nothing here may touch the disk beyond bufio.
+func (w *WAL) append(build func(lsn uint64, b *codec.Buffer)) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.lsn++
+	lsn := w.lsn
+	if w.closed {
+		if w.appendErr == nil {
+			w.appendErr = ErrWALClosed
+		}
+		return lsn
+	}
+	b := walBufPool.Get().(*codec.Buffer)
+	b.Reset()
+	build(lsn, b)
+	payload := b.Bytes()
+	var hdr [walFrameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if w.appendErr == nil {
+		if _, err := w.bw.Write(hdr[:]); err != nil {
+			w.appendErr = err
+		}
+	}
+	if w.appendErr == nil {
+		if _, err := w.bw.Write(payload); err != nil {
+			w.appendErr = err
+		}
+	}
+	mWALAppends.Inc()
+	mWALBytes.Add(uint64(walFrameHeader + len(payload)))
+	walBufPool.Put(b)
+	w.sinceSnap++
+	if w.snapEvery > 0 && w.sinceSnap >= w.snapEvery && !w.compacting && w.appendErr == nil {
+		w.rotateAndCompactLocked()
+	}
+	return lsn
+}
+
+var walBufPool = sync.Pool{New: func() any { return new(codec.Buffer) }}
+
+// AppendPublish implements Backend.
+func (w *WAL) AppendPublish(adv wire.Advertisement, granted time.Duration, now time.Time) uint64 {
+	return w.append(func(lsn uint64, b *codec.Buffer) {
+		putAdvertRecord(b, recPublish, lsn, adv, granted, now)
+	})
+}
+
+// AppendRenew implements Backend.
+func (w *WAL) AppendRenew(id uuid.UUID, now time.Time) uint64 {
+	return w.append(func(lsn uint64, b *codec.Buffer) {
+		b.Byte(recRenew)
+		b.Uvarint(lsn)
+		b.Bytes16(id)
+		b.Varint(now.UnixNano())
+	})
+}
+
+// AppendRemove implements Backend.
+func (w *WAL) AppendRemove(id uuid.UUID) uint64 {
+	return w.append(func(lsn uint64, b *codec.Buffer) {
+		b.Byte(recRemove)
+		b.Uvarint(lsn)
+		b.Bytes16(id)
+	})
+}
+
+// AppendSubscribe implements Backend.
+func (w *WAL) AppendSubscribe(id uuid.UUID, kind describe.Kind, payload []byte, notifyAddr string, expires time.Time) uint64 {
+	return w.append(func(lsn uint64, b *codec.Buffer) {
+		putSubRecord(b, recSubscribe, lsn, id, kind, payload, notifyAddr, expires)
+	})
+}
+
+// AppendUnsubscribe implements Backend.
+func (w *WAL) AppendUnsubscribe(id uuid.UUID) uint64 {
+	return w.append(func(lsn uint64, b *codec.Buffer) {
+		b.Byte(recUnsubscribe)
+		b.Uvarint(lsn)
+		b.Bytes16(id)
+	})
+}
+
+// AppendExpire implements Backend.
+func (w *WAL) AppendExpire(through time.Time) uint64 {
+	return w.append(func(lsn uint64, b *codec.Buffer) {
+		b.Byte(recExpire)
+		b.Uvarint(lsn)
+		b.Varint(through.UnixNano())
+	})
+}
+
+// AppendPruneSubs implements Backend.
+func (w *WAL) AppendPruneSubs(now time.Time) uint64 {
+	return w.append(func(lsn uint64, b *codec.Buffer) {
+		b.Byte(recPruneSubs)
+		b.Uvarint(lsn)
+		b.Varint(now.UnixNano())
+	})
+}
+
+// putAdvertRecord encodes a publish-shaped record (also the snapshot
+// advert entry). The granted duration and instant let replay re-grant
+// the exact absolute lease deadline.
+func putAdvertRecord(b *codec.Buffer, typ byte, lsn uint64, adv wire.Advertisement, granted time.Duration, now time.Time) {
+	b.Byte(typ)
+	b.Uvarint(lsn)
+	wire.AppendAdvert(b, adv)
+	b.Uvarint(uint64(granted / time.Millisecond))
+	b.Varint(now.UnixNano())
+}
+
+// putSubRecord encodes a subscribe-shaped record (also the snapshot
+// subscription entry). The zero expires time (no expiry) is carried by
+// the presence flag — it has no representable UnixNano.
+func putSubRecord(b *codec.Buffer, typ byte, lsn uint64, id uuid.UUID, kind describe.Kind, payload []byte, notifyAddr string, expires time.Time) {
+	b.Byte(typ)
+	b.Uvarint(lsn)
+	b.Bytes16(id)
+	b.Byte(byte(kind))
+	b.BytesVar(payload)
+	b.String(notifyAddr)
+	b.Bool(!expires.IsZero())
+	if !expires.IsZero() {
+		b.Varint(expires.UnixNano())
+	}
+}
+
+// Sync implements Backend: it blocks until lsn is durable, batching
+// concurrent callers behind one flush+fsync (group commit).
+func (w *WAL) Sync(lsn uint64) error {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	waited := false
+	for {
+		if w.syncErr != nil {
+			return w.syncErr
+		}
+		if w.durable >= lsn {
+			if waited {
+				mWALSyncShared.Inc()
+			}
+			return nil
+		}
+		if w.syncing {
+			// A barrier is in flight; it may already cover our LSN.
+			waited = true
+			w.cond.Wait()
+			continue
+		}
+		w.syncing = true
+		w.cmu.Unlock()
+		target, err := w.flushBarrier()
+		w.cmu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.syncErr = err
+		} else if target > w.durable {
+			w.durable = target
+		}
+		w.cond.Broadcast()
+	}
+}
+
+// flushBarrier pushes everything appended so far to the disk and
+// returns the highest LSN it made durable. Only the bufio flush runs
+// under the append lock; the fsync does not — later appends land in
+// the bufio buffer, not the descriptor, so they cannot extend what
+// this barrier persists, and publishers keep appending while the disk
+// syncs. That overlap is what lets group commit batch them.
+func (w *WAL) flushBarrier() (uint64, error) {
+	w.mu.Lock()
+	if w.appendErr != nil {
+		w.mu.Unlock()
+		return 0, w.appendErr
+	}
+	target := w.lsn
+	if err := w.bw.Flush(); err != nil {
+		w.appendErr = err
+		w.mu.Unlock()
+		return 0, err
+	}
+	f := w.f
+	w.mu.Unlock()
+	if w.fsyncOn {
+		start := time.Now()
+		if err := f.Sync(); err != nil {
+			// Losing the race to a concurrent seal is benign: rotation
+			// and Close both fsync the segment before closing it, so
+			// the flushed records are durable, not lost. (A simulated
+			// crash closes without syncing, but by then the flush above
+			// already reached the descriptor, which is all a process
+			// kill preserves anyway.)
+			if !errors.Is(err, os.ErrClosed) {
+				w.mu.Lock()
+				w.appendErr = err
+				w.mu.Unlock()
+				return 0, err
+			}
+		} else {
+			mWALFsyncLatency.Observe(time.Since(start).Microseconds())
+		}
+	}
+	mWALFsyncs.Inc()
+	return target, nil
+}
+
+// rotateAndCompactLocked seals the open segment (flush, fsync, close)
+// and kicks off a background compaction covering everything up to the
+// last appended LSN. The caller holds w.mu; at most one compaction
+// runs at a time.
+func (w *WAL) rotateAndCompactLocked() {
+	if err := w.bw.Flush(); err != nil {
+		w.appendErr = err
+		return
+	}
+	if err := w.f.Sync(); err != nil {
+		w.appendErr = err
+		return
+	}
+	if err := w.f.Close(); err != nil {
+		w.appendErr = err
+		return
+	}
+	w.sealed = append(w.sealed, filepath.Join(w.dir, segName(w.segStart)))
+	upTo := w.lsn
+	if err := w.openSegmentLocked(upTo + 1); err != nil {
+		w.appendErr = err
+		return
+	}
+	w.sinceSnap = 0
+	// Everything in the sealed segments is on the disk now, so the
+	// durable watermark may advance past them.
+	w.cmu.Lock()
+	if upTo > w.durable {
+		w.durable = upTo
+	}
+	w.cond.Broadcast()
+	w.cmu.Unlock()
+	w.compacting = true
+	w.compactCh = make(chan struct{})
+	prevSnap, sealed, done := w.snapPath, append([]string(nil), w.sealed...), w.compactCh
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		defer close(done)
+		w.compact(prevSnap, sealed, upTo)
+	}()
+}
+
+// compact replays prevSnap + the sealed segments into a throwaway
+// store, writes the compacted snapshot, and retires the inputs. It
+// runs without any live-store or WAL lock; a failure keeps every input
+// file for the next attempt.
+func (w *WAL) compact(prevSnap string, sealed []string, upTo uint64) {
+	st := w.newStore()
+	defer st.discardOffline()
+	var base uint64
+	if prevSnap != "" {
+		lsn, _, _, err := loadSnapshot(st, prevSnap)
+		if err != nil {
+			w.compactFailed()
+			return
+		}
+		base = lsn
+	}
+	for _, seg := range sealed {
+		// Torn tails are tolerated exactly as recovery tolerates them: a
+		// segment inherited from a crashed run keeps its torn frame, and
+		// the records it lost were never acknowledged.
+		if _, _, _, err := replaySegment(st, seg, base); err != nil {
+			w.compactFailed()
+			return
+		}
+	}
+	path, size, nAdv, err := writeSnapshot(w.dir, st, upTo)
+	if err != nil {
+		w.compactFailed()
+		return
+	}
+	for _, seg := range sealed {
+		os.Remove(seg)
+	}
+	if prevSnap != "" && prevSnap != path {
+		os.Remove(prevSnap)
+	}
+	w.mu.Lock()
+	w.snapPath = path
+	w.snapLSN = upTo
+	w.sealed = w.sealed[len(sealed):]
+	w.compacting = false
+	mWALSegments.Set(int64(len(w.sealed) + 1))
+	w.mu.Unlock()
+	mSnapshotWrites.Inc()
+	mSnapshotAdverts.Set(int64(nAdv))
+	mSnapshotBytes.Set(size)
+}
+
+func (w *WAL) compactFailed() {
+	mSnapshotErrors.Inc()
+	w.mu.Lock()
+	w.compacting = false
+	w.mu.Unlock()
+}
+
+// Snapshot forces a synchronous rotate-and-compact; registryd calls it
+// on clean shutdown and the recovery benchmarks use it to stage the
+// snapshot-present case. It waits out any compaction already in
+// flight.
+func (w *WAL) Snapshot() error {
+	for {
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			return ErrWALClosed
+		}
+		if w.appendErr != nil {
+			err := w.appendErr
+			w.mu.Unlock()
+			return err
+		}
+		if !w.compacting {
+			break
+		}
+		ch := w.compactCh
+		w.mu.Unlock()
+		<-ch
+	}
+	if w.lsn <= w.snapLSN && len(w.sealed) == 0 {
+		w.mu.Unlock()
+		return nil // nothing new since the last snapshot
+	}
+	upTo := w.lsn
+	w.rotateAndCompactLocked()
+	err := w.appendErr
+	ch := w.compactCh
+	compacting := w.compacting
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if compacting {
+		<-ch
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.snapLSN < upTo {
+		return errors.New("registry: snapshot compaction failed")
+	}
+	return nil
+}
+
+// Close flushes, fsyncs and closes the log. Mutating the store after
+// Close loses those mutations' records (appends fail sticky).
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		w.wg.Wait()
+		return nil
+	}
+	w.closed = true
+	err := w.appendErr
+	if w.bw != nil {
+		if e := w.bw.Flush(); err == nil {
+			err = e
+		}
+		if e := w.f.Sync(); err == nil {
+			err = e
+		}
+		if e := w.f.Close(); err == nil {
+			err = e
+		}
+	}
+	w.mu.Unlock()
+	w.cmu.Lock()
+	if w.syncErr == nil {
+		if err != nil {
+			w.syncErr = err
+		} else {
+			w.durable = w.lsn
+		}
+	}
+	w.cond.Broadcast()
+	w.cmu.Unlock()
+	w.wg.Wait()
+	return err
+}
+
+// crash simulates a process kill for tests: the descriptor is closed
+// with the bufio buffer unflushed, losing exactly the records a real
+// crash would lose (including, possibly, a partially flushed frame —
+// the torn tail recovery must tolerate).
+func (w *WAL) crash() {
+	w.mu.Lock()
+	w.closed = true
+	if w.appendErr == nil {
+		w.appendErr = ErrWALClosed
+	}
+	if w.f != nil {
+		w.f.Close()
+	}
+	w.mu.Unlock()
+	w.cmu.Lock()
+	if w.syncErr == nil {
+		w.syncErr = ErrWALClosed
+	}
+	w.cond.Broadcast()
+	w.cmu.Unlock()
+	w.wg.Wait()
+}
+
+// replaySegment applies every record with LSN > after to st, in log
+// order. A torn tail (short frame or CRC mismatch) ends the segment
+// without error; corruption inside a CRC-valid frame is a real error.
+func replaySegment(st *Store, path string, after uint64) (last uint64, applied, torn int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	for {
+		frame, terr, rerr := readFrame(br)
+		if rerr == io.EOF {
+			return last, applied, torn, nil
+		}
+		if terr {
+			return last, applied, torn + 1, nil
+		}
+		if rerr != nil {
+			return last, applied, torn, rerr
+		}
+		lsn, aerr := st.applyRecord(frame, after)
+		if aerr != nil {
+			return last, applied, torn, fmt.Errorf("lsn %d: %w", lsn, aerr)
+		}
+		if lsn > last {
+			last = lsn
+		}
+		if lsn > after {
+			applied++
+		}
+	}
+}
+
+// readFrame reads one length+CRC framed payload. torn=true flags a
+// frame cut short or failing its checksum — the crash signature.
+func readFrame(br *bufio.Reader) (frame []byte, torn bool, err error) {
+	var hdr [walFrameHeader]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, false, io.EOF
+		}
+		return nil, true, nil // header cut short
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if n == 0 || n > walMaxFrame {
+		return nil, true, nil // garbage length: treat as torn
+	}
+	frame = make([]byte, n)
+	if _, err := io.ReadFull(br, frame); err != nil {
+		return nil, true, nil // payload cut short
+	}
+	if crc32.ChecksumIEEE(frame) != sum {
+		return nil, true, nil
+	}
+	return frame, false, nil
+}
+
+// applyRecord replays one decoded frame through the real store
+// mutation methods, skipping records at or below the after watermark
+// (already covered by the snapshot). Stale-version publishes and
+// renews/removes of unknown IDs are tolerated: under concurrency the
+// log is one valid linearization and such records are no-ops in it.
+func (s *Store) applyRecord(frame []byte, after uint64) (uint64, error) {
+	r := codec.NewReader(frame)
+	typ, err := r.Byte()
+	if err != nil {
+		return 0, err
+	}
+	lsn, err := r.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if typ != recSnapAdvert && typ != recSnapSub && lsn <= after {
+		return lsn, nil
+	}
+	switch typ {
+	case recPublish, recSnapAdvert:
+		adv, err := wire.ReadAdvert(r)
+		if err != nil {
+			return lsn, err
+		}
+		if _, err := r.Uvarint(); err != nil { // granted ms: forensic only
+			return lsn, err
+		}
+		nano, err := r.Varint()
+		if err != nil {
+			return lsn, err
+		}
+		if _, _, err := s.Publish(adv, time.Unix(0, nano)); err != nil && !errors.Is(err, ErrStaleVersion) {
+			return lsn, err
+		}
+	case recRenew:
+		id, err := r.Bytes16()
+		if err != nil {
+			return lsn, err
+		}
+		nano, err := r.Varint()
+		if err != nil {
+			return lsn, err
+		}
+		s.Renew(uuid.UUID(id), time.Unix(0, nano))
+	case recRemove:
+		id, err := r.Bytes16()
+		if err != nil {
+			return lsn, err
+		}
+		s.Remove(uuid.UUID(id))
+	case recSubscribe, recSnapSub:
+		id, err := r.Bytes16()
+		if err != nil {
+			return lsn, err
+		}
+		kind, err := r.Byte()
+		if err != nil {
+			return lsn, err
+		}
+		payload, err := r.BytesVar()
+		if err != nil {
+			return lsn, err
+		}
+		notify, err := r.String()
+		if err != nil {
+			return lsn, err
+		}
+		hasExp, err := r.Bool()
+		if err != nil {
+			return lsn, err
+		}
+		var expires time.Time
+		if hasExp {
+			nano, err := r.Varint()
+			if err != nil {
+				return lsn, err
+			}
+			expires = time.Unix(0, nano)
+		}
+		if _, err := s.Subscribe(describe.Kind(kind), payload, notify, uuid.UUID(id), expires); err != nil {
+			return lsn, err
+		}
+	case recUnsubscribe:
+		id, err := r.Bytes16()
+		if err != nil {
+			return lsn, err
+		}
+		s.Unsubscribe(uuid.UUID(id))
+	case recExpire:
+		nano, err := r.Varint()
+		if err != nil {
+			return lsn, err
+		}
+		s.ExpireThrough(time.Unix(0, nano))
+	case recPruneSubs:
+		nano, err := r.Varint()
+		if err != nil {
+			return lsn, err
+		}
+		s.PruneSubscriptions(time.Unix(0, nano))
+	default:
+		return lsn, fmt.Errorf("unknown record type %d", typ)
+	}
+	return lsn, nil
+}
+
+// loadSnapshot restores a compacted snapshot into an empty store and
+// returns the LSN it covers. Any framing, count or decode mismatch is
+// an error — the caller falls back to an older snapshot.
+func loadSnapshot(st *Store, path string) (lsn uint64, nAdv, nSub int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	frame, torn, err := readFrame(br)
+	if torn || err != nil {
+		return 0, 0, 0, fmt.Errorf("registry: snapshot %s: bad header", filepath.Base(path))
+	}
+	r := codec.NewReader(frame)
+	typ, _ := r.Byte()
+	if _, err := r.Uvarint(); err != nil || typ != recSnapHeader {
+		return 0, 0, 0, fmt.Errorf("registry: snapshot %s: bad header", filepath.Base(path))
+	}
+	version, err := r.Uvarint()
+	if err != nil || version != snapFormatV1 {
+		return 0, 0, 0, fmt.Errorf("registry: snapshot %s: unsupported format", filepath.Base(path))
+	}
+	lsn, err = r.Uvarint()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	wantAdv, err := r.Uvarint()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	wantSub, err := r.Uvarint()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	total := 0
+	for {
+		frame, torn, err := readFrame(br)
+		if err == io.EOF {
+			return 0, 0, 0, fmt.Errorf("registry: snapshot %s: missing trailer", filepath.Base(path))
+		}
+		if torn || err != nil {
+			return 0, 0, 0, fmt.Errorf("registry: snapshot %s: torn entry", filepath.Base(path))
+		}
+		if frame[0] == recSnapTrailer {
+			r := codec.NewReader(frame)
+			r.Byte()
+			r.Uvarint()
+			count, err := r.Uvarint()
+			if err != nil || count != uint64(total) || uint64(nAdv) != wantAdv || uint64(nSub) != wantSub {
+				return 0, 0, 0, fmt.Errorf("registry: snapshot %s: entry count mismatch", filepath.Base(path))
+			}
+			return lsn, nAdv, nSub, nil
+		}
+		switch frame[0] {
+		case recSnapAdvert:
+			nAdv++
+		case recSnapSub:
+			nSub++
+		default:
+			return 0, 0, 0, fmt.Errorf("registry: snapshot %s: unexpected record type %d", filepath.Base(path), frame[0])
+		}
+		if _, err := st.applyRecord(frame, 0); err != nil {
+			return 0, 0, 0, err
+		}
+		total++
+	}
+}
+
+// writeSnapshot dumps the store's durable state — including
+// expired-but-unpurged entries, whose purge records are still in the
+// log tail — to snap-<upTo>.snap via tmp+fsync+rename, so a crash
+// mid-write can never shadow the previous snapshot.
+func writeSnapshot(dir string, st *Store, upTo uint64) (path string, size int64, nAdv int, err error) {
+	path = filepath.Join(dir, snapName(upTo))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	advs := st.durableAdverts()
+	subs := st.durableSubs()
+	var b codec.Buffer
+	writeFrame := func() error {
+		payload := b.Bytes()
+		var hdr [walFrameHeader]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := bw.Write(payload)
+		return err
+	}
+	b.Byte(recSnapHeader)
+	b.Uvarint(0)
+	b.Uvarint(snapFormatV1)
+	b.Uvarint(upTo)
+	b.Uvarint(uint64(len(advs)))
+	b.Uvarint(uint64(len(subs)))
+	if err = writeFrame(); err != nil {
+		return "", 0, 0, err
+	}
+	for _, a := range advs {
+		b.Reset()
+		// The synthetic grant instant reconstructs the exact absolute
+		// deadline on load: replay grants Clamp(LeaseMillis) from it.
+		granted := st.leasePolicy.Clamp(time.Duration(a.adv.LeaseMillis) * time.Millisecond)
+		putAdvertRecord(&b, recSnapAdvert, 0, a.adv, granted, a.expires.Add(-granted))
+		if err = writeFrame(); err != nil {
+			return "", 0, 0, err
+		}
+	}
+	for _, sub := range subs {
+		b.Reset()
+		putSubRecord(&b, recSnapSub, 0, sub.id, sub.kind, sub.payload, sub.notify, sub.expires)
+		if err = writeFrame(); err != nil {
+			return "", 0, 0, err
+		}
+	}
+	b.Reset()
+	b.Byte(recSnapTrailer)
+	b.Uvarint(0)
+	b.Uvarint(uint64(len(advs) + len(subs)))
+	if err = writeFrame(); err != nil {
+		return "", 0, 0, err
+	}
+	if err = bw.Flush(); err != nil {
+		return "", 0, 0, err
+	}
+	if err = f.Sync(); err != nil {
+		return "", 0, 0, err
+	}
+	if err = f.Close(); err != nil {
+		return "", 0, 0, err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return "", 0, 0, err
+	}
+	// Make the rename itself durable; best effort where the platform
+	// refuses directory fsync.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	return path, info.Size(), len(advs), nil
+}
+
+// snapAdvert is one advert entry of a snapshot dump: the advertisement
+// plus its absolute lease deadline.
+type snapAdvert struct {
+	adv     wire.Advertisement
+	expires time.Time
+}
+
+// snapSub is one standing-query entry of a snapshot dump.
+type snapSub struct {
+	id      uuid.UUID
+	kind    describe.Kind
+	payload []byte
+	notify  string
+	expires time.Time
+}
+
+// durableAdverts snapshots every stored advert with its lease deadline,
+// sorted by ID for deterministic snapshot bytes. Only compaction's
+// offline stores call it; nothing contends for the shard locks.
+func (s *Store) durableAdverts() []snapAdvert {
+	out := make([]snapAdvert, 0, s.Len())
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id, st := range sh.adverts {
+			if exp, ok := sh.leases.Expires(id); ok {
+				out = append(out, snapAdvert{adv: st.advert, expires: exp})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return uuid.Compare(out[i].adv.ID, out[j].adv.ID) < 0 })
+	return out
+}
+
+// durableSubs snapshots every live standing query in insertion order —
+// the notification order, which the snapshot must preserve.
+func (s *Store) durableSubs() []snapSub {
+	s.subMu.RLock()
+	defer s.subMu.RUnlock()
+	out := make([]snapSub, 0, len(s.subs))
+	for _, sub := range s.subsArr {
+		if sub == nil || sub.removed {
+			continue
+		}
+		out = append(out, snapSub{
+			id: sub.id, kind: sub.kind, payload: sub.payload,
+			notify: sub.notify, expires: sub.expires,
+		})
+	}
+	return out
+}
+
+// discardOffline retires a replay/compaction store that will never
+// serve traffic, rolling its contribution out of the process-wide
+// gauges (registry.adverts, arena and interner levels) so offline
+// replays don't inflate what a live registry reports. Counters are
+// left alone: replay work is work the process really did.
+func (s *Store) discardOffline() {
+	s.countAdd(-s.count.Load())
+	for _, sh := range s.shards {
+		mArenaSlabs.Add(-int64(len(sh.slabs)))
+		mArenaFree.Add(-int64(len(sh.free)))
+	}
+	mTokensInterned.Add(-int64(s.toks.size()))
+	if s.subidx != nil {
+		mSubIndexSize.Add(-int64(s.subidx.entries))
+	}
+}

@@ -1,0 +1,524 @@
+package registry
+
+// Crash-recovery tests for the WAL backend: clean round trips, torn and
+// truncated log tails, snapshot+tail equivalence under randomized
+// histories, a simulated kill -9 during a publish storm, and
+// publish-during-snapshot races (run under -race in CI).
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/lease"
+	"semdisco/internal/profile"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+// walGen is not safe for concurrent use; tests with concurrent
+// publishers give each worker its own seeded generator.
+var (
+	walGen      = uuid.NewGenerator(7701)
+	walProvider = walGen.New()
+)
+
+// walFactory builds the store factory recovery and compaction share.
+// One model registry backs every store it makes: the ontology is
+// immutable after Freeze, exactly like a registryd restart reloading
+// the same taxonomy file.
+func walFactory(t testing.TB) func() *Store {
+	t.Helper()
+	models := describe.NewRegistry(describe.URIModel{}, describe.KVModel{}, describe.NewSemanticModel(testOntology(t)))
+	return func() *Store {
+		return New(Options{
+			Models: models,
+			Leases: lease.Policy{Min: time.Second, Max: time.Hour, Default: 30 * time.Second},
+		})
+	}
+}
+
+func walAdvert(id uuid.UUID, serviceIRI, category string, version uint64, leaseDur time.Duration) wire.Advertisement {
+	p := &profile.Profile{
+		ServiceIRI: serviceIRI,
+		Category:   c(category),
+		Grounding:  "urn:g:" + serviceIRI,
+	}
+	return wire.Advertisement{
+		ID:           id,
+		Provider:     walProvider,
+		ProviderAddr: "lan0/svc",
+		Kind:         describe.KindSemantic,
+		Payload:      p.Encode(),
+		LeaseMillis:  uint64(leaseDur / time.Millisecond),
+		Version:      version,
+	}
+}
+
+// assertStoresEqual checks that two stores are observationally
+// identical: same adverts, same absolute lease deadlines, same standing
+// queries, and bit-identical Evaluate results for every query.
+func assertStoresEqual(t *testing.T, want, got *Store, now time.Time, queries [][]byte) {
+	t.Helper()
+	wa, ga := want.Adverts(), got.Adverts()
+	if !reflect.DeepEqual(wa, ga) {
+		t.Fatalf("adverts diverge: want %d, got %d", len(wa), len(ga))
+	}
+	for _, a := range wa {
+		wd, wok := want.LeaseDeadline(a.ID)
+		gd, gok := got.LeaseDeadline(a.ID)
+		if wok != gok || !wd.Equal(gd) {
+			t.Fatalf("lease deadline for %v diverges: want %v (%v), got %v (%v)", a.ID, wd, wok, gd, gok)
+		}
+	}
+	if w, g := want.NumSubscriptions(), got.NumSubscriptions(); w != g {
+		t.Fatalf("subscriptions diverge: want %d, got %d", w, g)
+	}
+	for i, q := range queries {
+		opts := QueryOptions{MaxResults: 1000}
+		wr, werr := want.Evaluate(describe.KindSemantic, q, opts, now)
+		gr, gerr := got.Evaluate(describe.KindSemantic, q, opts, now)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("query %d errors diverge: %v vs %v", i, werr, gerr)
+		}
+		if !reflect.DeepEqual(wr, gr) {
+			t.Fatalf("query %d results diverge: want %d adverts, got %d", i, len(wr), len(gr))
+		}
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	mk := walFactory(t)
+	now := t0
+	st, w, stats, err := Recover(WALConfig{Dir: dir, SnapshotEvery: -1, NewStore: mk, Now: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Adverts != 0 || stats.Replayed != 0 {
+		t.Fatalf("fresh dir recovered state: %+v", stats)
+	}
+
+	cats := []string{"Radar", "Camera", "Sensor", "Track"}
+	ids := make([]uuid.UUID, 20)
+	for i := range ids {
+		ids[i] = walGen.New()
+		adv := walAdvert(ids[i], fmt.Sprintf("urn:svc:%d", i), cats[i%len(cats)], 1, 5*time.Minute)
+		if _, _, err := st.Publish(adv, now.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A renewal, an update, a removal, a subscription, and an expiry
+	// sweep — one of every record type.
+	if _, ok := st.Renew(ids[3], now.Add(30*time.Second)); !ok {
+		t.Fatal("renew failed")
+	}
+	upd := walAdvert(ids[5], "urn:svc:5", "Camera", 2, 2*time.Minute)
+	if _, _, err := st.Publish(upd, now.Add(40*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Remove(ids[7]) {
+		t.Fatal("remove failed")
+	}
+	subID := walGen.New()
+	if _, err := st.Subscribe(describe.KindSemantic, semQuery("Sensor"), "lan0/notify", subID, now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	st.ExpireThrough(now.Add(50 * time.Second)) // purges nothing, logs nothing
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	now = now.Add(time.Minute)
+	rec, w2, rstats, err := Recover(WALConfig{Dir: dir, SnapshotEvery: -1, NewStore: mk, Now: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rstats.Replayed == 0 || rstats.TornFrames != 0 {
+		t.Fatalf("unexpected recovery stats: %+v", rstats)
+	}
+	queries := [][]byte{semQuery("Device"), semQuery("Sensor"), semQuery("Radar"), semQuery("Camera")}
+	assertStoresEqual(t, st, rec, now, queries)
+
+	// The recovered subscription must still notify — including its
+	// payload, which only survives through the log.
+	adv := walAdvert(walGen.New(), "urn:svc:fresh", "Radar", 1, time.Minute)
+	_, notes, err := rec.Publish(adv, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 1 || notes[0].SubID != subID || notes[0].NotifyAddr != "lan0/notify" {
+		t.Fatalf("recovered subscription did not notify: %v", notes)
+	}
+}
+
+func TestWALTornAndTruncatedTail(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		mangle  func(t *testing.T, seg string)
+		wantLen int
+	}{
+		{
+			name: "truncated-mid-frame",
+			mangle: func(t *testing.T, seg string) {
+				info, err := os.Stat(seg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.Truncate(seg, info.Size()-3); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantLen: 9, // the last record's frame is cut short
+		},
+		{
+			name: "garbage-appended",
+			mangle: func(t *testing.T, seg string) {
+				f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer f.Close()
+				if _, err := f.Write([]byte("\xde\xad\xbe\xef torn tail garbage")); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantLen: 10, // every real record survives, the garbage is dropped
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			mk := walFactory(t)
+			clock := func() time.Time { return t0 }
+			st, w, _, err := Recover(WALConfig{Dir: dir, SnapshotEvery: -1, NewStore: mk, Now: clock})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				adv := walAdvert(walGen.New(), fmt.Sprintf("urn:svc:%d", i), "Radar", 1, time.Hour)
+				if _, _, err := st.Publish(adv, t0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+			if err != nil || len(segs) == 0 {
+				t.Fatalf("no segments: %v", err)
+			}
+			tc.mangle(t, segs[len(segs)-1])
+
+			rec, w2, stats, err := Recover(WALConfig{Dir: dir, SnapshotEvery: -1, NewStore: mk, Now: clock})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w2.Close()
+			if stats.TornFrames != 1 {
+				t.Fatalf("TornFrames = %d, want 1", stats.TornFrames)
+			}
+			if rec.Len() != tc.wantLen {
+				t.Fatalf("recovered %d adverts, want %d", rec.Len(), tc.wantLen)
+			}
+			// The log stays appendable after a torn tail: new mutations
+			// land in a fresh segment past the damage.
+			adv := walAdvert(walGen.New(), "urn:svc:post", "Camera", 1, time.Hour)
+			if _, _, err := rec.Publish(adv, t0); err != nil {
+				t.Fatal(err)
+			}
+			if err := w2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			rec2, w3, _, err := Recover(WALConfig{Dir: dir, SnapshotEvery: -1, NewStore: mk, Now: clock})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w3.Close()
+			if rec2.Len() != tc.wantLen+1 {
+				t.Fatalf("after post-tear publish: %d adverts, want %d", rec2.Len(), tc.wantLen+1)
+			}
+		})
+	}
+}
+
+// TestWALSnapshotTailEquivalence is the property test: a randomized
+// mutation history with automatic and forced compactions must recover
+// to a store observationally identical to the live one — same adverts,
+// deadlines, subscriptions, and bit-identical Evaluate results.
+func TestWALSnapshotTailEquivalence(t *testing.T) {
+	cats := []string{"Radar", "Camera", "Sensor", "Device", "Track"}
+	queries := make([][]byte, len(cats))
+	for i, cat := range cats {
+		queries[i] = semQuery(cat)
+	}
+	for _, seed := range []int64{1, 7, 42, 20260808} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			mk := walFactory(t)
+			clock := t0
+			nowFn := func() time.Time { return clock }
+			st, w, _, err := Recover(WALConfig{Dir: dir, SnapshotEvery: 64, NewStore: mk, Now: nowFn})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			type liveAdv struct {
+				id      uuid.UUID
+				svc     string
+				version uint64
+			}
+			var advs []liveAdv
+			var subIDs []uuid.UUID
+			for i := 0; i < 1200; i++ {
+				clock = clock.Add(time.Duration(rng.Intn(400)) * time.Millisecond)
+				switch op := rng.Intn(12); {
+				case op < 5: // fresh publish
+					a := liveAdv{id: walGen.New(), svc: fmt.Sprintf("urn:svc:%d-%d", seed, i), version: 1}
+					adv := walAdvert(a.id, a.svc, cats[rng.Intn(len(cats))], 1, time.Duration(1+rng.Intn(20))*time.Second)
+					if _, _, err := st.Publish(adv, clock); err != nil {
+						t.Fatal(err)
+					}
+					advs = append(advs, a)
+				case op < 7 && len(advs) > 0: // version update of a known ID
+					a := &advs[rng.Intn(len(advs))]
+					a.version++
+					adv := walAdvert(a.id, a.svc, cats[rng.Intn(len(cats))], a.version, time.Duration(1+rng.Intn(20))*time.Second)
+					if _, _, err := st.Publish(adv, clock); err != nil {
+						t.Fatal(err)
+					}
+				case op == 7 && len(advs) > 0: // supersede: same service, new ID
+					old := advs[rng.Intn(len(advs))]
+					a := liveAdv{id: walGen.New(), svc: old.svc, version: old.version + 1}
+					adv := walAdvert(a.id, a.svc, cats[rng.Intn(len(cats))], a.version, time.Duration(1+rng.Intn(20))*time.Second)
+					if _, _, err := st.Publish(adv, clock); err != nil {
+						t.Fatal(err)
+					}
+					advs = append(advs, a)
+				case op == 8 && len(advs) > 0:
+					st.Renew(advs[rng.Intn(len(advs))].id, clock)
+				case op == 9 && len(advs) > 0:
+					st.Remove(advs[rng.Intn(len(advs))].id)
+				case op == 10:
+					if rng.Intn(3) == 0 && len(subIDs) > 0 {
+						st.Unsubscribe(subIDs[rng.Intn(len(subIDs))])
+					} else {
+						id := walGen.New()
+						var exp time.Time
+						if rng.Intn(2) == 0 {
+							exp = clock.Add(time.Duration(1+rng.Intn(30)) * time.Second)
+						}
+						if _, err := st.Subscribe(describe.KindSemantic, queries[rng.Intn(len(queries))], "lan0/n", id, exp); err != nil {
+							t.Fatal(err)
+						}
+						subIDs = append(subIDs, id)
+					}
+				default:
+					st.ExpireThrough(clock)
+					st.PruneSubscriptions(clock)
+				}
+				if rng.Intn(200) == 0 {
+					if err := w.Snapshot(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// Purge through the final clock on the live side too, so the
+			// boot sweep at recovery has nothing left to diverge on.
+			st.ExpireThrough(clock)
+			st.PruneSubscriptions(clock)
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			rec, w2, stats, err := Recover(WALConfig{Dir: dir, SnapshotEvery: 64, NewStore: mk, Now: nowFn})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w2.Close()
+			if stats.SnapshotLSN == 0 {
+				t.Fatal("history never compacted; SnapshotEvery not exercised")
+			}
+			assertStoresEqual(t, st, rec, clock, queries)
+		})
+	}
+}
+
+// TestWALCrashDuringPublishStorm simulates kill -9 mid-storm: the WAL
+// descriptor is closed with buffered frames unflushed while concurrent
+// publishers are mid-flight. Every publish that was acknowledged before
+// the crash must recover with its exact remaining lease; unacknowledged
+// ones may or may not survive.
+func TestWALCrashDuringPublishStorm(t *testing.T) {
+	dir := t.TempDir()
+	mk := walFactory(t)
+	clock := func() time.Time { return t0 }
+	st, w, _, err := Recover(WALConfig{Dir: dir, SnapshotEvery: 256, NewStore: mk, Now: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type acked struct {
+		id       uuid.UUID
+		deadline time.Time
+	}
+	var mu sync.Mutex
+	var ok []acked
+	var wg sync.WaitGroup
+	for worker := 0; worker < 8; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			gen := uuid.NewGenerator(uint64(9000 + worker))
+			for i := 0; ; i++ {
+				id := gen.New()
+				now := t0.Add(time.Duration(worker*10000+i) * time.Millisecond)
+				adv := walAdvert(id, fmt.Sprintf("urn:svc:%d-%d", worker, i), "Radar", 1, 5*time.Minute)
+				granted, _, err := st.Publish(adv, now)
+				if err != nil {
+					return // the crash hit; everything before was acked
+				}
+				mu.Lock()
+				ok = append(ok, acked{id: id, deadline: now.Add(granted)})
+				mu.Unlock()
+			}
+		}(worker)
+	}
+	time.Sleep(5 * time.Millisecond)
+	w.crash()
+	wg.Wait()
+	if len(ok) == 0 {
+		t.Fatal("no publishes were acknowledged before the crash")
+	}
+
+	rec, w2, stats, err := Recover(WALConfig{Dir: dir, SnapshotEvery: 256, NewStore: mk, Now: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	t.Logf("acked %d publishes; recovered %d adverts (%d replayed, %d torn)",
+		len(ok), stats.Adverts, stats.Replayed, stats.TornFrames)
+	for _, a := range ok {
+		deadline, has := rec.LeaseDeadline(a.id)
+		if !has {
+			t.Fatalf("acked advert %v lost in the crash", a.id)
+		}
+		if !deadline.Equal(a.deadline) {
+			t.Fatalf("advert %v recovered with deadline %v, want %v", a.id, deadline, a.deadline)
+		}
+	}
+}
+
+// TestWALPublishDuringSnapshot races live publishes against forced
+// compactions; run under -race in CI. Compaction must neither block nor
+// corrupt the writers, and the final recovery must match the live
+// store exactly.
+func TestWALPublishDuringSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	mk := walFactory(t)
+	clock := func() time.Time { return t0 }
+	st, w, _, err := Recover(WALConfig{Dir: dir, SnapshotEvery: -1, NewStore: mk, Now: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for worker := 0; worker < 4; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			gen := uuid.NewGenerator(uint64(9100 + worker))
+			for i := 0; i < 300; i++ {
+				adv := walAdvert(gen.New(), fmt.Sprintf("urn:svc:%d-%d", worker, i), "Camera", 1, time.Hour)
+				if _, _, err := st.Publish(adv, t0.Add(time.Duration(i)*time.Millisecond)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(worker)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if err := w.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, w2, stats, err := Recover(WALConfig{Dir: dir, SnapshotEvery: -1, NewStore: mk, Now: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.Len() != 1200 {
+		t.Fatalf("recovered %d adverts, want 1200", rec.Len())
+	}
+	if stats.SnapshotAdverts == 0 {
+		t.Fatal("final snapshot captured nothing")
+	}
+	assertStoresEqual(t, st, rec, t0, [][]byte{semQuery("Camera"), semQuery("Device")})
+}
+
+// TestWALSnapshotCompaction checks that compaction retires sealed
+// segments and old snapshots, and that recovery prefers the snapshot
+// over a full log replay.
+func TestWALSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	mk := walFactory(t)
+	clock := func() time.Time { return t0 }
+	st, w, _, err := Recover(WALConfig{Dir: dir, SnapshotEvery: -1, NewStore: mk, Now: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		adv := walAdvert(walGen.New(), fmt.Sprintf("urn:svc:%d", i), "Radar", 1, time.Hour)
+		if _, _, err := st.Publish(adv, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Snapshot(); err != nil { // idempotent when nothing changed
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		adv := walAdvert(walGen.New(), fmt.Sprintf("urn:svc:tail%d", i), "Camera", 1, time.Hour)
+		if _, _, err := st.Publish(adv, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("want exactly one snapshot, have %v", snaps)
+	}
+	rec, w2, stats, err := Recover(WALConfig{Dir: dir, SnapshotEvery: -1, NewStore: mk, Now: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if stats.SnapshotAdverts != 100 {
+		t.Fatalf("SnapshotAdverts = %d, want 100", stats.SnapshotAdverts)
+	}
+	if stats.Replayed != 50 {
+		t.Fatalf("Replayed = %d, want 50 (the post-snapshot tail only)", stats.Replayed)
+	}
+	if rec.Len() != 150 {
+		t.Fatalf("recovered %d adverts, want 150", rec.Len())
+	}
+}

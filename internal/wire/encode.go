@@ -550,6 +550,17 @@ func getAdvert(r *codec.Reader) (Advertisement, error) {
 	return a, nil
 }
 
+// AppendAdvert encodes an advertisement into the buffer using the same
+// layout the protocol messages use. The registry's write-ahead log
+// embeds adverts in its records with this, so the durable format and
+// the wire format can never drift apart.
+func AppendAdvert(w *codec.Buffer, a Advertisement) { putAdvert(w, a) }
+
+// ReadAdvert decodes an advertisement written by AppendAdvert (or
+// embedded in a protocol message). The payload is detached from the
+// input buffer, so the advert may be retained.
+func ReadAdvert(r *codec.Reader) (Advertisement, error) { return getAdvert(r) }
+
 // cloneBytes detaches decoded payloads from the receive buffer so they
 // can be retained safely.
 func cloneBytes(b []byte) []byte {

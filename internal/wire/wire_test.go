@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"semdisco/internal/codec"
 	"semdisco/internal/describe"
 	"semdisco/internal/uuid"
 )
@@ -78,6 +79,45 @@ func TestMarshalRoundTripAllTypes(t *testing.T) {
 		}
 		if !reflect.DeepEqual(got, e) {
 			t.Fatalf("%T round trip mismatch:\n got %#v\nwant %#v", body, got, e)
+		}
+	}
+}
+
+// TestAppendReadAdvertRoundTrip exercises the standalone advert codec
+// the registry's write-ahead log frames records with: the bytes must
+// decode back to an identical advert, truncation at every prefix must
+// error rather than panic, and a detached copy must not alias the
+// source buffer (WAL replay reuses its read buffer across frames).
+func TestAppendReadAdvertRoundTrip(t *testing.T) {
+	var b codec.Buffer
+	want := sampleAdvert()
+	AppendAdvert(&b, want)
+	raw := b.Bytes()
+
+	r := codec.NewReader(raw)
+	got, err := ReadAdvert(r)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left after decode", r.Remaining())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, want)
+	}
+	// The decoded payload must be detached from the encoding buffer.
+	for i := range raw {
+		raw[i] ^= 0xFF
+	}
+	if !reflect.DeepEqual(got.Payload, want.Payload) {
+		t.Fatal("decoded advert aliases the encoding buffer")
+	}
+	for i := range raw {
+		raw[i] ^= 0xFF
+	}
+	for i := 0; i < len(raw); i++ {
+		if _, err := ReadAdvert(codec.NewReader(raw[:i])); err == nil {
+			t.Fatalf("truncated advert of %d bytes accepted", i)
 		}
 	}
 }

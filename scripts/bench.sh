@@ -4,7 +4,7 @@
 # runtime metric snapshot (plan-cache hit rates, match-cache hit rates,
 # scan counts — see OBSERVABILITY.md) is stored under the "obs" key.
 #
-# Usage: scripts/bench.sh [registry|match|chaos|qcache|scale] [benchtime]
+# Usage: scripts/bench.sh [registry|match|chaos|qcache|scale|wal] [benchtime]
 #   registry (default) -> BENCH_registry.json (registry store/evaluate)
 #   match              -> BENCH_match.json (matchmaking + subsumption +
 #                         wire encode, incl. compiled-vs-maps baselines)
@@ -18,13 +18,18 @@
 #                         the inverted subscription index vs the linear
 #                         notification scan; set SEMDISCO_SCALE_HUGE=1
 #                         to extend the sweep to 10^7 adverts)
+#   wal                -> BENCH_wal.json (crash-safe persistence: WAL
+#                         publish overhead vs memory-only incl. fsync
+#                         group commit, and cold-boot recovery from the
+#                         log vs a compacted snapshot at 10^4..10^6
+#                         adverts; the E20 table)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 MODE="registry"
 case "${1:-}" in
-registry | match | chaos | qcache | scale)
+registry | match | chaos | qcache | scale | wal)
     MODE="$1"
     shift
     ;;
@@ -51,6 +56,10 @@ qcache)
 scale)
     OUT="BENCH_scale.json"
     PATTERN='BenchmarkPublishWithSubs|BenchmarkScalePublish|BenchmarkScaleRenew|BenchmarkE19Scale'
+    ;;
+wal)
+    OUT="BENCH_wal.json"
+    PATTERN='BenchmarkWALPublish|BenchmarkWALRecover|BenchmarkE20Durability'
     ;;
 esac
 
