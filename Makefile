@@ -3,7 +3,7 @@ GO ?= go
 # local runs use whatever `staticcheck` is on PATH (skipped if absent).
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: build test race vet lint bench bench-match bench-chaos bench-qcache bench-scale bench-wal chaos docs-check
+.PHONY: build test race vet lint bench bench-match bench-chaos bench-qcache bench-scale bench-wal bench-wire chaos docs-check
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/registry/... ./internal/federation/... ./internal/runtime/... ./internal/ontology/... ./internal/match/... ./internal/wire/...
+	$(GO) test -race ./internal/obs/... ./internal/registry/... ./internal/federation/... ./internal/runtime/... ./internal/ontology/... ./internal/match/... ./internal/wire/... ./internal/transport/... ./internal/sim/...
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +62,12 @@ bench-scale:
 # 10^4..10^6 adverts); emits BENCH_wal.json.
 bench-wal:
 	sh scripts/bench.sh wal
+
+# Transport throughput pipeline benchmarks (zero-alloc decode rates,
+# datagram coalescing renews/s vs unbatched, E21 batching and
+# delta-summary tables); emits BENCH_wire.json.
+bench-wire:
+	sh scripts/bench.sh wire
 
 # Fails when OBSERVABILITY.md drifts from the metrics registered in code.
 docs-check:

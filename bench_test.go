@@ -30,6 +30,9 @@ import (
 	"semdisco/internal/profile"
 	"semdisco/internal/rdf"
 	"semdisco/internal/registry"
+	"semdisco/internal/runtime"
+	"semdisco/internal/transport"
+	"semdisco/internal/transport/memnet"
 	"semdisco/internal/uuid"
 	"semdisco/internal/wire"
 	"semdisco/internal/workload"
@@ -1060,4 +1063,150 @@ func BenchmarkE18ResultCache(b *testing.B) {
 	// §4.8 lease-bounded reuse headline.
 	b.ReportMetric(cell(tab, 0, 2), "wan-forwards-rcache-off")
 	b.ReportMetric(cell(tab, 1, 2), "wan-forwards-rcache-on")
+}
+
+// --- transport pipeline suite (scripts/bench.sh wire → BENCH_wire.json) --
+
+// decodeBench measures the zero-alloc receive path: one reused Decoder
+// over a fixed datagram, the way runtime.Dispatch decodes every message
+// a node receives. The rate metric is the ISSUE-facing headline
+// (queries/sec, renews/sec per core); allocs/op must stay at 0.
+func decodeBench(b *testing.B, body wire.Body, unit string) {
+	b.Helper()
+	gen := uuid.NewGenerator(benchSeed)
+	data, err := wire.Marshal(wire.NewEnvelope(gen.New(), "lan0/n", body, gen))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := wire.NewDecoder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), unit)
+}
+
+func BenchmarkWireDecodeQuery(b *testing.B) {
+	gen := uuid.NewGenerator(benchSeed)
+	decodeBench(b, wire.Query{
+		QueryID: gen.New(), Kind: describe.KindSemantic,
+		Payload: make([]byte, 120), TTL: 4, ReplyAddr: "lan0/c",
+	}, "queries/s")
+}
+
+func BenchmarkWireDecodePublish(b *testing.B) {
+	gen := uuid.NewGenerator(benchSeed)
+	decodeBench(b, wire.Publish{Advert: scaleAdvert(0, gen)}, "publishes/s")
+}
+
+func BenchmarkWireDecodeSummaryDelta(b *testing.B) {
+	tokens := func(n, off int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("urn:scale:type:%d", off+i)
+		}
+		return out
+	}
+	decodeBench(b, wire.SummaryDelta{
+		Version: 9, Base: 8,
+		Entries: []wire.SummaryDeltaEntry{
+			{Kind: describe.KindURI, Add: tokens(16, 0), Remove: tokens(4, 200)},
+		},
+	}, "deltas/s")
+}
+
+// envCount is a minimal runtime.Handler: it counts dispatched messages,
+// standing in for the registry so the benchmark times the transport +
+// decode pipeline rather than matchmaking.
+type envCount struct{ n int }
+
+func (c *envCount) HandleEnvelope(env *wire.Envelope, from transport.Addr) { c.n++ }
+
+// BenchmarkBatchRenews drives the full receive pipeline — sender iface,
+// (optional) datagram coalescing, simulated network delivery, batch
+// split, zero-alloc decode, handler — with the renew storm that
+// dominates steady-state registry traffic. The acceptance bar is ≥3×
+// renews/s for the batched variants over unbatched: coalescing turns
+// per-message delivery events into per-datagram ones.
+func BenchmarkBatchRenews(b *testing.B) {
+	for _, v := range []struct {
+		name     string
+		batch    int
+		maxBytes int
+	}{
+		{"unbatched", 0, 0},
+		{"batch8", 8, 0},
+		{"batch32", 32, 0},
+		{"batch64", 64, 0},
+		// A renew envelope is ~65 bytes, so the Ethernet MTU caps a
+		// batch near 21 messages; the jumbo variant (9000-byte frames)
+		// lets the message cap actually bind.
+		{"batch64-jumbo", 64, 8900},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			net := memnet.New(memnet.Config{Seed: benchSeed})
+			gen := uuid.NewGenerator(benchSeed)
+			h := &envCount{}
+			recvEnv := &runtime.Env{ID: gen.New(), Clock: net, Gen: gen}
+			recvEnv.Iface = net.Attach("lan0/reg", "lan0", func(from transport.Addr, data []byte) {
+				runtime.Dispatch(h, recvEnv, from, data)
+			})
+			var iface transport.Iface = net.Attach("lan0/svc", "lan0", func(transport.Addr, []byte) {})
+			var batcher *transport.Batcher
+			if v.batch > 0 {
+				batcher = transport.NewBatcher(iface, net, transport.BatcherConfig{
+					MaxMessages: v.batch, MaxBytes: v.maxBytes,
+				})
+				iface = batcher
+			}
+			data, err := wire.Marshal(wire.NewEnvelope(gen.New(), "lan0/svc", wire.Renew{AdvertID: gen.New()}, gen))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := iface.Unicast("lan0/reg", data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if batcher != nil {
+				batcher.Flush()
+			}
+			net.RunFor(time.Second)
+			b.StopTimer()
+			if h.n != b.N {
+				b.Fatalf("delivered %d renews, want %d", h.n, b.N)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "renews/s")
+		})
+	}
+}
+
+// BenchmarkE21Batching regenerates the datagram-coalescing table; the
+// headline is messages per datagram and the datagram reduction at the
+// default batch cap.
+func BenchmarkE21Batching(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E21Batching([]int{1, 32}, benchSeed)
+	}
+	reportTable(b, tab)
+	b.ReportMetric(cell(tab, 1, 3), "msgs/dgram")
+	b.ReportMetric(cell(tab, 1, 5), "dgram-reduction")
+}
+
+// BenchmarkE21Deltas regenerates the incremental-summary table; the
+// headline is the WAN maintenance-byte reduction at 10^3 adverts per
+// domain (the ISSUE acceptance bar is ≥5×).
+func BenchmarkE21Deltas(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E21Deltas([]int{100, 1000}, benchSeed)
+	}
+	reportTable(b, tab)
+	b.ReportMetric(cell(tab, 1, 3), "delta-reduction-1e3")
 }

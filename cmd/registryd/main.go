@@ -64,6 +64,9 @@ func main() {
 		arenaSlab = flag.Int("arena-slab", 0, "advert arena slab size in records per shard (0 = 1024; raise for million-advert stores)")
 		walDir    = flag.String("wal-dir", "", "durable state directory: write-ahead log + snapshots ('' = memory-only, state lost on restart)")
 		walFsync  = flag.Bool("wal-fsync", true, "fsync the log before acknowledging mutations (group-commit batched); false flushes to the OS only")
+		walStream = flag.Int("wal-streams", 0, "shard the log append path into this many per-stripe streams (0/1 = single stream)")
+		batch     = flag.Bool("batch", false, "coalesce eligible high-rate messages (renews, acks, gossip) into shared datagrams via sendmmsg")
+		batchWait = flag.Duration("batch-delay", 2*time.Millisecond, "max time a batched message waits for companions")
 		snapEvery = flag.Int("snapshot-every", 0, "log records between compacted snapshots (0 = 100000, negative disables)")
 		verbose   = flag.Bool("v", false, "trace protocol activity")
 	)
@@ -95,6 +98,7 @@ func main() {
 			Dir:           *walDir,
 			Fsync:         *walFsync,
 			SnapshotEvery: *snapEvery,
+			AppendStreams: *walStream,
 			NewStore:      mkStore,
 		})
 		if err != nil {
@@ -114,7 +118,11 @@ func main() {
 	}
 	defer nodeio.Close()
 
-	env := &runtime.Env{ID: uuid.New(), Iface: nodeio, Clock: nodeio, Gen: nil}
+	var iface transport.Iface = nodeio
+	if *batch {
+		iface = transport.NewBatcher(nodeio, nodeio, transport.BatcherConfig{FlushDelay: *batchWait})
+	}
+	env := &runtime.Env{ID: uuid.New(), Iface: iface, Clock: nodeio, Gen: nil}
 	if *verbose {
 		env.Trace = func(format string, args ...any) { log.Printf("trace: "+format, args...) }
 	}

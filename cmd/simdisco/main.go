@@ -1,4 +1,4 @@
-// Command simdisco runs the paper-claim experiments (DESIGN.md E1–E20)
+// Command simdisco runs the paper-claim experiments (DESIGN.md E1–E21)
 // on the deterministic simulator and prints their result tables — the
 // same tables `go test -bench` produces and EXPERIMENTS.md records.
 //
@@ -91,6 +91,12 @@ func catalog() []experiment {
 		}},
 		{"E20", "crash-safe persistence (WAL + snapshots)", func(s int64) *metrics.Table {
 			return experiments.E20Durability([]int{10_000, 100_000}, s)
+		}},
+		{"E21", "datagram coalescing (batch sweep)", func(s int64) *metrics.Table {
+			return experiments.E21Batching([]int{1, 8, 32, 64}, s)
+		}},
+		{"E21b", "incremental summaries (delta vs full)", func(s int64) *metrics.Table {
+			return experiments.E21Deltas([]int{100, 1_000, 10_000}, s)
 		}},
 	}
 }

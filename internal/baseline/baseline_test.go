@@ -78,7 +78,7 @@ func TestCentralKeepsStaleAdverts(t *testing.T) {
 	// Explicit deregistration is the only removal path.
 	central.Central.HandleEnvelope(&wire.Envelope{
 		Type: wire.TRemove, From: svc.Env.ID, FromAddr: string(svc.Addr),
-		MsgID: w.Gen.New(), Body: wire.Remove{AdvertID: out.Adverts[0].ID},
+		MsgID: w.Gen.New(), Body: &wire.Remove{AdvertID: out.Adverts[0].ID},
 	}, svc.Addr)
 	if central.Central.Len() != 0 {
 		t.Fatal("explicit remove failed")

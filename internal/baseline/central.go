@@ -68,45 +68,48 @@ func (c *CentralRegistry) Len() int { return len(c.adverts) }
 // HandleEnvelope implements runtime.Handler.
 func (c *CentralRegistry) HandleEnvelope(env *wire.Envelope, from transport.Addr) {
 	switch b := env.Body.(type) {
-	case wire.Publish:
+	case *wire.Publish:
 		c.Stats.Publishes++
-		model, ok := c.models.Model(b.Advert.Kind)
+		// The advert is retained in the store maps below; its payload is
+		// borrowed from the receive buffer, so deep-copy first.
+		adv := wire.CloneAdvert(b.Advert)
+		model, ok := c.models.Model(adv.Kind)
 		if !ok {
-			c.env.Send(from, wire.PublishAck{AdvertID: b.Advert.ID, OK: false, Error: "unsupported kind"})
+			c.env.Send(from, wire.PublishAck{AdvertID: adv.ID, OK: false, Error: "unsupported kind"})
 			return
 		}
-		desc, err := model.DecodeDescription(b.Advert.Payload)
+		desc, err := model.DecodeDescription(adv.Payload)
 		if err != nil {
-			c.env.Send(from, wire.PublishAck{AdvertID: b.Advert.ID, OK: false, Error: err.Error()})
+			c.env.Send(from, wire.PublishAck{AdvertID: adv.ID, OK: false, Error: err.Error()})
 			return
 		}
-		e := centralEntry{advert: b.Advert, desc: desc}
-		c.adverts[b.Advert.ID] = e
-		km := c.byKind[b.Advert.Kind]
+		e := centralEntry{advert: adv, desc: desc}
+		c.adverts[adv.ID] = e
+		km := c.byKind[adv.Kind]
 		if km == nil {
 			km = make(map[uuid.UUID]centralEntry)
-			c.byKind[b.Advert.Kind] = km
+			c.byKind[adv.Kind] = km
 		}
-		km[b.Advert.ID] = e
+		km[adv.ID] = e
 		// UDDI has no lease concept; grant an effectively infinite one
 		// so well-behaved services stop worrying about renewal.
-		c.env.Send(from, wire.PublishAck{AdvertID: b.Advert.ID, OK: true, LeaseMillis: uint64(time.Hour * 24 * 365 / time.Millisecond)})
-	case wire.Renew:
+		c.env.Send(from, wire.PublishAck{AdvertID: adv.ID, OK: true, LeaseMillis: uint64(time.Hour * 24 * 365 / time.Millisecond)})
+	case *wire.Renew:
 		// Meaningless here; acknowledge so providers don't fail over.
 		c.env.Send(from, wire.RenewAck{AdvertID: b.AdvertID, OK: true, LeaseMillis: uint64(time.Hour * 24 * 365 / time.Millisecond)})
-	case wire.Remove:
+	case *wire.Remove:
 		c.Stats.Removes++
 		if e, ok := c.adverts[b.AdvertID]; ok {
 			delete(c.adverts, b.AdvertID)
 			delete(c.byKind[e.advert.Kind], b.AdvertID)
 		}
-	case wire.Query:
+	case *wire.Query:
 		c.Stats.Queries++
 		c.answer(b)
 	}
 }
 
-func (c *CentralRegistry) answer(q wire.Query) {
+func (c *CentralRegistry) answer(q *wire.Query) {
 	model, ok := c.models.Model(q.Kind)
 	var hits []wire.Advertisement
 	if ok {

@@ -135,24 +135,25 @@ func (d *DHTNode) queryToken(kind describe.Kind, payload []byte) (string, bool) 
 // HandleEnvelope implements runtime.Handler.
 func (d *DHTNode) HandleEnvelope(env *wire.Envelope, from transport.Addr) {
 	switch b := env.Body.(type) {
-	case wire.Publish:
+	case *wire.Publish:
 		token, ok := d.indexToken(b.Advert.Kind, b.Advert.Payload)
 		if !ok {
 			d.env.Send(from, wire.PublishAck{AdvertID: b.Advert.ID, OK: false, Error: "untokenizable description"})
 			return
 		}
 		// Ack at the entry node, then place the advert at its owner.
+		// place may store the advert, so copy the borrowed payload.
 		d.env.Send(from, wire.PublishAck{AdvertID: b.Advert.ID, OK: true, LeaseMillis: b.Advert.LeaseMillis})
-		d.place(b.Advert, token)
-	case wire.AdvertForward:
+		d.place(wire.CloneAdvert(b.Advert), token)
+	case *wire.AdvertForward:
 		token, ok := d.indexToken(b.Advert.Kind, b.Advert.Payload)
 		if ok {
-			d.storeAdvert(b.Advert, token)
+			d.storeAdvert(wire.CloneAdvert(b.Advert), token)
 		}
-	case wire.Renew:
+	case *wire.Renew:
 		// DHT baseline keeps no leases; ack to keep providers quiet.
 		d.env.Send(from, wire.RenewAck{AdvertID: b.AdvertID, OK: true, LeaseMillis: 1 << 40})
-	case wire.Query:
+	case *wire.Query:
 		d.Stats.Queries++
 		token, ok := d.queryToken(b.Kind, b.Payload)
 		if !ok {
@@ -166,7 +167,8 @@ func (d *DHTNode) HandleEnvelope(env *wire.Envelope, from transport.Addr) {
 			d.answer(b, token)
 			return
 		}
-		// Route to the owner; it replies directly to the client.
+		// Route to the owner; it replies directly to the client
+		// (Send marshals synchronously, so the borrowed body is safe).
 		d.Stats.Forwarded++
 		d.env.Send(transport.Addr(owner.Addr), b)
 	}
@@ -189,7 +191,7 @@ func (d *DHTNode) storeAdvert(adv wire.Advertisement, token string) {
 
 // answer matches by exact token equality — no subsumption, no ranking
 // beyond determinism.
-func (d *DHTNode) answer(q wire.Query, token string) {
+func (d *DHTNode) answer(q *wire.Query, token string) {
 	var ids []uuid.UUID
 	for id, e := range d.store {
 		if e.token == token && e.advert.Kind == q.Kind {

@@ -104,6 +104,14 @@ type Reader struct {
 // NewReader wraps the byte slice for decoding.
 func NewReader(b []byte) *Reader { return &Reader{b: b} }
 
+// Reset repoints the reader at a new input, keeping the value reusable
+// (zero-allocation decode loops embed one Reader and Reset it per
+// frame instead of constructing a fresh one on the heap).
+func (r *Reader) Reset(b []byte) {
+	r.b = b
+	r.off = 0
+}
+
 // Remaining returns the number of unread bytes.
 func (r *Reader) Remaining() int { return len(r.b) - r.off }
 

@@ -162,16 +162,16 @@ func (b *Bootstrapper) expire() {
 func (b *Bootstrapper) Observe(env *wire.Envelope) {
 	hadRegistry := b.hasLive()
 	switch body := env.Body.(type) {
-	case wire.Beacon:
+	case *wire.Beacon:
 		b.learnDirect(env, true)
 		b.learn(body.Peers)
-	case wire.ProbeMatch:
+	case *wire.ProbeMatch:
 		b.learnDirect(env, true)
 		b.learn(body.Peers)
-	case wire.Pong:
+	case *wire.Pong:
 		b.learnDirect(env, false)
 		b.learn(body.Peers)
-	case wire.Bye:
+	case *wire.Bye:
 		delete(b.regs, env.From)
 	default:
 		return

@@ -24,8 +24,9 @@ func newFixture(t *testing.T, cfg Config) *fixture {
 	t.Helper()
 	f := &fixture{net: memnet.New(memnet.Config{Seed: 3}), gen: uuid.NewGenerator(5)}
 	env := &runtime.Env{ID: f.gen.New(), Clock: f.net, Gen: f.gen}
+	dec := wire.NewDecoder()
 	env.Iface = f.net.Attach("lan0/node", "lan0", func(from transport.Addr, data []byte) {
-		e, err := wire.Unmarshal(data)
+		e, err := dec.Decode(data)
 		if err != nil {
 			return
 		}
@@ -44,7 +45,7 @@ func newFixture(t *testing.T, cfg Config) *fixture {
 
 // fakeRegistry plants a registry presence by beacon or probe-match.
 func (f *fixture) beacon(id uuid.UUID, addr string, peers ...wire.PeerInfo) {
-	env := &wire.Envelope{Type: wire.TBeacon, From: id, FromAddr: addr, MsgID: f.gen.New(), Body: wire.Beacon{Peers: peers}}
+	env := &wire.Envelope{Type: wire.TBeacon, From: id, FromAddr: addr, MsgID: f.gen.New(), Body: &wire.Beacon{Peers: peers}}
 	f.boot.Observe(env)
 }
 
@@ -146,7 +147,7 @@ func TestByeRemovesRegistry(t *testing.T) {
 	f.boot.Start()
 	rid := f.gen.New()
 	f.beacon(rid, "lan0/r1")
-	f.boot.Observe(&wire.Envelope{Type: wire.TBye, From: rid, FromAddr: "lan0/r1", MsgID: f.gen.New(), Body: wire.Bye{}})
+	f.boot.Observe(&wire.Envelope{Type: wire.TBye, From: rid, FromAddr: "lan0/r1", MsgID: f.gen.New(), Body: &wire.Bye{}})
 	if _, ok := f.boot.Current(); ok {
 		t.Fatal("departed registry still current")
 	}

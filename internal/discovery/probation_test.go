@@ -32,7 +32,7 @@ func (f *fixture) attachFakeRegistry(t *testing.T, id uuid.UUID, addr transport.
 		}
 		pong := &wire.Envelope{
 			Type: wire.TPong, From: id, FromAddr: string(addr),
-			MsgID: f.gen.New(), Body: wire.Pong{},
+			MsgID: f.gen.New(), Body: &wire.Pong{},
 		}
 		out, err := wire.Marshal(pong)
 		if err != nil {

@@ -1,0 +1,296 @@
+package federation
+
+// Incremental registry summaries (the delta protocol). Whole-summary
+// gossip costs O(tokens) per peer per tick even when nothing changed;
+// at WAN scale the summary dominates maintenance bandwidth. Instead the
+// sender versions its summary, keeps a bounded history of per-version
+// deltas (token add/remove lists with removals acting as tombstones),
+// and sends each peer only the deltas past the version that peer last
+// acknowledged. A periodic full resync — and an explicit Resync escape
+// hatch in the ack — bounds divergence when deltas are lost for longer
+// than the history covers or a node restarts.
+//
+// Acks are datagrams and may arrive out of order; the sender's
+// per-peer acked version only moves forward (the one exception being
+// an ack that names the exact version of the last full resync, which
+// is a fresh synchronization point — see handleSummaryAck).
+
+import (
+	"sort"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/transport"
+	"semdisco/internal/wire"
+)
+
+// maxDeltaHistory bounds the retained per-version deltas; a peer whose
+// ack falls behind the window gets a full resync instead.
+const maxDeltaHistory = 64
+
+type summarySnapshot map[describe.Kind]map[string]bool
+
+// deltaRecord is the change set that produced one summary version.
+type deltaRecord struct {
+	version uint64
+	entries []wire.SummaryDeltaEntry
+}
+
+// deltaSummaryState is the sender side of the protocol: the current
+// versioned snapshot plus the history needed to fast-forward peers.
+type deltaSummaryState struct {
+	version uint64
+	snap    summarySnapshot
+	history []deltaRecord
+}
+
+func snapshotOf(entries []wire.SummaryEntry) summarySnapshot {
+	s := make(summarySnapshot, len(entries))
+	for _, e := range entries {
+		set := make(map[string]bool, len(e.Tokens))
+		for _, t := range e.Tokens {
+			set[t] = true
+		}
+		s[e.Kind] = set
+	}
+	return s
+}
+
+// advance diffs the current summary against the last versioned
+// snapshot; on change it bumps the version and records the delta.
+func (d *deltaSummaryState) advance(cur []wire.SummaryEntry) {
+	next := snapshotOf(cur)
+	entries := diffSnapshots(d.snap, next)
+	if len(entries) == 0 && d.version != 0 {
+		return // unchanged
+	}
+	if d.version == 0 && len(next) == 0 {
+		return // still empty: no version to speak of
+	}
+	d.version++
+	d.snap = next
+	d.history = append(d.history, deltaRecord{version: d.version, entries: entries})
+	if len(d.history) > maxDeltaHistory {
+		d.history = d.history[len(d.history)-maxDeltaHistory:]
+	}
+}
+
+// diffSnapshots returns the add/remove lists taking prev to next,
+// sorted per kind for deterministic wire bytes.
+func diffSnapshots(prev, next summarySnapshot) []wire.SummaryDeltaEntry {
+	var kinds []describe.Kind
+	for k := range next {
+		kinds = append(kinds, k)
+	}
+	for k := range prev {
+		if _, ok := next[k]; !ok {
+			kinds = append(kinds, k)
+		}
+	}
+	sortKinds(kinds)
+	var out []wire.SummaryDeltaEntry
+	for _, k := range kinds {
+		var add, remove []string
+		for t := range next[k] {
+			if !prev[k][t] {
+				add = append(add, t)
+			}
+		}
+		for t := range prev[k] {
+			if !next[k][t] {
+				remove = append(remove, t)
+			}
+		}
+		if len(add) == 0 && len(remove) == 0 {
+			continue
+		}
+		sortStrings(add)
+		sortStrings(remove)
+		out = append(out, wire.SummaryDeltaEntry{Kind: k, Add: add, Remove: remove})
+	}
+	return out
+}
+
+// fullEntries renders the snapshot as a pure-add delta (a full resync).
+func (d *deltaSummaryState) fullEntries() []wire.SummaryDeltaEntry {
+	var kinds []describe.Kind
+	for k := range d.snap {
+		kinds = append(kinds, k)
+	}
+	sortKinds(kinds)
+	out := make([]wire.SummaryDeltaEntry, 0, len(kinds))
+	for _, k := range kinds {
+		add := make([]string, 0, len(d.snap[k]))
+		for t := range d.snap[k] {
+			add = append(add, t)
+		}
+		sortStrings(add)
+		out = append(out, wire.SummaryDeltaEntry{Kind: k, Add: add})
+	}
+	return out
+}
+
+// covers reports whether the history can fast-forward a peer acked at
+// the given version to the current one.
+func (d *deltaSummaryState) covers(acked uint64) bool {
+	if acked >= d.version || len(d.history) == 0 {
+		return false
+	}
+	return d.history[0].version <= acked+1
+}
+
+// since merges every delta past acked into one change set, applied in
+// version order so an add-then-remove nets out correctly.
+func (d *deltaSummaryState) since(acked uint64) []wire.SummaryDeltaEntry {
+	state := make(map[describe.Kind]map[string]bool) // token -> present after merge
+	for _, rec := range d.history {
+		if rec.version <= acked {
+			continue
+		}
+		for _, e := range rec.entries {
+			m := state[e.Kind]
+			if m == nil {
+				m = make(map[string]bool)
+				state[e.Kind] = m
+			}
+			for _, t := range e.Add {
+				m[t] = true
+			}
+			for _, t := range e.Remove {
+				m[t] = false
+			}
+		}
+	}
+	var kinds []describe.Kind
+	for k := range state {
+		kinds = append(kinds, k)
+	}
+	sortKinds(kinds)
+	var out []wire.SummaryDeltaEntry
+	for _, k := range kinds {
+		var add, remove []string
+		for t, present := range state[k] {
+			if present {
+				add = append(add, t)
+			} else {
+				remove = append(remove, t)
+			}
+		}
+		if len(add) == 0 && len(remove) == 0 {
+			continue
+		}
+		sortStrings(add)
+		sortStrings(remove)
+		out = append(out, wire.SummaryDeltaEntry{Kind: k, Add: add, Remove: remove})
+	}
+	return out
+}
+
+// sendSummaryTo sends one peer whatever it needs this tick: nothing
+// (fully acked), the merged deltas since its ack, or a full resync.
+func (r *Registry) sendSummaryTo(p *peer) {
+	p.sinceFull++
+	d := &r.dsum
+	full := p.needFull ||
+		p.ackedVersion == 0 ||
+		p.sinceFull >= r.cfg.SummaryFullEvery ||
+		(p.ackedVersion != d.version && !d.covers(p.ackedVersion))
+	switch {
+	case full:
+		r.env.Send(transport.Addr(p.info.Addr), wire.SummaryDelta{
+			Version: d.version, Full: true, Entries: d.fullEntries(),
+		})
+		p.needFull = false
+		p.lastFullVersion = d.version
+		p.sinceFull = 0
+		fSummariesSent.Inc()
+		fDeltaFullSent.Inc()
+	case p.ackedVersion == d.version:
+		// Peer is current: send nothing at all. Liveness is the ping
+		// loop's job; this is where the delta protocol saves its bytes.
+		fDeltaSkipped.Inc()
+	default:
+		r.env.Send(transport.Addr(p.info.Addr), wire.SummaryDelta{
+			Version: d.version, Base: p.ackedVersion,
+			Entries: d.since(p.ackedVersion),
+		})
+		fSummariesSent.Inc()
+		fDeltaSent.Inc()
+	}
+}
+
+// handleSummaryDelta is the receiver side: apply in-order deltas to the
+// peer's summary, rebuild on a full resync, and ack what we now hold.
+// A delta whose base does not match what we hold (lost datagram,
+// restart) cannot be applied; the ack then carries Resync so the sender
+// schedules a full refresh.
+func (r *Registry) handleSummaryDelta(from wire.NodeID, addr transport.Addr, d *wire.SummaryDelta) {
+	p, ok := r.peers[from]
+	if !ok {
+		return
+	}
+	p.lastSeen = r.now()
+	switch {
+	case d.Full:
+		p.summary = make(map[describe.Kind]map[string]bool, len(d.Entries))
+		for _, e := range d.Entries {
+			set := make(map[string]bool, len(e.Add))
+			for _, t := range e.Add {
+				set[t] = true
+			}
+			p.summary[e.Kind] = set
+		}
+		p.gotVersion = d.Version
+		fDeltaApplied.Inc()
+	case p.summary == nil || d.Base != p.gotVersion:
+		fDeltaStale.Inc()
+		r.env.Send(addr, wire.SummaryAck{Version: p.gotVersion, Resync: true})
+		return
+	default:
+		for _, e := range d.Entries {
+			set := p.summary[e.Kind]
+			if set == nil {
+				set = make(map[string]bool, len(e.Add))
+				p.summary[e.Kind] = set
+			}
+			for _, t := range e.Add {
+				set[t] = true
+			}
+			for _, t := range e.Remove {
+				delete(set, t)
+			}
+			// An emptied kind stays present as an empty set: "provably
+			// stores nothing of this kind", exactly like a full summary
+			// that omits it (pruneBySummary treats nil and empty alike).
+		}
+		p.gotVersion = d.Version
+		fDeltaApplied.Inc()
+	}
+	r.env.Send(addr, wire.SummaryAck{Version: d.Version})
+}
+
+// handleSummaryAck advances the sender's per-peer acked version. The
+// guard is strictly monotonic so a late, out-of-order ack can never
+// regress the vector — except an ack naming the last full resync's
+// exact version, which re-anchors a peer after this sender's version
+// space moved backwards (restart).
+func (r *Registry) handleSummaryAck(from wire.NodeID, a *wire.SummaryAck) {
+	p, ok := r.peers[from]
+	if !ok {
+		return
+	}
+	p.lastSeen = r.now()
+	if a.Resync {
+		p.needFull = true
+		fDeltaResyncs.Inc()
+	}
+	if a.Version > p.ackedVersion || (a.Version == p.lastFullVersion && p.lastFullVersion != 0) {
+		p.ackedVersion = a.Version
+	}
+}
+
+// sortKinds orders kinds numerically; describe.Kind is a small integer.
+func sortKinds(ks []describe.Kind) {
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+}
+
+func sortStrings(ss []string) { sort.Strings(ss) }

@@ -1,0 +1,205 @@
+package federation
+
+import (
+	"testing"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/wire"
+)
+
+// deltaCfg turns on fast summary gossip for the delta tests.
+func deltaCfg(extra ...func(*Config)) Config {
+	cfg := Config{SummaryPruning: true, SummaryInterval: 200 * time.Millisecond}
+	for _, f := range extra {
+		f(&cfg)
+	}
+	return cfg
+}
+
+// peerView returns what reg currently believes about other's summary.
+func peerView(reg *Registry, other *Registry) map[describe.Kind]map[string]bool {
+	if p, ok := reg.peers[other.ID()]; ok {
+		return p.summary
+	}
+	return nil
+}
+
+// TestDeltaSummaryConverges: adds and removals propagate through
+// incremental deltas, and steady state sends no summaries at all.
+func TestDeltaSummaryConverges(t *testing.T) {
+	h := newHarness(t)
+	// A huge SummaryFullEvery keeps the periodic refresh out of the
+	// window so every observed send is attributable.
+	noFull := func(c *Config) { c.SummaryFullEvery = 1 << 20 }
+	r1 := h.addRegistry("lan0", "r1", deltaCfg(noFull))
+	r2 := h.addRegistry("lan1", "r2", deltaCfg(noFull, func(c *Config) {
+		c.Seeds = []wire.PeerInfo{peerInfo(r1)}
+	}))
+	h.net.RunFor(time.Second)
+
+	tc := h.addClient("lan1", "c")
+	adv := h.semAdvert("urn:svc:cam", "Camera", time.Minute)
+	h.publish(tc, r2, adv)
+	h.net.RunFor(time.Second)
+
+	view := peerView(r1, r2)
+	if view == nil || !view[describe.KindSemantic][string(c("Camera"))] {
+		t.Fatalf("r1's view of r2 missing Camera token: %v", view)
+	}
+
+	// Steady state: no change → fully acked peers get nothing.
+	skippedBefore := fDeltaSkipped.Load()
+	h.net.RunFor(2 * time.Second)
+	if fDeltaSkipped.Load() == skippedBefore {
+		t.Fatal("no summary ticks were skipped in steady state")
+	}
+
+	// Removal travels as a tombstone delta, not a full resync.
+	fullBefore := fDeltaFullSent.Load()
+	r2.Store().Remove(adv.ID)
+	h.net.RunFor(time.Second)
+	view = peerView(r1, r2)
+	if view[describe.KindSemantic][string(c("Camera"))] {
+		t.Fatalf("Camera token not removed from r1's view: %v", view)
+	}
+	if got := fDeltaFullSent.Load() - fullBefore; got != 0 {
+		t.Fatalf("removal caused %d full resyncs, want incremental delta", got)
+	}
+}
+
+// TestDeltaSummaryPrunes: the delta-built peer summary drives forward
+// pruning exactly like a whole-summary one.
+func TestDeltaSummaryPrunes(t *testing.T) {
+	h := newHarness(t)
+	r1 := h.addRegistry("lan0", "r1", deltaCfg())
+	r2 := h.addRegistry("lan1", "r2", deltaCfg(func(c *Config) {
+		c.Seeds = []wire.PeerInfo{peerInfo(r1)}
+	}))
+	h.net.RunFor(time.Second)
+	tcB := h.addClient("lan1", "c2")
+	h.publish(tcB, r2, h.semAdvert("urn:svc:cam", "Camera", time.Minute))
+	h.net.RunFor(time.Second)
+
+	tc := h.addClient("lan0", "c1")
+	before := r2.Stats().QueriesReceived
+	h.query(tc, r1, "Radar", 2)
+	h.net.RunFor(2 * time.Second)
+	if got := r2.Stats().QueriesReceived; got != before {
+		t.Fatalf("r2 received %d queries despite delta summary proving no match", got-before)
+	}
+	if r1.Stats().ForwardsPruned == 0 {
+		t.Fatal("pruning not accounted")
+	}
+}
+
+// TestDeltaResyncAfterLoss: when every delta in flight is lost for
+// longer than the history covers — simulated by a receiver restart
+// (fresh peer state) — the Resync escape hatch recovers via a full
+// summary instead of deadlocking on mismatched bases.
+func TestDeltaResyncAfterLoss(t *testing.T) {
+	h := newHarness(t)
+	r1 := h.addRegistry("lan0", "r1", deltaCfg())
+	r2 := h.addRegistry("lan1", "r2", deltaCfg(func(c *Config) {
+		c.Seeds = []wire.PeerInfo{peerInfo(r1)}
+	}))
+	h.net.RunFor(time.Second)
+	tc := h.addClient("lan1", "c")
+	h.publish(tc, r2, h.semAdvert("urn:svc:cam", "Camera", time.Minute))
+	h.net.RunFor(time.Second)
+
+	// Simulate r1 losing its applied state (as a restart would): the
+	// next delta's base cannot match, forcing a Resync request.
+	p := r1.peers[r2.ID()]
+	p.summary = nil
+	p.gotVersion = 0
+	h.publish(tc, r2, h.semAdvert("urn:svc:radar", "Radar", time.Minute))
+	h.net.RunFor(3 * time.Second)
+
+	view := peerView(r1, r2)
+	if !view[describe.KindSemantic][string(c("Camera"))] || !view[describe.KindSemantic][string(c("Radar"))] {
+		t.Fatalf("full resync did not restore r1's view: %v", view)
+	}
+	if fDeltaResyncs.Load() == 0 {
+		t.Fatal("no resync was requested")
+	}
+}
+
+// TestDeltaAckMonotonic is the out-of-order ack regression test: a
+// late-arriving ack for an older version must never regress the
+// sender's per-peer acked version (which would re-base future deltas
+// on state the peer has already advanced past).
+func TestDeltaAckMonotonic(t *testing.T) {
+	h := newHarness(t)
+	r1 := h.addRegistry("lan0", "r1", deltaCfg())
+	r2 := h.addRegistry("lan0", "r2", deltaCfg())
+	h.net.RunFor(time.Second)
+
+	p := r1.peers[r2.ID()]
+	if p == nil {
+		t.Fatal("registries did not peer")
+	}
+	r1.handleSummaryAck(r2.ID(), &wire.SummaryAck{Version: 7})
+	r1.handleSummaryAck(r2.ID(), &wire.SummaryAck{Version: 5}) // late datagram
+	if p.ackedVersion != 7 {
+		t.Fatalf("ackedVersion = %d after out-of-order ack, want 7", p.ackedVersion)
+	}
+	// A resync request rides any version without regressing it either.
+	r1.handleSummaryAck(r2.ID(), &wire.SummaryAck{Version: 3, Resync: true})
+	if p.ackedVersion != 7 || !p.needFull {
+		t.Fatalf("ackedVersion = %d needFull = %v, want 7/true", p.ackedVersion, p.needFull)
+	}
+	// The one sanctioned regression: an ack naming the exact version of
+	// the last full resync re-anchors after a sender restart.
+	p.lastFullVersion = 2
+	r1.handleSummaryAck(r2.ID(), &wire.SummaryAck{Version: 2})
+	if p.ackedVersion != 2 {
+		t.Fatalf("ackedVersion = %d after full-resync ack, want 2", p.ackedVersion)
+	}
+}
+
+// TestDeltaMergeNetsOut: a token added and removed between two acks
+// merges away; one surviving the window merges to a single add.
+func TestDeltaMergeNetsOut(t *testing.T) {
+	var d deltaSummaryState
+	snap := func(tokens ...string) []wire.SummaryEntry {
+		return []wire.SummaryEntry{{Kind: describe.KindSemantic, Tokens: tokens}}
+	}
+	d.advance(snap("a"))          // v1: +a
+	d.advance(snap("a", "b"))     // v2: +b
+	d.advance(snap("a"))          // v3: -b
+	d.advance(snap("a", "c"))     // v4: +c
+	if d.version != 4 {
+		t.Fatalf("version = %d, want 4", d.version)
+	}
+	merged := d.since(1)
+	if len(merged) != 1 {
+		t.Fatalf("merged entries = %+v", merged)
+	}
+	e := merged[0]
+	if len(e.Add) != 1 || e.Add[0] != "c" || len(e.Remove) != 1 || e.Remove[0] != "b" {
+		t.Fatalf("merged delta = +%v -%v, want +[c] -[b]", e.Add, e.Remove)
+	}
+	if !d.covers(1) || d.covers(4) || d.covers(9) {
+		t.Fatal("history coverage wrong")
+	}
+}
+
+// TestFullSummariesAblation: the pre-delta behaviour stays available
+// and sends whole summaries every tick.
+func TestFullSummariesAblation(t *testing.T) {
+	h := newHarness(t)
+	r1 := h.addRegistry("lan0", "r1", deltaCfg(func(c *Config) { c.FullSummaries = true }))
+	r2 := h.addRegistry("lan1", "r2", deltaCfg(func(c *Config) {
+		c.FullSummaries = true
+		c.Seeds = []wire.PeerInfo{peerInfo(r1)}
+	}))
+	h.net.RunFor(time.Second)
+	tc := h.addClient("lan1", "c")
+	h.publish(tc, r2, h.semAdvert("urn:svc:cam", "Camera", time.Minute))
+	h.net.RunFor(time.Second)
+	view := peerView(r1, r2)
+	if view == nil || !view[describe.KindSemantic][string(c("Camera"))] {
+		t.Fatalf("whole-summary gossip broken: %v", view)
+	}
+}

@@ -108,6 +108,14 @@ type Config struct {
 	// service published moments after a miss becomes discoverable
 	// quickly; default 1 s.
 	ResultCacheEmptyTTL time.Duration
+	// SummaryFullEvery forces a full summary resync every Nth summary
+	// tick per peer, bounding silent divergence under lost deltas;
+	// default 16. Deltas are sent on the ticks in between.
+	SummaryFullEvery int
+	// FullSummaries disables the incremental delta protocol and sends
+	// a whole summary to every peer each tick (the pre-delta behaviour,
+	// kept for ablation experiments).
+	FullSummaries bool
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +144,9 @@ func (c Config) withDefaults() Config {
 	}
 	def(&c.ResultCacheMaxTTL, 5*time.Second)
 	def(&c.ResultCacheEmptyTTL, time.Second)
+	if c.SummaryFullEvery == 0 {
+		c.SummaryFullEvery = 16
+	}
 	return c
 }
 
@@ -158,6 +169,26 @@ type peer struct {
 	lan bool
 	// summary holds the peer's last gossiped tokens per kind.
 	summary map[describe.Kind]map[string]bool
+
+	// Receiver side of delta summary gossip: the sender's version our
+	// applied summary corresponds to.
+	gotVersion uint64
+
+	// Sender side: the highest version this peer acknowledged. Guarded
+	// monotonic — delta acks are datagrams and may arrive out of order;
+	// regressing would re-send (and mis-base) already-applied deltas.
+	ackedVersion uint64
+	// needFull forces the next summary tick to send a full resync
+	// (set by an explicit Resync request or version-space mismatch).
+	needFull bool
+	// lastFullVersion is the version of the last full resync sent; an
+	// ack naming it exactly may lower ackedVersion (resync is a fresh
+	// synchronization point, e.g. after this sender restarted with a
+	// smaller version space).
+	lastFullVersion uint64
+	// sinceFull counts summary ticks since the last full resync, for
+	// the periodic full refresh that bounds silent divergence.
+	sinceFull int
 }
 
 // Registry is one federated registry node.
@@ -174,6 +205,10 @@ type Registry struct {
 	rcache  *resultCache // nil when ResultCacheSize == 0
 
 	gatewayOverride *bool // test hook; nil = derive from LAN peers
+
+	// dsum is the sender state of the incremental summary protocol:
+	// the versioned snapshot and the bounded delta history (delta.go).
+	dsum deltaSummaryState
 
 	stats   Stats
 	stopped bool
@@ -458,7 +493,7 @@ func subscriptionLease(requestedMillis uint64) time.Duration {
 	}
 }
 
-func (r *Registry) handleSubscribe(from transport.Addr, b wire.Subscribe) {
+func (r *Registry) handleSubscribe(from transport.Addr, b *wire.Subscribe) {
 	granted := subscriptionLease(b.LeaseMillis)
 	notify := b.NotifyAddr
 	if notify == "" {
@@ -483,12 +518,23 @@ func (r *Registry) cleanSeen() {
 
 func (r *Registry) sendSummaries() {
 	sum := r.store.Summary()
-	if len(sum) == 0 {
+	if r.cfg.FullSummaries {
+		// Ablation path: gossip the whole summary every tick.
+		if len(sum) == 0 {
+			return
+		}
+		for _, p := range r.sortedPeers() {
+			r.env.Send(transport.Addr(p.info.Addr), wire.Summary{Entries: sum})
+			fSummariesSent.Inc()
+		}
 		return
 	}
+	r.dsum.advance(sum)
+	if r.dsum.version == 0 {
+		return // nothing was ever advertised
+	}
 	for _, p := range r.sortedPeers() {
-		r.env.Send(transport.Addr(p.info.Addr), wire.Summary{Entries: sum})
-		fSummariesSent.Inc()
+		r.sendSummaryTo(p)
 	}
 }
 
@@ -498,42 +544,46 @@ func (r *Registry) HandleEnvelope(env *wire.Envelope, from transport.Addr) {
 		return
 	}
 	switch b := env.Body.(type) {
-	case wire.Probe:
+	case *wire.Probe:
 		// Active registry discovery: answer with ourselves + alternates.
 		r.env.Send(from, wire.ProbeMatch{Peers: r.sharePeers()})
-	case wire.Beacon:
+	case *wire.Beacon:
 		// Beacons only travel by LAN multicast, so the sender is local.
 		r.addPeer(wire.PeerInfo{ID: env.From, Addr: env.FromAddr}, true)
 		r.touchPeer(env.From)
 		r.learnPeers(b.Peers)
-	case wire.ProbeMatch:
+	case *wire.ProbeMatch:
 		r.addPeer(wire.PeerInfo{ID: env.From, Addr: env.FromAddr}, true)
 		r.touchPeer(env.From)
 		r.learnPeers(b.Peers)
-	case wire.Bye:
+	case *wire.Bye:
 		delete(r.peers, env.From)
-	case wire.Ping:
+	case *wire.Ping:
 		if b.FromRegistry {
 			r.addPeer(wire.PeerInfo{ID: env.From, Addr: env.FromAddr}, false)
 			r.touchPeer(env.From)
 		}
 		r.env.Send(from, wire.Pong{Peers: r.sharePeers()})
-	case wire.Pong:
+	case *wire.Pong:
 		r.addPeer(wire.PeerInfo{ID: env.From, Addr: env.FromAddr}, false)
 		r.touchPeer(env.From)
 		r.learnPeers(b.Peers)
-	case wire.PeerExchange:
+	case *wire.PeerExchange:
 		r.touchPeer(env.From)
 		r.learnPeers(b.Peers)
-	case wire.Summary:
+	case *wire.Summary:
 		r.handleSummary(env.From, b)
-	case wire.GatewayClaim:
+	case *wire.SummaryDelta:
+		r.handleSummaryDelta(env.From, from, b)
+	case *wire.SummaryAck:
+		r.handleSummaryAck(env.From, b)
+	case *wire.GatewayClaim:
 		// A yielding gateway re-triggers election implicitly: it stops
 		// beaconing as gateway; nothing to store beyond peer liveness.
 		r.touchPeer(env.From)
-	case wire.Publish:
+	case *wire.Publish:
 		r.handlePublish(env, from, b)
-	case wire.Renew:
+	case *wire.Renew:
 		granted, ok := r.store.Renew(b.AdvertID, r.now())
 		r.env.Send(from, wire.RenewAck{
 			AdvertID:    b.AdvertID,
@@ -547,23 +597,23 @@ func (r *Registry) HandleEnvelope(env *wire.Envelope, from transport.Addr) {
 				r.pushAdvert(adv, r.cfg.PushHops, env.From)
 			}
 		}
-	case wire.Remove:
+	case *wire.Remove:
 		r.store.Remove(b.AdvertID)
-	case wire.AdvertForward:
+	case *wire.AdvertForward:
 		r.handleAdvertForward(env, b)
-	case wire.Query:
+	case *wire.Query:
 		r.handleQuery(env, from, b)
-	case wire.QueryResult:
+	case *wire.QueryResult:
 		r.handleQueryResult(env, b)
-	case wire.ArtifactGet:
+	case *wire.ArtifactGet:
 		data, found := r.store.Artifact(b.IRI)
 		r.env.Send(from, wire.ArtifactData{IRI: b.IRI, Found: found, Data: data})
-	case wire.Subscribe:
+	case *wire.Subscribe:
 		r.handleSubscribe(from, b)
-	case wire.ArtifactPut:
+	case *wire.ArtifactPut:
 		r.store.PutArtifact(b.IRI, b.Data)
 		r.env.Send(from, wire.ArtifactPutAck{IRI: b.IRI, OK: true})
-	case wire.Unsubscribe:
+	case *wire.Unsubscribe:
 		r.store.Unsubscribe(b.SubID)
 	default:
 		r.env.Tracef("registry: ignoring %v from %s", env.Type, from)
@@ -576,7 +626,7 @@ func (r *Registry) learnPeers(infos []wire.PeerInfo) {
 	}
 }
 
-func (r *Registry) handleSummary(from wire.NodeID, s wire.Summary) {
+func (r *Registry) handleSummary(from wire.NodeID, s *wire.Summary) {
 	p, ok := r.peers[from]
 	if !ok {
 		return
@@ -592,9 +642,14 @@ func (r *Registry) handleSummary(from wire.NodeID, s wire.Summary) {
 	}
 }
 
-func (r *Registry) handlePublish(env *wire.Envelope, from transport.Addr, b wire.Publish) {
-	granted, notes, err := r.store.Publish(b.Advert, r.now())
-	ack := wire.PublishAck{AdvertID: b.Advert.ID, OK: err == nil, LeaseMillis: uint64(granted / time.Millisecond)}
+func (r *Registry) handlePublish(env *wire.Envelope, from transport.Addr, b *wire.Publish) {
+	// The advert's payload is borrowed from the receive buffer; the
+	// store retains it, so it must be cloned before crossing into the
+	// store (the push fan-out below marshals synchronously and may use
+	// either copy).
+	adv := wire.CloneAdvert(b.Advert)
+	granted, notes, err := r.store.Publish(adv, r.now())
+	ack := wire.PublishAck{AdvertID: adv.ID, OK: err == nil, LeaseMillis: uint64(granted / time.Millisecond)}
 	if err != nil {
 		ack.Error = err.Error()
 	}
@@ -606,11 +661,11 @@ func (r *Registry) handlePublish(env *wire.Envelope, from transport.Addr, b wire
 		})
 	}
 	if err == nil && r.cfg.PushReplication {
-		r.pushAdvert(b.Advert, r.cfg.PushHops, env.From)
+		r.pushAdvert(adv, r.cfg.PushHops, env.From)
 	}
 }
 
-func (r *Registry) handleAdvertForward(env *wire.Envelope, b wire.AdvertForward) {
+func (r *Registry) handleAdvertForward(env *wire.Envelope, b *wire.AdvertForward) {
 	// Replicas of content we already hold only refresh the lease; they
 	// are not forwarded again, or every renewal would cascade through
 	// the whole registry network.
@@ -618,7 +673,8 @@ func (r *Registry) handleAdvertForward(env *wire.Envelope, b wire.AdvertForward)
 	if existing, ok := r.store.Advert(b.Advert.ID); ok && existing.Version >= b.Advert.Version {
 		known = true
 	}
-	_, notes, err := r.store.Publish(b.Advert, r.now())
+	adv := wire.CloneAdvert(b.Advert) // payload is borrowed; the store retains it
+	_, notes, err := r.store.Publish(adv, r.now())
 	if err != nil {
 		return // stale or unknown kind: drop silently
 	}
@@ -629,7 +685,7 @@ func (r *Registry) handleAdvertForward(env *wire.Envelope, b wire.AdvertForward)
 		})
 	}
 	if !known && b.HopsLeft > 0 {
-		r.pushAdvert(b.Advert, b.HopsLeft-1, env.From)
+		r.pushAdvert(adv, b.HopsLeft-1, env.From)
 	}
 }
 

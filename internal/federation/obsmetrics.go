@@ -28,6 +28,18 @@ var (
 		"LAN presence beacons multicast")
 	fSummariesSent = obs.NewCounter("federation.summaries.sent", "count",
 		"summary gossip messages sent to peers")
+	fDeltaSent = obs.NewCounter("federation.delta.sent", "count",
+		"incremental summary deltas sent to peers")
+	fDeltaFullSent = obs.NewCounter("federation.delta.full", "count",
+		"full summary resyncs sent (first contact, periodic refresh, or requested)")
+	fDeltaSkipped = obs.NewCounter("federation.delta.skipped", "count",
+		"summary ticks where a fully-acked peer was sent nothing")
+	fDeltaApplied = obs.NewCounter("federation.delta.applied", "count",
+		"summary deltas and resyncs applied to a peer's summary")
+	fDeltaStale = obs.NewCounter("federation.delta.stale", "count",
+		"deltas rejected because their base version did not match")
+	fDeltaResyncs = obs.NewCounter("federation.delta.resyncs", "count",
+		"acks received requesting a full resync")
 	fReadPoolAsync = obs.NewCounter("federation.readpool.async", "count",
 		"local evaluations dispatched to the read worker pool")
 	fReadPoolInline = obs.NewCounter("federation.readpool.inline", "count",

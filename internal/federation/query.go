@@ -50,7 +50,12 @@ func (p *pendingQuery) allPools() [][]wire.Advertisement {
 	return append(out, p.remote...)
 }
 
-func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, q wire.Query) {
+func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, qp *wire.Query) {
+	// The query outlives this handler (pending state, pooled evaluation
+	// off the node goroutine, forwards), but the decoded payload is
+	// borrowed from the receive buffer — copy once here.
+	q := *qp
+	q.Payload = wire.CloneBytes(q.Payload)
 	r.stats.QueriesReceived++
 	fQueriesReceived.Inc()
 	// Loop avoidance by unique query ID (§4.10).
@@ -245,13 +250,16 @@ func (r *Registry) pruneBySummary(q wire.Query, p *peer) bool {
 	return true
 }
 
-func (r *Registry) handleQueryResult(env *wire.Envelope, res wire.QueryResult) {
+func (r *Registry) handleQueryResult(env *wire.Envelope, res *wire.QueryResult) {
 	p, ok := r.pending[res.QueryID]
 	if !ok || p.done {
 		return
 	}
 	if len(res.Adverts) > 0 {
-		p.remote = append(p.remote, res.Adverts)
+		// Aggregated pools outlive the handler (and may be pinned by the
+		// gateway result cache); the decoded adverts borrow the receive
+		// buffer, so deep-copy before retaining.
+		p.remote = append(p.remote, wire.CloneAdverts(res.Adverts))
 	}
 	if res.Complete {
 		delete(p.outstanding, env.From)

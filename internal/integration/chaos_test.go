@@ -351,3 +351,79 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatalf("degenerate soak: some fault class never fired: %+v", s.Faults)
 	}
 }
+
+// runBatchedBurstLoss is the burst-loss renewal scenario with datagram
+// coalescing enabled: every node's transport rides through a
+// transport.Batcher, so the Gilbert-Elliott faults now drop whole
+// batch envelopes. Returns the network stats and the post-storm query
+// outcome so the caller can assert both recovery and determinism.
+func runBatchedBurstLoss(t *testing.T, seed int64) (memnet.Stats, sim.QueryOutcome) {
+	t.Helper()
+	w := sim.NewWorld(sim.Config{
+		Seed:     seed,
+		Net:      memnet.Config{Jitter: 2 * time.Millisecond},
+		Batching: true,
+	})
+	reg := w.AddRegistry("lan0", "r0", federation.Config{
+		BeaconInterval: time.Second,
+		PurgeInterval:  250 * time.Millisecond,
+	})
+	for i := 0; i < 3; i++ {
+		w.AddService("lan0", fmt.Sprintf("s%d", i), node.ServiceConfig{
+			Lease:      2 * time.Second,
+			AckTimeout: 300 * time.Millisecond,
+			Bootstrap:  discovery.Config{ProbeInterval: 500 * time.Millisecond},
+		},
+			w.SemanticProfile(fmt.Sprintf("urn:svc:radar:%d", i), sim.C("RadarFeed")),
+			w.SemanticProfile(fmt.Sprintf("urn:svc:cam:%d", i), sim.C("CameraFeed")))
+	}
+	cli := w.AddClient("lan0", "c1", node.ClientConfig{
+		QueryTimeout: time.Second,
+		Bootstrap:    discovery.Config{ProbeInterval: 500 * time.Millisecond},
+	})
+	w.Run(2 * time.Second)
+	if got := reg.Reg.Store().Len(); got != 6 {
+		t.Fatalf("setup: registry holds %d adverts, want 6", got)
+	}
+
+	burst := memnet.FaultProfile{LossGood: 0.1, LossBad: 0.9, PGoodBad: 0.1, PBadGood: 0.2}
+	w.Net.InstallFaults(memnet.FaultSchedule{
+		{At: 0, Scope: memnet.ScopeAll, Profile: &burst},
+		{At: 10 * time.Second, Scope: memnet.ScopeAll}, // clear
+	})
+	w.Run(20 * time.Second)
+
+	if got := reg.Reg.Store().Len(); got != 6 {
+		t.Fatalf("after the loss storm cleared, registry holds %d adverts, want 6 (renewal never recovered under batching)", got)
+	}
+	out := cli.Query(w.SemanticSpec(sim.C("SensorFeed"), 0), 30*time.Second)
+	if !out.Completed || out.Via != node.ViaRegistry || len(out.Adverts) != 6 {
+		t.Fatalf("post-storm query = %+v, want 6 adverts via registry", out)
+	}
+	assertNoDupAdverts(t, "post-storm-batched", out.Adverts)
+	return w.Net.Stats(), out
+}
+
+// TestChaosLeaseRenewalUnderBurstLossBatched is the chaos-under-batching
+// matrix entry: burst loss now discards coalesced envelopes — each drop
+// costs every message sharing the datagram, never a torn or corrupt
+// frame — and renewal, probation and fallback must still recover.
+// Coalescing on the simulated clock is deterministic, so two runs with
+// the same seed must produce identical traffic down to the byte.
+func TestChaosLeaseRenewalUnderBurstLossBatched(t *testing.T) {
+	s1, _ := runBatchedBurstLoss(t, 31)
+	var msgs uint64
+	for _, cat := range s1.DeliveredByCategory {
+		msgs += cat.Messages
+	}
+	if msgs <= s1.MessagesDelivered {
+		t.Fatalf("degenerate test: %d protocol messages in %d datagrams — coalescing never engaged", msgs, s1.MessagesDelivered)
+	}
+	if s1.Faults.Dropped == 0 {
+		t.Fatal("degenerate test: the loss storm dropped nothing")
+	}
+	s2, _ := runBatchedBurstLoss(t, 31)
+	if s1 != s2 {
+		t.Fatalf("same seed, different traffic under batching:\n  run1 %+v\n  run2 %+v", s1, s2)
+	}
+}

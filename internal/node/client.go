@@ -260,7 +260,7 @@ func (c *Client) sendSubscribe(s *Subscription) {
 	})
 }
 
-func (c *Client) onSubscribeAck(b wire.SubscribeAck) {
+func (c *Client) onSubscribeAck(b *wire.SubscribeAck) {
 	s, ok := c.subs[b.SubID]
 	if !ok || s.canceled {
 		return
@@ -547,13 +547,13 @@ func (c *Client) HandleEnvelope(env *wire.Envelope, from transport.Addr) {
 	}
 	c.boot.Observe(env)
 	switch b := env.Body.(type) {
-	case wire.QueryResult:
+	case *wire.QueryResult:
 		c.onQueryResult(b)
-	case wire.ArtifactData:
+	case *wire.ArtifactData:
 		c.onArtifactData(b)
-	case wire.SubscribeAck:
+	case *wire.SubscribeAck:
 		c.onSubscribeAck(b)
-	case wire.ArtifactPutAck:
+	case *wire.ArtifactPutAck:
 		for id, w := range c.artPend {
 			if w.put && w.iri == b.IRI {
 				if w.timer != nil {
@@ -567,7 +567,12 @@ func (c *Client) HandleEnvelope(env *wire.Envelope, from transport.Addr) {
 	}
 }
 
-func (c *Client) onQueryResult(b wire.QueryResult) {
+func (c *Client) onQueryResult(bp *wire.QueryResult) {
+	// The decoded adverts borrow the receive buffer and are both
+	// accumulated across attempts and handed to user callbacks, so
+	// deep-copy once up front.
+	b := *bp
+	b.Adverts = wire.CloneAdverts(b.Adverts)
 	// Subscription notifications reuse QueryResult with the SubID as
 	// QueryID; they stream indefinitely.
 	if s, ok := c.subs[b.QueryID]; ok && !s.canceled {
@@ -623,14 +628,16 @@ func (c *Client) onQueryResult(b wire.QueryResult) {
 	p.cb(QueryResult{Adverts: adverts, Via: ViaRegistry, Attempts: p.attempts})
 }
 
-func (c *Client) onArtifactData(b wire.ArtifactData) {
+func (c *Client) onArtifactData(b *wire.ArtifactData) {
 	for id, w := range c.artPend {
 		if !w.put && w.iri == b.IRI {
 			if w.timer != nil {
 				w.timer()
 			}
 			delete(c.artPend, id)
-			w.cb(b.Data, b.Found)
+			// The document bytes are borrowed from the receive buffer;
+			// the callback owns what it gets.
+			w.cb(wire.CloneBytes(b.Data), b.Found)
 			return
 		}
 	}

@@ -257,11 +257,11 @@ func (s *Service) HandleEnvelope(env *wire.Envelope, from transport.Addr) {
 	}
 	s.boot.Observe(env)
 	switch b := env.Body.(type) {
-	case wire.PublishAck:
+	case *wire.PublishAck:
 		s.onPublishAck(b)
-	case wire.RenewAck:
+	case *wire.RenewAck:
 		s.onRenewAck(b)
-	case wire.PeerQuery:
+	case *wire.PeerQuery:
 		s.onPeerQuery(b)
 	}
 }
@@ -275,7 +275,7 @@ func (s *Service) findAdvert(id uuid.UUID) *servAdvert {
 	return nil
 }
 
-func (s *Service) onPublishAck(b wire.PublishAck) {
+func (s *Service) onPublishAck(b *wire.PublishAck) {
 	a := s.findAdvert(b.AdvertID)
 	if a == nil {
 		return
@@ -290,7 +290,7 @@ func (s *Service) onPublishAck(b wire.PublishAck) {
 	s.scheduleRenew(a)
 }
 
-func (s *Service) onRenewAck(b wire.RenewAck) {
+func (s *Service) onRenewAck(b *wire.RenewAck) {
 	a := s.findAdvert(b.AdvertID)
 	if a == nil {
 		return
@@ -310,7 +310,7 @@ func (s *Service) onRenewAck(b wire.RenewAck) {
 // node's own descriptions — "all provider nodes must evaluate the query
 // independently of each other" (§3.1); the bandwidth cost of exactly
 // this behaviour is measured by experiment E1.
-func (s *Service) onPeerQuery(b wire.PeerQuery) {
+func (s *Service) onPeerQuery(b *wire.PeerQuery) {
 	model, ok := s.models.Model(b.Kind)
 	if !ok {
 		return // silently discard unknown kinds

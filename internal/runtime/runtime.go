@@ -33,6 +33,13 @@ type Env struct {
 	Gen *uuid.Generator
 	// Trace, when non-nil, receives debug lines.
 	Trace func(format string, args ...any)
+
+	// dec is the node's zero-alloc envelope decoder, lazily built on
+	// first dispatch. Handlers run serialized per node, so one decoder
+	// per Env is safe; its output is borrowed (valid only within the
+	// HandleEnvelope call), which is exactly the transport.Handler
+	// retention contract.
+	dec *wire.Decoder
 }
 
 // Addr returns the node's transport address.
@@ -86,9 +93,33 @@ type Handler interface {
 
 // Dispatch decodes a datagram and passes it to the handler, silently
 // discarding undecodable messages — the paper's "quickly filter and
-// silently discard messages they cannot understand anyway".
+// silently discard messages they cannot understand anyway". Coalesced
+// batch frames are split and dispatched message by message in send
+// order, so a handler never sees the batching layer.
+//
+// Decoding uses the Env's reused zero-alloc decoder: the envelope and
+// its body are borrowed and valid only for the duration of the
+// HandleEnvelope call. Handlers that retain payloads, adverts or peer
+// lists must copy them (wire.CloneAdverts / wire.CloneBytes); decoded
+// strings are interned and safe to retain.
 func Dispatch(h Handler, e *Env, from transport.Addr, data []byte) {
-	env, err := wire.Unmarshal(data)
+	if wire.IsBatchFrame(data) {
+		if err := wire.ForEachInBatch(data, func(msg []byte) error {
+			dispatchOne(h, e, from, msg)
+			return nil
+		}); err != nil {
+			e.Tracef("discard batch from %s: %v", from, err)
+		}
+		return
+	}
+	dispatchOne(h, e, from, data)
+}
+
+func dispatchOne(h Handler, e *Env, from transport.Addr, data []byte) {
+	if e.dec == nil {
+		e.dec = wire.NewDecoder()
+	}
+	env, err := e.dec.Decode(data)
 	if err != nil {
 		e.Tracef("discard from %s: %v", from, err)
 		return

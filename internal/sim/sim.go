@@ -40,6 +40,15 @@ type Config struct {
 	// fault-profile injections, timed partitions and heals, executed at
 	// their virtual times (see memnet.FaultSchedule).
 	Faults memnet.FaultSchedule
+	// Batching wraps every deployed node's transport in a datagram
+	// coalescer (transport.Batcher): eligible high-rate messages —
+	// renews, acks, gossip, summary deltas — share datagrams instead of
+	// paying per-message overhead. Flush timing runs on the simulated
+	// clock, so worlds stay deterministic per seed.
+	Batching bool
+	// Batch tunes coalescing when Batching is set; the zero value gives
+	// MTU-bounded batches of up to 32 messages flushed within 2ms.
+	Batch transport.BatcherConfig
 }
 
 // World is one assembled deployment.
@@ -48,8 +57,10 @@ type World struct {
 	Onto *ontology.Ontology
 	Gen  *uuid.Generator
 
-	models *describe.Registry
-	leases lease.Policy
+	models   *describe.Registry
+	leases   lease.Policy
+	batching bool
+	batchCfg transport.BatcherConfig
 
 	Registries []*RegistryHandle
 	Services   []*ServiceHandle
@@ -97,10 +108,12 @@ func NewWorld(cfg Config) *World {
 		leases.Min = 100 * time.Millisecond
 	}
 	w := &World{
-		Net:    memnet.New(cfg.Net),
-		Onto:   onto,
-		Gen:    uuid.NewGenerator(uint64(cfg.Seed)*2654435761 + 1),
-		leases: leases,
+		Net:      memnet.New(cfg.Net),
+		Onto:     onto,
+		Gen:      uuid.NewGenerator(uint64(cfg.Seed)*2654435761 + 1),
+		leases:   leases,
+		batching: cfg.Batching,
+		batchCfg: cfg.Batch,
 	}
 	w.models = describe.NewRegistry(
 		describe.URIModel{},
@@ -164,7 +177,11 @@ func must(err error) {
 
 func (w *World) env(addr transport.Addr, lan string, dispatch func(*runtime.Env) transport.Handler) *runtime.Env {
 	env := &runtime.Env{ID: w.Gen.New(), Clock: w.Net, Gen: w.Gen}
-	env.Iface = w.Net.Attach(addr, lan, dispatch(env))
+	iface := w.Net.Attach(addr, lan, dispatch(env))
+	if w.batching {
+		iface = transport.NewBatcher(iface, w.Net, w.batchCfg)
+	}
+	env.Iface = iface
 	return env
 }
 

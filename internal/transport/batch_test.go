@@ -1,0 +1,278 @@
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"semdisco/internal/transport"
+	"semdisco/internal/transport/memnet"
+	"semdisco/internal/transport/udpnet"
+	"semdisco/internal/uuid"
+	"semdisco/internal/wire"
+)
+
+var bgen = uuid.NewGenerator(7)
+
+func renewFrame(t *testing.T) []byte {
+	t.Helper()
+	raw, err := wire.Marshal(wire.NewEnvelope(bgen.New(), "lan0/a", wire.Renew{AdvertID: bgen.New()}, bgen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func queryFrame(t *testing.T) []byte {
+	t.Helper()
+	raw, err := wire.Marshal(wire.NewEnvelope(bgen.New(), "lan0/a", wire.Query{QueryID: bgen.New(), ReplyAddr: "lan0/a"}, bgen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// received collects decoded envelope types at a memnet node.
+func collect(t *testing.T, net *memnet.Network, addr transport.Addr) *[]wire.MsgType {
+	t.Helper()
+	var got []wire.MsgType
+	d := wire.NewDecoder()
+	net.Attach(addr, "lan0", func(_ transport.Addr, data []byte) {
+		if wire.IsBatchFrame(data) {
+			if err := wire.ForEachInBatch(data, func(msg []byte) error {
+				e, err := d.Decode(msg)
+				if err != nil {
+					return err
+				}
+				got = append(got, e.Type)
+				return nil
+			}); err != nil {
+				t.Errorf("batch: %v", err)
+			}
+			return
+		}
+		e, err := d.Decode(data)
+		if err != nil {
+			t.Errorf("decode: %v", err)
+			return
+		}
+		got = append(got, e.Type)
+	})
+	return &got
+}
+
+// TestBatcherCoalescesOnDeadline: eligible messages queued within the
+// flush window ride one datagram; the receiver sees every message.
+func TestBatcherCoalescesOnDeadline(t *testing.T) {
+	net := memnet.New(memnet.Config{Seed: 1})
+	got := collect(t, net, "lan0/b")
+	src := net.Attach("lan0/a", "lan0", nil)
+	b := transport.NewBatcher(src, net, transport.BatcherConfig{FlushDelay: 2 * time.Millisecond})
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := b.Unicast("lan0/b", renewFrame(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sent := net.Stats().MessagesSent; sent != 0 {
+		t.Fatalf("sent %d datagrams before the deadline", sent)
+	}
+	net.RunFor(50 * time.Millisecond)
+	st := net.Stats()
+	if st.MessagesSent != 1 {
+		t.Fatalf("sent %d datagrams, want 1 coalesced batch", st.MessagesSent)
+	}
+	if len(*got) != n {
+		t.Fatalf("received %d messages, want %d", len(*got), n)
+	}
+	for _, ty := range *got {
+		if ty != wire.TRenew {
+			t.Fatalf("received %v, want renew", ty)
+		}
+	}
+	// Category accounting must attribute the inner messages, not the
+	// batch frame's unknown type byte.
+	if st.ByCategory[wire.CatPublishing].Messages != n {
+		t.Fatalf("publishing category counted %d messages, want %d",
+			st.ByCategory[wire.CatPublishing].Messages, n)
+	}
+}
+
+// TestBatcherSizeFlush: hitting MaxMessages flushes immediately without
+// waiting for the deadline.
+func TestBatcherSizeFlush(t *testing.T) {
+	net := memnet.New(memnet.Config{Seed: 1})
+	got := collect(t, net, "lan0/b")
+	src := net.Attach("lan0/a", "lan0", nil)
+	b := transport.NewBatcher(src, net, transport.BatcherConfig{MaxMessages: 3, FlushDelay: time.Hour})
+
+	for i := 0; i < 3; i++ {
+		if err := b.Unicast("lan0/b", renewFrame(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sent := net.Stats().MessagesSent; sent != 1 {
+		t.Fatalf("sent %d datagrams, want 1 size-triggered batch", sent)
+	}
+	net.RunFor(10 * time.Millisecond)
+	if len(*got) != 3 {
+		t.Fatalf("received %d messages, want 3", len(*got))
+	}
+}
+
+// TestBatcherBypassesIneligible: conversation-opening messages are
+// never delayed.
+func TestBatcherBypassesIneligible(t *testing.T) {
+	net := memnet.New(memnet.Config{Seed: 1})
+	got := collect(t, net, "lan0/b")
+	src := net.Attach("lan0/a", "lan0", nil)
+	b := transport.NewBatcher(src, net, transport.BatcherConfig{FlushDelay: time.Hour})
+
+	if err := b.Unicast("lan0/b", queryFrame(t)); err != nil {
+		t.Fatal(err)
+	}
+	if sent := net.Stats().MessagesSent; sent != 1 {
+		t.Fatalf("query was queued (%d datagrams sent), want immediate send", sent)
+	}
+	net.RunFor(10 * time.Millisecond)
+	if len(*got) != 1 || (*got)[0] != wire.TQuery {
+		t.Fatalf("received %v, want one query", *got)
+	}
+}
+
+// TestBatcherSoloFlushStaysRaw: a queue holding one message goes out as
+// a plain frame, paying no batch overhead.
+func TestBatcherSoloFlushStaysRaw(t *testing.T) {
+	net := memnet.New(memnet.Config{Seed: 1})
+	got := collect(t, net, "lan0/b")
+	src := net.Attach("lan0/a", "lan0", nil)
+	b := transport.NewBatcher(src, net, transport.BatcherConfig{FlushDelay: time.Millisecond})
+
+	raw := renewFrame(t)
+	if err := b.Unicast("lan0/b", raw); err != nil {
+		t.Fatal(err)
+	}
+	net.RunFor(20 * time.Millisecond)
+	st := net.Stats()
+	if st.MessagesSent != 1 || st.BytesSent != uint64(len(raw)) {
+		t.Fatalf("sent %d msgs / %d bytes, want 1 raw frame of %d bytes",
+			st.MessagesSent, st.BytesSent, len(raw))
+	}
+	if len(*got) != 1 {
+		t.Fatalf("received %d messages, want 1", len(*got))
+	}
+}
+
+// TestBatcherCloseFlushes: close drains pending queues before closing
+// the bearer.
+func TestBatcherCloseFlushes(t *testing.T) {
+	net := memnet.New(memnet.Config{Seed: 1})
+	got := collect(t, net, "lan0/b")
+	src := net.Attach("lan0/a", "lan0", nil)
+	b := transport.NewBatcher(src, net, transport.BatcherConfig{FlushDelay: time.Hour})
+
+	for i := 0; i < 4; i++ {
+		if err := b.Unicast("lan0/b", renewFrame(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	net.RunFor(10 * time.Millisecond)
+	if len(*got) != 4 {
+		t.Fatalf("received %d messages after close, want 4", len(*got))
+	}
+	if err := b.Unicast("lan0/b", renewFrame(t)); err == nil {
+		t.Fatal("send after close accepted")
+	}
+}
+
+// TestBatcherLossDropsWholeFrameOnly: a lost batch degrades to exactly
+// its own messages — neighbouring datagrams are unaffected and partial
+// corruption is impossible.
+func TestBatcherLossDropsWholeFrameOnly(t *testing.T) {
+	net := memnet.New(memnet.Config{Seed: 1, Loss: 1.0})
+	got := collect(t, net, "lan0/b")
+	src := net.Attach("lan0/a", "lan0", nil)
+	b := transport.NewBatcher(src, net, transport.BatcherConfig{FlushDelay: time.Millisecond})
+	for i := 0; i < 6; i++ {
+		if err := b.Unicast("lan0/b", renewFrame(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.RunFor(20 * time.Millisecond)
+	st := net.Stats()
+	if len(*got) != 0 {
+		t.Fatalf("received %d messages over a fully lossy link", len(*got))
+	}
+	if st.MessagesDropped != st.MessagesSent {
+		t.Fatalf("dropped %d of %d datagrams, want all", st.MessagesDropped, st.MessagesSent)
+	}
+}
+
+// TestUDPBatchRoundTrip drives the live sendmmsg/recvmmsg path (on
+// linux; the portable fallback elsewhere): a multi-destination batch
+// send must arrive intact at both receivers.
+func TestUDPBatchRoundTrip(t *testing.T) {
+	mk := func() (*udpnet.Node, chan wire.MsgType) {
+		n, err := udpnet.Listen(udpnet.Config{Bind: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		ch := make(chan wire.MsgType, 64)
+		d := wire.NewDecoder()
+		n.SetHandler(func(_ transport.Addr, data []byte) {
+			if wire.IsBatchFrame(data) {
+				_ = wire.ForEachInBatch(data, func(msg []byte) error {
+					if e, err := d.Decode(msg); err == nil {
+						ch <- e.Type
+					}
+					return nil
+				})
+				return
+			}
+			if e, err := d.Decode(data); err == nil {
+				ch <- e.Type
+			}
+		})
+		return n, ch
+	}
+	sender, _ := mk()
+	r1, ch1 := mk()
+	r2, ch2 := mk()
+
+	var msgs []transport.Outgoing
+	for i := 0; i < 8; i++ {
+		to := r1.Addr()
+		if i%2 == 1 {
+			to = r2.Addr()
+		}
+		msgs = append(msgs, transport.Outgoing{To: to, Data: renewFrame(t)})
+	}
+	batch := wire.EncodeBatch([][]byte{renewFrame(t), renewFrame(t), renewFrame(t)})
+	msgs = append(msgs, transport.Outgoing{To: r1.Addr(), Data: batch})
+	if err := sender.UnicastBatch(msgs); err != nil {
+		t.Fatal(err)
+	}
+	want1, want2 := 4+3, 4
+	deadline := time.After(5 * time.Second)
+	got1, got2 := 0, 0
+	for got1 < want1 || got2 < want2 {
+		select {
+		case ty := <-ch1:
+			if ty != wire.TRenew {
+				t.Fatalf("receiver 1 got %v", ty)
+			}
+			got1++
+		case ty := <-ch2:
+			if ty != wire.TRenew {
+				t.Fatalf("receiver 2 got %v", ty)
+			}
+			got2++
+		case <-deadline:
+			t.Fatalf("timeout: receiver1 %d/%d, receiver2 %d/%d", got1, want1, got2, want2)
+		}
+	}
+}

@@ -321,11 +321,31 @@ func (n *Network) account(data []byte) {
 	n.stats.BytesSent += uint64(len(data))
 	mSentMsgs.Inc()
 	mSentBytes.Add(uint64(len(data)))
-	if len(data) >= 4 {
-		cat := wire.CategoryOf(wire.MsgType(data[3]))
-		n.stats.ByCategory[cat].Messages++
-		n.stats.ByCategory[cat].Bytes += uint64(len(data))
+	accountCategory(data, &n.stats.ByCategory)
+}
+
+// accountCategory attributes a datagram to the protocol categories. A
+// coalesced batch frame is opened up and attributed per inner message
+// (its framing overhead stays in the total byte counters only), so the
+// category split the experiments report survives batching unchanged.
+func accountCategory(data []byte, cats *[3]CategoryStats) {
+	if len(data) < 4 {
+		return
 	}
+	if wire.IsBatchFrame(data) {
+		_ = wire.ForEachInBatch(data, func(msg []byte) error {
+			if len(msg) >= 4 {
+				cat := wire.CategoryOf(wire.MsgType(msg[3]))
+				cats[cat].Messages++
+				cats[cat].Bytes += uint64(len(msg))
+			}
+			return nil
+		})
+		return
+	}
+	cat := wire.CategoryOf(wire.MsgType(data[3]))
+	cats[cat].Messages++
+	cats[cat].Bytes += uint64(len(data))
 }
 
 func (n *Network) latency(sameLAN bool) time.Duration {
@@ -386,11 +406,7 @@ func (n *Network) scheduleDelivery(from, to *node, payload []byte, lat time.Dura
 		n.stats.MessagesDelivered++
 		mDelivered.Inc()
 		n.stats.BytesDelivered += uint64(len(payload))
-		if len(payload) >= 4 {
-			cat := wire.CategoryOf(wire.MsgType(payload[3]))
-			n.stats.DeliveredByCategory[cat].Messages++
-			n.stats.DeliveredByCategory[cat].Bytes += uint64(len(payload))
-		}
+		accountCategory(payload, &n.stats.DeliveredByCategory)
 		cur.handler(fromAddr, payload)
 	})
 }
@@ -416,6 +432,20 @@ func (i *iface) Unicast(to transport.Addr, data []byte) error {
 		return nil // best-effort, like UDP to a dead host
 	}
 	i.net.deliver(i.node, dst, data)
+	return nil
+}
+
+// UnicastBatch implements transport.BatchSender: the simulator's
+// equivalent of sendmmsg. Each element is still an independent datagram
+// with its own latency, loss and fault draws — only the send operation
+// is shared — so chaos injection stays per-datagram and a lost batch
+// frame can never corrupt its neighbours.
+func (i *iface) UnicastBatch(msgs []transport.Outgoing) error {
+	for _, m := range msgs {
+		if err := i.Unicast(m.To, m.Data); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -34,6 +34,10 @@ var (
 		"payload bytes read from the sockets")
 	mDrops = obs.NewCounter("transport.udp.drops", "count",
 		"received datagrams dropped because the executor queue was full")
+	mBatchSends = obs.NewCounter("transport.udp.batch.sendmmsg", "count",
+		"sendmmsg batch-send syscalls (linux fast path)")
+	mBatchRecvs = obs.NewCounter("transport.udp.batch.recvmmsg", "count",
+		"recvmmsg batch-receive syscalls that returned 2+ datagrams")
 )
 
 // Config configures a UDP node.
@@ -48,8 +52,8 @@ type Config struct {
 	QueueLen int
 }
 
-// Node is one live protocol endpoint. It implements transport.Iface and
-// transport.Clock.
+// Node is one live protocol endpoint. It implements transport.Iface,
+// transport.Clock and transport.BatchSender.
 type Node struct {
 	conn   *net.UDPConn
 	mconn  *net.UDPConn // multicast listener (nil when disabled)
@@ -61,6 +65,36 @@ type Node struct {
 
 	mu      sync.Mutex
 	handler transport.Handler
+
+	// rmu guards the bounded destination-address resolution cache; the
+	// renew/ack hot path sends to the same few peers over and over, so
+	// re-resolving per datagram is pure overhead.
+	rmu      sync.Mutex
+	resolved map[transport.Addr]*net.UDPAddr
+}
+
+// maxResolveCache bounds the destination resolution cache.
+const maxResolveCache = 1024
+
+// resolve returns the UDP address for a destination, caching results.
+func (n *Node) resolve(to transport.Addr) (*net.UDPAddr, error) {
+	n.rmu.Lock()
+	if a, ok := n.resolved[to]; ok {
+		n.rmu.Unlock()
+		return a, nil
+	}
+	n.rmu.Unlock()
+	dst, err := net.ResolveUDPAddr("udp", string(to))
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: destination %q: %w", to, err)
+	}
+	n.rmu.Lock()
+	if len(n.resolved) >= maxResolveCache {
+		clear(n.resolved)
+	}
+	n.resolved[to] = dst
+	n.rmu.Unlock()
+	return dst, nil
 }
 
 // Listen binds the node's sockets and starts its executor and reader
@@ -81,10 +115,11 @@ func Listen(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("udpnet: listen: %w", err)
 	}
 	n := &Node{
-		conn:   conn,
-		addr:   transport.Addr(conn.LocalAddr().String()),
-		tasks:  make(chan func(), cfg.QueueLen),
-		closed: make(chan struct{}),
+		conn:     conn,
+		addr:     transport.Addr(conn.LocalAddr().String()),
+		tasks:    make(chan func(), cfg.QueueLen),
+		closed:   make(chan struct{}),
+		resolved: make(map[transport.Addr]*net.UDPAddr),
 	}
 	if cfg.Multicast != "" {
 		group, err := net.ResolveUDPAddr("udp", cfg.Multicast)
@@ -129,30 +164,37 @@ func (n *Node) run() {
 }
 
 func (n *Node) readLoop(conn *net.UDPConn) {
+	if readLoopOS(n, conn) {
+		return // the platform batch receive loop ran until close
+	}
 	buf := make([]byte, 64*1024)
 	for {
 		sz, from, err := conn.ReadFromUDP(buf)
 		if err != nil {
 			return // closed
 		}
-		data := make([]byte, sz)
-		copy(data, buf[:sz])
-		fromAddr := transport.Addr(from.String())
-		if fromAddr == n.addr {
-			continue // our own multicast loopback
+		n.dispatch(transport.Addr(from.String()), buf[:sz])
+	}
+}
+
+// dispatch copies one received datagram and hands it to the executor.
+func (n *Node) dispatch(fromAddr transport.Addr, b []byte) {
+	if fromAddr == n.addr {
+		return // our own multicast loopback
+	}
+	data := make([]byte, len(b))
+	copy(data, b)
+	mRecvPackets.Inc()
+	mRecvBytes.Add(uint64(len(b)))
+	if !n.post(func() {
+		n.mu.Lock()
+		h := n.handler
+		n.mu.Unlock()
+		if h != nil {
+			h(fromAddr, data)
 		}
-		mRecvPackets.Inc()
-		mRecvBytes.Add(uint64(sz))
-		if !n.post(func() {
-			n.mu.Lock()
-			h := n.handler
-			n.mu.Unlock()
-			if h != nil {
-				h(fromAddr, data)
-			}
-		}) {
-			mDrops.Inc()
-		}
+	}) {
+		mDrops.Inc()
 	}
 }
 
@@ -183,9 +225,9 @@ func (n *Node) Unicast(to transport.Addr, data []byte) error {
 		return errClosed
 	default:
 	}
-	dst, err := net.ResolveUDPAddr("udp", string(to))
+	dst, err := n.resolve(to)
 	if err != nil {
-		return fmt.Errorf("udpnet: destination %q: %w", to, err)
+		return err
 	}
 	_, err = n.conn.WriteToUDP(data, dst)
 	if err == nil {
@@ -193,6 +235,35 @@ func (n *Node) Unicast(to transport.Addr, data []byte) error {
 		mSentBytes.Add(uint64(len(data)))
 	}
 	return err
+}
+
+// UnicastBatch implements transport.BatchSender: all datagrams go to
+// the network in one operation — a single sendmmsg syscall on linux,
+// a plain write loop elsewhere. Best-effort like Unicast.
+func (n *Node) UnicastBatch(msgs []transport.Outgoing) error {
+	select {
+	case <-n.closed:
+		return errClosed
+	default:
+	}
+	dsts := make([]*net.UDPAddr, len(msgs))
+	for i, m := range msgs {
+		dst, err := n.resolve(m.To)
+		if err != nil {
+			return err
+		}
+		dsts[i] = dst
+	}
+	sent := writeBatchOS(n, dsts, msgs)
+	// Whatever the fast path did not cover goes out one write at a time.
+	for i := sent; i < len(msgs); i++ {
+		if _, err := n.conn.WriteToUDP(msgs[i].Data, dsts[i]); err != nil {
+			return err
+		}
+		mSentPackets.Inc()
+		mSentBytes.Add(uint64(len(msgs[i].Data)))
+	}
+	return nil
 }
 
 // Multicast implements transport.Iface. Without a multicast group this

@@ -1,0 +1,21 @@
+//go:build !(linux && amd64)
+
+package udpnet
+
+// Portable fallbacks for platforms without the raw sendmmsg/recvmmsg
+// fast path: batch sends degrade to one write per datagram and receives
+// use the generic ReadFromUDP loop. Semantics are identical; only the
+// syscall count differs.
+
+import (
+	"net"
+
+	"semdisco/internal/transport"
+)
+
+// writeBatchOS reports zero datagrams handled, so UnicastBatch's
+// fallback loop sends each one individually.
+func writeBatchOS(*Node, []*net.UDPAddr, []transport.Outgoing) int { return 0 }
+
+// readLoopOS declines, selecting the portable read loop.
+func readLoopOS(*Node, *net.UDPConn) bool { return false }

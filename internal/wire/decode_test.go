@@ -1,0 +1,245 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"semdisco/internal/describe"
+)
+
+// derefDecoded converts a Decoder's pointer body back to its value form
+// so results compare against the value-based Unmarshal path.
+func derefDecoded(t *testing.T, b Body) Body {
+	t.Helper()
+	v := reflect.ValueOf(b)
+	if v.Kind() != reflect.Pointer {
+		t.Fatalf("decoder returned non-pointer body %T", b)
+	}
+	return v.Elem().Interface().(Body)
+}
+
+// TestDecoderMatchesUnmarshal proves the zero-alloc decode path is
+// bit-equivalent to the allocating reference path for every message
+// type, including decoder reuse across consecutive envelopes.
+func TestDecoderMatchesUnmarshal(t *testing.T) {
+	d := NewDecoder()
+	// Two passes: the second exercises fully warmed reused storage.
+	for pass := 0; pass < 2; pass++ {
+		for _, body := range allBodies() {
+			e := NewEnvelope(gen.New(), "lan0:n1", body, gen)
+			raw, err := Marshal(e)
+			if err != nil {
+				t.Fatalf("%T: marshal: %v", body, err)
+			}
+			want, err := Unmarshal(raw)
+			if err != nil {
+				t.Fatalf("%T: unmarshal: %v", body, err)
+			}
+			got, err := d.Decode(raw)
+			if err != nil {
+				t.Fatalf("%T: decode: %v", body, err)
+			}
+			gv := *got
+			gv.Body = derefDecoded(t, got.Body)
+			if !reflect.DeepEqual(&gv, want) {
+				t.Fatalf("%T decode mismatch (pass %d):\n got %#v\nwant %#v", body, pass, gv, want)
+			}
+		}
+	}
+}
+
+// TestDecoderRejectsBadInput mirrors the Unmarshal rejection cases plus
+// the batch-frame guard.
+func TestDecoderRejectsBadInput(t *testing.T) {
+	d := NewDecoder()
+	e := NewEnvelope(gen.New(), "lan0:n1", Renew{AdvertID: gen.New()}, gen)
+	raw, err := Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(raw); i++ {
+		if _, err := d.Decode(raw[:i]); err == nil {
+			t.Fatalf("truncated frame of %d bytes accepted", i)
+		}
+	}
+	bad := append([]byte{}, raw...)
+	bad[0] ^= 0xFF
+	if _, err := d.Decode(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	batch := EncodeBatch([][]byte{raw})
+	if _, err := d.Decode(batch); err == nil {
+		t.Fatal("batch frame accepted by Decode")
+	}
+	// The decoder must stay usable after errors.
+	if _, err := d.Decode(raw); err != nil {
+		t.Fatalf("decode after errors: %v", err)
+	}
+}
+
+// TestDecodeAllocs is the decode-path allocation budget: steady-state
+// decode of the hot receive types (query, advert-bearing results,
+// summaries, renews and deltas) must not allocate at all. This is the
+// receive-side mirror of TestMarshalAllocs.
+func TestDecodeAllocs(t *testing.T) {
+	frames := map[string][]byte{}
+	for name, body := range map[string]Body{
+		"query": Query{
+			QueryID: gen.New(), Kind: describe.KindSemantic, Payload: []byte{9, 9, 9, 9},
+			MaxResults: 10, TTL: 4, ReplyAddr: "lan0:c1",
+		},
+		"advert":  QueryResult{QueryID: gen.New(), Adverts: []Advertisement{sampleAdvert(), sampleAdvert()}, Complete: true},
+		"publish": Publish{Advert: sampleAdvert()},
+		"summary": Summary{Entries: []SummaryEntry{
+			{Kind: describe.KindURI, Tokens: []string{"urn:t1", "urn:t2"}},
+			{Kind: describe.KindSemantic, Tokens: []string{"http://x#Radar"}},
+		}},
+		"renew": Renew{AdvertID: gen.New()},
+		"delta": SummaryDelta{Version: 4, Base: 3, Entries: []SummaryDeltaEntry{
+			{Kind: describe.KindSemantic, Add: []string{"http://x#Radar"}, Remove: []string{"http://x#Sonar"}},
+		}},
+	} {
+		raw, err := Marshal(NewEnvelope(gen.New(), "lan0:n1", body, gen))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		frames[name] = raw
+	}
+	d := NewDecoder()
+	for name, raw := range frames {
+		// Warm the intern table and slice pools.
+		if _, err := d.Decode(raw); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, err := d.Decode(raw); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s decode: %.1f allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestDecoderInternBound proves a flood of unique strings cannot grow
+// the intern table without bound.
+func TestDecoderInternBound(t *testing.T) {
+	d := NewDecoder()
+	for i := 0; i < 3*maxInternStrings; i++ {
+		e := NewEnvelope(gen.New(), fmt.Sprintf("lan0:n%d", i), ArtifactGet{IRI: fmt.Sprintf("urn:x%d", i)}, gen)
+		raw, err := Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Decode(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(d.strs) > maxInternStrings {
+		t.Fatalf("intern table grew to %d entries (cap %d)", len(d.strs), maxInternStrings)
+	}
+}
+
+// TestBatchRoundTrip checks frame coalescing: every inner envelope comes
+// back in order and decodes, and classification helpers agree.
+func TestBatchRoundTrip(t *testing.T) {
+	var frames [][]byte
+	var want []MsgType
+	for _, body := range allBodies() {
+		raw, err := Marshal(NewEnvelope(gen.New(), "lan0:n1", body, gen))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft, ok := FrameType(raw)
+		if !ok {
+			t.Fatalf("%T: FrameType rejected a marshaled frame", body)
+		}
+		frames = append(frames, raw)
+		want = append(want, ft)
+	}
+	batch := EncodeBatch(frames)
+	if !IsBatchFrame(batch) {
+		t.Fatal("EncodeBatch output not recognized as batch frame")
+	}
+	if _, ok := FrameType(batch); ok {
+		t.Fatal("FrameType accepted a batch frame")
+	}
+	if got := BatchCount(batch); got != len(frames) {
+		t.Fatalf("BatchCount = %d, want %d", got, len(frames))
+	}
+	d := NewDecoder()
+	i := 0
+	err := ForEachInBatch(batch, func(msg []byte) error {
+		e, err := d.Decode(msg)
+		if err != nil {
+			return err
+		}
+		if e.Type != want[i] {
+			return fmt.Errorf("frame %d: type %v, want %v", i, e.Type, want[i])
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(frames) {
+		t.Fatalf("visited %d frames, want %d", i, len(frames))
+	}
+}
+
+// TestBatchRejectsMalformed: truncations, trailing garbage and absurd
+// counts must error, never panic or deliver partial corruption.
+func TestBatchRejectsMalformed(t *testing.T) {
+	raw, err := Marshal(NewEnvelope(gen.New(), "lan0:n1", Renew{AdvertID: gen.New()}, gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := EncodeBatch([][]byte{raw, raw})
+	nop := func([]byte) error { return nil }
+	for i := 0; i < len(batch); i++ {
+		if i >= batchHeaderLen {
+			if err := ForEachInBatch(batch[:i], nop); err == nil {
+				t.Fatalf("truncated batch of %d bytes accepted", i)
+			}
+		}
+	}
+	if err := ForEachInBatch(append(append([]byte{}, batch...), 0xEE), nop); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	if err := ForEachInBatch(raw, nop); err == nil {
+		t.Fatal("single-envelope frame accepted as batch")
+	}
+	huge := []byte{magic0, magic1, wireVersion, batchFrameType, 0xFF, 0xFF, 0x7F}
+	if err := ForEachInBatch(huge, nop); err == nil {
+		t.Fatal("absurd batch count accepted")
+	}
+	if BatchCount(huge) != 0 {
+		t.Fatal("BatchCount accepted absurd count")
+	}
+}
+
+// TestBatchOverhead pins the frame-size arithmetic batchers rely on for
+// flush-on-size decisions.
+func TestBatchOverhead(t *testing.T) {
+	raw, err := Marshal(NewEnvelope(gen.New(), "lan0:n1", Renew{AdvertID: gen.New()}, gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 16, 200} {
+		frames := make([][]byte, n)
+		lens := make([]int, n)
+		total := 0
+		for i := range frames {
+			frames[i] = raw
+			lens[i] = len(raw)
+			total += len(raw)
+		}
+		batch := EncodeBatch(frames)
+		if got, want := len(batch), total+BatchOverhead(n, lens); got != want {
+			t.Fatalf("n=%d: len=%d, BatchOverhead predicts %d", n, got, want)
+		}
+	}
+}

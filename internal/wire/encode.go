@@ -108,8 +108,73 @@ func Unmarshal(b []byte) (*Envelope, error) {
 	return e, nil
 }
 
-func marshalBody(w *codec.Buffer, body Body) error {
+// derefBody normalizes pointer bodies to their value form so the
+// marshal switch only has to enumerate each type once. The zero-alloc
+// Decoder emits pointer bodies (reused across envelopes); constructors
+// and tests still build value bodies, and both must marshal.
+func derefBody(body Body) Body {
 	switch b := body.(type) {
+	case *Probe:
+		return *b
+	case *ProbeMatch:
+		return *b
+	case *Beacon:
+		return *b
+	case *Bye:
+		return *b
+	case *Ping:
+		return *b
+	case *Pong:
+		return *b
+	case *PeerExchange:
+		return *b
+	case *Summary:
+		return *b
+	case *GatewayClaim:
+		return *b
+	case *Publish:
+		return *b
+	case *PublishAck:
+		return *b
+	case *Renew:
+		return *b
+	case *RenewAck:
+		return *b
+	case *Remove:
+		return *b
+	case *AdvertForward:
+		return *b
+	case *Query:
+		return *b
+	case *QueryResult:
+		return *b
+	case *PeerQuery:
+		return *b
+	case *ArtifactGet:
+		return *b
+	case *ArtifactData:
+		return *b
+	case *Subscribe:
+		return *b
+	case *SubscribeAck:
+		return *b
+	case *Unsubscribe:
+		return *b
+	case *ArtifactPut:
+		return *b
+	case *ArtifactPutAck:
+		return *b
+	case *SummaryDelta:
+		return *b
+	case *SummaryAck:
+		return *b
+	default:
+		return body
+	}
+}
+
+func marshalBody(w *codec.Buffer, body Body) error {
+	switch b := derefBody(body).(type) {
 	case Probe, Bye:
 		// empty bodies
 	case Ping:
@@ -196,6 +261,19 @@ func marshalBody(w *codec.Buffer, body Body) error {
 	case ArtifactPutAck:
 		w.String(b.IRI)
 		w.Bool(b.OK)
+	case SummaryDelta:
+		w.Uvarint(b.Version)
+		w.Uvarint(b.Base)
+		w.Bool(b.Full)
+		w.Uvarint(uint64(len(b.Entries)))
+		for _, en := range b.Entries {
+			w.Byte(byte(en.Kind))
+			w.StringSlice(en.Add)
+			w.StringSlice(en.Remove)
+		}
+	case SummaryAck:
+		w.Uvarint(b.Version)
+		w.Bool(b.Resync)
 	default:
 		return fmt.Errorf("wire: cannot marshal body type %T", body)
 	}
@@ -464,6 +542,51 @@ func unmarshalBody(r *codec.Reader, t MsgType) (Body, error) {
 			return nil, err
 		}
 		if b.OK, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		return b, nil
+	case TSummaryDelta:
+		var b SummaryDelta
+		var err error
+		if b.Version, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if b.Base, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if b.Full, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		n, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("wire: delta entry count %d exceeds payload", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			k, err := r.Byte()
+			if err != nil {
+				return nil, err
+			}
+			add, err := r.StringSlice()
+			if err != nil {
+				return nil, err
+			}
+			rem, err := r.StringSlice()
+			if err != nil {
+				return nil, err
+			}
+			b.Entries = append(b.Entries, SummaryDeltaEntry{Kind: describe.Kind(k), Add: add, Remove: rem})
+		}
+		return b, nil
+	case TSummaryAck:
+		var b SummaryAck
+		var err error
+		if b.Version, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if b.Resync, err = r.Bool(); err != nil {
 			return nil, err
 		}
 		return b, nil

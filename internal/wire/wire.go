@@ -104,11 +104,23 @@ const (
 	TArtifactPut
 	// TArtifactPutAck confirms an upload.
 	TArtifactPutAck
+
+	// --- registry network maintenance (appended; type bytes on the wire
+	// must stay stable, so new types extend the end of the space) ---
+
+	// TSummaryDelta carries an incremental advertisement-summary update:
+	// token add/remove lists since the receiver's last acknowledged
+	// version, or a full snapshot for (re)synchronization.
+	TSummaryDelta
+	// TSummaryAck acknowledges the summary version a receiver has
+	// applied, optionally demanding a full resync.
+	TSummaryAck
 )
 
-// String names the message type.
-func (t MsgType) String() string {
-	names := map[MsgType]string{
+// msgTypeNames is package-level so String stays allocation-free on the
+// zero-alloc decode path (it is evaluated for every frame's trailing
+// bounds check).
+var msgTypeNames = map[MsgType]string{
 		TProbe: "probe", TProbeMatch: "probe-match", TBeacon: "beacon",
 		TBye: "bye", TPing: "ping", TPong: "pong",
 		TPeerExchange: "peer-exchange", TSummary: "summary",
@@ -119,9 +131,13 @@ func (t MsgType) String() string {
 		TPeerQuery: "peer-query", TArtifactGet: "artifact-get",
 		TArtifactData: "artifact-data", TSubscribe: "subscribe",
 		TSubscribeAck: "subscribe-ack", TUnsubscribe: "unsubscribe",
-		TArtifactPut: "artifact-put", TArtifactPutAck: "artifact-put-ack",
-	}
-	if n, ok := names[t]; ok {
+	TArtifactPut: "artifact-put", TArtifactPutAck: "artifact-put-ack",
+	TSummaryDelta: "summary-delta", TSummaryAck: "summary-ack",
+}
+
+// String names the message type.
+func (t MsgType) String() string {
+	if n, ok := msgTypeNames[t]; ok {
 		return n
 	}
 	return fmt.Sprintf("msgtype(%d)", uint8(t))
@@ -155,7 +171,7 @@ func (c Category) String() string {
 // CategoryOf maps a message type to its operation category.
 func CategoryOf(t MsgType) Category {
 	switch {
-	case t >= TProbe && t <= TGatewayClaim:
+	case t >= TProbe && t <= TGatewayClaim, t == TSummaryDelta, t == TSummaryAck:
 		return CatMaintenance
 	case t >= TPublish && t <= TAdvertForward:
 		return CatPublishing
@@ -429,6 +445,40 @@ type ArtifactPutAck struct {
 	OK  bool
 }
 
+// SummaryDeltaEntry carries one model's summary-token changes.
+type SummaryDeltaEntry struct {
+	Kind describe.Kind
+	// Add lists tokens newly present in the sender's summary.
+	Add []string
+	// Remove lists tokens no longer present (tombstones); empty in full
+	// snapshots.
+	Remove []string
+}
+
+// SummaryDelta body: an incremental registry summary (the §4.9 summary
+// gossip made delta-aware). A delta applies only on top of exactly the
+// receiver's current version (Base); otherwise the receiver answers
+// with a Resync ack and the sender falls back to a full snapshot
+// (Full=true, Base ignored, Remove lists empty).
+type SummaryDelta struct {
+	// Version is the sender's summary version after this delta.
+	Version uint64
+	// Base is the version this delta applies on top of.
+	Base uint64
+	// Full marks a complete snapshot for initial sync or resync.
+	Full bool
+	// Entries lists the per-kind token changes (full: current tokens).
+	Entries []SummaryDeltaEntry
+}
+
+// SummaryAck body: the summary version the receiver has applied. Resync
+// asks the sender for a full snapshot when a delta could not be applied
+// (receiver restart, or a gap beyond the sender's delta history).
+type SummaryAck struct {
+	Version uint64
+	Resync  bool
+}
+
 func (Probe) msgType() MsgType          { return TProbe }
 func (ProbeMatch) msgType() MsgType     { return TProbeMatch }
 func (Beacon) msgType() MsgType         { return TBeacon }
@@ -454,6 +504,8 @@ func (SubscribeAck) msgType() MsgType   { return TSubscribeAck }
 func (Unsubscribe) msgType() MsgType    { return TUnsubscribe }
 func (ArtifactPut) msgType() MsgType    { return TArtifactPut }
 func (ArtifactPutAck) msgType() MsgType { return TArtifactPutAck }
+func (SummaryDelta) msgType() MsgType   { return TSummaryDelta }
+func (SummaryAck) msgType() MsgType     { return TSummaryAck }
 
 // NewEnvelope wraps a body with sender identity and a fresh message ID
 // drawn from gen.

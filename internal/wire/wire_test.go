@@ -63,6 +63,15 @@ func allBodies() []Body {
 		Unsubscribe{SubID: gen.New()},
 		ArtifactPut{IRI: "urn:custom", Data: []byte("doc")},
 		ArtifactPutAck{IRI: "urn:custom", OK: true},
+		SummaryDelta{Version: 9, Base: 8, Entries: []SummaryDeltaEntry{
+			{Kind: describe.KindSemantic, Add: []string{"http://x#Radar"}, Remove: []string{"http://x#Sonar"}},
+			{Kind: describe.KindURI, Add: []string{"urn:t3"}},
+		}},
+		SummaryDelta{Version: 1, Full: true, Entries: []SummaryDeltaEntry{
+			{Kind: describe.KindURI, Add: []string{"urn:t1", "urn:t2"}},
+		}},
+		SummaryAck{Version: 9},
+		SummaryAck{Version: 3, Resync: true},
 	}
 }
 

@@ -4,7 +4,7 @@
 # runtime metric snapshot (plan-cache hit rates, match-cache hit rates,
 # scan counts — see OBSERVABILITY.md) is stored under the "obs" key.
 #
-# Usage: scripts/bench.sh [registry|match|chaos|qcache|scale|wal] [benchtime]
+# Usage: scripts/bench.sh [registry|match|chaos|qcache|scale|wal|wire] [benchtime]
 #   registry (default) -> BENCH_registry.json (registry store/evaluate)
 #   match              -> BENCH_match.json (matchmaking + subsumption +
 #                         wire encode, incl. compiled-vs-maps baselines)
@@ -23,13 +23,17 @@
 #                         group commit, and cold-boot recovery from the
 #                         log vs a compacted snapshot at 10^4..10^6
 #                         adverts; the E20 table)
+#   wire               -> BENCH_wire.json (transport throughput pipeline:
+#                         zero-alloc decode rates, renews/s through the
+#                         datagram coalescer vs unbatched, and the E21
+#                         batching + delta-summary tables)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 MODE="registry"
 case "${1:-}" in
-registry | match | chaos | qcache | scale | wal)
+registry | match | chaos | qcache | scale | wal | wire)
     MODE="$1"
     shift
     ;;
@@ -60,6 +64,10 @@ scale)
 wal)
     OUT="BENCH_wal.json"
     PATTERN='BenchmarkWALPublish|BenchmarkWALRecover|BenchmarkE20Durability'
+    ;;
+wire)
+    OUT="BENCH_wire.json"
+    PATTERN='BenchmarkWireDecode|BenchmarkBatchRenews|BenchmarkE21'
     ;;
 esac
 
