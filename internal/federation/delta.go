@@ -12,8 +12,8 @@ package federation
 //
 // Acks are datagrams and may arrive out of order; the sender's
 // per-peer acked version only moves forward (the one exception being
-// an ack that names the exact version of the last full resync, which
-// is a fresh synchronization point — see handleSummaryAck).
+// the first ack that names the exact version of the last full resync,
+// which is a fresh synchronization point — see handleSummaryAck).
 
 import (
 	"sort"
@@ -272,7 +272,10 @@ func (r *Registry) handleSummaryDelta(from wire.NodeID, addr transport.Addr, d *
 // guard is strictly monotonic so a late, out-of-order ack can never
 // regress the vector — except an ack naming the last full resync's
 // exact version, which re-anchors a peer after this sender's version
-// space moved backwards (restart).
+// space moved backwards (restart). That re-anchor is one-shot: the
+// first ack at or past the full's version clears it, so a delayed
+// duplicate of the same ack cannot drag ackedVersion backwards again
+// and trigger a needless delta/stale/resync cycle.
 func (r *Registry) handleSummaryAck(from wire.NodeID, a *wire.SummaryAck) {
 	p, ok := r.peers[from]
 	if !ok {
@@ -285,6 +288,9 @@ func (r *Registry) handleSummaryAck(from wire.NodeID, a *wire.SummaryAck) {
 	}
 	if a.Version > p.ackedVersion || (a.Version == p.lastFullVersion && p.lastFullVersion != 0) {
 		p.ackedVersion = a.Version
+	}
+	if p.lastFullVersion != 0 && a.Version >= p.lastFullVersion {
+		p.lastFullVersion = 0
 	}
 }
 

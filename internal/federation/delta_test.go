@@ -156,6 +156,17 @@ func TestDeltaAckMonotonic(t *testing.T) {
 	if p.ackedVersion != 2 {
 		t.Fatalf("ackedVersion = %d after full-resync ack, want 2", p.ackedVersion)
 	}
+	// ...and it is one-shot: once the peer has acked at or past the full,
+	// a delayed duplicate of that same ack must not re-anchor backwards
+	// (that would trigger a needless delta/stale/resync cycle).
+	r1.handleSummaryAck(r2.ID(), &wire.SummaryAck{Version: 4})
+	if p.ackedVersion != 4 {
+		t.Fatalf("ackedVersion = %d after post-resync ack, want 4", p.ackedVersion)
+	}
+	r1.handleSummaryAck(r2.ID(), &wire.SummaryAck{Version: 2}) // duplicate of the resync ack
+	if p.ackedVersion != 4 {
+		t.Fatalf("ackedVersion = %d after duplicate full-resync ack, want 4", p.ackedVersion)
+	}
 }
 
 // TestDeltaMergeNetsOut: a token added and removed between two acks

@@ -128,9 +128,13 @@ type WALConfig struct {
 	// to pick its shard — so concurrent mutations on different registry
 	// stripes stop serializing on one WAL lock. 0 or 1 (the default)
 	// keeps the single-stream append path; values above 1 are rounded up
-	// to a power of two. The on-disk layout is identical either way:
-	// drains merge the staged frames back into strict LSN order, so a
-	// directory written by one mode recovers under the other.
+	// to a power of two. Any value is correct against any store shard
+	// count (stripes sharing a stream contend but each stream stays
+	// LSN-ascending, which is all the drain merge needs); matching the
+	// shard count merely maximizes append concurrency. The on-disk
+	// layout is identical either way: drains merge the staged frames
+	// back into strict LSN order, so a directory written by one mode
+	// recovers under the other.
 	AppendStreams int
 }
 
@@ -183,15 +187,21 @@ type WAL struct {
 	syncErr error // sticky: a failed barrier poisons all later ones
 
 	// Sharded append mode (WALConfig.AppendStreams > 1). Appenders take
-	// rot.RLock, draw an LSN from alsn, and stage their frame in the
-	// stream picked by the record's ID — so appends on different registry
-	// stripes never touch the same lock. Drains (group-commit barriers,
-	// rotation, Close) take rot.Lock, which excludes every appender, and
-	// merge the staged frames into the segment writer in LSN order —
-	// restoring the exact single-stream on-disk layout. Lock order:
-	// rot before mu before stream.mu; mu never acquires the others.
+	// rot.RLock, then — under the mutex of the stream picked by the
+	// record's ID — draw an LSN from alsn and stage their frame, so
+	// appends on different registry stripes never touch the same lock.
+	// Drawing the LSN under the stream mutex is what keeps each stream
+	// LSN-ascending even when two appenders share one (more stripes than
+	// streams); the drain merge depends on that. Drains (group-commit
+	// barriers, rotation, Close) take rot.Lock, which excludes every
+	// appender, and merge the staged frames into the segment writer in
+	// LSN order — restoring the exact single-stream on-disk layout.
+	// The last stream is reserved for keyless records (expiry and prune
+	// sweeps), serialized against each other but never against keyed
+	// appenders. Lock order: rot before mu before stream.mu; mu never
+	// acquires the others.
 	rot        sync.RWMutex
-	streams    []*walStream // nil = single-stream mode
+	streams    []*walStream // nil = single-stream mode; last entry is the global stream
 	streamMask uint32
 	alsn       atomic.Uint64 // last assigned LSN (sharded mode)
 	sinceSnapA atomic.Int64  // sharded twin of sinceSnap
@@ -295,7 +305,8 @@ func Recover(cfg WALConfig) (*Store, *WAL, RecoveryStats, error) {
 		for n < cfg.AppendStreams {
 			n <<= 1
 		}
-		w.streams = make([]*walStream, n)
+		// n keyed streams plus one reserved for global (keyless) records.
+		w.streams = make([]*walStream, n+1)
 		for i := range w.streams {
 			w.streams[i] = new(walStream)
 		}
@@ -389,12 +400,9 @@ func (w *WAL) openSegmentLocked(firstLSN uint64) error {
 
 // streamKey routes an ID-keyed record to its append stream with the
 // same prefix the store's shardFor uses, so the goroutine holding a
-// registry stripe's lock is the only appender on that stream.
+// registry stripe's lock is usually the only appender on that stream
+// (shards sharing a stream merely contend, they stay correct).
 func streamKey(id uuid.UUID) uint32 { return binary.BigEndian.Uint32(id[:4]) }
-
-// walGlobalKey routes records with no key (expiry sweeps) to stream 0;
-// the LSN merge at drain time keeps them ordered against everything.
-const walGlobalKey uint32 = 0
 
 // append assigns the next LSN and buffers one framed record; build
 // writes the payload (type byte, LSN, fields). The caller holds the
@@ -402,8 +410,24 @@ const walGlobalKey uint32 = 0
 // order per key; nothing here may touch the disk beyond bufio.
 func (w *WAL) append(key uint32, build func(lsn uint64, b *codec.Buffer)) uint64 {
 	if w.streams != nil {
-		return w.appendSharded(key, build)
+		return w.appendSharded(int(key&w.streamMask), build)
 	}
+	return w.appendSingle(build)
+}
+
+// appendGlobal buffers a record with no routing key (expiry and prune
+// sweeps). In sharded mode these get the reserved last stream: global
+// records serialize against each other there, and the LSN merge at
+// drain time orders them against every keyed record.
+func (w *WAL) appendGlobal(build func(lsn uint64, b *codec.Buffer)) uint64 {
+	if w.streams != nil {
+		return w.appendSharded(len(w.streams)-1, build)
+	}
+	return w.appendSingle(build)
+}
+
+// appendSingle is the single-stream append path, serialized on w.mu.
+func (w *WAL) appendSingle(build func(lsn uint64, b *codec.Buffer)) uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.lsn++
@@ -444,16 +468,26 @@ func (w *WAL) append(key uint32, build func(lsn uint64, b *codec.Buffer)) uint64
 var walBufPool = sync.Pool{New: func() any { return new(codec.Buffer) }}
 
 // appendSharded is the contention-free append path: an LSN from the
-// atomic counter, the frame staged under the stream's own lock. Staging
-// is pure memory, so it cannot fail; a record staged after Close or
-// crash is simply never drained — the same loss a real kill inflicts on
-// an unflushed bufio buffer, and by then appendErr already reports the
-// WAL unusable to Sync callers.
-func (w *WAL) appendSharded(key uint32, build func(lsn uint64, b *codec.Buffer)) uint64 {
+// atomic counter, the frame staged under the stream's own lock. The LSN
+// is drawn while that lock is held — two appenders racing on a shared
+// stream (stripes mapped to the same stream, never globals vs keyed)
+// would otherwise stage frames inverted, and the drain merge, which
+// trusts each stream to be LSN-ascending, would write a log that
+// replays an expiry sweep ahead of a renewal it observed. Staging is
+// pure memory, so it cannot fail; a record staged after Close or crash
+// is simply never drained — the same loss a real kill inflicts on an
+// unflushed bufio buffer, and by then appendErr already reports the WAL
+// unusable to Sync callers.
+func (w *WAL) appendSharded(idx int, build func(lsn uint64, b *codec.Buffer)) uint64 {
+	b := walBufPool.Get().(*codec.Buffer)
 	w.rot.RLock()
+	s := w.streams[idx]
+	s.mu.Lock()
 	lsn := w.alsn.Add(1)
 	if w.closedA.Load() {
+		s.mu.Unlock()
 		w.rot.RUnlock()
+		walBufPool.Put(b)
 		w.mu.Lock()
 		if w.appendErr == nil {
 			w.appendErr = ErrWALClosed
@@ -461,15 +495,12 @@ func (w *WAL) appendSharded(key uint32, build func(lsn uint64, b *codec.Buffer))
 		w.mu.Unlock()
 		return lsn
 	}
-	b := walBufPool.Get().(*codec.Buffer)
 	b.Reset()
 	build(lsn, b)
 	payload := b.Bytes()
 	var hdr [walFrameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	s := w.streams[key&w.streamMask]
-	s.mu.Lock()
 	s.buf = append(s.buf, hdr[:]...)
 	s.buf = append(s.buf, payload...)
 	s.mu.Unlock()
@@ -600,7 +631,7 @@ func (w *WAL) AppendUnsubscribe(id uuid.UUID) uint64 {
 
 // AppendExpire implements Backend.
 func (w *WAL) AppendExpire(through time.Time) uint64 {
-	return w.append(walGlobalKey, func(lsn uint64, b *codec.Buffer) {
+	return w.appendGlobal(func(lsn uint64, b *codec.Buffer) {
 		b.Byte(recExpire)
 		b.Uvarint(lsn)
 		b.Varint(through.UnixNano())
@@ -609,7 +640,7 @@ func (w *WAL) AppendExpire(through time.Time) uint64 {
 
 // AppendPruneSubs implements Backend.
 func (w *WAL) AppendPruneSubs(now time.Time) uint64 {
-	return w.append(walGlobalKey, func(lsn uint64, b *codec.Buffer) {
+	return w.appendGlobal(func(lsn uint64, b *codec.Buffer) {
 		b.Byte(recPruneSubs)
 		b.Uvarint(lsn)
 		b.Varint(now.UnixNano())

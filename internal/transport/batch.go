@@ -49,9 +49,10 @@ type BatcherConfig struct {
 	// MaxMessages flushes a destination's queue when it reaches this
 	// many messages (bounded by wire.MaxBatchMessages); default 32.
 	MaxMessages int
-	// MaxBytes flushes a destination's queue when its coalesced frame
-	// would reach this size, and bypasses batching for any single
-	// message at least this large; default 1400 (one Ethernet MTU).
+	// MaxBytes bounds the coalesced datagram: a queue is flushed before
+	// accepting a frame that would push the batch — framing overhead
+	// included — past this size, and any single message at least this
+	// large bypasses batching; default 1400 (one Ethernet MTU).
 	MaxBytes int
 	// FlushDelay bounds how long an eligible message may wait for
 	// companions; default 2ms.
@@ -120,7 +121,8 @@ type Batcher struct {
 
 type batchQueue struct {
 	frames [][]byte
-	bytes  int
+	bytes  int // payload bytes queued
+	prefix int // per-frame uvarint length prefixes a batch frame would add
 }
 
 // NewBatcher wraps inner with coalescing. The clock schedules deadline
@@ -159,19 +161,42 @@ func (b *Batcher) Unicast(to Addr, data []byte) error {
 		b.queues[to] = q
 		b.order = append(b.order, to)
 	}
+	// Flush-before-append: if coalescing data into the waiting frames
+	// would push the batch datagram — framing overhead included — past
+	// MaxBytes, the queue goes out now and data starts the next batch,
+	// so a coalesced datagram never exceeds the MTU bound.
+	var spill [][]byte
+	if len(q.frames) > 0 &&
+		q.bytes+q.prefix+len(data)+wire.UvarintLen(uint64(len(data)))+
+			wire.BatchOverhead(len(q.frames)+1, nil) > b.cfg.MaxBytes {
+		spill = q.frames
+		q.frames, q.bytes, q.prefix = nil, 0, 0
+		mBatchFlushSize.Inc()
+	}
 	q.frames = append(q.frames, data)
 	q.bytes += len(data)
+	q.prefix += wire.UvarintLen(uint64(len(data)))
 	mBatchQueued.Inc()
-	if len(q.frames) >= b.cfg.MaxMessages || q.bytes >= b.cfg.MaxBytes {
+	if len(q.frames) >= b.cfg.MaxMessages {
 		out := b.takeLocked(to)
 		mBatchFlushSize.Inc()
 		b.mu.Unlock()
-		return b.inner.Unicast(to, coalesce(out))
+		var err error
+		if spill != nil {
+			err = b.inner.Unicast(to, coalesce(spill))
+		}
+		if e := b.inner.Unicast(to, coalesce(out)); err == nil {
+			err = e
+		}
+		return err
 	}
 	if b.timer == nil {
 		b.timer = b.clock.After(b.cfg.FlushDelay, b.onDeadline)
 	}
 	b.mu.Unlock()
+	if spill != nil {
+		return b.inner.Unicast(to, coalesce(spill))
+	}
 	return nil
 }
 
@@ -202,12 +227,17 @@ func coalesce(frames [][]byte) []byte {
 	return wire.EncodeBatch(frames)
 }
 
-// onDeadline flushes every queue when the flush-delay timer fires.
+// onDeadline flushes every queue when the flush-delay timer fires. The
+// deadline counter moves only when the drain finds something waiting;
+// a timer that fires after size flushes emptied every queue is not a
+// deadline flush.
 func (b *Batcher) onDeadline() {
 	b.mu.Lock()
 	b.timer = nil
-	mBatchFlushDeadline.Inc()
 	outs := b.drainLocked()
+	if len(outs) > 0 {
+		mBatchFlushDeadline.Inc()
+	}
 	b.mu.Unlock()
 	b.send(outs)
 }

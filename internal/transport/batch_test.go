@@ -120,6 +120,47 @@ func TestBatcherSizeFlush(t *testing.T) {
 	}
 }
 
+// TestBatcherRespectsMaxBytes: a coalesced datagram never exceeds
+// MaxBytes, framing overhead included — a frame that would push the
+// batch past the bound flushes the queue first and starts the next
+// batch, instead of riding along and fragmenting at the IP layer.
+func TestBatcherRespectsMaxBytes(t *testing.T) {
+	net := memnet.New(memnet.Config{Seed: 1})
+	src := net.Attach("lan0/a", "lan0", nil)
+	var sizes []int
+	net.Attach("lan0/b", "lan0", func(_ transport.Addr, data []byte) {
+		sizes = append(sizes, len(data))
+	})
+	raw := renewFrame(t)
+	// Two frames fit a solo datagram each but not one batch: every
+	// coalesced send must stay under the bound, so each flush carries
+	// exactly one frame.
+	maxBytes := 2 * len(raw)
+	b := transport.NewBatcher(src, net, transport.BatcherConfig{
+		MaxBytes: maxBytes, FlushDelay: time.Millisecond,
+	})
+	const n = 6
+	for i := 0; i < n; i++ {
+		if err := b.Unicast("lan0/b", raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.RunFor(20 * time.Millisecond)
+	if len(sizes) < 2 {
+		t.Fatalf("received %d datagrams, want the queue split across several", len(sizes))
+	}
+	total := 0
+	for _, s := range sizes {
+		if s > maxBytes {
+			t.Fatalf("datagram of %d bytes exceeds MaxBytes %d", s, maxBytes)
+		}
+		total += s
+	}
+	if total < n*len(raw) {
+		t.Fatalf("received %d bytes total, want at least %d (no frame lost to the split)", total, n*len(raw))
+	}
+}
+
 // TestBatcherBypassesIneligible: conversation-opening messages are
 // never delayed.
 func TestBatcherBypassesIneligible(t *testing.T) {

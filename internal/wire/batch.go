@@ -76,14 +76,17 @@ func EncodeBatch(frames [][]byte) []byte {
 // payload bytes adds over sending the frames back to back; batchers use
 // it for flush-on-size accounting without encoding twice.
 func BatchOverhead(n int, frameLens []int) int {
-	over := batchHeaderLen + uvarintLen(uint64(n))
+	over := batchHeaderLen + UvarintLen(uint64(n))
 	for _, l := range frameLens {
-		over += uvarintLen(uint64(l))
+		over += UvarintLen(uint64(l))
 	}
 	return over
 }
 
-func uvarintLen(v uint64) int {
+// UvarintLen returns the encoded size of v as a uvarint. Batchers use it
+// with BatchOverhead to account for a candidate frame's length prefix
+// incrementally, without re-walking their queues.
+func UvarintLen(v uint64) int {
 	n := 1
 	for v >= 0x80 {
 		v >>= 7
