@@ -3,7 +3,7 @@ GO ?= go
 # local runs use whatever `staticcheck` is on PATH (skipped if absent).
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: build test race vet lint bench bench-match bench-chaos bench-qcache bench-scale bench-wal bench-wire chaos docs-check
+.PHONY: build test race vet lint bench bench-match bench-chaos bench-qcache bench-scale bench-wal bench-wire bench-fed chaos docs-check
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,7 @@ bench-match:
 # tests plus the partition-heal, dup-storm and soak scenarios.
 chaos:
 	$(GO) test -race -run 'TestFault|TestProbation|TestChaos|TestRetryBackoff|TestStopCancels|TestFallback' ./internal/transport/memnet/... ./internal/discovery/... ./internal/node/... ./internal/integration/...
+	$(GO) test -race -run 'TestDirectory' ./internal/federation/...
 	$(GO) run ./cmd/simdisco -chaos
 
 # Fault-sweep benchmarks (availability/latency degradation curves);
@@ -68,6 +69,12 @@ bench-wal:
 # delta-summary tables); emits BENCH_wire.json.
 bench-wire:
 	sh scripts/bench.sh wire
+
+# Hierarchical federation benchmarks (E22 directory sweep: 10..500
+# domains, convergence time/WAN bytes, cross-domain query latency,
+# churn reconvergence); emits BENCH_fed.json.
+bench-fed:
+	sh scripts/bench.sh fed
 
 # Fails when OBSERVABILITY.md drifts from the metrics registered in code.
 docs-check:

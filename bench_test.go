@@ -16,8 +16,8 @@ import (
 	"os"
 	stdruntime "runtime"
 	"strconv"
-	"sync/atomic"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -54,6 +54,16 @@ func cell(tab *metrics.Table, row, col int) float64 {
 		return -1
 	}
 	return v
+}
+
+// cellDur parses a duration-rendered cell (e.g. "44ms") into
+// milliseconds for ReportMetric.
+func cellDur(tab *metrics.Table, row, col int) float64 {
+	d, err := time.ParseDuration(tab.Row(row)[col])
+	if err != nil {
+		return -1
+	}
+	return float64(d) / float64(time.Millisecond)
 }
 
 func BenchmarkE1TopologyBandwidth(b *testing.B) {
@@ -1209,4 +1219,18 @@ func BenchmarkE21Deltas(b *testing.B) {
 	}
 	reportTable(b, tab)
 	b.ReportMetric(cell(tab, 1, 3), "delta-reduction-1e3")
+}
+
+// BenchmarkE22Federation regenerates the hierarchical multi-domain
+// directory sweep (10 → 500 domains); the headlines are the WAN bytes
+// directory convergence costs and the cross-domain query latency at the
+// top of the sweep.
+func BenchmarkE22Federation(b *testing.B) {
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E22Federation([]int{10, 100, 500}, benchSeed)
+	}
+	reportTable(b, tab)
+	b.ReportMetric(cell(tab, 2, 2), "conv-KB-500dom")
+	b.ReportMetric(cellDur(tab, 2, 3), "xq-latency-ms-500dom")
 }

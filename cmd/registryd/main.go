@@ -50,6 +50,9 @@ func main() {
 		push      = flag.Bool("push", false, "replicate advertisements to peer registries")
 		summary   = flag.Bool("summaries", false, "gossip advertisement summaries and prune forwarding")
 		gateway   = flag.Bool("gateway", false, "coordinate one WAN gateway per LAN")
+		role      = flag.String("role", "standalone", "federation role: standalone, federated (domain gateway), or root (registry of registries)")
+		domain    = flag.String("domain", "", "federation namespace this gateway fronts (required with -role federated)")
+		rootAddr  = flag.String("root", "", "root registry address for directory-miss escalation")
 		leaseMax  = flag.Duration("lease-max", 10*time.Minute, "maximum granted lease")
 		leaseDef  = flag.Duration("lease-default", 30*time.Second, "default granted lease")
 		beacon    = flag.Duration("beacon", 5*time.Second, "beacon interval")
@@ -126,11 +129,21 @@ func main() {
 	if *verbose {
 		env.Trace = func(format string, args ...any) { log.Printf("trace: "+format, args...) }
 	}
+	parsedRole, ok := federation.ParseRole(*role)
+	if !ok {
+		log.Fatalf("registryd: unknown -role %q (want standalone, federated or root)", *role)
+	}
+	if parsedRole == federation.RoleFederated && *domain == "" {
+		log.Fatal("registryd: -role federated requires -domain")
+	}
 	cfg := federation.Config{
 		BeaconInterval:      *beacon,
 		PushReplication:     *push,
 		SummaryPruning:      *summary,
 		GatewayCoordination: *gateway,
+		Role:                parsedRole,
+		Domain:              *domain,
+		RootAddr:            *rootAddr,
 		ReadWorkers:         *readers,
 		ResultCacheSize:     *rcacheLen,
 		ResultCacheMaxTTL:   *rcacheTTL,

@@ -201,6 +201,7 @@ func runQuery(nodeio *udpnet.Node, env *runtime.Env, seeds []string, args []stri
 	scope := fs.Uint("scope", 0, "WAN forwarding TTL")
 	best := fs.Bool("best", false, "return only the best match")
 	max := fs.Int("max", 0, "max results (0 = registry default)")
+	domain := fs.String("domain", "", "pin the query to a federation namespace (resolved via the domain directory instead of the WAN flood)")
 	fs.Parse(args)
 	if *category == "" {
 		log.Fatal("sdctl query: -category is required")
@@ -213,6 +214,7 @@ func runQuery(nodeio *udpnet.Node, env *runtime.Env, seeds []string, args []stri
 		cli.Query(node.QuerySpec{
 			Kind: describe.KindSemantic, Payload: q.Encode(),
 			TTL: uint8(*scope), BestOnly: *best, MaxResults: *max,
+			Domain: *domain,
 		}, func(r node.QueryResult) { done <- r })
 	})
 	select {

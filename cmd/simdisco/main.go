@@ -98,6 +98,9 @@ func catalog() []experiment {
 		{"E21b", "incremental summaries (delta vs full)", func(s int64) *metrics.Table {
 			return experiments.E21Deltas([]int{100, 1_000, 10_000}, s)
 		}},
+		{"E22", "hierarchical federation (domain directory sweep)", func(s int64) *metrics.Table {
+			return experiments.E22Federation([]int{10, 50, 150, 500}, s)
+		}},
 	}
 }
 

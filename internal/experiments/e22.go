@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"semdisco/internal/describe"
+	"semdisco/internal/federation"
+	"semdisco/internal/metrics"
+	"semdisco/internal/node"
+	"semdisco/internal/sim"
+	"semdisco/internal/transport/memnet"
+	"semdisco/internal/wire"
+)
+
+// E22Federation measures the hierarchical multi-domain directory at
+// scale: N single-gateway domains hang off one root registry, every
+// gateway announces its namespace into the gossiped directory, and the
+// sweep reports (a) how long the registry-of-registries takes to
+// converge on all N domains, (b) the WAN bytes that convergence costs,
+// (c) the latency of a domain-pinned cross-domain query once converged
+// (directory lookup → direct forward, no WAN flood), and (d) how long
+// the surviving directory takes to reconverge after ~10% of the domains
+// depart at once (tombstone propagation under churn).
+func E22Federation(domainCounts []int, seed int64) *metrics.Table {
+	t := metrics.NewTable("E22 hierarchical federation (directory sweep)",
+		"domains", "converge", "convKB", "xq latency", "churn", "reconverge")
+	for _, n := range domainCounts {
+		r := runE22(n, seed)
+		t.AddRow(n, fmtDur(r.converge), r.convKB, fmtDur(r.queryLatency),
+			r.churned, fmtDur(r.reconverge))
+	}
+	t.AddNote("star topology: every domain gateway seeds the root; 1s directory " +
+		"gossip; converge = all gateways hold all domains; convKB = maintenance " +
+		"bytes delivered until then; xq latency = client query pinned to the " +
+		"farthest domain after convergence; churn departs ~10%% of gateways and " +
+		"reconverge = survivors all hold their tombstones")
+	return t
+}
+
+type e22Result struct {
+	converge     time.Duration
+	convKB       float64
+	queryLatency time.Duration
+	churned      int
+	reconverge   time.Duration
+}
+
+func runE22(n int, seed int64) e22Result {
+	w := sim.NewWorld(sim.Config{Seed: seed, Net: memnetJitter()})
+	rootCfg := e22Cfg(federation.RoleRoot, "core")
+	// The root is the registry of registries: its peer table must hold
+	// every domain gateway, or eviction churn degrades directory gossip
+	// into per-readd full resyncs (most re-added peers are evicted again
+	// before the next gossip tick even reaches them).
+	rootCfg.MaxPeers = n + 16
+	root := w.AddRegistry("wan", "root", rootCfg)
+	gws := make([]*sim.RegistryHandle, n)
+	for i := range gws {
+		cfg := e22Cfg(federation.RoleFederated, e22Domain(i))
+		cfg.Seeds = []wire.PeerInfo{root.PeerInfo()}
+		cfg.RootAddr = string(root.Addr)
+		gws[i] = w.AddRegistry(fmt.Sprintf("lan%d", i), fmt.Sprintf("gw%d", i), cfg)
+	}
+	w.Net.ResetStats()
+
+	// (a)+(b) Convergence: every gateway holds every domain (n + core).
+	var res e22Result
+	start := w.Net.Now()
+	for deadline := start.Add(5 * time.Minute); w.Net.Now().Before(deadline); {
+		w.Run(250 * time.Millisecond)
+		if e22Converged(gws, n+1, nil) {
+			break
+		}
+	}
+	res.converge = w.Net.Now().Sub(start)
+	s := w.Net.Stats()
+	res.convKB = float64(s.DeliveredByCategory[wire.CatMaintenance].Bytes) / 1024
+
+	// (c) Cross-domain query latency: a client in domain 0 queries the
+	// farthest domain by name. The gateway's directory resolves it to
+	// one direct forward — the root never sees the query.
+	target := gws[n-1]
+	now := w.Net.Now()
+	if _, _, err := target.Reg.Store().Publish(e21Advert(w, n-1, 0), now); err != nil {
+		panic(err)
+	}
+	cli := w.AddClient("lan0", "c0", fastClient(gws[0].PeerInfo()))
+	w.Run(2 * time.Second) // client bootstraps onto its gateway
+	spec := e22Spec(w, n-1)
+	spec.Domain = e22Domain(n - 1)
+	out := cli.Query(spec, 10*time.Second)
+	if !out.Completed || len(out.Adverts) == 0 {
+		panic(fmt.Sprintf("E22 n=%d: cross-domain query failed (completed=%v, adverts=%d)",
+			n, out.Completed, len(out.Adverts)))
+	}
+	res.queryLatency = out.Elapsed
+
+	// (d) Churn: ~10% of the gateways (never the client's or the query
+	// target's) depart gracefully; their tombstones must reach every
+	// survivor through the root's relay gossip.
+	res.churned = n / 10
+	if res.churned == 0 {
+		res.churned = 1
+	}
+	dead := map[string]bool{}
+	for i := 1; i <= res.churned; i++ {
+		gws[i].Reg.Stop()
+		dead[e22Domain(i)] = true
+	}
+	survivors := append([]*sim.RegistryHandle{gws[0]}, gws[res.churned+1:]...)
+	start = w.Net.Now()
+	for deadline := start.Add(5 * time.Minute); w.Net.Now().Before(deadline); {
+		w.Run(250 * time.Millisecond)
+		if e22Converged(survivors, n+1, dead) {
+			break
+		}
+	}
+	res.reconverge = w.Net.Now().Sub(start)
+	return res
+}
+
+// e22Converged reports whether every listed gateway's directory holds
+// `domains` distinct namespaces, with every domain in `dead` (if any)
+// marked as a tombstone.
+func e22Converged(gws []*sim.RegistryHandle, domains int, dead map[string]bool) bool {
+	for _, h := range gws {
+		snap := h.Reg.DirectorySnapshot()
+		if len(snap) != domains {
+			return false
+		}
+		for _, e := range snap {
+			if dead[e.Domain] != e.Tombstone {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func e22Cfg(role federation.Role, domain string) federation.Config {
+	cfg := fastRegistry()
+	cfg.Role = role
+	cfg.Domain = domain
+	cfg.DirectoryInterval = time.Second
+	// The churn phase must observe tombstones before they age out of the
+	// survivors' directories.
+	cfg.TombstoneTTL = 10 * time.Minute
+	return cfg
+}
+
+func e22Domain(i int) string { return fmt.Sprintf("dom%03d", i) }
+
+// e22Spec queries for the URI-model advert e21Advert publishes into
+// domain i.
+func e22Spec(w *sim.World, i int) node.QuerySpec {
+	q := describe.URIQuery{TypeURI: fmt.Sprintf("urn:e21:d%d:type:%d", i, 0)}
+	return node.QuerySpec{Kind: describe.KindURI, Payload: q.Encode(), TTL: 3}
+}
+
+func memnetJitter() memnet.Config {
+	return memnet.Config{Jitter: time.Millisecond}
+}

@@ -187,15 +187,19 @@ func (d *deltaSummaryState) since(acked uint64) []wire.SummaryDeltaEntry {
 
 // sendSummaryTo sends one peer whatever it needs this tick: nothing
 // (fully acked), the merged deltas since its ack, or a full resync.
+// The periodic-full counter advances only on ticks that actually send
+// a delta: an idle, fully-acked peer must keep costing zero summary
+// bytes, not receive a pointless full resync every SummaryFullEvery
+// skipped ticks.
 func (r *Registry) sendSummaryTo(p *peer) {
-	p.sinceFull++
 	d := &r.dsum
-	full := p.needFull ||
-		p.ackedVersion == 0 ||
-		p.sinceFull >= r.cfg.SummaryFullEvery ||
-		(p.ackedVersion != d.version && !d.covers(p.ackedVersion))
 	switch {
-	case full:
+	case p.ackedVersion == d.version && !p.needFull:
+		// Peer is current: send nothing at all. Liveness is the ping
+		// loop's job; this is where the delta protocol saves its bytes.
+		fDeltaSkipped.Inc()
+	case p.needFull || p.ackedVersion == 0 ||
+		p.sinceFull+1 >= r.cfg.SummaryFullEvery || !d.covers(p.ackedVersion):
 		r.env.Send(transport.Addr(p.info.Addr), wire.SummaryDelta{
 			Version: d.version, Full: true, Entries: d.fullEntries(),
 		})
@@ -204,15 +208,12 @@ func (r *Registry) sendSummaryTo(p *peer) {
 		p.sinceFull = 0
 		fSummariesSent.Inc()
 		fDeltaFullSent.Inc()
-	case p.ackedVersion == d.version:
-		// Peer is current: send nothing at all. Liveness is the ping
-		// loop's job; this is where the delta protocol saves its bytes.
-		fDeltaSkipped.Inc()
 	default:
 		r.env.Send(transport.Addr(p.info.Addr), wire.SummaryDelta{
 			Version: d.version, Base: p.ackedVersion,
 			Entries: d.since(p.ackedVersion),
 		})
+		p.sinceFull++
 		fSummariesSent.Inc()
 		fDeltaSent.Inc()
 	}

@@ -176,10 +176,10 @@ func TestDeltaMergeNetsOut(t *testing.T) {
 	snap := func(tokens ...string) []wire.SummaryEntry {
 		return []wire.SummaryEntry{{Kind: describe.KindSemantic, Tokens: tokens}}
 	}
-	d.advance(snap("a"))          // v1: +a
-	d.advance(snap("a", "b"))     // v2: +b
-	d.advance(snap("a"))          // v3: -b
-	d.advance(snap("a", "c"))     // v4: +c
+	d.advance(snap("a"))      // v1: +a
+	d.advance(snap("a", "b")) // v2: +b
+	d.advance(snap("a"))      // v3: -b
+	d.advance(snap("a", "c")) // v4: +c
 	if d.version != 4 {
 		t.Fatalf("version = %d, want 4", d.version)
 	}
@@ -193,6 +193,148 @@ func TestDeltaMergeNetsOut(t *testing.T) {
 	}
 	if !d.covers(1) || d.covers(4) || d.covers(9) {
 		t.Fatal("history coverage wrong")
+	}
+}
+
+// TestSummaryIdlePeerNoPeriodicFull is the skipped-tick regression
+// test: a fully-acked peer with nothing changing must receive zero
+// summary bytes indefinitely — the skip path must not advance the
+// periodic-full counter, or every SummaryFullEvery idle ticks would
+// burn a pointless full resync (exactly the WAN bytes the delta
+// protocol exists to save).
+func TestSummaryIdlePeerNoPeriodicFull(t *testing.T) {
+	h := newHarness(t)
+	// A tiny SummaryFullEvery makes the bug fire within a short idle
+	// window: 2 s of 200 ms ticks crosses the every-4 boundary twice.
+	small := func(c *Config) { c.SummaryFullEvery = 4 }
+	r1 := h.addRegistry("lan0", "r1", deltaCfg(small))
+	r2 := h.addRegistry("lan1", "r2", deltaCfg(small, func(c *Config) {
+		c.Seeds = []wire.PeerInfo{peerInfo(r1)}
+	}))
+	h.net.RunFor(time.Second)
+	tc := h.addClient("lan1", "c")
+	h.publish(tc, r2, h.semAdvert("urn:svc:cam", "Camera", time.Minute))
+	h.net.RunFor(time.Second) // r1 applies and acks; steady state
+
+	if p := r1.peers[r2.ID()]; p == nil || peerView(r1, r2) == nil {
+		t.Fatal("summary never converged")
+	}
+	sentBefore := fSummariesSent.Load()
+	fullBefore := fDeltaFullSent.Load()
+	skippedBefore := fDeltaSkipped.Load()
+	h.net.RunFor(2 * time.Second) // 10 idle ticks > 2×SummaryFullEvery
+	if got := fSummariesSent.Load() - sentBefore; got != 0 {
+		t.Fatalf("idle current peer was sent %d summaries (%d full), want 0",
+			got, fDeltaFullSent.Load()-fullBefore)
+	}
+	if fDeltaSkipped.Load() == skippedBefore {
+		t.Fatal("no ticks were skipped — peer never reached steady state")
+	}
+}
+
+// TestSummaryResyncOnPeerReAdd is the eviction/re-add regression test:
+// a peer dropped from the table and re-learned moments later gets a
+// fresh peer struct with no summary state, so the next exchange must
+// be a full resync in both directions — the re-added peer must not be
+// delta'd from a phantom acked version (an ack from its previous
+// incarnation still in flight), nor apply deltas against a stale base.
+func TestSummaryResyncOnPeerReAdd(t *testing.T) {
+	h := newHarness(t)
+	r1 := h.addRegistry("lan0", "r1", deltaCfg())
+	r2 := h.addRegistry("lan1", "r2", deltaCfg(func(c *Config) {
+		c.Seeds = []wire.PeerInfo{peerInfo(r1)}
+	}))
+	h.net.RunFor(time.Second)
+	tc := h.addClient("lan1", "c")
+	h.publish(tc, r2, h.semAdvert("urn:svc:cam", "Camera", time.Minute))
+	h.net.RunFor(time.Second)
+	if p := r2.peers[r1.ID()]; p == nil || p.ackedVersion == 0 {
+		t.Fatal("setup: r1 never acked r2's summary")
+	}
+
+	// r2 evicts r1 (table pressure), then re-learns it via signaling.
+	r2.evictOldestPeer()
+	for range r2.peers {
+		t.Fatal("eviction left peers behind in a 1-peer table")
+	}
+	p := r2.addPeer(peerInfo(r1), false)
+	if !p.needFull {
+		t.Fatal("re-added peer not marked for a full resync")
+	}
+	// A phantom ack from r1's previous incarnation lands after re-add.
+	// It may move the acked version, but must not cancel the forced
+	// full: the fresh struct has no record of what r1 actually holds.
+	r2.handleSummaryAck(r1.ID(), &wire.SummaryAck{Version: 7})
+	fullBefore := fDeltaFullSent.Load()
+	deltaBefore := fDeltaSent.Load()
+	r2.sendSummaryTo(p)
+	if fDeltaFullSent.Load() != fullBefore+1 || fDeltaSent.Load() != deltaBefore {
+		t.Fatal("re-added peer was delta'd from a phantom acked version, want full resync")
+	}
+
+	// End to end: the re-added peer's view reconverges through the full.
+	h.publish(tc, r2, h.semAdvert("urn:svc:radar", "Radar", time.Minute))
+	h.net.RunFor(3 * time.Second)
+	view := peerView(r1, r2)
+	if !view[describe.KindSemantic][string(c("Camera"))] || !view[describe.KindSemantic][string(c("Radar"))] {
+		t.Fatalf("view after re-add did not reconverge: %v", view)
+	}
+}
+
+// TestDeltaAckFromFuture pins the ack-from-the-future invariant: when a
+// peer's acked version is *ahead* of the sender's current version (the
+// sender restarted into a fresh, smaller version space), covers must
+// report false, the next send must be a full resync, and the ack naming
+// that full's exact version must re-anchor the peer downward. The
+// recovery chain exists today, but only incidentally — this test makes
+// it a contract.
+func TestDeltaAckFromFuture(t *testing.T) {
+	// State-machine level: covers treats a future ack as uncoverable.
+	var d deltaSummaryState
+	d.advance([]wire.SummaryEntry{{Kind: describe.KindSemantic, Tokens: []string{"a"}}})
+	if d.version != 1 {
+		t.Fatalf("version = %d, want 1", d.version)
+	}
+	if d.covers(1) || d.covers(7) {
+		t.Fatal("covers accepted an ack at or past the current version")
+	}
+	if got := d.since(7); got != nil {
+		t.Fatalf("since(future) = %+v, want nil", got)
+	}
+
+	// Protocol level: the future ack forces a full, whose ack re-anchors.
+	h := newHarness(t)
+	r1 := h.addRegistry("lan0", "r1", deltaCfg())
+	r2 := h.addRegistry("lan0", "r2", deltaCfg())
+	h.net.RunFor(time.Second)
+	tc := h.addClient("lan0", "c")
+	h.publish(tc, r1, h.semAdvert("urn:svc:cam", "Camera", time.Minute))
+	h.net.RunFor(time.Second)
+
+	p := r1.peers[r2.ID()]
+	if p == nil {
+		t.Fatal("registries did not peer")
+	}
+	// Simulate r1 having restarted with a fresh version space while r2's
+	// ack stream still names the old one.
+	p.ackedVersion = r1.dsum.version + 41
+	p.needFull = false
+	fullBefore := fDeltaFullSent.Load()
+	r1.sendSummaryTo(p)
+	if fDeltaFullSent.Load() != fullBefore+1 {
+		t.Fatal("ack-from-the-future did not force a full resync")
+	}
+	if p.lastFullVersion != r1.dsum.version {
+		t.Fatalf("lastFullVersion = %d, want %d", p.lastFullVersion, r1.dsum.version)
+	}
+	// The ack naming the full's version is the sanctioned regression:
+	// it re-anchors the peer into the new version space.
+	r1.handleSummaryAck(r2.ID(), &wire.SummaryAck{Version: r1.dsum.version})
+	if p.ackedVersion != r1.dsum.version {
+		t.Fatalf("ackedVersion = %d after full-resync ack, want %d", p.ackedVersion, r1.dsum.version)
+	}
+	if p.lastFullVersion != 0 {
+		t.Fatal("re-anchor was not one-shot")
 	}
 }
 

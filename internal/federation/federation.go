@@ -116,6 +116,28 @@ type Config struct {
 	// a whole summary to every peer each tick (the pre-delta behaviour,
 	// kept for ablation experiments).
 	FullSummaries bool
+
+	// Role places the registry in the federation hierarchy (directory.go):
+	// standalone (default, flat federation), federated (domain gateway),
+	// or root (the cascade's fallback resolver).
+	Role Role
+	// Domain names the namespace this gateway fronts; federated and root
+	// registries with a Domain author its directory entry.
+	Domain string
+	// RootAddr is where a federated gateway escalates queries for
+	// domains its directory does not know. Listing the root in Seeds as
+	// well lets escalated queries complete promptly instead of on the
+	// hop deadline.
+	RootAddr string
+	// DirectoryInterval spaces directory anti-entropy gossip;
+	// default 10 s when Role is not standalone.
+	DirectoryInterval time.Duration
+	// DirectoryFullEvery forces a full directory snapshot every Nth
+	// sending tick per peer; default 16.
+	DirectoryFullEvery int
+	// TombstoneTTL bounds how long a departed domain's tombstone is
+	// retained (and re-gossiped) before aging out; default 2 m.
+	TombstoneTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +169,13 @@ func (c Config) withDefaults() Config {
 	if c.SummaryFullEvery == 0 {
 		c.SummaryFullEvery = 16
 	}
+	if c.Role != RoleStandalone {
+		def(&c.DirectoryInterval, 10*time.Second)
+	}
+	if c.DirectoryFullEvery == 0 {
+		c.DirectoryFullEvery = 16
+	}
+	def(&c.TombstoneTTL, 2*time.Minute)
 	return c
 }
 
@@ -189,6 +218,14 @@ type peer struct {
 	// sinceFull counts summary ticks since the last full resync, for
 	// the periodic full refresh that bounds silent divergence.
 	sinceFull int
+
+	// Directory gossip state, the same protocol roles as the summary
+	// fields above but over the domain directory stream (directory.go).
+	dirGotVersion      uint64
+	dirAckedVersion    uint64
+	dirNeedFull        bool
+	dirLastFullVersion uint64
+	dirSinceFull       int
 }
 
 // Registry is one federated registry node.
@@ -209,6 +246,12 @@ type Registry struct {
 	// dsum is the sender state of the incremental summary protocol:
 	// the versioned snapshot and the bounded delta history (delta.go).
 	dsum deltaSummaryState
+
+	// dir is the gossiped domain directory (registry-of-registries);
+	// ownDirVersion is the per-origin version of this gateway's own
+	// entry in it (directory.go).
+	dir           *directory
+	ownDirVersion uint64
 
 	stats   Stats
 	stopped bool
@@ -233,6 +276,7 @@ func New(env *runtime.Env, store *registry.Store, cfg Config) *Registry {
 		seen:    make(map[uuid.UUID]time.Time),
 		pending: make(map[uuid.UUID]*pendingQuery),
 		rcache:  rcache,
+		dir:     newDirectory(),
 	}
 }
 
@@ -274,6 +318,10 @@ func (r *Registry) Start() {
 	if r.cfg.SummaryInterval > 0 {
 		r.every(r.cfg.SummaryInterval, r.sendSummaries)
 	}
+	if r.dirEnabled() {
+		r.announceDomain(false)
+		r.every(r.cfg.DirectoryInterval, r.gossipDirectory)
+	}
 }
 
 // Stop announces departure and cancels all timers.
@@ -282,6 +330,15 @@ func (r *Registry) Stop() {
 		return
 	}
 	r.stopped = true
+	// A departing domain gateway retracts its directory entry: the
+	// tombstone goes out best-effort on the normal delta path, and other
+	// gateways relay it on (transitive gossip) to anyone who missed it.
+	if r.dirEnabled() && r.cfg.Domain != "" {
+		r.announceDomain(true)
+		for _, p := range r.sortedPeers() {
+			r.sendDirectoryTo(p)
+		}
+	}
 	r.env.Multicast(wire.Bye{})
 	for _, p := range r.sortedPeers() {
 		if !p.lan {
@@ -334,7 +391,12 @@ func (r *Registry) addPeer(info wire.PeerInfo, lan bool) *peer {
 		if len(r.peers) >= r.cfg.MaxPeers {
 			r.evictOldestPeer()
 		}
-		p = &peer{info: info, lastSeen: r.now()}
+		// A fresh peer struct must start from a full resync on both delta
+		// streams, even if the node itself was known before (evicted and
+		// re-learned moments later via signaling): the old per-peer state
+		// is gone, so a delta against the stale base — or one sent from a
+		// phantom acked version still in flight — would corrupt the view.
+		p = &peer{info: info, lastSeen: r.now(), needFull: true, dirNeedFull: true}
 		r.peers[info.ID] = p
 	}
 	p.info.Addr = info.Addr
@@ -577,6 +639,10 @@ func (r *Registry) HandleEnvelope(env *wire.Envelope, from transport.Addr) {
 		r.handleSummaryDelta(env.From, from, b)
 	case *wire.SummaryAck:
 		r.handleSummaryAck(env.From, b)
+	case *wire.DirectoryDelta:
+		r.handleDirectoryDelta(env, from, b)
+	case *wire.DirectoryAck:
+		r.handleDirectoryAck(env.From, b)
 	case *wire.GatewayClaim:
 		// A yielding gateway re-triggers election implicitly: it stops
 		// beaconing as gateway; nothing to store beyond peer liveness.

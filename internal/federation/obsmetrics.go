@@ -52,4 +52,33 @@ var (
 		"gateway result cache entries dropped past their lease-bounded TTL")
 	fRCacheSize = obs.NewGauge("federation.rcache.size", "count",
 		"resident gateway result cache entries")
+
+	// Domain directory (registry-of-registries) activity: the gossiped
+	// hierarchy of directory.go.
+	fDirEntries = obs.NewGauge("federation.directory.entries", "count",
+		"resident live domain directory entries")
+	fDirTombstones = obs.NewGauge("federation.directory.tombstones", "count",
+		"resident tombstoned (departed-domain) directory entries")
+	fDirMergeApplied = obs.NewCounter("federation.directory.merges.applied", "count",
+		"directory entries accepted by the origin-stamped merge")
+	fDirMergeStale = obs.NewCounter("federation.directory.merges.stale", "count",
+		"directory entries rejected as stale or duplicate by the merge")
+	fDirDeltaSent = obs.NewCounter("federation.directory.delta.sent", "count",
+		"incremental directory deltas sent to peers")
+	fDirDeltaFull = obs.NewCounter("federation.directory.delta.full", "count",
+		"full directory snapshots sent (first contact, periodic refresh, or requested)")
+	fDirDeltaSkipped = obs.NewCounter("federation.directory.delta.skipped", "count",
+		"directory ticks where a fully-acked peer was sent nothing")
+	fDirDeltaStale = obs.NewCounter("federation.directory.delta.stale", "count",
+		"directory deltas rejected because their base stream version did not match")
+	fDirResyncs = obs.NewCounter("federation.directory.resyncs", "count",
+		"directory acks received requesting a full snapshot")
+	fDirLookupHit = obs.NewCounter("federation.directory.lookups.hit", "count",
+		"domain-scoped queries resolved to a gateway through the directory")
+	fDirLookupMiss = obs.NewCounter("federation.directory.lookups.miss", "count",
+		"domain-scoped queries whose domain the directory did not know")
+	fDirRootFallback = obs.NewCounter("federation.directory.root.fallback", "count",
+		"domain-scoped queries escalated to the root after a directory miss")
+	fDirTombExpired = obs.NewCounter("federation.directory.tombstones.expired", "count",
+		"tombstoned directory entries aged out after TombstoneTTL")
 )

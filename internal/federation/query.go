@@ -95,9 +95,9 @@ func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, qp *wire
 		}
 	}
 
-	var targets []*peer
+	var targets []fwdTarget
 	if !cacheHit {
-		targets = r.forwardTargets(q, env.From)
+		targets = r.resolveTargets(q, env.From)
 	}
 	p := &pendingQuery{
 		query:       q,
@@ -114,7 +114,20 @@ func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, qp *wire
 	// forwards the query (it may be evaluable elsewhere). With a read
 	// pool the store lookup runs off the node goroutine — the store is
 	// concurrency-safe — and its result re-enters through the timer
-	// queue, so all bookkeeping below stays single-writer.
+	// queue, so all bookkeeping below stays single-writer. A query
+	// pinned to a namespace this node provably does not front (it
+	// declares a different domain) skips local evaluation: the store
+	// holds the wrong domain's services, and a relay hop — the root
+	// fallback in particular — must not leak them into the answer.
+	if q.Domain != "" && r.dirEnabled() && q.Domain != r.cfg.Domain {
+		if len(targets) == 0 {
+			r.respond(q, p.replyTo, p.allPools())
+			return
+		}
+		r.pending[q.QueryID] = p
+		r.forward(p, q, targets)
+		return
+	}
 	now := r.now()
 	if r.pool != nil && r.pool.TrySubmit(func() {
 		local, err := r.store.Evaluate(q.Kind, q.Payload, opts, now)
@@ -138,19 +151,23 @@ func (r *Registry) handleQuery(env *wire.Envelope, from transport.Addr, qp *wire
 		return
 	}
 	r.pending[q.QueryID] = p
+	r.forward(p, q, targets)
+}
 
+// forward sends the query on to its resolved targets and arms the hop
+// deadline: children get proportionally smaller budgets, so a parent
+// never times out before its children can respond. It also bounds how
+// long a leaf waits for its own pooled evaluation.
+func (r *Registry) forward(p *pendingQuery, q wire.Query, targets []fwdTarget) {
 	fwd := q
 	fwd.TTL = q.TTL - 1
 	fwd.ReplyAddr = string(r.env.Addr())
 	for _, t := range targets {
-		p.outstanding[t.info.ID] = true
-		r.env.Send(transport.Addr(t.info.Addr), fwd)
+		p.outstanding[t.id] = true
+		r.env.Send(t.addr, fwd)
 		r.stats.QueriesForwarded++
 		fQueriesForwarded.Inc()
 	}
-	// Hop deadline: children get proportionally smaller budgets, so a
-	// parent never times out before its children can respond. It also
-	// bounds how long a leaf waits for its own pooled evaluation.
 	deadline := r.cfg.QueryTimeout * time.Duration(int(q.TTL)+1)
 	p.cancel = r.env.Clock.After(deadline, func() { r.finalize(q.QueryID) })
 }
@@ -176,13 +193,70 @@ func (r *Registry) localDone(queryID uuid.UUID, local []wire.Advertisement, err 
 	}
 }
 
+// fwdTarget is one destination of a query forward: usually a peer, but
+// the cascade may target a gateway known only through the directory.
+type fwdTarget struct {
+	id   wire.NodeID
+	addr transport.Addr
+}
+
+// resolveTargets implements the resolution cascade for domain-scoped
+// queries — local store (handled by the caller's evaluation), then the
+// domain directory, then the root fallback — and defers to the flat
+// forwardTargets for everything else. A query pinned to a *different*
+// domain skips the WAN flood entirely: the directory names the one
+// gateway fronting that namespace, and an unknown domain escalates to
+// the configured root.
+func (r *Registry) resolveTargets(q wire.Query, sender wire.NodeID) []fwdTarget {
+	if q.TTL == 0 {
+		return nil
+	}
+	if q.Domain != "" && r.dirEnabled() && q.Domain != r.cfg.Domain && r.IsGateway() {
+		if e, ok := r.dir.lookup(q.Domain); ok {
+			fDirLookupHit.Inc()
+			if e.Origin == r.env.ID || e.Origin == sender {
+				return nil
+			}
+			return []fwdTarget{{id: e.Origin, addr: transport.Addr(e.Addr)}}
+		}
+		fDirLookupMiss.Inc()
+		if r.cfg.RootAddr != "" && r.cfg.Role != RoleRoot {
+			fDirRootFallback.Inc()
+			return []fwdTarget{{id: r.peerIDByAddr(r.cfg.RootAddr), addr: transport.Addr(r.cfg.RootAddr)}}
+		}
+		// Nowhere left to escalate (we are the root, or no root is
+		// configured): fall through to the flat fan-out so the query can
+		// still resolve the slow way.
+	}
+	peers := r.forwardTargets(q, sender)
+	out := make([]fwdTarget, len(peers))
+	for i, p := range peers {
+		out[i] = fwdTarget{id: p.info.ID, addr: transport.Addr(p.info.Addr)}
+	}
+	return out
+}
+
+// peerIDByAddr finds the peer ID behind a transport address (the root,
+// when it is also seeded); a nil ID means the responder is unknown and
+// aggregation completes on the hop deadline instead of its Complete.
+func (r *Registry) peerIDByAddr(addr string) wire.NodeID {
+	for _, p := range r.sortedPeers() {
+		if p.info.Addr == addr {
+			return p.info.ID
+		}
+	}
+	return wire.NodeID{}
+}
+
 // forwardTargets selects the peers this hop forwards to, applying TTL,
-// the forwarding strategy, gateway coordination and summary pruning.
+// the forwarding strategy, gateway coordination, summary pruning, and —
+// for a query pinned to this gateway's own domain — domain confinement.
 func (r *Registry) forwardTargets(q wire.Query, sender wire.NodeID) []*peer {
 	if q.TTL == 0 {
 		return nil
 	}
 	gateway := r.IsGateway()
+	confine := q.Domain != "" && r.dirEnabled() && q.Domain == r.cfg.Domain
 	var eligible []*peer
 	for _, p := range r.sortedPeers() {
 		if p.info.ID == sender {
@@ -192,6 +266,15 @@ func (r *Registry) forwardTargets(q wire.Query, sender wire.NodeID) []*peer {
 			// Non-gateway registries leave WAN forwarding to the LAN
 			// gateway (§4.7); the gateway is a LAN peer and will relay.
 			continue
+		}
+		if confine && !p.lan {
+			// The query is pinned to our own domain: WAN peers that the
+			// directory proves front a different namespace cannot hold
+			// in-domain services. Peers the directory does not know stay
+			// eligible (conservative, like summary pruning).
+			if d, known := r.dir.domainOf(p.info.ID); known && d != q.Domain {
+				continue
+			}
 		}
 		if r.cfg.SummaryPruning && r.pruneBySummary(q, p) {
 			r.stats.ForwardsPruned++
@@ -262,7 +345,13 @@ func (r *Registry) handleQueryResult(env *wire.Envelope, res *wire.QueryResult) 
 		p.remote = append(p.remote, wire.CloneAdverts(res.Adverts))
 	}
 	if res.Complete {
-		delete(p.outstanding, env.From)
+		if _, waiting := p.outstanding[env.From]; waiting {
+			delete(p.outstanding, env.From)
+		} else if len(p.outstanding) == 1 && p.outstanding[wire.NodeID{}] {
+			// A root-fallback forward whose responder ID we did not know
+			// was tracked under the nil ID; its Complete closes that slot.
+			delete(p.outstanding, wire.NodeID{})
+		}
 		if len(p.outstanding) == 0 && !p.localPending {
 			r.finalize(res.QueryID)
 		}

@@ -47,6 +47,7 @@ type rkey struct {
 	ttl      uint8
 	strategy wire.Strategy
 	walkers  uint8
+	domain   string
 }
 
 func rkeyFor(q wire.Query) rkey {
@@ -58,6 +59,7 @@ func rkeyFor(q wire.Query) rkey {
 		ttl:      q.TTL,
 		strategy: q.Strategy,
 		walkers:  q.Walkers,
+		domain:   q.Domain,
 	}
 }
 

@@ -82,6 +82,10 @@ type QuerySpec struct {
 	// NoCache demands a fresh evaluation for this query, bypassing
 	// registry and gateway result caches along the path.
 	NoCache bool
+	// Domain pins the query to a federation namespace: gateways resolve
+	// it through the domain directory instead of flooding the WAN. Empty
+	// keeps the flat fan-out.
+	Domain string
 }
 
 // Via reports which mechanism produced a query's results.
@@ -363,6 +367,7 @@ func (c *Client) attempt(p *pendingClient) {
 		Walkers:    p.spec.Walkers,
 		ReplyAddr:  string(c.env.Addr()),
 		NoCache:    p.spec.NoCache || c.cfg.FreshResults,
+		Domain:     p.spec.Domain,
 	}
 	c.env.Send(transport.Addr(reg.Addr), q)
 	p.timer = c.env.Clock.After(c.attemptTimeout(p.spec, p.ringTTL), func() {

@@ -91,7 +91,8 @@ func DefaultBatchEligible(t wire.MsgType) bool {
 	switch t {
 	case wire.TRenew, wire.TRenewAck, wire.TPublishAck, wire.TPing, wire.TPong,
 		wire.TBeacon, wire.TPeerExchange, wire.TQueryResult,
-		wire.TSummaryDelta, wire.TSummaryAck:
+		wire.TSummaryDelta, wire.TSummaryAck,
+		wire.TDirectoryDelta, wire.TDirectoryAck:
 		return true
 	}
 	return false

@@ -59,12 +59,15 @@ type Decoder struct {
 	artifactPutAck ArtifactPutAck
 	summaryDelta   SummaryDelta
 	summaryAck     SummaryAck
+	directoryDelta DirectoryDelta
+	directoryAck   DirectoryAck
 
 	// Reused slice storage.
 	peers      []PeerInfo
 	adverts    []Advertisement
 	sumEntries []SummaryEntry
 	dltEntries []SummaryDeltaEntry
+	dirEntries []DirectoryEntry
 
 	// strLists pools []string backing arrays for token lists; strListIdx
 	// is reset per Decode so concurrent lists within one body (delta
@@ -421,6 +424,9 @@ func (d *Decoder) decodeBody(r *codec.Reader, t MsgType) (Body, error) {
 		if b.NoCache, err = r.Bool(); err != nil {
 			return nil, err
 		}
+		if b.Domain, err = d.internString(r); err != nil {
+			return nil, err
+		}
 		return b, nil
 	case TQueryResult:
 		b := &d.queryResult
@@ -607,6 +613,63 @@ func (d *Decoder) decodeBody(r *codec.Reader, t MsgType) (Body, error) {
 		return b, nil
 	case TSummaryAck:
 		b := &d.summaryAck
+		var err error
+		if b.Version, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if b.Resync, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		return b, nil
+	case TDirectoryDelta:
+		b := &d.directoryDelta
+		var err error
+		if b.Version, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if b.Base, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if b.Full, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		n, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("wire: directory entry count %d exceeds payload", n)
+		}
+		entries := d.dirEntries[:0]
+		for i := uint64(0); i < n; i++ {
+			var en DirectoryEntry
+			if en.Domain, err = d.internString(r); err != nil {
+				return nil, err
+			}
+			origin, err := r.Bytes16()
+			if err != nil {
+				return nil, err
+			}
+			en.Origin = uuid.UUID(origin)
+			if en.Addr, err = d.internString(r); err != nil {
+				return nil, err
+			}
+			if en.Version, err = r.Uvarint(); err != nil {
+				return nil, err
+			}
+			if en.Tombstone, err = r.Bool(); err != nil {
+				return nil, err
+			}
+			entries = append(entries, en)
+		}
+		d.dirEntries = entries
+		b.Entries = entries
+		if n == 0 {
+			b.Entries = nil
+		}
+		return b, nil
+	case TDirectoryAck:
+		b := &d.directoryAck
 		var err error
 		if b.Version, err = r.Uvarint(); err != nil {
 			return nil, err

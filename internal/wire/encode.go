@@ -168,6 +168,10 @@ func derefBody(body Body) Body {
 		return *b
 	case *SummaryAck:
 		return *b
+	case *DirectoryDelta:
+		return *b
+	case *DirectoryAck:
+		return *b
 	default:
 		return body
 	}
@@ -224,6 +228,7 @@ func marshalBody(w *codec.Buffer, body Body) error {
 		w.Byte(b.Walkers)
 		w.String(b.ReplyAddr)
 		w.Bool(b.NoCache)
+		w.String(b.Domain)
 	case QueryResult:
 		w.Bytes16(b.QueryID)
 		w.Uvarint(uint64(len(b.Adverts)))
@@ -272,6 +277,17 @@ func marshalBody(w *codec.Buffer, body Body) error {
 			w.StringSlice(en.Remove)
 		}
 	case SummaryAck:
+		w.Uvarint(b.Version)
+		w.Bool(b.Resync)
+	case DirectoryDelta:
+		w.Uvarint(b.Version)
+		w.Uvarint(b.Base)
+		w.Bool(b.Full)
+		w.Uvarint(uint64(len(b.Entries)))
+		for _, en := range b.Entries {
+			putDirectoryEntry(w, en)
+		}
+	case DirectoryAck:
 		w.Uvarint(b.Version)
 		w.Bool(b.Resync)
 	default:
@@ -412,6 +428,9 @@ func unmarshalBody(r *codec.Reader, t MsgType) (Body, error) {
 			return nil, err
 		}
 		if b.NoCache, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		if b.Domain, err = r.String(); err != nil {
 			return nil, err
 		}
 		return b, nil
@@ -590,6 +609,43 @@ func unmarshalBody(r *codec.Reader, t MsgType) (Body, error) {
 			return nil, err
 		}
 		return b, nil
+	case TDirectoryDelta:
+		var b DirectoryDelta
+		var err error
+		if b.Version, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if b.Base, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if b.Full, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		n, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("wire: directory entry count %d exceeds payload", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			en, err := getDirectoryEntry(r)
+			if err != nil {
+				return nil, err
+			}
+			b.Entries = append(b.Entries, en)
+		}
+		return b, nil
+	case TDirectoryAck:
+		var b DirectoryAck
+		var err error
+		if b.Version, err = r.Uvarint(); err != nil {
+			return nil, err
+		}
+		if b.Resync, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		return b, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", t)
 	}
@@ -627,6 +683,37 @@ func getPeers(r *codec.Reader) ([]PeerInfo, error) {
 		out = append(out, PeerInfo{ID: uuid.UUID(id), Addr: addr})
 	}
 	return out, nil
+}
+
+func putDirectoryEntry(w *codec.Buffer, e DirectoryEntry) {
+	w.String(e.Domain)
+	w.Bytes16(e.Origin)
+	w.String(e.Addr)
+	w.Uvarint(e.Version)
+	w.Bool(e.Tombstone)
+}
+
+func getDirectoryEntry(r *codec.Reader) (DirectoryEntry, error) {
+	var e DirectoryEntry
+	var err error
+	if e.Domain, err = r.String(); err != nil {
+		return e, err
+	}
+	origin, err := r.Bytes16()
+	if err != nil {
+		return e, err
+	}
+	e.Origin = uuid.UUID(origin)
+	if e.Addr, err = r.String(); err != nil {
+		return e, err
+	}
+	if e.Version, err = r.Uvarint(); err != nil {
+		return e, err
+	}
+	if e.Tombstone, err = r.Bool(); err != nil {
+		return e, err
+	}
+	return e, nil
 }
 
 func putAdvert(w *codec.Buffer, a Advertisement) {

@@ -58,6 +58,12 @@ func queryCorpusBodies(gen *uuid.Generator) []Body {
 		QueryID: gen.New(), Kind: describe.KindSemantic, Payload: payloads[1],
 		BestOnly: true, TTL: 8, ReplyAddr: "wan/c9", NoCache: true,
 	})
+	// Domain-pinned queries: same-domain confinement and the cross-domain
+	// cascade both start from this wire shape.
+	bodies = append(bodies, Query{
+		QueryID: gen.New(), Kind: describe.KindSemantic, Payload: payloads[0],
+		MaxResults: 4, TTL: 3, ReplyAddr: "lan0/c1", Domain: "edge.west",
+	})
 	return bodies
 }
 

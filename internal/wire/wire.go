@@ -115,24 +115,34 @@ const (
 	// TSummaryAck acknowledges the summary version a receiver has
 	// applied, optionally demanding a full resync.
 	TSummaryAck
+	// TDirectoryDelta carries an incremental update of the federation's
+	// domain directory: origin-stamped entries (including tombstones for
+	// departed domains) since the receiver's last acknowledged version of
+	// the sender's directory stream, or a full snapshot for
+	// (re)synchronization — the registry-of-registries gossip.
+	TDirectoryDelta
+	// TDirectoryAck acknowledges the directory stream version a receiver
+	// has applied, optionally demanding a full resync.
+	TDirectoryAck
 )
 
 // msgTypeNames is package-level so String stays allocation-free on the
 // zero-alloc decode path (it is evaluated for every frame's trailing
 // bounds check).
 var msgTypeNames = map[MsgType]string{
-		TProbe: "probe", TProbeMatch: "probe-match", TBeacon: "beacon",
-		TBye: "bye", TPing: "ping", TPong: "pong",
-		TPeerExchange: "peer-exchange", TSummary: "summary",
-		TGatewayClaim: "gateway-claim", TPublish: "publish",
-		TPublishAck: "publish-ack", TRenew: "renew", TRenewAck: "renew-ack",
-		TRemove: "remove", TAdvertForward: "advert-forward",
-		TQuery: "query", TQueryResult: "query-result",
-		TPeerQuery: "peer-query", TArtifactGet: "artifact-get",
-		TArtifactData: "artifact-data", TSubscribe: "subscribe",
-		TSubscribeAck: "subscribe-ack", TUnsubscribe: "unsubscribe",
+	TProbe: "probe", TProbeMatch: "probe-match", TBeacon: "beacon",
+	TBye: "bye", TPing: "ping", TPong: "pong",
+	TPeerExchange: "peer-exchange", TSummary: "summary",
+	TGatewayClaim: "gateway-claim", TPublish: "publish",
+	TPublishAck: "publish-ack", TRenew: "renew", TRenewAck: "renew-ack",
+	TRemove: "remove", TAdvertForward: "advert-forward",
+	TQuery: "query", TQueryResult: "query-result",
+	TPeerQuery: "peer-query", TArtifactGet: "artifact-get",
+	TArtifactData: "artifact-data", TSubscribe: "subscribe",
+	TSubscribeAck: "subscribe-ack", TUnsubscribe: "unsubscribe",
 	TArtifactPut: "artifact-put", TArtifactPutAck: "artifact-put-ack",
 	TSummaryDelta: "summary-delta", TSummaryAck: "summary-ack",
+	TDirectoryDelta: "directory-delta", TDirectoryAck: "directory-ack",
 }
 
 // String names the message type.
@@ -171,7 +181,8 @@ func (c Category) String() string {
 // CategoryOf maps a message type to its operation category.
 func CategoryOf(t MsgType) Category {
 	switch {
-	case t >= TProbe && t <= TGatewayClaim, t == TSummaryDelta, t == TSummaryAck:
+	case t >= TProbe && t <= TGatewayClaim, t == TSummaryDelta, t == TSummaryAck,
+		t == TDirectoryDelta, t == TDirectoryAck:
 		return CatMaintenance
 	case t >= TPublish && t <= TAdvertForward:
 		return CatPublishing
@@ -374,6 +385,13 @@ type Query struct {
 	// result caches and gateways bypass their remote result caches for
 	// this query (results are still eligible to fill the caches).
 	NoCache bool
+	// Domain pins the query to a federation namespace. Empty keeps the
+	// flat fan-out. A gateway whose own domain differs resolves the name
+	// through its domain directory and forwards straight to that
+	// domain's gateway (falling back to the root when unknown); a
+	// gateway inside the domain keeps forwarding confined to peers of
+	// the same domain.
+	Domain string
 }
 
 // QueryResult body.
@@ -479,6 +497,55 @@ type SummaryAck struct {
 	Resync  bool
 }
 
+// DirectoryEntry names one federation domain in the gossiped
+// registry-of-registries directory. Entries are origin-stamped: the
+// gateway that authored the entry signs it with its NodeID and a
+// per-origin version, so concurrent copies merge deterministically at
+// every receiver with no global master (newest version wins; the lower
+// origin ID breaks version ties when a domain changes hands).
+type DirectoryEntry struct {
+	// Domain is the namespace the entry names.
+	Domain string
+	// Origin is the gateway that authored this entry (the domain's
+	// registry-of-record while the entry is live).
+	Origin NodeID
+	// Addr is the origin gateway's transport address — where
+	// domain-scoped queries for this namespace are sent.
+	Addr string
+	// Version is the origin's entry version, bumped on every change the
+	// origin makes (including its departure tombstone).
+	Version uint64
+	// Tombstone marks a departed domain. Tombstoned entries keep
+	// gossiping for a bounded time so every gateway learns of the
+	// departure, then age out locally.
+	Tombstone bool
+}
+
+// DirectoryDelta body: an incremental domain-directory update, the same
+// versioned anti-entropy shape as SummaryDelta. Version/Base refer to
+// the sending gateway's local directory stream (every entry it accepts
+// — its own or relayed — advances the stream); the entries themselves
+// carry their origin stamps, so applying them is a merge, never a
+// replace, and relaying them onward cannot loop (a stale copy merges to
+// a no-op and is not re-emitted).
+type DirectoryDelta struct {
+	// Version is the sender's directory stream version after this delta.
+	Version uint64
+	// Base is the stream version this delta applies on top of.
+	Base uint64
+	// Full marks a complete snapshot for initial sync or resync.
+	Full bool
+	// Entries lists the changed (full: all) directory entries.
+	Entries []DirectoryEntry
+}
+
+// DirectoryAck body: the directory stream version the receiver has
+// applied, with the same Resync escape hatch as SummaryAck.
+type DirectoryAck struct {
+	Version uint64
+	Resync  bool
+}
+
 func (Probe) msgType() MsgType          { return TProbe }
 func (ProbeMatch) msgType() MsgType     { return TProbeMatch }
 func (Beacon) msgType() MsgType         { return TBeacon }
@@ -506,6 +573,8 @@ func (ArtifactPut) msgType() MsgType    { return TArtifactPut }
 func (ArtifactPutAck) msgType() MsgType { return TArtifactPutAck }
 func (SummaryDelta) msgType() MsgType   { return TSummaryDelta }
 func (SummaryAck) msgType() MsgType     { return TSummaryAck }
+func (DirectoryDelta) msgType() MsgType { return TDirectoryDelta }
+func (DirectoryAck) msgType() MsgType   { return TDirectoryAck }
 
 // NewEnvelope wraps a body with sender identity and a fresh message ID
 // drawn from gen.

@@ -72,6 +72,20 @@ func allBodies() []Body {
 		}},
 		SummaryAck{Version: 9},
 		SummaryAck{Version: 3, Resync: true},
+		Query{
+			QueryID: gen.New(), Kind: describe.KindSemantic, Payload: []byte{4},
+			MaxResults: 5, TTL: 3, ReplyAddr: "lan0:c1", Domain: "edge.west",
+		},
+		DirectoryDelta{Version: 12, Base: 11, Entries: []DirectoryEntry{
+			{Domain: "edge.west", Origin: gen.New(), Addr: "wan:gw1", Version: 4},
+			{Domain: "edge.east", Origin: gen.New(), Addr: "wan:gw2", Version: 2, Tombstone: true},
+		}},
+		DirectoryDelta{Version: 1, Full: true, Entries: []DirectoryEntry{
+			{Domain: "core", Origin: gen.New(), Addr: "wan:root", Version: 1},
+		}},
+		DirectoryDelta{Version: 3, Base: 2},
+		DirectoryAck{Version: 12},
+		DirectoryAck{Version: 7, Resync: true},
 	}
 }
 

@@ -4,7 +4,7 @@
 # runtime metric snapshot (plan-cache hit rates, match-cache hit rates,
 # scan counts — see OBSERVABILITY.md) is stored under the "obs" key.
 #
-# Usage: scripts/bench.sh [registry|match|chaos|qcache|scale|wal|wire] [benchtime]
+# Usage: scripts/bench.sh [registry|match|chaos|qcache|scale|wal|wire|fed] [benchtime]
 #   registry (default) -> BENCH_registry.json (registry store/evaluate)
 #   match              -> BENCH_match.json (matchmaking + subsumption +
 #                         wire encode, incl. compiled-vs-maps baselines)
@@ -27,13 +27,17 @@
 #                         zero-alloc decode rates, renews/s through the
 #                         datagram coalescer vs unbatched, and the E21
 #                         batching + delta-summary tables)
+#   fed                -> BENCH_fed.json (hierarchical multi-domain
+#                         federation: the E22 directory sweep — 10..500
+#                         domains, convergence time/bytes, cross-domain
+#                         query latency, churn reconvergence)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 MODE="registry"
 case "${1:-}" in
-registry | match | chaos | qcache | scale | wal | wire)
+registry | match | chaos | qcache | scale | wal | wire | fed)
     MODE="$1"
     shift
     ;;
@@ -68,6 +72,10 @@ wal)
 wire)
     OUT="BENCH_wire.json"
     PATTERN='BenchmarkWireDecode|BenchmarkBatchRenews|BenchmarkE21'
+    ;;
+fed)
+    OUT="BENCH_fed.json"
+    PATTERN='BenchmarkE22Federation|BenchmarkE15Scale'
     ;;
 esac
 
